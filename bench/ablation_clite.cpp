@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Ablation bench for the design choices DESIGN.md Sec. 6 calls out
+ * (the paper's "benefits are not sensitive to parameter-tuning"
+ * analysis, Sec. 5.2): each CLITE mechanism is toggled and the final
+ * truth score / sample count on a fixed mix is reported, averaged
+ * over a few seeds.
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "core/clite.h"
+#include "harness/analysis.h"
+#include "stats/summary.h"
+#include "workloads/catalog.h"
+
+using namespace clite;
+
+namespace {
+
+struct Variant
+{
+    std::string label;
+    core::CliteOptions options;
+};
+
+} // namespace
+
+int
+main()
+{
+    printBanner(std::cout,
+                "CLITE ablations (img-dnn@30% + memcached@30% + "
+                "masstree@30% + streamcluster, 4 seeds)");
+
+    std::vector<Variant> variants;
+    {
+        Variant v;
+        v.label = "default (Matern-5/2, EI zeta=0.01, dropout, informed "
+                  "bootstrap)";
+        variants.push_back(v);
+    }
+    {
+        Variant v;
+        v.label = "no dropout-copy";
+        v.options.dropout = false;
+        variants.push_back(v);
+    }
+    {
+        Variant v;
+        v.label = "random bootstrap (no informed set)";
+        v.options.informed_bootstrap = false;
+        variants.push_back(v);
+    }
+    {
+        Variant v;
+        v.label = "RBF kernel (smoothness assumption)";
+        v.options.kernel = "rbf";
+        variants.push_back(v);
+    }
+    {
+        Variant v;
+        v.label = "EI without exploration factor (zeta=0)";
+        v.options.ei_zeta = 0.0;
+        variants.push_back(v);
+    }
+    {
+        Variant v;
+        v.label = "PI acquisition (paper's rejected alternative)";
+        v.options.acquisition = "pi";
+        variants.push_back(v);
+    }
+    {
+        Variant v;
+        v.label = "no polish phase";
+        v.options.polish_iterations = 0;
+        variants.push_back(v);
+    }
+    {
+        Variant v;
+        v.label = "ARD lengthscales (overfits at this sample count)";
+        v.options.ard = true;
+        variants.push_back(v);
+    }
+    {
+        Variant v;
+        v.label = "loose termination (threshold x5)";
+        v.options.termination_threshold = 0.05;
+        variants.push_back(v);
+    }
+
+    TextTable t({"Variant", "Mean truth score", "QoS met (of 4)",
+                 "Mean samples"});
+    for (const auto& v : variants) {
+        stats::RunningStats score, samples;
+        int qos_met = 0;
+        for (uint64_t seed : {11u, 22u, 33u, 44u}) {
+            harness::ServerSpec spec;
+            spec.jobs = {workloads::lcJob("img-dnn", 0.3),
+                         workloads::lcJob("memcached", 0.3),
+                         workloads::lcJob("masstree", 0.3),
+                         workloads::bgJob("streamcluster")};
+            spec.seed = seed;
+            platform::SimulatedServer server = harness::makeServer(spec);
+            core::CliteOptions o = v.options;
+            o.seed = seed * 31;
+            core::CliteController clite(o);
+            core::ControllerResult r = clite.run(server);
+            auto truth =
+                core::scoreObservations(server.observeNoiseless(*r.best));
+            score.add(truth.score);
+            samples.add(double(r.samples));
+            qos_met += truth.all_qos_met ? 1 : 0;
+        }
+        t.addRow({v.label, TextTable::num(score.mean(), 4),
+                  TextTable::num(static_cast<long long>(qos_met)),
+                  TextTable::num(samples.mean(), 1)});
+    }
+    t.print(std::cout);
+    return 0;
+}

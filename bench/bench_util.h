@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared helpers for the figure benches: heatmap rendering in the
+ * paper's layout and the standard grid.
+ */
+
+#ifndef CLITE_BENCH_BENCH_UTIL_H
+#define CLITE_BENCH_BENCH_UTIL_H
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "harness/maxload.h"
+
+namespace clite {
+namespace bench {
+
+/**
+ * Write @p table as CSV into $CLITE_BENCH_CSV_DIR/<name>.csv when the
+ * environment variable is set (so every figure's series can be
+ * re-plotted); a no-op otherwise.
+ */
+inline void
+maybeWriteCsv(const TextTable& table, const std::string& name)
+{
+    const char* dir = std::getenv("CLITE_BENCH_CSV_DIR");
+    if (dir == nullptr || *dir == '\0')
+        return;
+    std::string path = std::string(dir) + "/" + name + ".csv";
+    table.writeCsv(path);
+    std::cout << "[csv written to " << path << "]\n";
+}
+
+/** The Figs. 7/8/12 load grid (kept coarse so the bench runs in
+ *  minutes on one core; the paper uses 10% steps). */
+inline std::vector<double>
+standardGrid()
+{
+    return {0.1, 0.3, 0.5, 0.7, 0.9};
+}
+
+/** Build the Figs. 7/8 heatmap table (rows: y load descending). */
+inline TextTable
+heatmapTable(const harness::LoadHeatmap& map, const std::string& x_label,
+             const std::string& y_label)
+{
+    std::vector<std::string> headers = {y_label + " \\ " + x_label};
+    for (double x : map.x_loads)
+        headers.push_back(TextTable::percent(x, 0));
+    TextTable t(headers);
+    for (size_t yi = map.y_loads.size(); yi-- > 0;) {
+        std::vector<std::string> row = {
+            TextTable::percent(map.y_loads[yi], 0)};
+        for (size_t xi = 0; xi < map.x_loads.size(); ++xi) {
+            double v = map.cell[yi][xi];
+            row.push_back(v > 0.0 ? TextTable::percent(v, 0) : "X");
+        }
+        t.addRow(row);
+    }
+    return t;
+}
+
+/**
+ * Print a max-load heatmap in the paper's layout: rows are the y job's
+ * load (descending), columns the x job's load; cells show the max
+ * probe load as a percentage, or X when co-location is impossible.
+ */
+inline void
+printHeatmap(std::ostream& os, const harness::LoadHeatmap& map,
+             const std::string& x_label, const std::string& y_label)
+{
+    os << map.scheme << "  (rows: " << y_label << " load, cols: " << x_label
+       << " load; cell: max probe load, X = impossible)\n";
+    TextTable t = heatmapTable(map, x_label, y_label);
+    t.print(os);
+    os << "\n";
+}
+
+/** Mean supported load over all cells (summary scalar per scheme). */
+inline double
+heatmapMean(const harness::LoadHeatmap& map)
+{
+    double sum = 0.0;
+    size_t n = 0;
+    for (const auto& row : map.cell)
+        for (double v : row) {
+            sum += v;
+            ++n;
+        }
+    return n ? sum / double(n) : 0.0;
+}
+
+} // namespace bench
+} // namespace clite
+
+#endif // CLITE_BENCH_BENCH_UTIL_H

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the substrate components,
+ * backing the Sec. 5.2 overhead discussion: GP fit/predict at CLITE's
+ * sample counts, acquisition evaluation and constrained maximization,
+ * score evaluation, the analytic and DES model backends, and the
+ * memoized ORACLE enumeration rate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/oracle.h"
+#include "bo/acquisition.h"
+#include "core/clite.h"
+#include "core/score.h"
+#include "gp/gaussian_process.h"
+#include "harness/schemes.h"
+#include "opt/projected_gradient.h"
+#include "stats/sampling.h"
+#include "workloads/catalog.h"
+#include "workloads/perf_model.h"
+
+using namespace clite;
+
+namespace {
+
+std::vector<linalg::Vector>
+randomInputs(size_t n, size_t dim, Rng& rng)
+{
+    std::vector<linalg::Vector> xs(n, linalg::Vector(dim));
+    for (auto& x : xs)
+        for (auto& v : x)
+            v = rng.uniform();
+    return xs;
+}
+
+void
+BM_GpFit(benchmark::State& state)
+{
+    const size_t n = size_t(state.range(0)), dim = 12;
+    Rng rng(3);
+    auto xs = randomInputs(n, dim, rng);
+    std::vector<double> ys(n);
+    for (auto& y : ys)
+        y = rng.uniform();
+    gp::GaussianProcess gp(std::make_unique<gp::Matern52Kernel>(dim, 0.3),
+                           1e-4);
+    for (auto _ : state) {
+        gp.fit(xs, ys);
+        benchmark::DoNotOptimize(gp.sampleCount());
+    }
+}
+BENCHMARK(BM_GpFit)->Arg(10)->Arg(30)->Arg(50);
+
+void
+BM_GpPredict(benchmark::State& state)
+{
+    const size_t n = 40, dim = 12;
+    Rng rng(5);
+    auto xs = randomInputs(n, dim, rng);
+    std::vector<double> ys(n);
+    for (auto& y : ys)
+        y = rng.uniform();
+    gp::GaussianProcess gp(std::make_unique<gp::Matern52Kernel>(dim, 0.3),
+                           1e-4);
+    gp.fit(xs, ys);
+    linalg::Vector q(dim, 0.4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gp.predict(q).mean);
+}
+BENCHMARK(BM_GpPredict);
+
+void
+BM_AcquisitionEval(benchmark::State& state)
+{
+    const size_t n = 40, dim = 12;
+    Rng rng(7);
+    auto xs = randomInputs(n, dim, rng);
+    std::vector<double> ys(n);
+    for (auto& y : ys)
+        y = rng.uniform();
+    gp::GaussianProcess gp(std::make_unique<gp::Matern52Kernel>(dim, 0.3),
+                           1e-4);
+    gp.fit(xs, ys);
+    bo::ExpectedImprovement ei(0.01);
+    linalg::Vector q(dim, 0.4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ei.evaluate(gp, q, 0.6));
+}
+BENCHMARK(BM_AcquisitionEval);
+
+void
+BM_AnalyticModelMeasure(benchmark::State& state)
+{
+    platform::ServerConfig config = platform::ServerConfig::xeonSilver4114();
+    workloads::JobSpec job = workloads::lcJob("img-dnn", 0.4);
+    workloads::AnalyticModel model;
+    Rng rng(9);
+    std::vector<int> units = {4, 5, 3};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            model.measure(job, units, config, rng).p95_ms);
+}
+BENCHMARK(BM_AnalyticModelMeasure);
+
+void
+BM_DesModelMeasure(benchmark::State& state)
+{
+    platform::ServerConfig config = platform::ServerConfig::xeonSilver4114();
+    workloads::JobSpec job = workloads::lcJob("img-dnn", 0.4);
+    workloads::QueueingSimModel model(0.5, 2.0);
+    Rng rng(11);
+    std::vector<int> units = {4, 5, 3};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            model.measure(job, units, config, rng).p95_ms);
+}
+BENCHMARK(BM_DesModelMeasure);
+
+void
+BM_ScoreEvaluation(benchmark::State& state)
+{
+    harness::ServerSpec spec;
+    spec.jobs = {workloads::lcJob("img-dnn", 0.3),
+                 workloads::lcJob("memcached", 0.3),
+                 workloads::bgJob("streamcluster")};
+    platform::SimulatedServer server = harness::makeServer(spec);
+    auto obs = server.observe();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::score(obs));
+}
+BENCHMARK(BM_ScoreEvaluation);
+
+void
+BM_OracleThreeJobs(benchmark::State& state)
+{
+    // Full memoized exhaustive search over 58,320 configurations.
+    for (auto _ : state) {
+        harness::ServerSpec spec;
+        spec.jobs = {workloads::lcJob("img-dnn", 0.3),
+                     workloads::lcJob("memcached", 0.3),
+                     workloads::bgJob("streamcluster")};
+        spec.noise_sigma = 0.0;
+        platform::SimulatedServer server = harness::makeServer(spec);
+        baselines::OracleController oracle;
+        benchmark::DoNotOptimize(oracle.run(server).best_score);
+    }
+}
+BENCHMARK(BM_OracleThreeJobs)->Unit(benchmark::kMillisecond);
+
+void
+BM_CliteFullSearch(benchmark::State& state)
+{
+    // One complete CLITE decision process (the paper's end-to-end
+    // controller overhead, minus the 2 s observation windows that
+    // dominate on a real machine).
+    for (auto _ : state) {
+        harness::ServerSpec spec;
+        spec.jobs = {workloads::lcJob("img-dnn", 0.3),
+                     workloads::lcJob("memcached", 0.3),
+                     workloads::bgJob("streamcluster")};
+        platform::SimulatedServer server = harness::makeServer(spec);
+        core::CliteController clite;
+        benchmark::DoNotOptimize(clite.run(server).best_score);
+    }
+}
+BENCHMARK(BM_CliteFullSearch)->Unit(benchmark::kMillisecond);
+
+void
+BM_CompositionEnumeration(benchmark::State& state)
+{
+    for (auto _ : state) {
+        uint64_t count = 0;
+        stats::forEachComposition(11, 4, [&](const std::vector<int>&) {
+            ++count;
+            return true;
+        });
+        benchmark::DoNotOptimize(count);
+    }
+}
+BENCHMARK(BM_CompositionEnumeration);
+
+void
+BM_ProjectedGradientAcqStep(benchmark::State& state)
+{
+    const size_t njobs = 4, nres = 3, dim = njobs * nres;
+    Rng rng(13);
+    auto xs = randomInputs(36, dim, rng);
+    std::vector<double> ys(36);
+    for (auto& y : ys)
+        y = rng.uniform();
+    gp::GaussianProcess gp(std::make_unique<gp::Matern52Kernel>(dim, 0.3),
+                           1e-4);
+    gp.fit(xs, ys);
+    bo::ExpectedImprovement ei(0.01);
+
+    std::vector<opt::SimplexBlock> blocks;
+    for (size_t r = 0; r < nres; ++r) {
+        opt::SimplexBlock b;
+        b.total = 1.0;
+        for (size_t j = 0; j < njobs; ++j) {
+            b.indices.push_back(j * nres + r);
+            b.lo.push_back(0.1);
+            b.hi.push_back(0.7);
+        }
+        blocks.push_back(std::move(b));
+    }
+    opt::PgOptions pg;
+    pg.max_iters = 40;
+    opt::ProjectedGradientOptimizer optimizer(blocks, dim, pg);
+    std::vector<double> start(dim, 0.25);
+    for (auto _ : state) {
+        auto r = optimizer.maximize(
+            [&](const std::vector<double>& x) {
+                return ei.evaluate(gp, x, 0.6);
+            },
+            start);
+        benchmark::DoNotOptimize(r.value);
+    }
+}
+BENCHMARK(BM_ProjectedGradientAcqStep)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Regenerates Figure 2: why coordinate descent (one resource at a
+ * time, small steps — the PARTIES exploration pattern) can fail even
+ * in a tiny 2-job / 2-resource space.
+ *
+ * Three synthetic scenarios mirror the paper's panels:
+ *  (a) a wide joint-QoS region around the equal division — coordinate
+ *      descent succeeds from the standard starting point;
+ *  (b) a region reachable only from a corner start — success depends
+ *      on the (unknowable) initial point;
+ *  (c) a diagonal region that single-dimension moves cannot enter
+ *      from any axis-aligned path — joint multi-dimension exploration
+ *      (what CLITE's BO does) is required.
+ *
+ * Allocations: job A gets (x, y) of resources 1 and 2 (out of N
+ * units each); job B gets the remainder. A cell is "safe" when both
+ * jobs' synthetic QoS predicates hold.
+ */
+
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+
+using namespace clite;
+
+namespace {
+
+constexpr int kUnits = 20;
+
+using SafePredicate = std::function<bool(int x, int y)>;
+
+/** Exhaustive scan: does any safe cell exist? */
+bool
+anySafe(const SafePredicate& safe)
+{
+    for (int x = 1; x < kUnits; ++x)
+        for (int y = 1; y < kUnits; ++y)
+            if (safe(x, y))
+                return true;
+    return false;
+}
+
+/**
+ * Coordinate descent as PARTIES performs it: adjust ONE resource by
+ * one unit at a time, keeping a move only if it reduces the number of
+ * violated QoS predicates (never allowing it to rise); alternate
+ * resources when stuck.
+ */
+bool
+coordinateDescent(const SafePredicate& safe_a, const SafePredicate& safe_b,
+                  int x, int y, int budget = 200)
+{
+    auto violations = [&](int xx, int yy) {
+        return int(!safe_a(xx, yy)) + int(!safe_b(xx, yy));
+    };
+    int dim = 0;
+    int stuck = 0;
+    for (int step = 0; step < budget; ++step) {
+        if (violations(x, y) == 0)
+            return true;
+        int best_delta = 0;
+        int v0 = violations(x, y);
+        int best_v = v0;
+        for (int delta : {-1, +1}) {
+            int xx = x + (dim == 0 ? delta : 0);
+            int yy = y + (dim == 1 ? delta : 0);
+            if (xx < 1 || xx >= kUnits || yy < 1 || yy >= kUnits)
+                continue;
+            int v = violations(xx, yy);
+            if (v < best_v) {
+                best_v = v;
+                best_delta = delta;
+            }
+        }
+        if (best_delta == 0) {
+            dim = 1 - dim; // switch resource (the FSM transition)
+            if (++stuck > 2)
+                return false; // cycling: PARTIES gives up
+            continue;
+        }
+        stuck = 0;
+        if (dim == 0)
+            x += best_delta;
+        else
+            y += best_delta;
+    }
+    return false;
+}
+
+struct Scenario
+{
+    const char* label;
+    SafePredicate safe_a;
+    SafePredicate safe_b;
+};
+
+} // namespace
+
+int
+main()
+{
+    // Job A is happier with more of both resources; job B with the
+    // complement. The overlap geometry changes per panel.
+    std::vector<Scenario> scenarios = {
+        {"(a) wide overlap",
+         [](int x, int y) { return x >= 6 && y >= 6; },
+         [](int x, int y) { return x <= 14 && y <= 14; }},
+        {"(b) corner overlap",
+         [](int x, int y) { return x >= 16 && y <= 4; },
+         [](int x, int y) { return x >= 15 && y <= 5; }},
+        {"(c) diagonal band",
+         // Safe only on a narrow off-center anti-diagonal band that
+         // intersects NEITHER the x=10 nor the y=10 slice: from the
+         // equal division, no sequence of accepted single-dimension
+         // moves reaches it (the violation count is flat there).
+         [](int x, int y) { return x + y >= 26 && x + y <= 27 &&
+                                   x >= 5 && y >= 5; },
+         [](int x, int y) { return x + y >= 26 && x + y <= 27 &&
+                                   x <= 15 && y <= 15; }},
+    };
+
+    printBanner(std::cout,
+                "Figure 2: coordinate descent vs joint exploration "
+                "(2 jobs, 2 resources, 20 units each)");
+
+    TextTable t({"Scenario", "Feasible (exhaustive)",
+                 "Coord. descent from equal split",
+                 "Coord. descent from corner",
+                 "Best of 4 corner starts"});
+    for (const auto& s : scenarios) {
+        bool feasible = anySafe([&](int x, int y) {
+            return s.safe_a(x, y) && s.safe_b(x, y);
+        });
+        bool from_equal =
+            coordinateDescent(s.safe_a, s.safe_b, kUnits / 2, kUnits / 2);
+        bool from_corner = coordinateDescent(s.safe_a, s.safe_b, kUnits - 1,
+                                             1);
+        bool any_corner = false;
+        for (int cx : {1, kUnits - 1})
+            for (int cy : {1, kUnits - 1})
+                any_corner =
+                    any_corner ||
+                    coordinateDescent(s.safe_a, s.safe_b, cx, cy);
+        t.addRow({s.label, feasible ? "yes" : "no",
+                  from_equal ? "finds QoS" : "stuck",
+                  from_corner ? "finds QoS" : "stuck",
+                  any_corner ? "finds QoS" : "stuck"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPanel (c) is the paper's point: the joint region is\n"
+                 "non-empty but unreachable by one-dimension-at-a-time\n"
+                 "moves from generic starts; CLITE's BO explores both\n"
+                 "dimensions simultaneously and has no such blind spot.\n";
+    return 0;
+}

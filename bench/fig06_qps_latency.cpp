@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates Figure 6: the isolated QPS vs p95 tail-latency curve of
+ * every LC workload, the QoS target (the knee latency) and the
+ * corresponding maximum load. Both model backends are reported so the
+ * analytic/DES agreement is visible.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "harness/knee.h"
+#include "workloads/catalog.h"
+
+using namespace clite;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Figure 6: QPS vs p95 tail latency (isolated, whole "
+                "machine); knee = QoS target & max load");
+
+    std::vector<double> loads;
+    for (double l = 0.1; l <= 1.4001; l += 0.1)
+        loads.push_back(l);
+
+    for (const auto& name : workloads::lcWorkloadNames()) {
+        harness::KneeCurve analytic = harness::sweepIsolatedLoad(
+            name, loads, harness::ModelBackend::Analytic);
+        harness::KneeCurve des = harness::sweepIsolatedLoad(
+            name, loads, harness::ModelBackend::Des);
+
+        std::cout << name << "  (QoS p95 = "
+                  << TextTable::num(analytic.qos_p95_ms, 3)
+                  << " ms, max load = "
+                  << TextTable::num(analytic.max_qps, 0) << " QPS)\n";
+        TextTable t({"Load", "QPS", "p95 analytic (ms)", "p95 DES (ms)",
+                     "QoS met"});
+        for (size_t i = 0; i < analytic.points.size(); ++i) {
+            const auto& pt = analytic.points[i];
+            t.addRow({TextTable::percent(pt.load_fraction, 0),
+                      TextTable::num(pt.qps, 0),
+                      TextTable::num(pt.p95_ms, 3),
+                      TextTable::num(des.points[i].p95_ms, 3),
+                      pt.p95_ms <= analytic.qos_p95_ms ? "yes" : "NO"});
+        }
+        t.print(std::cout);
+        bench::maybeWriteCsv(t, "fig06_" + name);
+        std::cout << "measured knee: "
+                  << TextTable::percent(analytic.measuredKneeLoad(), 0)
+                  << " of max load\n\n";
+    }
+    return 0;
+}

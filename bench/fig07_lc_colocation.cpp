@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Regenerates Figure 7: the maximum memcached load each scheme can
+ * co-locate with masstree (x) and img-dnn (y) at varying loads, with
+ * no BG job. Expected shape (paper): Heracles supports nothing,
+ * PARTIES a patchy subset, CLITE close to ORACLE everywhere.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "harness/maxload.h"
+
+using namespace clite;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Figure 7: max memcached load when co-located with "
+                "masstree (x) and img-dnn (y), no BG job");
+
+    std::vector<double> grid = bench::standardGrid();
+    TextTable summary({"Scheme", "Mean supported memcached load"});
+    for (const char* scheme : {"heracles", "parties", "clite", "oracle"}) {
+        harness::LoadHeatmap map = harness::maxLoadHeatmap(
+            scheme, "masstree", "img-dnn", grid, "memcached");
+        bench::printHeatmap(std::cout, map, "masstree", "img-dnn");
+        bench::maybeWriteCsv(bench::heatmapTable(map, "masstree", "img-dnn"),
+                             std::string("fig07_") + scheme);
+        summary.addRow({scheme,
+                        TextTable::percent(bench::heatmapMean(map), 1)});
+    }
+    summary.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Regenerates Figure 8: the Figure 7 experiment with one
+ * throughput-oriented BG job (blackscholes) added — max supported
+ * memcached load drops everywhere (more X cells), and CLITE still
+ * tracks ORACLE while beating PARTIES.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "harness/maxload.h"
+
+using namespace clite;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Figure 8: max memcached load with masstree (x), "
+                "img-dnn (y) and blackscholes (BG)");
+
+    std::vector<double> grid = bench::standardGrid();
+    TextTable summary({"Scheme", "Mean supported memcached load"});
+    for (const char* scheme : {"parties", "clite", "oracle"}) {
+        harness::LoadHeatmap map = harness::maxLoadHeatmap(
+            scheme, "masstree", "img-dnn", grid, "memcached",
+            {"blackscholes"});
+        bench::printHeatmap(std::cout, map, "masstree", "img-dnn");
+        bench::maybeWriteCsv(bench::heatmapTable(map, "masstree", "img-dnn"),
+                             std::string("fig08_") + scheme);
+        summary.addRow({scheme,
+                        TextTable::percent(bench::heatmapMean(map), 1)});
+    }
+    summary.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Regenerates Figure 12: normalized performance of a BG job
+ * (streamcluster) co-located with xapian (x) and memcached (y) at
+ * varying loads, per scheme. Paper result: CLITE within ~5% of
+ * ORACLE for most loads and far ahead of PARTIES (darker is better).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "harness/analysis.h"
+#include "workloads/catalog.h"
+
+using namespace clite;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Figure 12: streamcluster performance (vs isolated) when "
+                "co-located with xapian (x) and memcached (y)");
+
+    std::vector<double> grid = bench::standardGrid();
+    TextTable summary({"Scheme", "Mean BG perf", "Cells with QoS met"});
+
+    for (const char* scheme : {"parties", "clite", "oracle"}) {
+        std::cout << scheme << " (cell: BG perf % of isolated; '-' = QoS "
+                     "unmet)\n";
+        std::vector<std::string> headers = {"memcached \\ xapian"};
+        for (double x : grid)
+            headers.push_back(TextTable::percent(x, 0));
+        TextTable t(headers);
+
+        double sum = 0.0;
+        int met = 0;
+        for (size_t yi = grid.size(); yi-- > 0;) {
+            std::vector<std::string> row = {
+                TextTable::percent(grid[yi], 0)};
+            for (size_t xi = 0; xi < grid.size(); ++xi) {
+                harness::ServerSpec spec;
+                spec.jobs = {workloads::lcJob("xapian", grid[xi]),
+                             workloads::lcJob("memcached", grid[yi]),
+                             workloads::bgJob("streamcluster")};
+                spec.seed = 700 + yi * grid.size() + xi;
+                harness::SchemeOutcome out =
+                    harness::runScheme(scheme, spec, spec.seed);
+                if (out.truth.all_qos_met) {
+                    double perf =
+                        harness::meanBgPerformance(out.truth_obs);
+                    sum += perf;
+                    ++met;
+                    row.push_back(TextTable::percent(perf, 0));
+                } else {
+                    row.push_back("-");
+                }
+            }
+            t.addRow(row);
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+        summary.addRow({scheme,
+                        met ? TextTable::percent(sum / met, 1) : "-",
+                        TextTable::num(static_cast<long long>(met)) + "/" +
+                            TextTable::num(static_cast<long long>(
+                                grid.size() * grid.size()))});
+    }
+    summary.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Regenerates Figure 13: performance of each BG workload when
+ * co-located with sets of three LC jobs, per scheme, normalized to
+ * isolated performance (0 when the scheme cannot meet the LC jobs'
+ * QoS, as the paper marks it). Paper result: CLITE > 75% of ORACLE's
+ * BG performance on average; other schemes often below 30%.
+ */
+
+#include <functional>
+#include <iostream>
+#include <map>
+
+#include "common/table.h"
+#include "harness/analysis.h"
+#include "stats/summary.h"
+#include "workloads/catalog.h"
+
+using namespace clite;
+
+namespace {
+
+void
+runLcMix(const std::string& label,
+         const std::vector<workloads::JobSpec>& lc_jobs,
+         std::map<std::string, stats::RunningStats>& per_scheme)
+{
+    std::cout << label << "\n";
+    std::vector<std::string> headers = {"BG job"};
+    std::vector<std::string> schemes = {"oracle", "clite", "parties",
+                                        "rand+", "genetic"};
+    for (const auto& s : schemes)
+        headers.push_back(s);
+    TextTable t(headers);
+
+    for (const auto& bg : workloads::bgWorkloadNames()) {
+        std::vector<std::string> row = {bg};
+        for (const auto& scheme : schemes) {
+            harness::ServerSpec spec;
+            spec.jobs = lc_jobs;
+            spec.jobs.push_back(workloads::bgJob(bg));
+            spec.seed = 90 + std::hash<std::string>{}(bg + scheme) % 97;
+            harness::SchemeOutcome out =
+                harness::runScheme(scheme, spec, spec.seed);
+            double perf = out.truth.all_qos_met
+                              ? harness::meanBgPerformance(out.truth_obs)
+                              : 0.0;
+            per_scheme[scheme].add(perf);
+            row.push_back(TextTable::percent(perf, 0));
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Figure 13: BG-job performance (vs isolated) under "
+                "different 3-LC-job mixes; 0% = QoS not met");
+
+    std::map<std::string, stats::RunningStats> per_scheme;
+    runLcMix("LC mix: img-dnn@30% + xapian@30% + memcached@30%",
+             {workloads::lcJob("img-dnn", 0.3),
+              workloads::lcJob("xapian", 0.3),
+              workloads::lcJob("memcached", 0.3)},
+             per_scheme);
+    runLcMix("LC mix: specjbb@30% + masstree@30% + memcached@30%",
+             {workloads::lcJob("specjbb", 0.3),
+              workloads::lcJob("masstree", 0.3),
+              workloads::lcJob("memcached", 0.3)},
+             per_scheme);
+
+    TextTable summary({"Scheme", "Mean BG perf", "vs ORACLE"});
+    double oracle_mean = per_scheme["oracle"].mean();
+    for (const auto& [scheme, rs] : per_scheme)
+        summary.addRow({scheme, TextTable::percent(rs.mean(), 1),
+                        oracle_mean > 0.0
+                            ? TextTable::percent(rs.mean() / oracle_mean, 1)
+                            : "-"});
+    summary.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Regenerates Figure 15: the search overhead of each technique.
+ *
+ *  (a) Configurations sampled before settling, as the number of
+ *      co-located jobs grows. Paper: RAND+/GENETIC pay a preset (and
+ *      highest) budget, CLITE samples modestly more than PARTIES
+ *      (<30-ish even at high job counts) but with far better result
+ *      quality; ORACLE's exhaustive count is shown for scale.
+ *  (b) BG-job (fluidanimate) performance over sample number: PARTIES
+ *      stops improving once QoS is met; CLITE keeps optimizing.
+ * Also reports the decision/partition-apply overhead (<100 ms per
+ * decision on the paper's testbed; modeled here by the drivers).
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "harness/analysis.h"
+#include "workloads/catalog.h"
+
+using namespace clite;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Figure 15(a): configurations sampled vs number of "
+                "co-located jobs");
+
+    std::vector<std::vector<workloads::JobSpec>> mixes = {
+        {workloads::lcJob("memcached", 0.3), workloads::bgJob("swaptions")},
+        {workloads::lcJob("memcached", 0.3), workloads::lcJob("img-dnn", 0.3),
+         workloads::bgJob("swaptions")},
+        {workloads::lcJob("memcached", 0.3), workloads::lcJob("img-dnn", 0.3),
+         workloads::lcJob("masstree", 0.3), workloads::bgJob("swaptions")},
+        {workloads::lcJob("memcached", 0.2), workloads::lcJob("img-dnn", 0.2),
+         workloads::lcJob("masstree", 0.2), workloads::bgJob("swaptions"),
+         workloads::bgJob("fluidanimate")},
+    };
+
+    TextTable t({"Jobs", "clite", "parties", "rand+", "genetic",
+                 "oracle (exhaustive)", "clite score", "parties score"});
+    for (const auto& jobs : mixes) {
+        std::vector<std::string> row = {
+            TextTable::num(static_cast<long long>(jobs.size()))};
+        double clite_score = 0.0, parties_score = 0.0;
+        for (const char* scheme : {"clite", "parties", "rand+", "genetic"}) {
+            harness::ServerSpec spec;
+            spec.jobs = jobs;
+            spec.seed = 31 + jobs.size();
+            harness::SchemeOutcome out =
+                harness::runScheme(scheme, spec, spec.seed);
+            row.push_back(TextTable::num(
+                static_cast<long long>(out.result.samples)));
+            if (std::string(scheme) == "clite")
+                clite_score = out.truth.score;
+            if (std::string(scheme) == "parties")
+                parties_score = out.truth.score;
+        }
+        platform::ServerConfig config =
+            platform::ServerConfig::xeonSilver4114();
+        row.push_back(TextTable::num(static_cast<long long>(
+            config.configurationCount(int(jobs.size())))));
+        row.push_back(TextTable::num(clite_score, 3));
+        row.push_back(TextTable::num(parties_score, 3));
+        t.addRow(row);
+    }
+    t.print(std::cout);
+
+    printBanner(std::cout,
+                "Figure 15(b): BG (fluidanimate) performance over "
+                "samples — CLITE keeps improving past QoS");
+    harness::ServerSpec spec;
+    spec.jobs = {workloads::lcJob("img-dnn", 0.2),
+                 workloads::lcJob("memcached", 0.2),
+                 workloads::lcJob("masstree", 0.2),
+                 workloads::bgJob("fluidanimate")};
+    spec.seed = 19;
+    for (const char* scheme : {"parties", "clite"}) {
+        harness::ConvergenceTrace trace =
+            harness::traceConvergence(scheme, spec, 19);
+        std::cout << scheme << " (QoS first met at sample "
+                  << trace.first_feasible << "):\n";
+        TextTable tb({"Sample", "BG perf", "best-so-far BG perf @QoS",
+                      "QoS"});
+        double best_bg = 0.0;
+        for (const auto& step : trace.steps) {
+            if (step.all_qos_met)
+                best_bg = std::max(best_bg, step.bg_perf);
+            if (step.sample % 4 != 1 &&
+                step.sample != int(trace.steps.size()))
+                continue;
+            tb.addRow({TextTable::num(
+                           static_cast<long long>(step.sample)),
+                       TextTable::percent(step.bg_perf, 0),
+                       TextTable::percent(best_bg, 0),
+                       step.all_qos_met ? "met" : "-"});
+        }
+        tb.print(std::cout);
+        std::cout << "\n";
+    }
+
+    printBanner(std::cout,
+                "Decision overhead: modeled partition reprogramming "
+                "latency per decision (paper: <100 ms, off the "
+                "critical path)");
+    harness::ServerSpec spec2;
+    spec2.jobs = {workloads::lcJob("img-dnn", 0.3),
+                  workloads::lcJob("memcached", 0.3),
+                  workloads::bgJob("streamcluster")};
+    platform::SimulatedServer server = harness::makeServer(spec2);
+    auto clite = harness::makeScheme("clite", 3);
+    clite->run(server);
+    TextTable ov({"Metric", "Value"});
+    ov.addRow({"partitions applied",
+               TextTable::num(
+                   static_cast<long long>(server.applyCount()))});
+    ov.addRow({"total reprogram latency",
+               TextTable::num(server.totalApplyLatencyMs(), 1) + " ms"});
+    ov.addRow({"per decision",
+               TextTable::num(server.totalApplyLatencyMs() /
+                                  double(server.applyCount()),
+                              1) +
+                   " ms"});
+    ov.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates Figure 16: dynamic adaptation. memcached's load steps
+ * 10% -> 20% -> 30% while img-dnn and masstree stay at 10% and
+ * fluidanimate runs in the background; CLITE is re-invoked on each
+ * step, re-partitions, and stabilizes to a new configuration with the
+ * BG job's stable performance decreasing as memcached takes more
+ * resources.
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "harness/dynamic.h"
+#include "workloads/catalog.h"
+
+using namespace clite;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Figure 16: CLITE adaptation to memcached load steps "
+                "10% -> 20% -> 30% (img-dnn, masstree @10%; "
+                "fluidanimate BG)");
+
+    harness::ServerSpec spec;
+    spec.jobs = {workloads::lcJob("img-dnn", 0.1),
+                 workloads::lcJob("memcached", 0.1),
+                 workloads::lcJob("masstree", 0.1),
+                 workloads::bgJob("fluidanimate")};
+    spec.seed = 77;
+
+    harness::DynamicResult r =
+        harness::runDynamicScenario(spec, 1, {0.1, 0.2, 0.3}, 6);
+
+    TextTable t({"Window", "memcached load", "Phase", "memcached cores",
+                 "memcached ways", "memcached bw", "BG perf", "QoS"});
+    for (const auto& step : r.timeline) {
+        // Print exploration sparsely, stable windows fully.
+        if (step.exploring && step.sample % 6 != 1)
+            continue;
+        t.addRow({TextTable::num(static_cast<long long>(step.sample)),
+                  TextTable::percent(step.changed_load, 0),
+                  step.exploring ? "search" : "stable",
+                  TextTable::num(static_cast<long long>(step.alloc[1][0])),
+                  TextTable::num(static_cast<long long>(step.alloc[1][1])),
+                  TextTable::num(static_cast<long long>(step.alloc[1][2])),
+                  TextTable::percent(step.bg_perf, 0),
+                  step.all_qos_met ? "met" : "-"});
+    }
+    t.print(std::cout);
+
+    TextTable s({"Phase", "Samples to re-stabilize"});
+    for (size_t i = 0; i < r.stabilization_samples.size(); ++i)
+        s.addRow({"load " + TextTable::percent(0.1 * double(i + 1), 0),
+                  TextTable::num(static_cast<long long>(
+                      r.stabilization_samples[i]))});
+    std::cout << "\n";
+    s.print(std::cout);
+    std::cout << "\nall stable phases met QoS: "
+              << (r.all_phases_feasible ? "yes" : "NO") << "\n";
+    return 0;
+}

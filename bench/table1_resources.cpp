@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates Table 1 (shared resources and isolation tools) and
+ * Table 2 (testbed configuration) from the platform model, proving the
+ * simulated server exposes the paper's inventory.
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "platform/resource.h"
+
+using namespace clite;
+
+int
+main()
+{
+    platform::ServerConfig config =
+        platform::ServerConfig::xeonSilver4114AllResources();
+
+    printBanner(std::cout,
+                "Table 1: Shared resources on the (simulated) CMP server");
+    TextTable t1({"Shared Resource", "Allocation Method", "Isolation Tool",
+                  "Units", "Unit Value"});
+    for (const auto& spec : config.resources()) {
+        t1.addRow({platform::resourceName(spec.kind),
+                   platform::allocationMethod(spec.kind),
+                   platform::isolationTool(spec.kind),
+                   TextTable::num(static_cast<long long>(spec.units)),
+                   TextTable::num(spec.unit_value, 1) + " " +
+                       spec.unit_label});
+    }
+    t1.print(std::cout);
+
+    printBanner(std::cout, "Table 2: Experimental testbed configuration");
+    TextTable t2({"Component", "Specification"});
+    t2.addRow({"CPU Model", config.cpu_model});
+    t2.addRow({"Number of Sockets",
+               TextTable::num(static_cast<long long>(config.sockets))});
+    t2.addRow({"Processor Speed",
+               TextTable::num(config.frequency_ghz, 2) + " GHz"});
+    t2.addRow({"Physical Cores",
+               TextTable::num(
+                   static_cast<long long>(config.physical_cores))});
+    t2.addRow({"Logical Cores",
+               TextTable::num(
+                   static_cast<long long>(config.logical_cores))});
+    t2.addRow({"Shared L3 Cache",
+               TextTable::num(config.l3_cache_kb, 0) + " KB (" +
+                   TextTable::num(
+                       static_cast<long long>(config.l3_ways)) +
+                   "-way set associative)"});
+    t2.addRow({"Memory Capacity",
+               TextTable::num(config.memory_gb, 0) + " GB"});
+    t2.addRow({"Peak Memory Bandwidth",
+               TextTable::num(config.peak_mem_bw_mbps, 0) + " MB/s"});
+    t2.addRow({"Disk Bandwidth",
+               TextTable::num(config.disk_bw_mbps, 0) + " MB/s"});
+    t2.addRow({"Network Bandwidth",
+               TextTable::num(config.net_bw_mbps, 0) + " MB/s"});
+    t2.addRow({"Operating System", config.os});
+    t2.print(std::cout);
+
+    printBanner(std::cout,
+                "Search-space sizes (Sec. 2's N_conf formula)");
+    TextTable t3({"Co-located jobs", "3-resource server",
+                  "6-resource server"});
+    platform::ServerConfig small = platform::ServerConfig::xeonSilver4114();
+    for (int njobs = 2; njobs <= 6; ++njobs) {
+        t3.addRow({TextTable::num(static_cast<long long>(njobs)),
+                   TextTable::num(static_cast<long long>(
+                       small.configurationCount(njobs))),
+                   TextTable::num(static_cast<long long>(
+                       config.configurationCount(njobs)))});
+    }
+    t3.print(std::cout);
+    return 0;
+}

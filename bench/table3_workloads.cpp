@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Regenerates Table 3 (the LC and BG workload set) along with the
+ * calibrated load scales and QoS targets derived per the Sec. 5.1
+ * methodology (knee of the isolated QPS-vs-p95 curve).
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "workloads/catalog.h"
+
+using namespace clite;
+
+int
+main()
+{
+    printBanner(std::cout, "Table 3: Latency-Critical (LC) workloads");
+    TextTable lc({"Workload", "Description", "Max load (QPS)",
+                  "QoS p95 (ms)", "Parallelism ceiling"});
+    for (const auto& name : workloads::lcWorkloadNames()) {
+        workloads::WorkloadProfile p = workloads::lcWorkload(name);
+        lc.addRow({p.name, p.description, TextTable::num(p.max_qps, 0),
+                   TextTable::num(p.qos_p95_ms, 3),
+                   TextTable::num(
+                       static_cast<long long>(p.max_useful_cores))});
+    }
+    lc.print(std::cout);
+
+    printBanner(std::cout, "Table 3: Background (BG) workloads");
+    TextTable bg({"Workload", "Description", "Parallel frac.",
+                  "LLC half-ways", "DRAM MB/s/core"});
+    for (const auto& name : workloads::bgWorkloadNames()) {
+        workloads::WorkloadProfile p = workloads::bgWorkload(name);
+        bg.addRow({p.name, p.description,
+                   TextTable::num(p.parallel_fraction, 2),
+                   TextTable::num(p.llc_half_ways, 1),
+                   TextTable::num(p.traffic_mbps_per_core, 0)});
+    }
+    bg.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,216 @@
+#include "baselines/oracle.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/error.h"
+#include "stats/sampling.h"
+
+namespace clite {
+namespace baselines {
+
+namespace {
+
+/**
+ * Per-job score ingredients for one units tuple, precomputed so the
+ * exhaustive enumeration costs a table lookup per job instead of a
+ * model evaluation. Valid because a job's performance under
+ * partitioning-enforced isolation depends only on its own allocation,
+ * and the oracle view is the deterministic noise-free model.
+ */
+struct JobCell
+{
+    double qos_ratio = 1.0;  ///< min(1, target/p95)   (LC)
+    double perf_norm = 1.0;  ///< min(1, perf/iso)     (LC & BG)
+    bool qos_met = true;     ///< LC only; BG always true.
+};
+
+/** Per-job lookup table over every feasible units tuple. */
+class JobTable
+{
+  public:
+    JobTable(const platform::SimulatedServer& server, size_t job,
+             size_t njobs)
+        : config_(server.config())
+    {
+        const size_t nres = config_.resourceCount();
+        extents_.resize(nres);
+        strides_.resize(nres);
+        size_t total = 1;
+        for (size_t r = 0; r < nres; ++r) {
+            extents_[r] = config_.resource(r).units - int(njobs) + 1;
+            strides_[r] = total;
+            total *= size_t(extents_[r]);
+        }
+        cells_.resize(total);
+
+        // Probe the model through a one-off allocation per tuple by
+        // reusing the server's noise-free observer on a scratch
+        // allocation where the other jobs absorb the remaining units.
+        std::vector<int> units(nres, 1);
+        fillRec(server, job, njobs, units, 0);
+    }
+
+    const JobCell&
+    cell(const platform::Allocation& alloc, size_t job) const
+    {
+        size_t idx = 0;
+        for (size_t r = 0; r < strides_.size(); ++r)
+            idx += strides_[r] * size_t(alloc.get(job, r) - 1);
+        return cells_[idx];
+    }
+
+  private:
+    void
+    fillRec(const platform::SimulatedServer& server, size_t job,
+            size_t njobs, std::vector<int>& units, size_t r)
+    {
+        const size_t nres = config_.resourceCount();
+        if (r == nres) {
+            // Build a scratch allocation: this job gets `units`, the
+            // remainder is spread validly across the other jobs.
+            platform::Allocation scratch(njobs, config_);
+            for (size_t rr = 0; rr < nres; ++rr) {
+                int rest = config_.resource(rr).units - units[rr];
+                int others = int(njobs) - 1;
+                for (size_t j = 0, k = 0; j < njobs; ++j) {
+                    if (j == job) {
+                        scratch.set(j, rr, units[rr]);
+                    } else {
+                        int share = rest / others +
+                                    (int(k) < rest % others ? 1 : 0);
+                        scratch.set(j, rr, share);
+                        ++k;
+                    }
+                }
+            }
+            scratch.validate();
+            std::vector<platform::JobObservation> obs =
+                server.observeNoiseless(scratch);
+            const platform::JobObservation& ob = obs[job];
+
+            size_t idx = 0;
+            for (size_t rr = 0; rr < nres; ++rr)
+                idx += strides_[rr] * size_t(units[rr] - 1);
+            JobCell& c = cells_[idx];
+            c.qos_met = ob.qosMet();
+            c.perf_norm = ob.perfNorm();
+            c.qos_ratio = std::clamp(ob.qosRatio(), 1e-6, 1.0);
+            return;
+        }
+        for (int u = 1; u <= extents_[r]; ++u) {
+            units[r] = u;
+            fillRec(server, job, njobs, units, r + 1);
+        }
+    }
+
+    const platform::ServerConfig& config_;
+    std::vector<int> extents_;
+    std::vector<size_t> strides_;
+    std::vector<JobCell> cells_;
+};
+
+} // namespace
+
+OracleController::OracleController(OracleOptions options)
+    : options_(options)
+{
+}
+
+core::ControllerResult
+OracleController::run(platform::SimulatedServer& server)
+{
+    const platform::ServerConfig& config = server.config();
+    const size_t njobs = server.jobCount();
+    const size_t nres = config.resourceCount();
+
+    uint64_t space = config.configurationCount(int(njobs));
+    CLITE_CHECK(space <= options_.max_configurations,
+                "ORACLE would enumerate " << space
+                    << " configurations, above the cap of "
+                    << options_.max_configurations);
+
+    // Precompute per-job score ingredients.
+    std::vector<JobTable> tables;
+    tables.reserve(njobs);
+    std::vector<size_t> lc_jobs = server.lcJobs();
+    std::vector<size_t> bg_jobs = server.bgJobs();
+    for (size_t j = 0; j < njobs; ++j)
+        tables.emplace_back(server, j, njobs);
+    // Mode 2 averages BG performance, or LC performance when no BG
+    // jobs are co-located (N_BG -> N_LC).
+    const std::vector<size_t>& perf_jobs =
+        bg_jobs.empty() ? lc_jobs : bg_jobs;
+
+    platform::Allocation current(njobs, config);
+    platform::Allocation best(njobs, config);
+    double best_score = -1.0;
+    uint64_t enumerated = 0;
+
+    auto score_current = [&]() {
+        // Mirrors core::scoreObservations (Eq. 3, arithmetic means).
+        bool met = true;
+        double ratio_sum = 0.0;
+        for (size_t j : lc_jobs) {
+            const JobCell& c = tables[j].cell(current, j);
+            met = met && c.qos_met;
+            ratio_sum += c.qos_ratio;
+        }
+        if (!met) {
+            double m = lc_jobs.empty()
+                           ? 1.0
+                           : ratio_sum / double(lc_jobs.size());
+            return 0.5 * m;
+        }
+        double perf_sum = 0.0;
+        for (size_t j : perf_jobs)
+            perf_sum += tables[j].cell(current, j).perf_norm;
+        double m = perf_jobs.empty()
+                       ? 1.0
+                       : perf_sum / double(perf_jobs.size());
+        return 0.5 + 0.5 * m;
+    };
+
+    std::function<void(size_t)> recurse = [&](size_t r) {
+        if (r == nres) {
+            ++enumerated;
+            double s = score_current();
+            if (s > best_score) {
+                best_score = s;
+                best = current;
+            }
+            return;
+        }
+        stats::forEachComposition(
+            config.resource(r).units, int(njobs),
+            [&](const std::vector<int>& parts) {
+                for (size_t j = 0; j < njobs; ++j)
+                    current.set(j, r, parts[j]);
+                recurse(r + 1);
+                return true;
+            },
+            1);
+    };
+    recurse(0);
+    CLITE_ASSERT(enumerated == space,
+                 "enumerated " << enumerated << " of " << space
+                               << " configurations");
+
+    // Re-observe the winner through the full path for the trace.
+    std::vector<platform::JobObservation> best_obs =
+        server.observeNoiseless(best);
+    core::ScoreBreakdown sb = core::scoreObservations(best_obs);
+
+    core::ControllerResult result;
+    result.samples = int(enumerated);
+    result.best = best;
+    result.best_score = sb.score;
+    result.feasible = sb.all_qos_met;
+    result.trace.emplace_back(best, sb.score, sb.all_qos_met,
+                              std::move(best_obs));
+    server.apply(best);
+    return result;
+}
+
+} // namespace baselines
+} // namespace clite

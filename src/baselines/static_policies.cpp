@@ -1,0 +1,17 @@
+#include "baselines/static_policies.h"
+
+namespace clite {
+namespace baselines {
+
+core::ControllerResult
+EqualShareController::run(platform::SimulatedServer& server)
+{
+    platform::Allocation equal = platform::Allocation::equalShare(
+        server.jobCount(), server.config());
+    std::vector<core::SampleRecord> trace;
+    trace.push_back(core::evaluateSample(server, equal));
+    return core::finalizeResult(server, std::move(trace));
+}
+
+} // namespace baselines
+} // namespace clite

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Static (non-searching) reference policies.
+ *
+ * EqualShareController programs the equal division of every resource
+ * and stops — the configuration an operator gets from naive fair
+ * sharing, and the starting point of PARTIES/Heracles. It provides
+ * the zero-search-cost floor the adaptive policies must beat, and the
+ * bootstrap sanity reference used in tests.
+ */
+
+#ifndef CLITE_BASELINES_STATIC_POLICIES_H
+#define CLITE_BASELINES_STATIC_POLICIES_H
+
+#include "core/controller.h"
+
+namespace clite {
+namespace baselines {
+
+/**
+ * Equal division of every resource; one observation, no search.
+ */
+class EqualShareController : public core::Controller
+{
+  public:
+    std::string name() const override { return "equal-share"; }
+
+    core::ControllerResult run(platform::SimulatedServer& server) override;
+};
+
+} // namespace baselines
+} // namespace clite
+
+#endif // CLITE_BASELINES_STATIC_POLICIES_H

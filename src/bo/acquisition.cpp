@@ -1,0 +1,76 @@
+#include "bo/acquisition.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "stats/distributions.h"
+
+namespace clite {
+namespace bo {
+
+ExpectedImprovement::ExpectedImprovement(double zeta) : zeta_(zeta)
+{
+    CLITE_CHECK(zeta >= 0.0, "EI zeta must be >= 0, got " << zeta);
+}
+
+double
+ExpectedImprovement::evaluate(const gp::GaussianProcess& gp,
+                              const linalg::Vector& x,
+                              double incumbent) const
+{
+    gp::Prediction p = gp.predict(x);
+    double sigma = p.stddev();
+    if (sigma <= 0.0)
+        return 0.0; // Eq. 2: EI = 0 when sigma(x) = 0
+    double improve = p.mean - incumbent - zeta_;
+    double z = improve / sigma;
+    return improve * stats::normalCdf(z) + sigma * stats::normalPdf(z);
+}
+
+ProbabilityOfImprovement::ProbabilityOfImprovement(double zeta)
+    : zeta_(zeta)
+{
+    CLITE_CHECK(zeta >= 0.0, "PI zeta must be >= 0, got " << zeta);
+}
+
+double
+ProbabilityOfImprovement::evaluate(const gp::GaussianProcess& gp,
+                                   const linalg::Vector& x,
+                                   double incumbent) const
+{
+    gp::Prediction p = gp.predict(x);
+    double sigma = p.stddev();
+    if (sigma <= 0.0)
+        return p.mean > incumbent + zeta_ ? 1.0 : 0.0;
+    return stats::normalCdf((p.mean - incumbent - zeta_) / sigma);
+}
+
+UpperConfidenceBound::UpperConfidenceBound(double kappa) : kappa_(kappa)
+{
+    CLITE_CHECK(kappa >= 0.0, "UCB kappa must be >= 0, got " << kappa);
+}
+
+double
+UpperConfidenceBound::evaluate(const gp::GaussianProcess& gp,
+                               const linalg::Vector& x,
+                               double /* incumbent */) const
+{
+    gp::Prediction p = gp.predict(x);
+    return p.mean + kappa_ * p.stddev();
+}
+
+std::unique_ptr<Acquisition>
+makeAcquisition(const std::string& name, double param)
+{
+    if (name == "ei")
+        return std::make_unique<ExpectedImprovement>(param);
+    if (name == "pi")
+        return std::make_unique<ProbabilityOfImprovement>(param);
+    if (name == "ucb")
+        return std::make_unique<UpperConfidenceBound>(
+            param > 0.0 ? param : 2.0);
+    CLITE_THROW("unknown acquisition name: " << name);
+}
+
+} // namespace bo
+} // namespace clite

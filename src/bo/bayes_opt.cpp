@@ -1,0 +1,105 @@
+#include "bo/bayes_opt.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "stats/sampling.h"
+
+namespace clite {
+namespace bo {
+
+BayesOpt::BayesOpt(linalg::Vector lo, linalg::Vector hi,
+                   std::unique_ptr<Acquisition> acquisition,
+                   BayesOptOptions options)
+    : lo_(std::move(lo)),
+      hi_(std::move(hi)),
+      acquisition_(std::move(acquisition)),
+      options_(options)
+{
+    CLITE_CHECK(!lo_.empty(), "BayesOpt needs at least one dimension");
+    CLITE_CHECK(lo_.size() == hi_.size(), "bound dimension mismatch");
+    for (size_t d = 0; d < lo_.size(); ++d)
+        CLITE_CHECK(lo_[d] < hi_[d], "bounds inverted in dimension " << d);
+    CLITE_CHECK(acquisition_ != nullptr, "BayesOpt needs an acquisition");
+    CLITE_CHECK(options_.initial_samples >= 2,
+                "need at least 2 initial samples");
+}
+
+BayesOptResult
+BayesOpt::maximize(const Objective& f, Rng& rng) const
+{
+    const size_t dims = lo_.size();
+    BayesOptResult result;
+
+    // Seed via Latin hypercube (Algorithm 1's S_init).
+    auto unit = stats::latinHypercube(size_t(options_.initial_samples),
+                                      dims, rng);
+    std::vector<linalg::Vector> xs;
+    std::vector<double> ys;
+    for (const auto& u : unit) {
+        linalg::Vector x(dims);
+        for (size_t d = 0; d < dims; ++d)
+            x[d] = lo_[d] + u[d] * (hi_[d] - lo_[d]);
+        double y = f(x);
+        result.history.push_back({x, y});
+        xs.push_back(std::move(x));
+        ys.push_back(y);
+    }
+
+    gp::GaussianProcess surrogate(
+        std::make_unique<gp::Matern52Kernel>(dims), 1e-4);
+
+    for (int iter = 0; iter < options_.max_iterations; ++iter) {
+        result.iterations = iter + 1;
+
+        // Step 3: update the surrogate model.
+        surrogate.fit(xs, ys);
+        if (options_.fit_hyperparameters &&
+            iter % std::max(1, options_.hyper_fit_every) == 0) {
+            gp::GpFitOptions fo;
+            fo.restarts = 1;
+            fo.max_iters = 40;
+            surrogate.optimizeHyperparameters(rng, fo);
+        }
+
+        double incumbent = *std::max_element(ys.begin(), ys.end());
+
+        // Steps 4-5: compute the acquisition, pick the next sample.
+        linalg::Vector best_cand;
+        double best_acq = -1.0;
+        for (int c = 0; c < options_.candidates; ++c) {
+            linalg::Vector cand(dims);
+            for (size_t d = 0; d < dims; ++d)
+                cand[d] = rng.uniform(lo_[d], hi_[d]);
+            double a = acquisition_->evaluate(surrogate, cand, incumbent);
+            if (a > best_acq) {
+                best_acq = a;
+                best_cand = std::move(cand);
+            }
+        }
+
+        // Step 8: termination condition on the expected improvement.
+        if (best_acq < options_.ei_termination) {
+            result.terminated_early = true;
+            break;
+        }
+
+        // Steps 6-7: run the system, observe, extend the sample set.
+        double y = f(best_cand);
+        result.history.push_back({best_cand, y});
+        xs.push_back(std::move(best_cand));
+        ys.push_back(y);
+    }
+
+    // Step 9: output the best configuration.
+    size_t best = 0;
+    for (size_t i = 1; i < ys.size(); ++i)
+        if (ys[i] > ys[best])
+            best = i;
+    result.best_x = xs[best];
+    result.best_y = ys[best];
+    return result;
+}
+
+} // namespace bo
+} // namespace clite

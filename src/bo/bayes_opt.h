@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Generic Bayesian-optimization driver (paper Algorithm 1).
+ *
+ * This is the textbook loop the CLITE controller specializes: seed with
+ * initial samples, then repeatedly (1) update the surrogate, (2) compute
+ * the acquisition, (3) pick the next sample, (4) evaluate the objective,
+ * (5) check termination. The driver optimizes over a continuous box;
+ * callers needing CLITE's partition constraints use core/ which shares
+ * the same surrogate/acquisition types but optimizes over the
+ * simplex-box lattice. The generic driver powers the Fig. 3/4
+ * illustration bench and the substrate tests.
+ */
+
+#ifndef CLITE_BO_BAYES_OPT_H
+#define CLITE_BO_BAYES_OPT_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bo/acquisition.h"
+#include "common/rng.h"
+#include "gp/gaussian_process.h"
+
+namespace clite {
+namespace bo {
+
+/** One (input, objective) observation. */
+struct Observation
+{
+    linalg::Vector x;   ///< Sampled input.
+    double y = 0.0;     ///< Observed objective value.
+};
+
+/** Options for the generic BO driver. */
+struct BayesOptOptions
+{
+    int initial_samples = 4;   ///< Latin-hypercube seed size.
+    int max_iterations = 30;   ///< Hard cap on BO iterations (N_iter).
+    int candidates = 512;      ///< Acquisition candidates per iteration.
+    double ei_termination = 0.0; ///< Stop when max acquisition < this.
+    bool fit_hyperparameters = true; ///< Re-fit GP params each round.
+    int hyper_fit_every = 4;   ///< Refit cadence (iterations).
+};
+
+/** Result of a BO run. */
+struct BayesOptResult
+{
+    linalg::Vector best_x;      ///< Best input found.
+    double best_y = 0.0;        ///< Best observed objective.
+    std::vector<Observation> history; ///< Every evaluated sample in order.
+    int iterations = 0;         ///< BO iterations (excluding seeding).
+    bool terminated_early = false; ///< True if the EI threshold fired.
+};
+
+/**
+ * Generic BO maximizer over a box [lo, hi]^d with random-candidate
+ * acquisition optimization.
+ */
+class BayesOpt
+{
+  public:
+    using Objective = std::function<double(const linalg::Vector&)>;
+
+    /**
+     * @param lo Per-dimension lower bounds.
+     * @param hi Per-dimension upper bounds (element-wise > lo).
+     * @param acquisition Acquisition function (owned).
+     * @param options Driver knobs.
+     */
+    BayesOpt(linalg::Vector lo, linalg::Vector hi,
+             std::unique_ptr<Acquisition> acquisition,
+             BayesOptOptions options = {});
+
+    /**
+     * Run the loop of Algorithm 1 against @p f.
+     *
+     * @param f Objective to maximize.
+     * @param rng Randomness for seeding and candidates.
+     */
+    BayesOptResult maximize(const Objective& f, Rng& rng) const;
+
+  private:
+    linalg::Vector lo_, hi_;
+    std::unique_ptr<Acquisition> acquisition_;
+    BayesOptOptions options_;
+};
+
+} // namespace bo
+} // namespace clite
+
+#endif // CLITE_BO_BAYES_OPT_H

@@ -1,0 +1,39 @@
+#include "common/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace clite {
+namespace detail {
+
+std::string
+formatError(const char* file, int line, const char* cond,
+            const std::string& msg)
+{
+    std::ostringstream oss;
+    oss << file << ":" << line << ": ";
+    if (cond)
+        oss << "check `" << cond << "' failed: ";
+    oss << msg;
+    return oss.str();
+}
+
+void
+throwError(const char* file, int line, const char* cond,
+           const std::string& msg)
+{
+    throw Error(formatError(file, line, cond, msg));
+}
+
+void
+invariantFailure(const char* file, int line, const char* cond,
+                 const std::string& msg)
+{
+    std::string full = formatError(file, line, cond, msg);
+    std::fprintf(stderr, "CLITE internal invariant violated: %s\n",
+                 full.c_str());
+    std::abort();
+}
+
+} // namespace detail
+} // namespace clite

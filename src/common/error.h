@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Error handling primitives for the CLITE library.
+ *
+ * Follows the gem5 fatal()/panic() split: clite::Error (and the
+ * CLITE_THROW / CLITE_CHECK macros) report conditions caused by the
+ * caller (bad configuration, invalid arguments) and are recoverable by
+ * catching; CLITE_ASSERT guards internal invariants whose violation
+ * indicates a bug in the library itself and aborts in debug builds.
+ */
+
+#ifndef CLITE_COMMON_ERROR_H
+#define CLITE_COMMON_ERROR_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace clite {
+
+/**
+ * Exception type thrown for all user-facing error conditions in the
+ * CLITE library (invalid configuration, inconsistent allocation,
+ * unsatisfiable constraints, ...).
+ */
+class Error : public std::runtime_error
+{
+  public:
+    /**
+     * Construct an error with a human-readable message.
+     *
+     * @param what Description of the failed condition.
+     */
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/** Build the "file:line: condition: message" error string. */
+std::string formatError(const char* file, int line, const char* cond,
+                        const std::string& msg);
+
+/** [[noreturn]] helper that throws clite::Error. */
+[[noreturn]] void throwError(const char* file, int line, const char* cond,
+                             const std::string& msg);
+
+/** [[noreturn]] helper for internal invariant violations; aborts. */
+[[noreturn]] void invariantFailure(const char* file, int line,
+                                   const char* cond, const std::string& msg);
+
+} // namespace detail
+} // namespace clite
+
+/**
+ * Throw clite::Error with a streamed message:
+ *   CLITE_THROW("allocation has " << n << " rows, expected " << m);
+ */
+#define CLITE_THROW(msg_stream)                                            \
+    do {                                                                   \
+        std::ostringstream clite_oss_;                                     \
+        clite_oss_ << msg_stream;                                          \
+        ::clite::detail::throwError(__FILE__, __LINE__, nullptr,           \
+                                    clite_oss_.str());                     \
+    } while (0)
+
+/**
+ * Validate a user-facing precondition; throws clite::Error on failure.
+ * Analogous to gem5's fatal(): the user did something wrong, the library
+ * remains usable.
+ */
+#define CLITE_CHECK(cond, msg_stream)                                      \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::ostringstream clite_oss_;                                 \
+            clite_oss_ << msg_stream;                                      \
+            ::clite::detail::throwError(__FILE__, __LINE__, #cond,         \
+                                        clite_oss_.str());                 \
+        }                                                                  \
+    } while (0)
+
+/**
+ * Guard an internal invariant; analogous to gem5's panic(). Violation
+ * means a CLITE bug, so this aborts (via invariantFailure) rather than
+ * throwing, in all build types.
+ */
+#define CLITE_ASSERT(cond, msg_stream)                                     \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::ostringstream clite_oss_;                                 \
+            clite_oss_ << msg_stream;                                      \
+            ::clite::detail::invariantFailure(__FILE__, __LINE__, #cond,   \
+                                              clite_oss_.str());           \
+        }                                                                  \
+    } while (0)
+
+#endif // CLITE_COMMON_ERROR_H

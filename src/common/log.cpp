@@ -1,0 +1,53 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace clite {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char*
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Off: return "off";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+Log::setLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+Log::level()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+bool
+Log::enabled(LogLevel level)
+{
+    return static_cast<int>(level) >= static_cast<int>(Log::level()) &&
+           level != LogLevel::Off;
+}
+
+void
+Log::write(LogLevel level, const std::string& msg)
+{
+    if (!enabled(level))
+        return;
+    std::fprintf(stderr, "[clite:%s] %s\n", levelName(level), msg.c_str());
+}
+
+} // namespace clite

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal leveled logging for the CLITE library.
+ *
+ * Mirrors the gem5 inform()/warn() split: informational progress
+ * messages vs conditions that might explain surprising behaviour.
+ * Logging is globally level-gated and writes to stderr so that bench
+ * harness tables on stdout stay machine-parsable.
+ */
+
+#ifndef CLITE_COMMON_LOG_H
+#define CLITE_COMMON_LOG_H
+
+#include <sstream>
+#include <string>
+
+namespace clite {
+
+/** Log severity levels, ordered. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Off = 3 };
+
+/**
+ * Global logging configuration and sink.
+ */
+class Log
+{
+  public:
+    /** Set the minimum level that is emitted (default: Warn). */
+    static void setLevel(LogLevel level);
+
+    /** Current minimum emitted level. */
+    static LogLevel level();
+
+    /** True if a message at @p level would be emitted. */
+    static bool enabled(LogLevel level);
+
+    /** Emit a message at @p level (no-op when below the threshold). */
+    static void write(LogLevel level, const std::string& msg);
+};
+
+} // namespace clite
+
+/** Streamed debug message: CLITE_LOG_DEBUG("fit took " << ms << "ms"); */
+#define CLITE_LOG_DEBUG(msg_stream) CLITE_LOG_AT_(Debug, msg_stream)
+/** Streamed informational message. */
+#define CLITE_LOG_INFO(msg_stream) CLITE_LOG_AT_(Info, msg_stream)
+/** Streamed warning message. */
+#define CLITE_LOG_WARN(msg_stream) CLITE_LOG_AT_(Warn, msg_stream)
+
+#define CLITE_LOG_AT_(lvl, msg_stream)                                     \
+    do {                                                                   \
+        if (::clite::Log::enabled(::clite::LogLevel::lvl)) {               \
+            std::ostringstream clite_log_oss_;                             \
+            clite_log_oss_ << msg_stream;                                  \
+            ::clite::Log::write(::clite::LogLevel::lvl,                    \
+                                clite_log_oss_.str());                     \
+        }                                                                  \
+    } while (0)
+
+#endif // CLITE_COMMON_LOG_H

@@ -1,0 +1,162 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace clite {
+
+namespace {
+
+/** Left-rotate for xoshiro. */
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+uint64_t
+SplitMix64::next()
+{
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed)
+{
+    SplitMix64 sm(seed);
+    for (auto& s : state_)
+        s = sm.next();
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+Rng
+Rng::split(uint64_t tag)
+{
+    // Mix the tag with fresh output so children with different tags (or
+    // from different parent states) are decorrelated.
+    uint64_t seed = next() ^ (tag * 0xD1B54A32D192ED03ull + 1);
+    return Rng(seed);
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return double(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    CLITE_CHECK(lo <= hi, "uniform bounds inverted: [" << lo << ", " << hi
+                                                       << ")");
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    CLITE_CHECK(lo <= hi,
+                "uniformInt bounds inverted: [" << lo << ", " << hi << "]");
+    uint64_t span = uint64_t(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return int64_t(next());
+    // Rejection sampling to avoid modulo bias.
+    uint64_t limit = (~uint64_t{0} / span) * span;
+    uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return lo + int64_t(v % span);
+}
+
+double
+Rng::normal()
+{
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box-Muller; u1 in (0,1] so the log is finite.
+    double u1 = 1.0 - uniform();
+    double u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::logNormalMean(double mean, double sigma)
+{
+    CLITE_CHECK(mean > 0.0, "log-normal mean must be positive, got " << mean);
+    // E[exp(N(mu, sigma^2))] = exp(mu + sigma^2/2) == mean.
+    double mu = std::log(mean) - 0.5 * sigma * sigma;
+    return std::exp(normal(mu, sigma));
+}
+
+double
+Rng::exponential(double rate)
+{
+    CLITE_CHECK(rate > 0.0, "exponential rate must be positive, got "
+                                << rate);
+    return -std::log(1.0 - uniform()) / rate;
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+size_t
+Rng::categorical(const std::vector<double>& weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        CLITE_CHECK(w >= 0.0, "categorical weight must be >= 0, got " << w);
+        total += w;
+    }
+    CLITE_CHECK(total > 0.0, "categorical weights sum to zero");
+    double r = uniform() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (r < acc)
+            return i;
+    }
+    return weights.size() - 1; // numerical edge: land on last bucket
+}
+
+} // namespace clite

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the CLITE library.
+ *
+ * All stochastic components (measurement noise, discrete-event service
+ * times, RAND+/GENETIC search, BO multi-start) draw from clite::Rng so
+ * that every experiment is reproducible from a single 64-bit seed. The
+ * generator is xoshiro256**, seeded through SplitMix64, both public
+ * domain algorithms by Blackman & Vigna.
+ */
+
+#ifndef CLITE_COMMON_RNG_H
+#define CLITE_COMMON_RNG_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace clite {
+
+/**
+ * SplitMix64 generator. Used to expand a single seed into the xoshiro
+ * state and to derive independent child seeds for parallel streams.
+ */
+class SplitMix64
+{
+  public:
+    /** @param seed Initial state; any value (including 0) is valid. */
+    explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+    /** Next 64-bit value. */
+    uint64_t next();
+
+  private:
+    uint64_t state_;
+};
+
+/**
+ * xoshiro256** random number generator with a std::uniform-like sampling
+ * interface covering every distribution the library needs.
+ */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Smallest value returned by operator(). */
+    static constexpr result_type min() { return 0; }
+    /** Largest value returned by operator(). */
+    static constexpr result_type max() { return ~uint64_t{0}; }
+
+    /** Raw 64-bit draw (UniformRandomBitGenerator interface). */
+    result_type operator()() { return next(); }
+
+    /** Raw 64-bit draw. */
+    uint64_t next();
+
+    /**
+     * Derive an independent child generator. Streams derived with
+     * different tags from the same parent are decorrelated.
+     *
+     * @param tag Distinguishes sibling streams.
+     */
+    Rng split(uint64_t tag);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). @pre lo <= hi */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Standard normal draw (Box-Muller with caching). */
+    double normal();
+
+    /** Normal draw with given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Log-normal draw parameterized by the mean of the *resulting*
+     * distribution and the sigma of the underlying normal; convenient
+     * for multiplicative measurement noise with unit mean.
+     *
+     * @param mean Desired mean of the log-normal variate.
+     * @param sigma Shape parameter (stddev of log).
+     */
+    double logNormalMean(double mean, double sigma);
+
+    /** Exponential draw with the given rate (1/mean). @pre rate > 0 */
+    double exponential(double rate);
+
+    /** Bernoulli draw. @param p Probability of true, clamped to [0,1]. */
+    bool bernoulli(double p);
+
+    /**
+     * Sample an index in [0, weights.size()) proportionally to
+     * non-negative weights. @pre at least one weight > 0.
+     */
+    size_t categorical(const std::vector<double>& weights);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T>& v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = static_cast<size_t>(uniformInt(0, int64_t(i) - 1));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::array<uint64_t, 4> state_;
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+};
+
+} // namespace clite
+
+#endif // CLITE_COMMON_RNG_H

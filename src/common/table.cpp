@@ -1,0 +1,148 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace clite {
+
+namespace {
+
+/** Heuristic: does this cell look like a number (for right-alignment)? */
+bool
+looksNumeric(const std::string& s)
+{
+    if (s.empty())
+        return false;
+    size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+    bool digit_seen = false;
+    for (; i < s.size(); ++i) {
+        char c = s[i];
+        if (std::isdigit(static_cast<unsigned char>(c)))
+            digit_seen = true;
+        else if (c != '.' && c != '%' && c != 'e' && c != '-' && c != '+')
+            return false;
+    }
+    return digit_seen;
+}
+
+/** CSV-escape a cell if needed. */
+std::string
+csvCell(const std::string& s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    CLITE_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    CLITE_CHECK(cells.size() == headers_.size(),
+                "row has " << cells.size() << " cells, table has "
+                           << headers_.size() << " columns");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    if (std::isnan(v))
+        return "nan";
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+TextTable::num(long long v)
+{
+    return std::to_string(v);
+}
+
+std::string
+TextTable::percent(double fraction, int precision)
+{
+    return num(100.0 * fraction, precision) + "%";
+}
+
+void
+TextTable::print(std::ostream& os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            size_t pad = widths[c] - row[c].size();
+            if (looksNumeric(row[c]))
+                os << std::string(pad, ' ') << row[c];
+            else
+                os << row[c] << std::string(pad, ' ');
+            os << (c + 1 == row.size() ? "" : "  ");
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 == widths.size() ? 0 : 2);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_)
+        emit_row(row);
+}
+
+void
+TextTable::printCsv(std::ostream& os) const
+{
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (size_t c = 0; c < row.size(); ++c)
+            os << csvCell(row[c]) << (c + 1 == row.size() ? "" : ",");
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_)
+        emit(row);
+}
+
+void
+TextTable::writeCsv(const std::string& path) const
+{
+    std::ofstream f(path);
+    CLITE_CHECK(f.good(), "cannot open CSV output file: " << path);
+    printCsv(f);
+}
+
+void
+printBanner(std::ostream& os, const std::string& title)
+{
+    os << "\n== " << title << " ==\n\n";
+}
+
+} // namespace clite

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Table and CSV emission used by the bench harnesses.
+ *
+ * Every paper figure/table is regenerated as text: an aligned
+ * human-readable table on stdout plus (optionally) a CSV file so the
+ * series can be re-plotted. TextTable collects rows of strings and
+ * right-aligns numeric-looking cells, matching the row/column layout of
+ * the corresponding paper exhibit.
+ */
+
+#ifndef CLITE_COMMON_TABLE_H
+#define CLITE_COMMON_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace clite {
+
+/**
+ * An aligned text table with a header row.
+ */
+class TextTable
+{
+  public:
+    /** Construct with column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Number of columns. */
+    size_t columns() const { return headers_.size(); }
+
+    /** Number of data rows so far. */
+    size_t rows() const { return rows_.size(); }
+
+    /**
+     * Append a row of already-formatted cells.
+     * @pre cells.size() == columns()
+     */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p precision digits after the decimal point. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format an integer. */
+    static std::string num(long long v);
+
+    /** Format a value as a percentage ("87.5%"). */
+    static std::string percent(double fraction, int precision = 1);
+
+    /** Render the aligned table to a stream. */
+    void print(std::ostream& os) const;
+
+    /** Render as CSV (RFC-4180-ish quoting) to a stream. */
+    void printCsv(std::ostream& os) const;
+
+    /**
+     * Write the CSV rendering to @p path, creating parent directories is
+     * NOT attempted; throws clite::Error if the file cannot be opened.
+     */
+    void writeCsv(const std::string& path) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Print a section banner ("== Figure 7: ... ==") used to delimit bench
+ * output for each reproduced exhibit.
+ */
+void printBanner(std::ostream& os, const std::string& title);
+
+} // namespace clite
+
+#endif // CLITE_COMMON_TABLE_H

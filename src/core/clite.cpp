@@ -1,0 +1,517 @@
+#include "core/clite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "bo/acquisition.h"
+#include "common/error.h"
+#include "common/log.h"
+#include "gp/gaussian_process.h"
+#include "opt/projected_gradient.h"
+#include "opt/simplex.h"
+#include "stats/sampling.h"
+
+namespace clite {
+namespace core {
+
+namespace {
+
+/**
+ * Round a continuous normalized configuration to a valid Allocation,
+ * optionally pinning one job's allocation (dropout-copy).
+ *
+ * @param flat Normalized job-major coordinates.
+ * @param fixed_job Job whose allocation is pinned (-1 for none).
+ * @param fixed_units Pinned units per resource (when fixed_job >= 0).
+ */
+platform::Allocation
+roundWithPinning(const std::vector<double>& flat, size_t njobs,
+                 const platform::ServerConfig& config, int fixed_job,
+                 const std::vector<int>& fixed_units)
+{
+    platform::Allocation alloc(njobs, config);
+    const size_t nres = config.resourceCount();
+    for (size_t r = 0; r < nres; ++r) {
+        int units = config.resource(r).units;
+        std::vector<double> col(njobs);
+        std::vector<int> lo(njobs, 1);
+        std::vector<int> hi(njobs, units - int(njobs) + 1);
+        for (size_t j = 0; j < njobs; ++j)
+            col[j] = flat[j * nres + r] * double(units);
+        if (fixed_job >= 0) {
+            lo[size_t(fixed_job)] = fixed_units[r];
+            hi[size_t(fixed_job)] = fixed_units[r];
+            col[size_t(fixed_job)] = double(fixed_units[r]);
+        }
+        std::vector<int> rounded =
+            opt::roundToIntegerComposition(col, units, lo, hi);
+        for (size_t j = 0; j < njobs; ++j)
+            alloc.set(j, r, rounded[j]);
+    }
+    alloc.validate();
+    return alloc;
+}
+
+/** Uniformly random valid allocation. */
+platform::Allocation
+randomAllocation(size_t njobs, const platform::ServerConfig& config,
+                 Rng& rng)
+{
+    platform::Allocation alloc(njobs, config);
+    for (size_t r = 0; r < config.resourceCount(); ++r) {
+        std::vector<int> parts = stats::sampleComposition(
+            config.resource(r).units, int(njobs), rng, 1);
+        for (size_t j = 0; j < njobs; ++j)
+            alloc.set(j, r, parts[j]);
+    }
+    alloc.validate();
+    return alloc;
+}
+
+/**
+ * Per-job "how well is it doing" metric for dropout selection: QoS
+ * headroom for LC jobs (capped at 1 once met), normalized throughput
+ * for BG jobs.
+ */
+double
+jobGoodness(const platform::JobObservation& ob)
+{
+    if (ob.is_lc)
+        return std::min(1.0, ob.qosRatio());
+    return ob.perfNorm();
+}
+
+} // namespace
+
+CliteController::CliteController(CliteOptions options)
+    : options_(std::move(options))
+{
+    CLITE_CHECK(options_.max_iterations >= 0, "max_iterations must be >= 0");
+    CLITE_CHECK(options_.termination_threshold >= 0.0,
+                "termination threshold must be >= 0");
+    CLITE_CHECK(options_.acquisition_starts >= 1,
+                "need at least one acquisition start");
+    CLITE_CHECK(options_.dropout_random_prob >= 0.0 &&
+                    options_.dropout_random_prob <= 1.0,
+                "dropout_random_prob must be in [0,1]");
+}
+
+ControllerResult
+CliteController::run(platform::SimulatedServer& server)
+{
+    return search(server, nullptr);
+}
+
+ControllerResult
+CliteController::reoptimize(platform::SimulatedServer& server,
+                            const platform::Allocation& incumbent)
+{
+    return search(server, &incumbent);
+}
+
+ControllerResult
+CliteController::search(platform::SimulatedServer& server,
+                        const platform::Allocation* incumbent)
+{
+    const platform::ServerConfig& config = server.config();
+    const size_t njobs = server.jobCount();
+    const size_t nres = config.resourceCount();
+    const size_t dim = njobs * nres;
+
+    Rng rng(options_.seed);
+    std::vector<SampleRecord> trace;
+    std::set<std::string> seen;
+
+    auto evaluate_unique = [&](const platform::Allocation& alloc) -> bool {
+        if (!seen.insert(alloc.key()).second)
+            return false;
+        trace.push_back(evaluateSample(server, alloc));
+        return true;
+    };
+
+    // ---- Bootstrap (Sec. 4, "Selecting Bootstrapping Configuration
+    // Samples"): equal division + per-job maximum-allocation extrema.
+    std::vector<size_t> extremum_sample_of_job(njobs, size_t(-1));
+    if (options_.informed_bootstrap) {
+        if (incumbent != nullptr)
+            evaluate_unique(*incumbent);
+        evaluate_unique(platform::Allocation::equalShare(njobs, config));
+        for (size_t j = 0; j < njobs; ++j) {
+            platform::Allocation ext =
+                platform::Allocation::maxFor(j, njobs, config);
+            if (evaluate_unique(ext))
+                extremum_sample_of_job[j] = trace.size() - 1;
+        }
+    } else {
+        // Ablation: random bootstrap of the same size.
+        size_t want = njobs + 1 + (incumbent != nullptr ? 1 : 0);
+        int guard = 0;
+        while (trace.size() < want && guard++ < 200)
+            evaluate_unique(randomAllocation(njobs, config, rng));
+    }
+
+    // ---- Early infeasibility detection: an LC job that misses QoS
+    // even with the maximum possible allocation cannot be co-located
+    // with this job set (paper: schedule it elsewhere, no BO cycles).
+    bool infeasible = false;
+    for (size_t j = 0; j < njobs && options_.informed_bootstrap; ++j) {
+        size_t s = extremum_sample_of_job[j];
+        if (s == size_t(-1) || !server.job(j).isLatencyCritical())
+            continue;
+        const platform::JobObservation& ob = trace[s].observations[j];
+        if (!ob.qosMet()) {
+            CLITE_LOG_INFO("job " << ob.job_name
+                                  << " misses QoS even at max allocation ("
+                                  << ob.p95_ms << "ms > " << ob.qos_target_ms
+                                  << "ms); co-location infeasible");
+            infeasible = true;
+        }
+    }
+    if (infeasible || njobs == 1 || options_.max_iterations == 0)
+        return finalizeResult(server, std::move(trace), infeasible);
+
+    // ---- BO loop (Algorithm 1 specialized to the partition lattice).
+    std::unique_ptr<gp::Kernel> kernel =
+        gp::makeKernel(options_.kernel, dim, 0.3);
+    kernel->setIsotropic(!options_.ard);
+    gp::GaussianProcess surrogate(std::move(kernel), 1e-4);
+    std::unique_ptr<bo::Acquisition> acquisition =
+        bo::makeAcquisition(options_.acquisition, options_.ei_zeta);
+
+    // The EI-drop termination threshold scales with the number of
+    // co-located jobs (the EI curve drops more slowly in bigger spaces).
+    const double threshold =
+        options_.termination_threshold * std::max(1.0, double(njobs) / 3.0);
+    int below_threshold_streak = 0;
+
+    for (int iter = 0; iter < options_.max_iterations; ++iter) {
+        // Update the surrogate.
+        std::vector<linalg::Vector> xs;
+        std::vector<double> ys;
+        xs.reserve(trace.size());
+        for (const auto& rec : trace) {
+            xs.push_back(rec.alloc.flattenNormalized());
+            ys.push_back(rec.score);
+        }
+        surrogate.fit(xs, ys);
+        if (iter % std::max(1, options_.gp_fit_every) == 0) {
+            gp::GpFitOptions fo;
+            fo.restarts = options_.gp_restarts;
+            fo.max_iters = 50;
+            surrogate.optimizeHyperparameters(rng, fo);
+        }
+
+        size_t best_idx = 0;
+        for (size_t i = 1; i < trace.size(); ++i)
+            if (trace[i].score > trace[best_idx].score)
+                best_idx = i;
+        const double incumbent_score = trace[best_idx].score;
+
+        // ---- Dropout-copy: pin the best-performing job — the one
+        // that has met or is closest to meeting its QoS in the best
+        // configuration so far — at its allocation in that incumbent,
+        // and search over the remaining jobs. Once several jobs meet
+        // QoS their goodness ties at 1, so ties break toward the job
+        // holding the FEWEST resources: it performs best on least, so
+        // freezing it frees the most exploration for the others. With
+        // a small probability a random job is pinned instead (the
+        // residual stochasticity behind Fig. 11's small variability).
+        int fixed_job = -1;
+        std::vector<int> fixed_units(nres, 1);
+        if (options_.dropout && njobs >= 3) {
+            const auto& incumbent_rec = trace[best_idx];
+            size_t chosen;
+            if (rng.bernoulli(options_.dropout_random_prob)) {
+                chosen = size_t(rng.uniformInt(0, int64_t(njobs) - 1));
+            } else {
+                chosen = 0;
+                double best_g = -1.0;
+                double best_share = 1e100;
+                for (size_t j = 0; j < njobs; ++j) {
+                    double g =
+                        jobGoodness(incumbent_rec.observations[j]);
+                    double share = 0.0;
+                    for (size_t r = 0; r < nres; ++r)
+                        share += double(incumbent_rec.alloc.get(j, r)) /
+                                 double(config.resource(r).units);
+                    if (g > best_g + 1e-9 ||
+                        (g > best_g - 1e-9 && share < best_share)) {
+                        best_g = g;
+                        best_share = share;
+                        chosen = j;
+                    }
+                }
+            }
+            // Pinning must leave every other job one unit of everything.
+            bool pinnable = true;
+            for (size_t r = 0; r < nres; ++r) {
+                int pinned = incumbent_rec.alloc.get(chosen, r);
+                if (config.resource(r).units - pinned < int(njobs) - 1)
+                    pinnable = false;
+            }
+            if (pinnable) {
+                fixed_job = int(chosen);
+                for (size_t r = 0; r < nres; ++r)
+                    fixed_units[r] = incumbent_rec.alloc.get(chosen, r);
+            }
+        }
+
+        // ---- Constrained acquisition maximization (Eq. 4–6) on the
+        // continuous relaxation in normalized coordinates.
+        std::vector<opt::SimplexBlock> blocks;
+        std::vector<size_t> free_jobs;
+        for (size_t j = 0; j < njobs; ++j)
+            if (int(j) != fixed_job)
+                free_jobs.push_back(j);
+        for (size_t r = 0; r < nres; ++r) {
+            int units = config.resource(r).units;
+            int free_total =
+                units - (fixed_job >= 0 ? fixed_units[r] : 0);
+            opt::SimplexBlock blk;
+            blk.total = double(free_total) / double(units);
+            for (size_t j : free_jobs) {
+                blk.indices.push_back(j * nres + r);
+                blk.lo.push_back(1.0 / double(units));
+                blk.hi.push_back(
+                    double(free_total - int(free_jobs.size()) + 1) /
+                    double(units));
+            }
+            blocks.push_back(std::move(blk));
+        }
+
+        opt::PgOptions pg;
+        pg.max_iters = 40;
+        pg.fd_step = 0.02;
+        opt::ProjectedGradientOptimizer optimizer(blocks, dim, pg);
+
+        auto acq_objective = [&](const std::vector<double>& x) {
+            return acquisition->evaluate(surrogate, x, incumbent_score);
+        };
+
+        // Multi-start: the incumbent plus random feasible points.
+        std::vector<std::vector<double>> starts;
+        {
+            std::vector<double> s0 =
+                trace[best_idx].alloc.flattenNormalized();
+            if (fixed_job >= 0)
+                for (size_t r = 0; r < nres; ++r)
+                    s0[size_t(fixed_job) * nres + r] =
+                        double(fixed_units[r]) /
+                        double(config.resource(r).units);
+            starts.push_back(std::move(s0));
+        }
+        for (int s = 1; s < options_.acquisition_starts; ++s) {
+            std::vector<double> x(dim, 0.0);
+            for (size_t r = 0; r < nres; ++r) {
+                int units = config.resource(r).units;
+                int free_total =
+                    units - (fixed_job >= 0 ? fixed_units[r] : 0);
+                std::vector<int> parts = stats::sampleComposition(
+                    free_total, int(free_jobs.size()), rng, 1);
+                for (size_t k = 0; k < free_jobs.size(); ++k)
+                    x[free_jobs[k] * nres + r] =
+                        double(parts[k]) / double(units);
+                if (fixed_job >= 0)
+                    x[size_t(fixed_job) * nres + r] =
+                        double(fixed_units[r]) / double(units);
+            }
+            starts.push_back(std::move(x));
+        }
+
+        opt::PgResult acq = optimizer.maximizeMultiStart(acq_objective,
+                                                         starts);
+
+        // ---- Termination on expected-improvement drop: the EI curve
+        // must stay below the (job-count-scaled) threshold for a few
+        // consecutive iterations after a minimum search depth. While
+        // NO feasible configuration has been found the termination is
+        // disabled outright: stopping there amounts to declaring the
+        // co-location impossible, a call that belongs to the
+        // max-allocation bootstrap test, not to a misfit surrogate
+        // whose EI collapses on the mode-1 plateau.
+        bool any_feasible = false;
+        for (const auto& rec : trace)
+            any_feasible = any_feasible || rec.all_qos_met;
+        below_threshold_streak =
+            acq.value < threshold ? below_threshold_streak + 1 : 0;
+        if (any_feasible && iter >= options_.min_iterations &&
+            below_threshold_streak >= options_.termination_patience) {
+            CLITE_LOG_DEBUG("terminating at iteration "
+                            << iter << ": EI " << acq.value
+                            << " below threshold " << threshold << " for "
+                            << below_threshold_streak << " iterations");
+            break;
+        }
+
+        // ---- Round to the lattice; never resample a configuration.
+        platform::Allocation next = roundWithPinning(
+            acq.x, njobs, config, fixed_job, fixed_units);
+        int guard = 0;
+        while (seen.count(next.key()) && guard++ < 32) {
+            // Perturb: move one unit of a random resource between two
+            // random jobs.
+            size_t r = size_t(rng.uniformInt(0, int64_t(nres) - 1));
+            size_t from = size_t(rng.uniformInt(0, int64_t(njobs) - 1));
+            size_t to = size_t(rng.uniformInt(0, int64_t(njobs) - 1));
+            if (from != to)
+                next.transferUnit(r, from, to);
+        }
+        if (seen.count(next.key()))
+            next = randomAllocation(njobs, config, rng);
+        if (seen.count(next.key()))
+            break; // space effectively exhausted
+
+        evaluate_unique(next);
+    }
+
+    // ---- Polish phase: slack-directed local moves around the
+    // incumbent. The Eq. 3 optimum usually sits on the feasibility
+    // boundary — LC jobs trimmed to just-enough resources, everything
+    // else on the BG jobs (exactly the reshuffling Sec. 5.2 describes:
+    // "it takes away particular types of resources from LC jobs to
+    // help improve streamcluster performance"). EI's exploration bonus
+    // avoids that cliff, so an exploitation pass harvests it: each
+    // step donates one unit from the job with the most observed QoS
+    // headroom to the worst-performing job, choosing the resource (or
+    // equivalence-class double-move) the surrogate ranks highest.
+    for (int it = 0; it < options_.polish_iterations; ++it) {
+        std::vector<linalg::Vector> xs;
+        std::vector<double> ys;
+        xs.reserve(trace.size());
+        for (const auto& rec : trace) {
+            xs.push_back(rec.alloc.flattenNormalized());
+            ys.push_back(rec.score);
+        }
+        surrogate.fit(xs, ys);
+
+        size_t best_idx = 0;
+        for (size_t i = 1; i < trace.size(); ++i)
+            if (trace[i].score > trace[best_idx].score)
+                best_idx = i;
+        const SampleRecord& incumbent_rec = trace[best_idx];
+        const platform::Allocation& incumbent_alloc = incumbent_rec.alloc;
+
+        // Donor: the LC job with the most QoS headroom (it can spare
+        // resources). Recipient: the worst-performing job — a BG job
+        // when QoS is met everywhere, the most violating LC job
+        // otherwise (then BG jobs become donors too).
+        int donor = -1, recipient = -1;
+        double donor_metric = -1e100, recipient_metric = 1e100;
+        const bool feasible_now = incumbent_rec.all_qos_met;
+        for (size_t j = 0; j < njobs; ++j) {
+            const platform::JobObservation& ob =
+                incumbent_rec.observations[j];
+            if (feasible_now) {
+                // Donors: slackest LC job. Recipients: worst job by
+                // normalized performance (BG preferred: LC perf is
+                // capped once QoS is met).
+                if (ob.is_lc && ob.qosRatio() > donor_metric) {
+                    donor_metric = ob.qosRatio();
+                    donor = int(j);
+                }
+                double p = ob.is_lc ? 1.0 + ob.perfNorm() : ob.perfNorm();
+                if (p < recipient_metric) {
+                    recipient_metric = p;
+                    recipient = int(j);
+                }
+            } else {
+                // Donors: BG jobs and slack LC jobs. Recipient: the
+                // most violating LC job.
+                double slack = ob.is_lc ? ob.qosRatio() : 1e6;
+                if (slack > donor_metric) {
+                    donor_metric = slack;
+                    donor = int(j);
+                }
+                if (ob.is_lc && ob.qosRatio() < recipient_metric) {
+                    recipient_metric = ob.qosRatio();
+                    recipient = int(j);
+                }
+            }
+        }
+        if (donor < 0 || recipient < 0 || donor == recipient)
+            break;
+        const size_t from = size_t(donor), to = size_t(recipient);
+
+        // Candidate moves from donor to recipient, ranked by the
+        // surrogate's posterior mean.
+        platform::Allocation best_neighbor = incumbent_alloc;
+        double best_mean = -1e100;
+        bool found = false;
+        auto consider = [&](const platform::Allocation& cand) {
+            if (seen.count(cand.key()))
+                return;
+            double mean =
+                surrogate.predict(cand.flattenNormalized()).mean;
+            if (mean > best_mean) {
+                best_mean = mean;
+                best_neighbor = cand;
+                found = true;
+            }
+        };
+        for (size_t r = 0; r < nres; ++r) {
+            if (incumbent_alloc.get(from, r) <= 1)
+                continue;
+            platform::Allocation one = incumbent_alloc;
+            one.transferUnit(r, from, to);
+            consider(one);
+            for (size_t r2 = 0; r2 < nres; ++r2) {
+                if (r2 == r)
+                    continue;
+                // Same direction on a second resource.
+                if (one.get(from, r2) > 1) {
+                    platform::Allocation both = one;
+                    both.transferUnit(r2, from, to);
+                    consider(both);
+                }
+                // Equivalence-class swap: give r, take back r2.
+                if (one.get(to, r2) > 1) {
+                    platform::Allocation swap = one;
+                    swap.transferUnit(r2, to, from);
+                    consider(swap);
+                }
+            }
+        }
+        if (!found)
+            break; // donor->recipient neighborhood exhausted
+        evaluate_unique(best_neighbor);
+    }
+
+    // ---- Validation: re-measure the top candidates for extra
+    // observation windows so boundary noise cannot promote a truly
+    // QoS-violating configuration. Each candidate's recorded score
+    // becomes the mean across windows; QoS must hold in EVERY window.
+    if (options_.validation_windows > 0 && !trace.empty()) {
+        std::vector<size_t> order(trace.size());
+        for (size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+            return trace[a].score > trace[b].score;
+        });
+        size_t ncand = std::min(size_t(options_.validation_candidates),
+                                order.size());
+        for (size_t c = 0; c < ncand; ++c) {
+            SampleRecord& rec = trace[order[c]];
+            double score_sum = rec.score;
+            bool met = rec.all_qos_met;
+            server.apply(rec.alloc);
+            for (int w = 0; w < options_.validation_windows; ++w) {
+                std::vector<platform::JobObservation> obs =
+                    server.observe();
+                ScoreBreakdown sb = scoreObservations(obs);
+                score_sum += sb.score;
+                met = met && sb.all_qos_met;
+            }
+            rec.score = score_sum /
+                        double(options_.validation_windows + 1);
+            rec.all_qos_met = met;
+            if (!met)
+                rec.score = std::min(rec.score, 0.5);
+        }
+    }
+
+    return finalizeResult(server, std::move(trace), false);
+}
+
+} // namespace core
+} // namespace clite

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The CLITE controller (paper Sec. 3–4, Fig. 5).
+ *
+ * Bayesian-optimization search over resource-partition configurations:
+ *
+ *  1. Bootstrap with the informed sample set: the equal division of
+ *     every resource plus, for each job, the "maximum allocation"
+ *     extremum. The extrema double as an infeasibility test — an LC
+ *     job that misses QoS with everything cannot be co-located and is
+ *     reported for rescheduling without wasting BO cycles.
+ *  2. Iterate: fit a Gaussian-process surrogate (Matérn kernel) to the
+ *     (configuration, Eq. 3 score) samples; maximize Expected
+ *     Improvement with ζ-exploration over the constrained space of
+ *     Eq. 4–6 (projected-gradient multi-start on the continuous
+ *     relaxation, then sum-preserving integer rounding); apply
+ *     dropout-copy dimensionality reduction (hold the best-performing
+ *     job's allocation at its best-seen value, optimize the rest);
+ *     evaluate the chosen configuration for one observation window.
+ *  3. Terminate when the expected improvement drops below a threshold
+ *     scaled by the number of co-located jobs, or at the iteration cap.
+ *
+ * The controller then leaves the server programmed with the best
+ * configuration seen. reoptimize() supports the Fig. 16 dynamic
+ * scenario: on a load change, rerun the search seeded with the
+ * incumbent.
+ */
+
+#ifndef CLITE_CORE_CLITE_H
+#define CLITE_CORE_CLITE_H
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/controller.h"
+
+namespace clite {
+namespace core {
+
+/** CLITE tuning knobs (paper defaults). */
+struct CliteOptions
+{
+    /** EI exploration factor ζ (Eq. 2); ~0.01 works well (Lizotte). */
+    double ei_zeta = 0.01;
+    /**
+     * Base EI termination threshold (~1% of the score scale); scaled
+     * by the number of co-located jobs internally.
+     */
+    double termination_threshold = 0.01;
+    /** Hard cap on BO iterations after bootstrapping (N_iter). */
+    int max_iterations = 40;
+    /**
+     * Minimum BO iterations before the EI-drop termination applies —
+     * the termination watches the *drop* of the EI curve, which needs
+     * history; a cold surrogate can under-estimate EI at iteration 0.
+     */
+    int min_iterations = 6;
+    /** Refit GP hyper-parameters every this many iterations. */
+    int gp_fit_every = 3;
+    /** Random restarts per hyper-parameter fit. */
+    int gp_restarts = 1;
+    /** Enable dropout-copy dimensionality reduction. */
+    bool dropout = true;
+    /**
+     * Probability of dropping a random job instead of the best
+     * performer (the "small probabilistic factor" behind CLITE's
+     * residual run-to-run variability, Fig. 11).
+     */
+    double dropout_random_prob = 0.15;
+    /** Use the informed bootstrap set (false: random, for ablation). */
+    bool informed_bootstrap = true;
+    /** Multi-start count for the acquisition maximization. */
+    int acquisition_starts = 8;
+    /** Surrogate kernel name ("matern52" | "matern32" | "rbf"). */
+    std::string kernel = "matern52";
+    /**
+     * Use per-dimension (ARD) length-scales; off by default because
+     * ARD overfits in CLITE's few-samples-per-dimension regime.
+     */
+    bool ard = false;
+    /** Consecutive below-threshold EI iterations required to stop. */
+    int termination_patience = 2;
+    /**
+     * Surrogate-guided local refinement after the EI termination:
+     * each step evaluates the single-unit resource transfer around the
+     * incumbent that the GP posterior mean ranks highest. This is the
+     * "keeps reshuffling resources to improve every job's performance"
+     * behaviour of Fig. 15b, where the score optimum sits on the QoS
+     * feasibility boundary that EI's risk-aversion avoids.
+     */
+    int polish_iterations = 10;
+    /**
+     * Extra observation windows spent re-measuring each of the top
+     * candidate configurations before committing (the counterpart of
+     * the paper's "observation period ... ensures CLITE has
+     * sufficient queries to calculate QoS violations with high
+     * statistical significance"): measurement noise at the QoS
+     * boundary can otherwise promote a configuration that truly
+     * misses its targets.
+     */
+    int validation_windows = 2;
+    /** How many top candidates the validation re-measures. */
+    int validation_candidates = 3;
+    /** Acquisition name ("ei" | "pi" | "ucb") for ablations. */
+    std::string acquisition = "ei";
+    /** RNG seed for all stochastic choices. */
+    uint64_t seed = 7;
+};
+
+/**
+ * The CLITE policy.
+ */
+class CliteController : public Controller
+{
+  public:
+    explicit CliteController(CliteOptions options = {});
+
+    std::string name() const override { return "clite"; }
+
+    ControllerResult run(platform::SimulatedServer& server) override;
+
+    /**
+     * Re-invoke the search after a load or mix change (Fig. 16),
+     * seeding the bootstrap with @p incumbent so adaptation starts
+     * from the previously best configuration.
+     */
+    ControllerResult reoptimize(platform::SimulatedServer& server,
+                                const platform::Allocation& incumbent);
+
+    /** The options in effect. */
+    const CliteOptions& options() const { return options_; }
+
+  private:
+    ControllerResult search(platform::SimulatedServer& server,
+                            const platform::Allocation* incumbent);
+
+    CliteOptions options_;
+};
+
+} // namespace core
+} // namespace clite
+
+#endif // CLITE_CORE_CLITE_H

@@ -1,0 +1,54 @@
+#include "core/controller.h"
+
+#include "common/error.h"
+
+namespace clite {
+namespace core {
+
+int
+ControllerResult::firstFeasibleSample() const
+{
+    for (size_t i = 0; i < trace.size(); ++i)
+        if (trace[i].all_qos_met)
+            return int(i);
+    return -1;
+}
+
+SampleRecord
+evaluateSample(platform::SimulatedServer& server,
+               const platform::Allocation& alloc)
+{
+    std::vector<platform::JobObservation> obs = server.evaluate(alloc);
+    ScoreBreakdown sb = scoreObservations(obs);
+    return SampleRecord(alloc, sb.score, sb.all_qos_met, std::move(obs));
+}
+
+ControllerResult
+finalizeResult(platform::SimulatedServer& server,
+               std::vector<SampleRecord> trace, bool infeasible_detected)
+{
+    ControllerResult result;
+    result.infeasible_detected = infeasible_detected;
+    result.samples = int(trace.size());
+    result.trace = std::move(trace);
+    if (result.trace.empty())
+        return result;
+
+    size_t best = 0;
+    for (size_t i = 1; i < result.trace.size(); ++i)
+        if (result.trace[i].score > result.trace[best].score)
+            best = i;
+    result.best = result.trace[best].alloc;
+    result.best_score = result.trace[best].score;
+    result.feasible = false;
+    for (const auto& rec : result.trace)
+        if (rec.all_qos_met)
+            result.feasible = true;
+
+    // Leave the server running the winner.
+    server.apply(*result.best);
+    return result;
+}
+
+} // namespace core
+} // namespace clite

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Common interface for co-location scheduling policies.
+ *
+ * CLITE and every competing policy of Sec. 5.1 (ORACLE, PARTIES,
+ * Heracles, RAND+, GENETIC) implement Controller: given a server with
+ * co-located jobs, search resource-partition configurations and leave
+ * the server programmed with the best one found. The per-sample trace
+ * feeds the convergence (Fig. 9b, 15b), overhead (Fig. 15a), and
+ * variability (Fig. 11) analyses.
+ */
+
+#ifndef CLITE_CORE_CONTROLLER_H
+#define CLITE_CORE_CONTROLLER_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/score.h"
+#include "platform/allocation.h"
+#include "platform/server.h"
+
+namespace clite {
+namespace core {
+
+/** One evaluated configuration in a controller's search. */
+struct SampleRecord
+{
+    platform::Allocation alloc;  ///< The configuration evaluated.
+    double score = 0.0;          ///< Eq. 3 score observed.
+    bool all_qos_met = false;    ///< Every LC job within target?
+    std::vector<platform::JobObservation> observations; ///< Raw data.
+
+    SampleRecord(platform::Allocation a, double s, bool met,
+                 std::vector<platform::JobObservation> obs)
+        : alloc(std::move(a)), score(s), all_qos_met(met),
+          observations(std::move(obs))
+    {
+    }
+};
+
+/** Outcome of one controller run. */
+struct ControllerResult
+{
+    std::optional<platform::Allocation> best; ///< Best configuration.
+    double best_score = 0.0;     ///< Eq. 3 score of the best sample.
+    bool feasible = false;       ///< A QoS-satisfying config was found.
+    bool infeasible_detected = false; ///< Proven impossible (max-alloc miss).
+    int samples = 0;             ///< Configurations evaluated.
+    std::vector<SampleRecord> trace; ///< Every sample in order.
+
+    /** Index into trace of the first sample meeting all QoS (-1 none). */
+    int firstFeasibleSample() const;
+};
+
+/**
+ * Abstract co-location scheduling policy.
+ */
+class Controller
+{
+  public:
+    virtual ~Controller() = default;
+
+    /** Policy name ("clite", "parties", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Search partitions of @p server's resources among its jobs. On
+     * return the server is left programmed with the best configuration
+     * found.
+     */
+    virtual ControllerResult run(platform::SimulatedServer& server) = 0;
+};
+
+/**
+ * Evaluate one allocation on the server and append a SampleRecord —
+ * the shared "run the system for one observation period" step.
+ */
+SampleRecord evaluateSample(platform::SimulatedServer& server,
+                            const platform::Allocation& alloc);
+
+/**
+ * Finish a run: pick the best-scoring sample from @p trace, re-apply
+ * it to the server, and fill the result fields.
+ */
+ControllerResult finalizeResult(platform::SimulatedServer& server,
+                                std::vector<SampleRecord> trace,
+                                bool infeasible_detected = false);
+
+} // namespace core
+} // namespace clite
+
+#endif // CLITE_CORE_CONTROLLER_H

@@ -1,0 +1,135 @@
+#include "core/monitor.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace clite {
+namespace core {
+
+OnlineManager::OnlineManager(platform::SimulatedServer& server,
+                             CliteOptions clite_options,
+                             MonitorOptions options)
+    : server_(server), clite_(std::move(clite_options)), options_(options)
+{
+    CLITE_CHECK(options_.violation_patience >= 1,
+                "violation patience must be >= 1");
+    CLITE_CHECK(options_.drift_patience >= 1, "drift patience must be >= 1");
+    CLITE_CHECK(options_.load_drift_threshold > 0.0,
+                "drift threshold must be > 0");
+}
+
+const ControllerResult&
+OnlineManager::initialize()
+{
+    last_result_ = clite_.run(server_);
+    captureReference();
+    return *last_result_;
+}
+
+void
+OnlineManager::captureReference()
+{
+    reference_rate_.assign(server_.jobCount(), 0.0);
+    for (size_t j = 0; j < server_.jobCount(); ++j)
+        if (server_.job(j).isLatencyCritical())
+            reference_rate_[j] = server_.job(j).offeredQps();
+    violation_streak_ = 0;
+    drift_streak_ = 0;
+}
+
+const platform::Allocation&
+OnlineManager::incumbent() const
+{
+    CLITE_CHECK(last_result_.has_value() && last_result_->best.has_value(),
+                "OnlineManager::initialize() has not run");
+    return *last_result_->best;
+}
+
+const ControllerResult&
+OnlineManager::lastResult() const
+{
+    CLITE_CHECK(last_result_.has_value(),
+                "OnlineManager::initialize() has not run");
+    return *last_result_;
+}
+
+void
+OnlineManager::reoptimize(const std::string& reason, bool mix_changed)
+{
+    CLITE_LOG_INFO("re-optimizing: " << reason);
+    if (mix_changed) {
+        // The incumbent's shape no longer matches the job set.
+        last_result_ = clite_.run(server_);
+    } else {
+        last_result_ = clite_.reoptimize(server_, incumbent());
+    }
+    captureReference();
+    mix_changed_ = false;
+    ++reoptimizations_;
+}
+
+OnlineManager::Tick
+OnlineManager::tick()
+{
+    CLITE_CHECK(last_result_.has_value(),
+                "tick() before initialize()");
+    ++windows_;
+
+    Tick out;
+
+    if (mix_changed_) {
+        out.reoptimized = true;
+        out.reason = "mix-change";
+        reoptimize(out.reason, true);
+        out.search_samples = last_result_->samples;
+    }
+
+    std::vector<platform::JobObservation> obs = server_.observe();
+    ScoreBreakdown sb = scoreObservations(obs);
+    out.all_qos_met = sb.all_qos_met;
+    out.score = sb.score;
+    if (out.reoptimized)
+        return out;
+
+    // QoS violation detection.
+    violation_streak_ = sb.all_qos_met ? 0 : violation_streak_ + 1;
+
+    // Load drift: compare each LC job's observed completion rate to
+    // the rate the incumbent was optimized for. (Completions track
+    // offered load while the job is unsaturated; when it IS saturated
+    // the QoS check fires first.)
+    bool drifting = false;
+    for (size_t j = 0; j < obs.size(); ++j) {
+        if (!obs[j].is_lc || reference_rate_[j] <= 0.0)
+            continue;
+        double rel = std::fabs(obs[j].throughput - reference_rate_[j]) /
+                     reference_rate_[j];
+        if (rel > options_.load_drift_threshold)
+            drifting = true;
+    }
+    drift_streak_ = drifting ? drift_streak_ + 1 : 0;
+
+    if (violation_streak_ >= options_.violation_patience) {
+        out.reoptimized = true;
+        out.reason = "qos-violation";
+    } else if (drift_streak_ >= options_.drift_patience) {
+        out.reoptimized = true;
+        out.reason = "load-drift";
+    }
+    if (out.reoptimized) {
+        reoptimize(out.reason, false);
+        out.search_samples = last_result_->samples;
+    }
+    return out;
+}
+
+void
+OnlineManager::notifyMixChange()
+{
+    mix_changed_ = true;
+}
+
+} // namespace core
+} // namespace clite

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Online monitoring and re-invocation (paper Sec. 4, "Putting it all
+ * together"): after CLITE settles on a partition, "performance for
+ * all jobs is periodically monitored. If the observed performance or
+ * the job mix changes, CLITE can be reinvoked to determine the new
+ * optimal resource partition."
+ *
+ * OnlineManager wraps a SimulatedServer and a CliteController into
+ * that loop: each tick() is one observation window; sustained QoS
+ * violations, drift of an LC job's observed load away from the level
+ * the incumbent was optimized for, and job arrivals/departures all
+ * trigger a re-optimization seeded with the incumbent configuration.
+ */
+
+#ifndef CLITE_CORE_MONITOR_H
+#define CLITE_CORE_MONITOR_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/clite.h"
+
+namespace clite {
+namespace core {
+
+/** Monitoring knobs. */
+struct MonitorOptions
+{
+    /** Consecutive QoS-violating windows before re-optimizing. */
+    int violation_patience = 2;
+    /**
+     * Relative deviation of an LC job's observed completion rate from
+     * the rate its incumbent partition was optimized for that counts
+     * as load drift (e.g. 0.2 = 20%).
+     */
+    double load_drift_threshold = 0.20;
+    /** Consecutive drifting windows before re-optimizing. */
+    int drift_patience = 2;
+};
+
+/**
+ * The steady-state controller loop.
+ */
+class OnlineManager
+{
+  public:
+    /**
+     * @param server The co-location server (not owned; must outlive).
+     * @param clite_options Options for the wrapped CLITE controller.
+     * @param options Monitoring knobs.
+     */
+    OnlineManager(platform::SimulatedServer& server,
+                  CliteOptions clite_options = {},
+                  MonitorOptions options = {});
+
+    /**
+     * Run the initial optimization. Must be called before tick().
+     * @return The search result (also retained internally).
+     */
+    const ControllerResult& initialize();
+
+    /** Outcome of one monitoring window. */
+    struct Tick
+    {
+        bool all_qos_met = false;   ///< QoS state of this window.
+        double score = 0.0;         ///< Eq. 3 score of this window.
+        bool reoptimized = false;   ///< A re-optimization ran.
+        std::string reason;         ///< Why ("qos-violation", ...).
+        int search_samples = 0;     ///< Samples spent if reoptimized.
+    };
+
+    /**
+     * One observation window plus the re-invocation decision.
+     * @pre initialize() has been called.
+     */
+    Tick tick();
+
+    /**
+     * Tell the manager the job mix changed (after calling the
+     * server's addJob/removeJob): the next tick() re-optimizes from
+     * scratch (the incumbent's shape no longer matches).
+     */
+    void notifyMixChange();
+
+    /** The incumbent configuration. @pre initialize() was called. */
+    const platform::Allocation& incumbent() const;
+
+    /** Number of re-optimizations triggered so far (excl. initial). */
+    int reoptimizations() const { return reoptimizations_; }
+
+    /** Number of monitoring windows observed so far. */
+    int windows() const { return windows_; }
+
+    /** The result of the most recent search. */
+    const ControllerResult& lastResult() const;
+
+  private:
+    /** Record the per-LC-job reference rates of the incumbent. */
+    void captureReference();
+
+    /** Run a re-optimization and reset monitor state. */
+    void reoptimize(const std::string& reason, bool mix_changed);
+
+    platform::SimulatedServer& server_;
+    CliteController clite_;
+    MonitorOptions options_;
+
+    std::optional<ControllerResult> last_result_;
+    std::vector<double> reference_rate_; // per-job completions/s (LC)
+    int violation_streak_ = 0;
+    int drift_streak_ = 0;
+    bool mix_changed_ = false;
+    int reoptimizations_ = 0;
+    int windows_ = 0;
+};
+
+} // namespace core
+} // namespace clite
+
+#endif // CLITE_CORE_MONITOR_H

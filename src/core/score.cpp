@@ -1,0 +1,76 @@
+#include "core/score.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "stats/summary.h"
+
+namespace clite {
+namespace core {
+
+ScoreBreakdown
+scoreObservations(const std::vector<platform::JobObservation>& obs)
+{
+    CLITE_CHECK(!obs.empty(), "cannot score an empty observation vector");
+
+    ScoreBreakdown out;
+    std::vector<double> qos_ratios;
+    std::vector<double> bg_perf;
+    std::vector<double> lc_perf;
+    for (const auto& ob : obs) {
+        if (ob.is_lc) {
+            ++out.lc_jobs;
+            qos_ratios.push_back(
+                std::clamp(ob.qosRatio(), 1e-6, 1.0));
+            lc_perf.push_back(std::clamp(ob.perfNorm(), 1e-6, 1.0));
+        } else {
+            ++out.bg_jobs;
+            bg_perf.push_back(std::clamp(ob.perfNorm(), 1e-6, 1.0));
+        }
+    }
+
+    out.all_qos_met = true;
+    for (const auto& ob : obs)
+        if (!ob.qosMet())
+            out.all_qos_met = false;
+
+    // Eq. 3 aggregates with the 1/N-weighted combination of the
+    // per-job terms; Sec. 5.2 confirms the intent ("maximize the MEAN
+    // performance of all the co-located BG jobs"). The arithmetic
+    // mean also keeps mode 1 informative when one job is deeply
+    // saturated — a geometric mean collapses the whole score to ~0
+    // there, flattening the surface BO must climb.
+    auto mean = [](const std::vector<double>& v) {
+        if (v.empty())
+            return 1.0;
+        double s = 0.0;
+        for (double x : v)
+            s += x;
+        return s / double(v.size());
+    };
+
+    out.qos_component = mean(qos_ratios);
+
+    if (!out.all_qos_met) {
+        // Mode 1: distance to feasibility, <= 0.5.
+        out.score = 0.5 * out.qos_component;
+        out.perf_component = 0.0;
+        return out;
+    }
+
+    // Mode 2: feasible; optimize BG performance (or LC performance in
+    // the all-LC case, N_BG -> N_LC).
+    const std::vector<double>& perf = bg_perf.empty() ? lc_perf : bg_perf;
+    out.perf_component = mean(perf);
+    out.score = 0.5 + 0.5 * out.perf_component;
+    return out;
+}
+
+double
+score(const std::vector<platform::JobObservation>& obs)
+{
+    return scoreObservations(obs).score;
+}
+
+} // namespace core
+} // namespace clite

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * CLITE's two-mode score function (paper Eq. 3).
+ *
+ * The score maps a full-system observation to [0, 1]:
+ *
+ *  - Mode 1 (some LC job misses QoS): half the mean of the per-LC-job
+ *    QoS ratios min(1, target/latency). Always <= 0.5, and smooth in
+ *    how far jobs are from their targets, so BO gets a gradient toward
+ *    feasibility instead of a flat 0 plateau (a multiplicative
+ *    aggregate would collapse to ~0 once any job saturates).
+ *  - Mode 2 (every LC job meets QoS): 0.5 plus half the mean of the
+ *    BG jobs' normalized performances Colo-Perf/Iso-Perf — Sec. 5.2:
+ *    "CLITE's objective function strives to maximize the mean
+ *    performance of all the co-located BG jobs". Always in (0.5, 1].
+ *
+ * When no BG job is co-located, mode 2 substitutes the LC jobs'
+ * normalized performances (N_BG -> N_LC, as the paper specifies), so
+ * CLITE keeps improving LC latency past the targets.
+ */
+
+#ifndef CLITE_CORE_SCORE_H
+#define CLITE_CORE_SCORE_H
+
+#include <vector>
+
+#include "platform/server.h"
+
+namespace clite {
+namespace core {
+
+/** Decomposed score, useful for logging and tests. */
+struct ScoreBreakdown
+{
+    double score = 0.0;      ///< Final value in [0, 1].
+    bool all_qos_met = false;///< Mode selector.
+    double qos_component = 0.0;  ///< Mean of capped QoS ratios.
+    double perf_component = 0.0; ///< Mean of normalized performances.
+    int lc_jobs = 0;         ///< Number of LC jobs observed.
+    int bg_jobs = 0;         ///< Number of BG jobs observed.
+};
+
+/**
+ * Evaluate Eq. 3 on one observation vector.
+ *
+ * @param obs Per-job observations from SimulatedServer::observe().
+ * @return Breakdown with score in [0, 1].
+ * @throws clite::Error on an empty observation vector.
+ */
+ScoreBreakdown scoreObservations(
+    const std::vector<platform::JobObservation>& obs);
+
+/** Convenience: just the scalar score. */
+double score(const std::vector<platform::JobObservation>& obs);
+
+} // namespace core
+} // namespace clite
+
+#endif // CLITE_CORE_SCORE_H

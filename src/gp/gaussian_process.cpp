@@ -1,0 +1,226 @@
+#include "gp/gaussian_process.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "opt/nelder_mead.h"
+
+namespace clite {
+namespace gp {
+
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;
+
+} // namespace
+
+double
+Prediction::stddev() const
+{
+    return std::sqrt(std::max(0.0, variance));
+}
+
+GaussianProcess::GaussianProcess(std::unique_ptr<Kernel> kernel,
+                                 double noise_variance)
+    : kernel_(std::move(kernel)), noise_variance_(noise_variance)
+{
+    CLITE_CHECK(kernel_ != nullptr, "GaussianProcess needs a kernel");
+    CLITE_CHECK(noise_variance_ > 0.0,
+                "noise variance must be > 0, got " << noise_variance_);
+}
+
+GaussianProcess::GaussianProcess(const GaussianProcess& other)
+    : kernel_(other.kernel_->clone()),
+      noise_variance_(other.noise_variance_),
+      x_(other.x_),
+      y_raw_(other.y_raw_),
+      y_mean_(other.y_mean_),
+      y_scale_(other.y_scale_),
+      chol_(other.chol_),
+      alpha_(other.alpha_)
+{
+}
+
+GaussianProcess&
+GaussianProcess::operator=(const GaussianProcess& other)
+{
+    if (this != &other) {
+        kernel_ = other.kernel_->clone();
+        noise_variance_ = other.noise_variance_;
+        x_ = other.x_;
+        y_raw_ = other.y_raw_;
+        y_mean_ = other.y_mean_;
+        y_scale_ = other.y_scale_;
+        chol_ = other.chol_;
+        alpha_ = other.alpha_;
+    }
+    return *this;
+}
+
+void
+GaussianProcess::fit(const std::vector<linalg::Vector>& x,
+                     const std::vector<double>& y)
+{
+    CLITE_CHECK(x.size() == y.size(), "fit: " << x.size() << " inputs vs "
+                                              << y.size() << " targets");
+    CLITE_CHECK(!x.empty(), "fit needs at least one training point");
+    for (const auto& xi : x)
+        CLITE_CHECK(xi.size() == kernel_->dims(),
+                    "fit input of dim " << xi.size() << ", kernel expects "
+                                        << kernel_->dims());
+
+    x_ = x;
+    y_raw_ = y;
+
+    // Standardize targets; guard against a constant target vector.
+    double mean = 0.0;
+    for (double v : y_raw_)
+        mean += v;
+    mean /= double(y_raw_.size());
+    double var = 0.0;
+    for (double v : y_raw_)
+        var += (v - mean) * (v - mean);
+    var /= double(y_raw_.size());
+    y_mean_ = mean;
+    y_scale_ = (var > 1e-12) ? std::sqrt(var) : 1.0;
+
+    refit();
+}
+
+void
+GaussianProcess::refit()
+{
+    const size_t n = x_.size();
+    linalg::Matrix k(n, n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j <= i; ++j) {
+            double v = (*kernel_)(x_[i], x_[j]);
+            k(i, j) = v;
+            k(j, i) = v;
+        }
+    }
+    k.addDiagonal(noise_variance_);
+    chol_.emplace(k);
+
+    linalg::Vector ys(n);
+    for (size_t i = 0; i < n; ++i)
+        ys[i] = standardize(y_raw_[i]);
+    alpha_ = chol_->solve(ys);
+}
+
+double
+GaussianProcess::standardize(double y) const
+{
+    return (y - y_mean_) / y_scale_;
+}
+
+double
+GaussianProcess::destandardizeMean(double m) const
+{
+    return m * y_scale_ + y_mean_;
+}
+
+double
+GaussianProcess::destandardizeVar(double v) const
+{
+    return v * y_scale_ * y_scale_;
+}
+
+Prediction
+GaussianProcess::predict(const linalg::Vector& x) const
+{
+    CLITE_CHECK(fitted(), "predict called before fit");
+    CLITE_CHECK(x.size() == kernel_->dims(),
+                "predict input of dim " << x.size() << ", kernel expects "
+                                        << kernel_->dims());
+    const size_t n = x_.size();
+    linalg::Vector kstar(n);
+    for (size_t i = 0; i < n; ++i)
+        kstar[i] = (*kernel_)(x, x_[i]);
+
+    double mean_s = linalg::dot(kstar, alpha_);
+    linalg::Vector v = chol_->solveLower(kstar);
+    double var_s = (*kernel_)(x, x) - linalg::dot(v, v);
+    var_s = std::max(0.0, var_s);
+
+    Prediction p;
+    p.mean = destandardizeMean(mean_s);
+    p.variance = destandardizeVar(var_s);
+    return p;
+}
+
+double
+GaussianProcess::logMarginalLikelihood() const
+{
+    CLITE_CHECK(fitted(), "logMarginalLikelihood called before fit");
+    const size_t n = x_.size();
+    linalg::Vector ys(n);
+    for (size_t i = 0; i < n; ++i)
+        ys[i] = standardize(y_raw_[i]);
+    double data_fit = -0.5 * linalg::dot(ys, alpha_);
+    double complexity = -0.5 * chol_->logDet();
+    double norm = -0.5 * double(n) * kLog2Pi;
+    return data_fit + complexity + norm;
+}
+
+double
+GaussianProcess::optimizeHyperparameters(Rng& rng,
+                                         const GpFitOptions& options)
+{
+    CLITE_CHECK(fitted(), "optimizeHyperparameters called before fit");
+
+    const bool fit_noise = options.fit_noise;
+    std::vector<double> start = kernel_->logParams();
+    if (fit_noise)
+        start.push_back(std::log(noise_variance_));
+
+    auto objective = [&](const std::vector<double>& p) {
+        // Reject absurd parameter magnitudes to keep Cholesky healthy.
+        for (double v : p)
+            if (!std::isfinite(v) || std::fabs(v) > 12.0)
+                return 1e12;
+        std::vector<double> kp(p.begin(),
+                               p.begin() + long(kernel_->numParams()));
+        kernel_->setLogParams(kp);
+        if (fit_noise)
+            noise_variance_ = std::exp(p.back());
+        try {
+            refit();
+        } catch (const Error&) {
+            return 1e12;
+        }
+        return -logMarginalLikelihood();
+    };
+
+    opt::NmOptions nm;
+    nm.max_iters = options.max_iters;
+
+    std::vector<double> best_p = start;
+    double best_neg = objective(start);
+    opt::NmResult r0 = opt::nelderMeadMinimize(objective, start, nm);
+    if (r0.value < best_neg) {
+        best_neg = r0.value;
+        best_p = r0.x;
+    }
+    for (int restart = 0; restart < options.restarts; ++restart) {
+        std::vector<double> s = start;
+        for (double& v : s)
+            v += rng.uniform(-options.log_param_range,
+                             options.log_param_range);
+        opt::NmResult r = opt::nelderMeadMinimize(objective, s, nm);
+        if (r.value < best_neg) {
+            best_neg = r.value;
+            best_p = r.x;
+        }
+    }
+
+    // Apply the winner and leave the model refit with it.
+    double final_neg = objective(best_p);
+    CLITE_ASSERT(std::isfinite(final_neg),
+                 "best hyper-parameters no longer evaluable");
+    return -final_neg;
+}
+
+} // namespace gp
+} // namespace clite

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Gaussian-process regression — CLITE's surrogate model (Sec. 4).
+ *
+ * A GP with a Matérn kernel is fit to the (configuration, score) pairs
+ * sampled so far; its posterior mean μ(x) and standard deviation σ(x)
+ * feed the Expected Improvement acquisition (Fig. 3 of the paper).
+ * The implementation follows Rasmussen & Williams Algorithm 2.1:
+ * Cholesky of K + σ_n² I, α = K⁻¹y, predictive mean kᵀα and variance
+ * k(x,x) − ‖L⁻¹k‖². Targets are standardized internally so kernel
+ * hyper-parameter defaults are scale-free. The paper deliberately keeps
+ * the sample count small (tens), so dense O(n³) algebra is the right
+ * tool — no sparse approximations (Sec. 4 discusses why CLITE avoids
+ * them: they degrade uncertainty estimates).
+ */
+
+#ifndef CLITE_GP_GAUSSIAN_PROCESS_H
+#define CLITE_GP_GAUSSIAN_PROCESS_H
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "gp/kernel.h"
+#include "linalg/cholesky.h"
+
+namespace clite {
+namespace gp {
+
+/** Posterior prediction at one point. */
+struct Prediction
+{
+    double mean = 0.0;   ///< Posterior mean μ(x).
+    double variance = 0.0; ///< Posterior variance σ²(x) (>= 0).
+
+    /** Posterior standard deviation σ(x). */
+    double stddev() const;
+};
+
+/** Options for hyper-parameter fitting. */
+struct GpFitOptions
+{
+    int restarts = 2;          ///< Extra random restarts beyond current.
+    int max_iters = 80;        ///< Nelder-Mead iterations per restart.
+    double log_param_range = 2.0; ///< Restart log-param perturbation.
+    bool fit_noise = true;     ///< Also optimize the noise variance.
+};
+
+/**
+ * Gaussian-process regressor.
+ */
+class GaussianProcess
+{
+  public:
+    /**
+     * @param kernel Covariance kernel (owned).
+     * @param noise_variance Observation noise σ_n² (> 0).
+     */
+    GaussianProcess(std::unique_ptr<Kernel> kernel,
+                    double noise_variance = 1e-4);
+
+    GaussianProcess(const GaussianProcess& other);
+    GaussianProcess& operator=(const GaussianProcess& other);
+    GaussianProcess(GaussianProcess&&) = default;
+    GaussianProcess& operator=(GaussianProcess&&) = default;
+
+    /**
+     * Fit to training data (replaces any previous data).
+     *
+     * @param x Training inputs, all of kernel().dims() length.
+     * @param y Training targets, same length as x.
+     */
+    void fit(const std::vector<linalg::Vector>& x,
+             const std::vector<double>& y);
+
+    /** True once fit() has been called with at least one point. */
+    bool fitted() const { return chol_.has_value(); }
+
+    /** Number of training points. */
+    size_t sampleCount() const { return x_.size(); }
+
+    /** The kernel in use. */
+    const Kernel& kernel() const { return *kernel_; }
+
+    /** Observation noise variance. */
+    double noiseVariance() const { return noise_variance_; }
+
+    /**
+     * Posterior prediction at @p x.
+     * @pre fitted()
+     */
+    Prediction predict(const linalg::Vector& x) const;
+
+    /**
+     * Log marginal likelihood of the current data under the current
+     * hyper-parameters. @pre fitted()
+     */
+    double logMarginalLikelihood() const;
+
+    /**
+     * Optimize kernel (and optionally noise) hyper-parameters by
+     * maximizing the log marginal likelihood with Nelder-Mead plus
+     * random restarts, then refit.
+     *
+     * @param rng Source for restart perturbations.
+     * @param options Fitting knobs.
+     * @return The best log marginal likelihood achieved.
+     * @pre fitted()
+     */
+    double optimizeHyperparameters(Rng& rng,
+                                   const GpFitOptions& options = {});
+
+  private:
+    /** Rebuild the Cholesky and α for current data + hyper-parameters. */
+    void refit();
+
+    /** Standardized-target helpers. */
+    double standardize(double y) const;
+    double destandardizeMean(double m) const;
+    double destandardizeVar(double v) const;
+
+    std::unique_ptr<Kernel> kernel_;
+    double noise_variance_;
+
+    std::vector<linalg::Vector> x_;
+    std::vector<double> y_raw_;
+    double y_mean_ = 0.0;
+    double y_scale_ = 1.0;
+
+    std::optional<linalg::Cholesky> chol_;
+    linalg::Vector alpha_; // K⁻¹ y (standardized)
+};
+
+} // namespace gp
+} // namespace clite
+
+#endif // CLITE_GP_GAUSSIAN_PROCESS_H

@@ -1,0 +1,89 @@
+#include "harness/analysis.h"
+
+#include "common/error.h"
+#include "stats/summary.h"
+
+namespace clite {
+namespace harness {
+
+double
+meanLcPerformance(const std::vector<platform::JobObservation>& obs)
+{
+    stats::RunningStats rs;
+    for (const auto& ob : obs)
+        if (ob.is_lc)
+            rs.add(ob.perfNorm());
+    return rs.count() ? rs.mean() : 0.0;
+}
+
+double
+meanBgPerformance(const std::vector<platform::JobObservation>& obs)
+{
+    stats::RunningStats rs;
+    for (const auto& ob : obs)
+        if (!ob.is_lc)
+            rs.add(ob.perfNorm());
+    return rs.count() ? rs.mean() : 0.0;
+}
+
+VariabilityResult
+runVariability(const std::string& scheme, const ServerSpec& spec,
+               int trials)
+{
+    CLITE_CHECK(trials >= 2, "variability needs >= 2 trials");
+
+    stats::RunningStats perf;
+    stats::RunningStats score;
+    std::vector<double> perf_samples;
+    for (int t = 0; t < trials; ++t) {
+        ServerSpec s = spec;
+        s.seed = spec.seed + uint64_t(t) * 7919;
+        SchemeOutcome out = runScheme(scheme, s, 100 + uint64_t(t) * 104729);
+        double p = meanLcPerformance(out.truth_obs);
+        perf.add(p);
+        perf_samples.push_back(p);
+        score.add(out.truth.score);
+    }
+
+    VariabilityResult r;
+    r.scheme = scheme;
+    r.trials = trials;
+    r.mean_perf = perf.mean();
+    r.cov_percent = perf.coefficientOfVariation() * 100.0;
+    r.mean_score = score.mean();
+    r.score_cov_percent = score.coefficientOfVariation() * 100.0;
+    r.perf_ci = stats::bootstrapMeanCI(perf_samples, 0.95, 1000,
+                                       spec.seed * 7 + 13);
+    return r;
+}
+
+ConvergenceTrace
+traceConvergence(const std::string& scheme, const ServerSpec& spec,
+                 uint64_t seed)
+{
+    platform::SimulatedServer server = makeServer(spec);
+    std::unique_ptr<core::Controller> ctl = makeScheme(scheme, seed);
+    core::ControllerResult result = ctl->run(server);
+
+    ConvergenceTrace trace;
+    trace.scheme = scheme;
+    trace.first_feasible = result.firstFeasibleSample() >= 0
+                               ? result.firstFeasibleSample() + 1
+                               : -1;
+    int n = 1;
+    for (const auto& rec : result.trace) {
+        ConvergenceStep step;
+        step.sample = n++;
+        step.score = rec.score;
+        step.all_qos_met = rec.all_qos_met;
+        step.bg_perf = meanBgPerformance(rec.observations);
+        for (size_t r = 0; r < rec.alloc.resources(); ++r)
+            step.alloc_row0.push_back(rec.alloc.get(0, r));
+        trace.steps.push_back(std::move(step));
+        trace.allocations.push_back(rec.alloc);
+    }
+    return trace;
+}
+
+} // namespace harness
+} // namespace clite

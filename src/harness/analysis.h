@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared evaluation analyses:
+ *
+ *  - meanLcPerformance / meanBgPerformance: the Fig. 10/12/13/14
+ *    aggregates (average normalized performance of the LC or BG jobs
+ *    of a final configuration).
+ *  - VariabilityResult / runVariability: the Fig. 11 repeated-trials
+ *    analysis (stddev as % of mean of the achieved performance across
+ *    runs of the same scheme on the same mix).
+ *  - ConvergenceTrace / traceConvergence: the Fig. 9b / 15b per-sample
+ *    view of a scheme's search (allocations and BG performance over
+ *    sample number).
+ */
+
+#ifndef CLITE_HARNESS_ANALYSIS_H
+#define CLITE_HARNESS_ANALYSIS_H
+
+#include <string>
+#include <vector>
+
+#include "harness/schemes.h"
+#include "stats/summary.h"
+
+namespace clite {
+namespace harness {
+
+/**
+ * Arithmetic-mean normalized performance of the LC jobs of an
+ * observation vector (Fig. 10's y-axis before oracle normalization).
+ */
+double meanLcPerformance(
+    const std::vector<platform::JobObservation>& obs);
+
+/** Arithmetic-mean normalized performance of the BG jobs. */
+double meanBgPerformance(
+    const std::vector<platform::JobObservation>& obs);
+
+/** Repeated-trials variability of one scheme on one mix (Fig. 11). */
+struct VariabilityResult
+{
+    std::string scheme;      ///< Scheme evaluated.
+    int trials = 0;          ///< Number of runs.
+    double mean_perf = 0.0;  ///< Mean of achieved mean-LC-performance.
+    double cov_percent = 0.0;///< Stddev as % of mean.
+    double mean_score = 0.0; ///< Mean Eq. 3 truth score.
+    /** Stddev of the truth score as % of its mean — the headline
+     *  variability metric (equal-score configurations are equally
+     *  good even when they split LC slack differently). */
+    double score_cov_percent = 0.0;
+    /** 95% bootstrap CI of the mean achieved performance. */
+    stats::ConfidenceInterval perf_ci;
+};
+
+/**
+ * Run @p scheme @p trials times on fresh servers (different noise and
+ * controller seeds) and summarize the spread of the achieved
+ * performance.
+ */
+VariabilityResult runVariability(const std::string& scheme,
+                                 const ServerSpec& spec, int trials);
+
+/** One per-sample step of a scheme's search. */
+struct ConvergenceStep
+{
+    int sample = 0;            ///< Sample number (1-based).
+    double score = 0.0;        ///< Observed Eq. 3 score.
+    bool all_qos_met = false;  ///< QoS state at this sample.
+    double bg_perf = 0.0;      ///< Mean BG normalized perf (noisy).
+    std::vector<int> alloc_row0; ///< Allocation of job 0 (per resource).
+};
+
+/** Full convergence trace of one run. */
+struct ConvergenceTrace
+{
+    std::string scheme;
+    std::vector<ConvergenceStep> steps;
+    int first_feasible = -1;   ///< 1-based sample first meeting QoS.
+    /** Per-sample allocation matrix snapshots (job-major rows). */
+    std::vector<platform::Allocation> allocations;
+};
+
+/** Run @p scheme once and expose its search step by step. */
+ConvergenceTrace traceConvergence(const std::string& scheme,
+                                  const ServerSpec& spec,
+                                  uint64_t seed = 7);
+
+} // namespace harness
+} // namespace clite
+
+#endif // CLITE_HARNESS_ANALYSIS_H

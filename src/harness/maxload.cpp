@@ -1,0 +1,87 @@
+#include "harness/maxload.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "workloads/catalog.h"
+
+namespace clite {
+namespace harness {
+
+namespace {
+
+/** Does the scheme co-locate the mix with the probe at loads[idx]? */
+bool
+feasibleAt(const std::string& scheme, const MaxLoadQuery& query,
+           double probe_load)
+{
+    ServerSpec spec;
+    spec.jobs = query.fixed_jobs;
+    spec.jobs.push_back(workloads::lcJob(query.probe_workload, probe_load));
+    spec.backend = query.backend;
+    spec.noise_sigma = query.noise_sigma;
+    spec.seed = query.seed;
+    SchemeOutcome out = runScheme(scheme, spec, query.seed);
+    return out.truth.all_qos_met;
+}
+
+} // namespace
+
+double
+maxSupportedLoad(const std::string& scheme, const MaxLoadQuery& query)
+{
+    CLITE_CHECK(!query.probe_loads.empty(), "no probe loads given");
+    std::vector<double> loads = query.probe_loads;
+    std::sort(loads.begin(), loads.end());
+
+    // Binary search for the feasibility frontier (co-location
+    // difficulty is monotone in the probe load).
+    int lo = -1;                  // highest known-feasible index
+    int hi = int(loads.size());  // lowest known-infeasible index
+    while (hi - lo > 1) {
+        int mid = (lo + hi) / 2;
+        if (feasibleAt(scheme, query, loads[size_t(mid)]))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo >= 0 ? loads[size_t(lo)] : 0.0;
+}
+
+LoadHeatmap
+maxLoadHeatmap(const std::string& scheme, const std::string& x_job,
+               const std::string& y_job,
+               const std::vector<double>& grid_loads,
+               const std::string& probe,
+               const std::vector<std::string>& extra_bg, double noise_sigma)
+{
+    CLITE_CHECK(!grid_loads.empty(), "empty heatmap grid");
+
+    LoadHeatmap map;
+    map.scheme = scheme;
+    map.x_loads = grid_loads;
+    map.y_loads = grid_loads;
+    map.cell.assign(grid_loads.size(),
+                    std::vector<double>(grid_loads.size(), 0.0));
+
+    for (size_t yi = 0; yi < grid_loads.size(); ++yi) {
+        for (size_t xi = 0; xi < grid_loads.size(); ++xi) {
+            MaxLoadQuery q;
+            q.fixed_jobs = {
+                workloads::lcJob(x_job, grid_loads[xi]),
+                workloads::lcJob(y_job, grid_loads[yi]),
+            };
+            for (const auto& bg : extra_bg)
+                q.fixed_jobs.push_back(workloads::bgJob(bg));
+            q.probe_workload = probe;
+            q.noise_sigma = noise_sigma;
+            // Per-cell seed so noise realizations differ across cells.
+            q.seed = 1000 + yi * grid_loads.size() + xi;
+            map.cell[yi][xi] = maxSupportedLoad(scheme, q);
+        }
+    }
+    return map;
+}
+
+} // namespace harness
+} // namespace clite

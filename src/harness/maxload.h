@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Maximum-supported-load analysis (Figs. 7, 8, 12).
+ *
+ * The paper's co-location heatmaps ask: holding the other co-located
+ * jobs at fixed loads, what is the highest load (in 10% steps) of one
+ * probe LC job for which a scheme still finds a configuration meeting
+ * EVERY LC job's QoS? maxSupportedLoad answers that per scheme; the
+ * heatmap helpers sweep two other jobs' loads over a grid.
+ */
+
+#ifndef CLITE_HARNESS_MAXLOAD_H
+#define CLITE_HARNESS_MAXLOAD_H
+
+#include <string>
+#include <vector>
+
+#include "harness/schemes.h"
+
+namespace clite {
+namespace harness {
+
+/** Parameters of a max-load probe. */
+struct MaxLoadQuery
+{
+    std::vector<workloads::JobSpec> fixed_jobs; ///< Jobs at fixed loads.
+    std::string probe_workload;  ///< LC app whose max load is sought.
+    std::vector<double> probe_loads = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                       0.6, 0.7, 0.8, 0.9, 1.0};
+    ModelBackend backend = ModelBackend::Analytic;
+    double noise_sigma = 0.03; ///< Measurement noise during search.
+    uint64_t seed = 7;         ///< Controller + server seed.
+};
+
+/**
+ * Highest probe load the scheme supports, judged on the ground truth
+ * (noise-free) QoS of the configuration the scheme settles on.
+ *
+ * @return The supported load fraction, or 0 when even the lowest
+ *     probe load cannot be co-located by this scheme.
+ */
+double maxSupportedLoad(const std::string& scheme,
+                        const MaxLoadQuery& query);
+
+/** One heatmap of max supported load over a 2-D load grid. */
+struct LoadHeatmap
+{
+    std::string scheme;           ///< Scheme evaluated.
+    std::vector<double> x_loads;  ///< Loads of the x-axis job.
+    std::vector<double> y_loads;  ///< Loads of the y-axis job.
+    /** cell[yi][xi] = max supported probe load (0 = co-location impossible). */
+    std::vector<std::vector<double>> cell;
+};
+
+/**
+ * Sweep two jobs' loads over a grid and compute the probe's max
+ * supported load in every cell (Figs. 7/8 layout: x = job A load,
+ * y = job B load, cell value = max probe load).
+ *
+ * @param scheme Scheme name.
+ * @param x_job LC app on the x axis.
+ * @param y_job LC app on the y axis.
+ * @param grid_loads Loads for both axes.
+ * @param probe The probe LC app (memcached in Figs. 7/8).
+ * @param extra_bg Optional BG jobs added to every cell (Fig. 8).
+ * @param noise_sigma Measurement noise during the search.
+ */
+LoadHeatmap maxLoadHeatmap(const std::string& scheme,
+                           const std::string& x_job,
+                           const std::string& y_job,
+                           const std::vector<double>& grid_loads,
+                           const std::string& probe,
+                           const std::vector<std::string>& extra_bg = {},
+                           double noise_sigma = 0.03);
+
+} // namespace harness
+} // namespace clite
+
+#endif // CLITE_HARNESS_MAXLOAD_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * QoS-safe region mapping (Fig. 1) and the coordinate-descent
+ * counter-examples (Fig. 2).
+ *
+ * Fig. 1 plots, for one LC job at a fixed load, which (resource A,
+ * resource B) allocations meet QoS when the remaining resources are
+ * held at a fixed share — exposing the "resource equivalence class"
+ * property (16 cores + 1 way vs 14 cores + 6 ways both safe).
+ */
+
+#ifndef CLITE_HARNESS_QOS_REGION_H
+#define CLITE_HARNESS_QOS_REGION_H
+
+#include <string>
+#include <vector>
+
+#include "harness/schemes.h"
+#include "platform/resource.h"
+
+namespace clite {
+namespace harness {
+
+/** A 2-D QoS-safe region for one job. */
+struct QosRegion
+{
+    std::string workload;      ///< LC application.
+    double load_fraction = 0;  ///< Offered load.
+    platform::Resource res_a;  ///< X-axis resource.
+    platform::Resource res_b;  ///< Y-axis resource.
+    std::vector<int> a_units;  ///< X-axis allocation values.
+    std::vector<int> b_units;  ///< Y-axis allocation values.
+    /** safe[bi][ai]: does (a_units[ai], b_units[bi]) meet QoS? */
+    std::vector<std::vector<bool>> safe;
+
+    /** Number of QoS-safe cells. */
+    size_t safeCount() const;
+
+    /**
+     * True if the region exhibits resource equivalence: at least two
+     * safe cells where one has more of A and less of B than the other.
+     */
+    bool hasEquivalenceTradeoff() const;
+};
+
+/**
+ * Map the QoS-safe region of @p workload at @p load over two
+ * resources, holding every other resource at its full amount (the
+ * job is measured alone, as in Fig. 1).
+ *
+ * @param res_a X-axis resource (must exist on the 3-resource server).
+ * @param res_b Y-axis resource.
+ */
+QosRegion mapQosRegion(const std::string& workload, double load,
+                       platform::Resource res_a, platform::Resource res_b);
+
+} // namespace harness
+} // namespace clite
+
+#endif // CLITE_HARNESS_QOS_REGION_H

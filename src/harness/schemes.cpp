@@ -1,0 +1,95 @@
+#include "harness/schemes.h"
+
+#include "baselines/genetic.h"
+#include "baselines/heracles.h"
+#include "baselines/oracle.h"
+#include "baselines/parties.h"
+#include "baselines/random_plus.h"
+#include "baselines/static_policies.h"
+#include "common/error.h"
+#include "core/clite.h"
+#include "workloads/perf_model.h"
+
+namespace clite {
+namespace harness {
+
+platform::SimulatedServer
+makeServer(const ServerSpec& spec)
+{
+    platform::ServerConfig config =
+        spec.all_resources
+            ? platform::ServerConfig::xeonSilver4114AllResources()
+            : platform::ServerConfig::xeonSilver4114();
+    std::unique_ptr<workloads::PerformanceModel> model;
+    if (spec.backend == ModelBackend::Analytic)
+        model = std::make_unique<workloads::AnalyticModel>();
+    else
+        model = std::make_unique<workloads::QueueingSimModel>();
+    return platform::SimulatedServer(std::move(config), spec.jobs,
+                                     std::move(model), spec.seed,
+                                     spec.noise_sigma);
+}
+
+std::unique_ptr<core::Controller>
+makeScheme(const std::string& name, uint64_t seed)
+{
+    if (name == "clite") {
+        core::CliteOptions o;
+        o.seed = seed;
+        return std::make_unique<core::CliteController>(o);
+    }
+    if (name == "parties") {
+        baselines::PartiesOptions o;
+        o.seed = seed;
+        return std::make_unique<baselines::PartiesController>(o);
+    }
+    if (name == "heracles") {
+        return std::make_unique<baselines::HeraclesController>();
+    }
+    if (name == "rand+") {
+        baselines::RandomPlusOptions o;
+        o.seed = seed;
+        return std::make_unique<baselines::RandomPlusController>(o);
+    }
+    if (name == "genetic") {
+        baselines::GeneticOptions o;
+        o.seed = seed;
+        return std::make_unique<baselines::GeneticController>(o);
+    }
+    if (name == "oracle") {
+        return std::make_unique<baselines::OracleController>();
+    }
+    if (name == "equal-share") {
+        return std::make_unique<baselines::EqualShareController>();
+    }
+    CLITE_THROW("unknown scheme: " << name);
+}
+
+const std::vector<std::string>&
+allSchemeNames()
+{
+    static const std::vector<std::string> names = {
+        "oracle", "clite",   "parties",     "heracles",
+        "rand+",  "genetic", "equal-share",
+    };
+    return names;
+}
+
+SchemeOutcome
+runScheme(const std::string& scheme, const ServerSpec& spec, uint64_t seed)
+{
+    platform::SimulatedServer server = makeServer(spec);
+    std::unique_ptr<core::Controller> ctl = makeScheme(scheme, seed);
+
+    SchemeOutcome out;
+    out.result = ctl->run(server);
+    CLITE_CHECK(out.result.best.has_value(),
+                "scheme " << scheme << " produced no configuration");
+    out.truth_obs = server.observeNoiseless(*out.result.best);
+    out.truth = core::scoreObservations(out.truth_obs);
+    out.samples_applied = server.applyCount();
+    return out;
+}
+
+} // namespace harness
+} // namespace clite

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Scheme registry and server factory for the evaluation harness.
+ *
+ * Every bench builds servers and controllers through these helpers so
+ * that workload mixes, model backends, seeds and policy options are
+ * specified in one place and the figure benches stay declarative.
+ */
+
+#ifndef CLITE_HARNESS_SCHEMES_H
+#define CLITE_HARNESS_SCHEMES_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "platform/server.h"
+#include "workloads/profile.h"
+
+namespace clite {
+namespace harness {
+
+/** Which performance-model backend a server should use. */
+enum class ModelBackend { Analytic, Des };
+
+/** Server construction parameters. */
+struct ServerSpec
+{
+    std::vector<workloads::JobSpec> jobs; ///< Co-located jobs.
+    ModelBackend backend = ModelBackend::Analytic; ///< Model backend.
+    bool all_resources = false; ///< 6-resource config instead of 3.
+    double noise_sigma = 0.03;  ///< Measurement noise.
+    uint64_t seed = 1;          ///< Noise/DES seed.
+};
+
+/** Build a SimulatedServer from a spec. */
+platform::SimulatedServer makeServer(const ServerSpec& spec);
+
+/**
+ * Factory for a controller by scheme name with per-run seed:
+ * "clite" | "parties" | "heracles" | "rand+" | "genetic" | "oracle".
+ * @throws clite::Error for an unknown name.
+ */
+std::unique_ptr<core::Controller> makeScheme(const std::string& name,
+                                             uint64_t seed = 7);
+
+/** The scheme names in the paper's comparison order. */
+const std::vector<std::string>& allSchemeNames();
+
+/**
+ * Run @p scheme on a fresh server built from @p spec and return the
+ * pair (controller result, ground-truth score breakdown of the final
+ * configuration evaluated noise-free).
+ */
+struct SchemeOutcome
+{
+    core::ControllerResult result;   ///< Search outcome.
+    core::ScoreBreakdown truth;      ///< Noise-free score of the winner.
+    std::vector<platform::JobObservation> truth_obs; ///< Per-job truth.
+    uint64_t samples_applied = 0;    ///< Server apply() count.
+};
+
+SchemeOutcome runScheme(const std::string& scheme, const ServerSpec& spec,
+                        uint64_t seed = 7);
+
+} // namespace harness
+} // namespace clite
+
+#endif // CLITE_HARNESS_SCHEMES_H

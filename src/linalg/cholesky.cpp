@@ -1,0 +1,101 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace clite {
+namespace linalg {
+
+Cholesky::Cholesky(const Matrix& a, double jitter, double max_jitter)
+{
+    CLITE_CHECK(a.rows() == a.cols(),
+                "Cholesky requires a square matrix, got " << a.rows() << "x"
+                                                          << a.cols());
+    if (tryFactor(a, 0.0)) {
+        applied_jitter_ = 0.0;
+        return;
+    }
+    for (double j = jitter; j <= max_jitter; j *= 10.0) {
+        if (tryFactor(a, j)) {
+            applied_jitter_ = j;
+            return;
+        }
+    }
+    CLITE_THROW("matrix is not positive definite even with jitter "
+                << max_jitter);
+}
+
+bool
+Cholesky::tryFactor(const Matrix& a, double jitter)
+{
+    const size_t n = a.rows();
+    l_ = Matrix(n, n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j <= i; ++j) {
+            double sum = a(i, j);
+            if (i == j)
+                sum += jitter;
+            for (size_t k = 0; k < j; ++k)
+                sum -= l_(i, k) * l_(j, k);
+            if (i == j) {
+                if (sum <= 0.0 || !std::isfinite(sum))
+                    return false;
+                l_(i, i) = std::sqrt(sum);
+            } else {
+                l_(i, j) = sum / l_(j, j);
+            }
+        }
+    }
+    return true;
+}
+
+Vector
+Cholesky::solveLower(const Vector& b) const
+{
+    const size_t n = size();
+    CLITE_CHECK(b.size() == n, "solveLower size mismatch: " << b.size()
+                                   << " vs " << n);
+    Vector y(n);
+    for (size_t i = 0; i < n; ++i) {
+        double sum = b[i];
+        for (size_t k = 0; k < i; ++k)
+            sum -= l_(i, k) * y[k];
+        y[i] = sum / l_(i, i);
+    }
+    return y;
+}
+
+Vector
+Cholesky::solveUpper(const Vector& b) const
+{
+    const size_t n = size();
+    CLITE_CHECK(b.size() == n, "solveUpper size mismatch: " << b.size()
+                                   << " vs " << n);
+    Vector x(n);
+    for (size_t ii = n; ii-- > 0;) {
+        double sum = b[ii];
+        for (size_t k = ii + 1; k < n; ++k)
+            sum -= l_(k, ii) * x[k];
+        x[ii] = sum / l_(ii, ii);
+    }
+    return x;
+}
+
+Vector
+Cholesky::solve(const Vector& b) const
+{
+    return solveUpper(solveLower(b));
+}
+
+double
+Cholesky::logDet() const
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < size(); ++i)
+        acc += std::log(l_(i, i));
+    return 2.0 * acc;
+}
+
+} // namespace linalg
+} // namespace clite

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Cholesky factorization and SPD solves.
+ *
+ * The Gaussian-process surrogate performs all of its kernel algebra
+ * through these routines: K = L Lᵀ, triangular solves for the posterior
+ * mean/variance, and log|K| for the marginal likelihood. The
+ * factorization retries with growing diagonal jitter so that nearly
+ * singular kernel matrices (duplicate sample points) remain usable, as
+ * is standard practice in GP implementations.
+ */
+
+#ifndef CLITE_LINALG_CHOLESKY_H
+#define CLITE_LINALG_CHOLESKY_H
+
+#include "linalg/matrix.h"
+
+namespace clite {
+namespace linalg {
+
+/**
+ * Lower-triangular Cholesky factor of a symmetric positive-definite
+ * matrix, with solve and determinant helpers.
+ */
+class Cholesky
+{
+  public:
+    /**
+     * Factor A = L Lᵀ.
+     *
+     * @param a Symmetric positive-(semi)definite matrix.
+     * @param jitter Initial diagonal jitter added when the plain
+     *     factorization fails; grows by 10x up to max_jitter.
+     * @param max_jitter Jitter ceiling before giving up.
+     * @throws clite::Error if A is not SPD even with max jitter.
+     */
+    explicit Cholesky(const Matrix& a, double jitter = 1e-10,
+                      double max_jitter = 1e-2);
+
+    /** The lower-triangular factor L. */
+    const Matrix& factor() const { return l_; }
+
+    /** Jitter that was actually added to the diagonal (0 if none). */
+    double appliedJitter() const { return applied_jitter_; }
+
+    /** Solve L y = b (forward substitution). */
+    Vector solveLower(const Vector& b) const;
+
+    /** Solve Lᵀ x = b (backward substitution). */
+    Vector solveUpper(const Vector& b) const;
+
+    /** Solve A x = b via the two triangular solves. */
+    Vector solve(const Vector& b) const;
+
+    /** log-determinant of A: 2 Σ log L_ii. */
+    double logDet() const;
+
+    /** Matrix size n (A is n x n). */
+    size_t size() const { return l_.rows(); }
+
+  private:
+    /** Attempt the factorization; returns false on a non-positive pivot. */
+    bool tryFactor(const Matrix& a, double jitter);
+
+    Matrix l_;
+    double applied_jitter_ = 0.0;
+};
+
+} // namespace linalg
+} // namespace clite
+
+#endif // CLITE_LINALG_CHOLESKY_H

@@ -1,0 +1,224 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace clite {
+namespace linalg {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+{
+    rows_ = rows.size();
+    cols_ = rows_ ? rows.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& r : rows) {
+        CLITE_CHECK(r.size() == cols_, "ragged initializer: row of length "
+                                           << r.size() << ", expected "
+                                           << cols_);
+        data_.insert(data_.end(), r.begin(), r.end());
+    }
+}
+
+Matrix
+Matrix::identity(size_t n)
+{
+    Matrix m(n, n, 0.0);
+    for (size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+double&
+Matrix::operator()(size_t r, size_t c)
+{
+    CLITE_ASSERT(r < rows_ && c < cols_,
+                 "index (" << r << "," << c << ") out of " << rows_ << "x"
+                           << cols_);
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::operator()(size_t r, size_t c) const
+{
+    CLITE_ASSERT(r < rows_ && c < cols_,
+                 "index (" << r << "," << c << ") out of " << rows_ << "x"
+                           << cols_);
+    return data_[r * cols_ + c];
+}
+
+Vector
+Matrix::row(size_t r) const
+{
+    CLITE_CHECK(r < rows_, "row " << r << " out of " << rows_);
+    return Vector(data_.begin() + r * cols_, data_.begin() + (r + 1) * cols_);
+}
+
+Vector
+Matrix::col(size_t c) const
+{
+    CLITE_CHECK(c < cols_, "col " << c << " out of " << cols_);
+    Vector v(rows_);
+    for (size_t r = 0; r < rows_; ++r)
+        v[r] = (*this)(r, c);
+    return v;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(cols_, rows_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            t(c, r) = (*this)(r, c);
+    return t;
+}
+
+Matrix
+Matrix::operator*(const Matrix& rhs) const
+{
+    CLITE_CHECK(cols_ == rhs.rows_, "product shape mismatch: " << rows_ << "x"
+                                        << cols_ << " * " << rhs.rows_ << "x"
+                                        << rhs.cols_);
+    Matrix out(rows_, rhs.cols_, 0.0);
+    // ikj loop order keeps the inner loop streaming over contiguous rows.
+    for (size_t i = 0; i < rows_; ++i) {
+        for (size_t k = 0; k < cols_; ++k) {
+            double a = (*this)(i, k);
+            if (a == 0.0)
+                continue;
+            const double* rrow = &rhs.data_[k * rhs.cols_];
+            double* orow = &out.data_[i * out.cols_];
+            for (size_t j = 0; j < rhs.cols_; ++j)
+                orow[j] += a * rrow[j];
+        }
+    }
+    return out;
+}
+
+Vector
+Matrix::operator*(const Vector& v) const
+{
+    CLITE_CHECK(cols_ == v.size(), "matvec shape mismatch: " << rows_ << "x"
+                                       << cols_ << " * " << v.size());
+    Vector out(rows_, 0.0);
+    for (size_t r = 0; r < rows_; ++r) {
+        const double* row = &data_[r * cols_];
+        double acc = 0.0;
+        for (size_t c = 0; c < cols_; ++c)
+            acc += row[c] * v[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator+(const Matrix& rhs) const
+{
+    CLITE_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                "sum shape mismatch");
+    Matrix out = *this;
+    for (size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] += rhs.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator-(const Matrix& rhs) const
+{
+    CLITE_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                "difference shape mismatch");
+    Matrix out = *this;
+    for (size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] -= rhs.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator*(double s) const
+{
+    Matrix out = *this;
+    for (double& v : out.data_)
+        v *= s;
+    return out;
+}
+
+void
+Matrix::addDiagonal(double s)
+{
+    CLITE_CHECK(rows_ == cols_, "addDiagonal requires a square matrix");
+    for (size_t i = 0; i < rows_; ++i)
+        data_[i * cols_ + i] += s;
+}
+
+double
+Matrix::maxAbs() const
+{
+    double m = 0.0;
+    for (double v : data_)
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+double
+dot(const Vector& a, const Vector& b)
+{
+    CLITE_CHECK(a.size() == b.size(), "dot size mismatch: " << a.size()
+                                          << " vs " << b.size());
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+double
+norm2(const Vector& v)
+{
+    return std::sqrt(dot(v, v));
+}
+
+Vector
+add(const Vector& a, const Vector& b)
+{
+    CLITE_CHECK(a.size() == b.size(), "add size mismatch");
+    Vector out = a;
+    for (size_t i = 0; i < b.size(); ++i)
+        out[i] += b[i];
+    return out;
+}
+
+Vector
+sub(const Vector& a, const Vector& b)
+{
+    CLITE_CHECK(a.size() == b.size(), "sub size mismatch");
+    Vector out = a;
+    for (size_t i = 0; i < b.size(); ++i)
+        out[i] -= b[i];
+    return out;
+}
+
+Vector
+scale(const Vector& v, double s)
+{
+    Vector out = v;
+    for (double& x : out)
+        x *= s;
+    return out;
+}
+
+void
+axpy(Vector& a, double s, const Vector& b)
+{
+    CLITE_CHECK(a.size() == b.size(), "axpy size mismatch");
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] += s * b[i];
+}
+
+} // namespace linalg
+} // namespace clite

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Dense row-major matrix and vector helpers.
+ *
+ * This is the minimal linear-algebra substrate the Gaussian-process
+ * surrogate needs: construction, element access, products, transposes,
+ * and the symmetric positive-definite factorizations in cholesky.h.
+ * Vectors are plain std::vector<double>; free functions in this header
+ * supply the vector algebra.
+ */
+
+#ifndef CLITE_LINALG_MATRIX_H
+#define CLITE_LINALG_MATRIX_H
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace clite {
+namespace linalg {
+
+/** Dense vector type used across the numeric substrates. */
+using Vector = std::vector<double>;
+
+/**
+ * Dense row-major matrix of doubles.
+ */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /**
+     * Construct a rows x cols matrix.
+     * @param rows Number of rows.
+     * @param cols Number of columns.
+     * @param fill Initial value of every element.
+     */
+    Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+    /**
+     * Construct from nested initializer lists:
+     *   Matrix m{{1, 2}, {3, 4}};
+     * @pre all rows have equal length.
+     */
+    Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+    /** Identity matrix of size n. */
+    static Matrix identity(size_t n);
+
+    /** Number of rows. */
+    size_t rows() const { return rows_; }
+    /** Number of columns. */
+    size_t cols() const { return cols_; }
+    /** True when the matrix has no elements. */
+    bool empty() const { return data_.empty(); }
+
+    /** Mutable element access (bounds-checked in debug via assert). */
+    double& operator()(size_t r, size_t c);
+    /** Const element access. */
+    double operator()(size_t r, size_t c) const;
+
+    /** Raw storage (row-major). */
+    const std::vector<double>& data() const { return data_; }
+
+    /** Extract row r as a Vector. */
+    Vector row(size_t r) const;
+    /** Extract column c as a Vector. */
+    Vector col(size_t c) const;
+
+    /** Transpose. */
+    Matrix transposed() const;
+
+    /** Matrix-matrix product. @pre cols() == rhs.rows() */
+    Matrix operator*(const Matrix& rhs) const;
+
+    /** Matrix-vector product. @pre cols() == v.size() */
+    Vector operator*(const Vector& v) const;
+
+    /** Element-wise sum. @pre same shape */
+    Matrix operator+(const Matrix& rhs) const;
+
+    /** Element-wise difference. @pre same shape */
+    Matrix operator-(const Matrix& rhs) const;
+
+    /** Scale every element. */
+    Matrix operator*(double s) const;
+
+    /** Add s to every diagonal element (jitter / ridge). @pre square */
+    void addDiagonal(double s);
+
+    /** Maximum absolute element (infinity-ish norm for tests). */
+    double maxAbs() const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/** Dot product. @pre equal sizes */
+double dot(const Vector& a, const Vector& b);
+
+/** Euclidean norm. */
+double norm2(const Vector& v);
+
+/** a + b element-wise. @pre equal sizes */
+Vector add(const Vector& a, const Vector& b);
+
+/** a - b element-wise. @pre equal sizes */
+Vector sub(const Vector& a, const Vector& b);
+
+/** s * v. */
+Vector scale(const Vector& v, double s);
+
+/** a += s * b (axpy). @pre equal sizes */
+void axpy(Vector& a, double s, const Vector& b);
+
+} // namespace linalg
+} // namespace clite
+
+#endif // CLITE_LINALG_MATRIX_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Nelder-Mead downhill simplex minimizer.
+ *
+ * Used where the paper's reference implementation relies on generic
+ * scipy optimizers without constraints: fitting the Gaussian-process
+ * hyper-parameters by maximizing the log marginal likelihood (we
+ * minimize its negation over log-hyper-parameters, which keeps the
+ * search unconstrained and positively-scaled).
+ */
+
+#ifndef CLITE_OPT_NELDER_MEAD_H
+#define CLITE_OPT_NELDER_MEAD_H
+
+#include <functional>
+#include <vector>
+
+namespace clite {
+namespace opt {
+
+/** Tuning knobs for Nelder-Mead. */
+struct NmOptions
+{
+    int max_iters = 200;        ///< Maximum simplex iterations.
+    double initial_scale = 0.5; ///< Initial simplex edge length.
+    double f_tol = 1e-8;        ///< Stop when simplex f-spread is below.
+    double x_tol = 1e-8;        ///< Stop when simplex diameter is below.
+};
+
+/** Result of a minimization run. */
+struct NmResult
+{
+    std::vector<double> x; ///< Best point found.
+    double value = 0.0;    ///< Objective at x.
+    int iterations = 0;    ///< Iterations performed.
+    int evaluations = 0;   ///< Objective evaluations consumed.
+    bool converged = false;///< True when a tolerance triggered the stop.
+};
+
+/**
+ * Minimize @p f starting from @p x0 using the standard Nelder-Mead
+ * moves (reflect 1, expand 2, contract 0.5, shrink 0.5).
+ *
+ * @param f Objective; may return +infinity outside its domain.
+ * @param x0 Starting point (also sets the dimension).
+ * @param options Solver knobs.
+ */
+NmResult nelderMeadMinimize(
+    const std::function<double(const std::vector<double>&)>& f,
+    const std::vector<double>& x0, NmOptions options = {});
+
+} // namespace opt
+} // namespace clite
+
+#endif // CLITE_OPT_NELDER_MEAD_H

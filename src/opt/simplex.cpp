@@ -1,0 +1,140 @@
+#include "opt/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace clite {
+namespace opt {
+
+bool
+simplexBoxFeasible(double total, const std::vector<double>& lo,
+                   const std::vector<double>& hi)
+{
+    double lo_sum = std::accumulate(lo.begin(), lo.end(), 0.0);
+    double hi_sum = std::accumulate(hi.begin(), hi.end(), 0.0);
+    return lo_sum <= total + 1e-9 && total <= hi_sum + 1e-9;
+}
+
+std::vector<double>
+projectSimplexBox(const std::vector<double>& y, double total,
+                  const std::vector<double>& lo,
+                  const std::vector<double>& hi)
+{
+    const size_t n = y.size();
+    CLITE_CHECK(lo.size() == n && hi.size() == n,
+                "projectSimplexBox shape mismatch: y=" << n << " lo="
+                    << lo.size() << " hi=" << hi.size());
+    for (size_t i = 0; i < n; ++i)
+        CLITE_CHECK(lo[i] <= hi[i], "bound inversion at coordinate "
+                                        << i << ": [" << lo[i] << ", "
+                                        << hi[i] << "]");
+    CLITE_CHECK(simplexBoxFeasible(total, lo, hi),
+                "simplex-box constraint set is empty for total " << total);
+
+    auto sum_at = [&](double tau) {
+        double s = 0.0;
+        for (size_t i = 0; i < n; ++i)
+            s += std::clamp(y[i] - tau, lo[i], hi[i]);
+        return s;
+    };
+
+    // Bracket tau: at tau_lo every coordinate is at hi, at tau_hi at lo.
+    double tau_lo = -1.0, tau_hi = 1.0;
+    for (size_t i = 0; i < n; ++i) {
+        tau_lo = std::min(tau_lo, y[i] - hi[i] - 1.0);
+        tau_hi = std::max(tau_hi, y[i] - lo[i] + 1.0);
+    }
+    // sum_at is non-increasing in tau; bisect to the target total.
+    for (int it = 0; it < 200; ++it) {
+        double mid = 0.5 * (tau_lo + tau_hi);
+        if (sum_at(mid) > total)
+            tau_lo = mid;
+        else
+            tau_hi = mid;
+        if (tau_hi - tau_lo < 1e-14 * (1.0 + std::fabs(tau_hi)))
+            break;
+    }
+    double tau = 0.5 * (tau_lo + tau_hi);
+
+    std::vector<double> x(n);
+    for (size_t i = 0; i < n; ++i)
+        x[i] = std::clamp(y[i] - tau, lo[i], hi[i]);
+    return x;
+}
+
+std::vector<int>
+roundToIntegerComposition(const std::vector<double>& x, int total,
+                          const std::vector<int>& lo,
+                          const std::vector<int>& hi)
+{
+    const size_t n = x.size();
+    CLITE_CHECK(lo.size() == n && hi.size() == n,
+                "roundToIntegerComposition shape mismatch");
+    long lo_sum = 0, hi_sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+        CLITE_CHECK(lo[i] <= hi[i], "integer bound inversion at " << i);
+        lo_sum += lo[i];
+        hi_sum += hi[i];
+    }
+    CLITE_CHECK(lo_sum <= total && total <= hi_sum,
+                "no integer composition of " << total << " fits the box");
+
+    // Start from the clamped floor, then distribute the deficit to the
+    // coordinates with the largest fractional remainder (or pull the
+    // surplus from the smallest).
+    std::vector<int> out(n);
+    std::vector<double> frac(n);
+    long sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+        double clamped = std::clamp(x[i], double(lo[i]), double(hi[i]));
+        out[i] = int(std::floor(clamped));
+        out[i] = std::clamp(out[i], lo[i], hi[i]);
+        frac[i] = clamped - double(out[i]);
+        sum += out[i];
+    }
+
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+
+    while (sum < total) {
+        // Give a unit to the raisable coordinate with max fraction.
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+            return frac[a] > frac[b];
+        });
+        bool moved = false;
+        for (size_t i : order) {
+            if (out[i] < hi[i]) {
+                ++out[i];
+                frac[i] -= 1.0;
+                ++sum;
+                moved = true;
+                break;
+            }
+        }
+        CLITE_ASSERT(moved, "feasible by construction but no unit placed");
+    }
+    while (sum > total) {
+        // Take a unit from the lowerable coordinate with min fraction.
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+            return frac[a] < frac[b];
+        });
+        bool moved = false;
+        for (size_t i : order) {
+            if (out[i] > lo[i]) {
+                --out[i];
+                frac[i] += 1.0;
+                --sum;
+                moved = true;
+                break;
+            }
+        }
+        CLITE_ASSERT(moved, "feasible by construction but no unit removed");
+    }
+    return out;
+}
+
+} // namespace opt
+} // namespace clite

@@ -1,0 +1,188 @@
+#include "platform/isolation.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace clite {
+namespace platform {
+
+namespace {
+
+/** Common validation for every driver's apply(). */
+void
+checkApply(const Allocation& alloc, size_t r, Resource expected)
+{
+    CLITE_CHECK(r < alloc.resources(), "resource column " << r << " out of "
+                                           << alloc.resources());
+    alloc.validate();
+    (void)expected;
+}
+
+} // namespace
+
+void
+CoreAffinityDriver::apply(const Allocation& alloc, size_t r)
+{
+    checkApply(alloc, r, Resource::Cores);
+    first_core_.assign(alloc.jobs(), 0);
+    count_.assign(alloc.jobs(), 0);
+    int next = 0;
+    for (size_t j = 0; j < alloc.jobs(); ++j) {
+        first_core_[j] = next;
+        count_[j] = alloc.get(j, r);
+        next += count_[j];
+    }
+}
+
+std::string
+CoreAffinityDriver::settingFor(size_t j) const
+{
+    CLITE_CHECK(j < first_core_.size(), "job " << j << " not programmed");
+    std::ostringstream oss;
+    oss << "taskset -c " << first_core_[j] << "-"
+        << first_core_[j] + count_[j] - 1;
+    return oss.str();
+}
+
+int
+CoreAffinityDriver::firstCore(size_t j) const
+{
+    CLITE_CHECK(j < first_core_.size(), "job " << j << " not programmed");
+    return first_core_[j];
+}
+
+int
+CoreAffinityDriver::coreCount(size_t j) const
+{
+    CLITE_CHECK(j < count_.size(), "job " << j << " not programmed");
+    return count_[j];
+}
+
+void
+CacheWayDriver::apply(const Allocation& alloc, size_t r)
+{
+    checkApply(alloc, r, Resource::LlcWays);
+    CLITE_CHECK(alloc.resourceUnits(r) <= 32,
+                "way mask driver supports at most 32 ways");
+    masks_.assign(alloc.jobs(), 0);
+    int next = 0;
+    for (size_t j = 0; j < alloc.jobs(); ++j) {
+        int ways = alloc.get(j, r);
+        uint32_t mask = ((ways >= 32) ? ~uint32_t{0}
+                                      : ((uint32_t{1} << ways) - 1))
+                        << next;
+        masks_[j] = mask;
+        next += ways;
+    }
+}
+
+std::string
+CacheWayDriver::settingFor(size_t j) const
+{
+    CLITE_CHECK(j < masks_.size(), "job " << j << " not programmed");
+    std::ostringstream oss;
+    oss << "pqos CAT mask 0x" << std::hex << masks_[j];
+    return oss.str();
+}
+
+uint32_t
+CacheWayDriver::mask(size_t j) const
+{
+    CLITE_CHECK(j < masks_.size(), "job " << j << " not programmed");
+    return masks_[j];
+}
+
+void
+MembwDriver::apply(const Allocation& alloc, size_t r)
+{
+    checkApply(alloc, r, Resource::MemBandwidth);
+    percent_.assign(alloc.jobs(), 0);
+    int units = alloc.resourceUnits(r);
+    for (size_t j = 0; j < alloc.jobs(); ++j)
+        percent_[j] = alloc.get(j, r) * 100 / units;
+}
+
+std::string
+MembwDriver::settingFor(size_t j) const
+{
+    CLITE_CHECK(j < percent_.size(), "job " << j << " not programmed");
+    std::ostringstream oss;
+    oss << "pqos MBA " << percent_[j] << "%";
+    return oss.str();
+}
+
+int
+MembwDriver::percent(size_t j) const
+{
+    CLITE_CHECK(j < percent_.size(), "job " << j << " not programmed");
+    return percent_[j];
+}
+
+LimitDriver::LimitDriver(Resource kind, double unit_value,
+                         std::string unit_label)
+    : kind_(kind), unit_value_(unit_value), unit_label_(std::move(unit_label))
+{
+    CLITE_CHECK(kind == Resource::MemCapacity ||
+                    kind == Resource::DiskBandwidth ||
+                    kind == Resource::NetBandwidth,
+                "LimitDriver does not handle " << resourceName(kind));
+    CLITE_CHECK(unit_value > 0.0, "unit value must be > 0");
+}
+
+void
+LimitDriver::apply(const Allocation& alloc, size_t r)
+{
+    checkApply(alloc, r, kind_);
+    limit_.assign(alloc.jobs(), 0.0);
+    for (size_t j = 0; j < alloc.jobs(); ++j)
+        limit_[j] = double(alloc.get(j, r)) * unit_value_;
+}
+
+std::string
+LimitDriver::settingFor(size_t j) const
+{
+    CLITE_CHECK(j < limit_.size(), "job " << j << " not programmed");
+    std::ostringstream oss;
+    switch (kind_) {
+      case Resource::MemCapacity:
+        oss << "cgroup memory.limit " << limit_[j] << " " << unit_label_;
+        break;
+      case Resource::DiskBandwidth:
+        oss << "cgroup blkio.throttle " << limit_[j] << " " << unit_label_;
+        break;
+      default:
+        oss << "qdisc rate " << limit_[j] << " " << unit_label_;
+        break;
+    }
+    return oss.str();
+}
+
+double
+LimitDriver::limit(size_t j) const
+{
+    CLITE_CHECK(j < limit_.size(), "job " << j << " not programmed");
+    return limit_[j];
+}
+
+std::unique_ptr<IsolationDriver>
+makeDriver(const ResourceSpec& spec)
+{
+    switch (spec.kind) {
+      case Resource::Cores:
+        return std::make_unique<CoreAffinityDriver>();
+      case Resource::LlcWays:
+        return std::make_unique<CacheWayDriver>();
+      case Resource::MemBandwidth:
+        return std::make_unique<MembwDriver>();
+      case Resource::MemCapacity:
+      case Resource::DiskBandwidth:
+      case Resource::NetBandwidth:
+        return std::make_unique<LimitDriver>(spec.kind, spec.unit_value,
+                                             spec.unit_label);
+    }
+    CLITE_THROW("no driver for resource kind");
+}
+
+} // namespace platform
+} // namespace clite

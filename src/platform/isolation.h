@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Simulated resource-isolation drivers (Table 1).
+ *
+ * On the paper's testbed each shared resource is partitioned through a
+ * concrete tool: taskset pins cores, Intel CAT programs LLC way
+ * bitmasks, Intel MBA throttles memory bandwidth in 10% steps, and
+ * cgroups/qdisc bound memory capacity and disk/network bandwidth. The
+ * drivers here mirror those interfaces faithfully enough to be tested:
+ * given an Allocation they compute the per-job programmed state (core
+ * lists, way masks, MBA percentages, byte limits) with the real tools'
+ * invariants (disjoint core sets, disjoint contiguous way masks,
+ * percentages in steps of the unit granularity), and model the small
+ * reprogramming latency the paper measures at <100 ms per decision.
+ */
+
+#ifndef CLITE_PLATFORM_ISOLATION_H
+#define CLITE_PLATFORM_ISOLATION_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/allocation.h"
+#include "platform/resource.h"
+
+namespace clite {
+namespace platform {
+
+/**
+ * Abstract isolation driver for one shared resource.
+ */
+class IsolationDriver
+{
+  public:
+    virtual ~IsolationDriver() = default;
+
+    /** The resource this driver partitions. */
+    virtual Resource resource() const = 0;
+
+    /** The real-world tool being mimicked ("taskset", "Intel CAT", ...). */
+    std::string tool() const { return isolationTool(resource()); }
+
+    /**
+     * Program the partition for resource column @p r of @p alloc.
+     * @pre alloc.valid()
+     */
+    virtual void apply(const Allocation& alloc, size_t r) = 0;
+
+    /** Human-readable programmed setting for job @p j ("cores 0-3"). */
+    virtual std::string settingFor(size_t j) const = 0;
+
+    /** Number of jobs in the last applied partition (0 before apply). */
+    virtual size_t jobCount() const = 0;
+
+    /** Modeled reprogramming latency of one apply() in milliseconds. */
+    virtual double applyLatencyMs() const = 0;
+};
+
+/**
+ * taskset-style core affinity: each job gets a contiguous, disjoint
+ * core range covering all cores.
+ */
+class CoreAffinityDriver : public IsolationDriver
+{
+  public:
+    Resource resource() const override { return Resource::Cores; }
+    void apply(const Allocation& alloc, size_t r) override;
+    std::string settingFor(size_t j) const override;
+    size_t jobCount() const override { return first_core_.size(); }
+    double applyLatencyMs() const override { return 4.0; }
+
+    /** First core of job @p j's range. */
+    int firstCore(size_t j) const;
+    /** Number of cores in job @p j's range. */
+    int coreCount(size_t j) const;
+
+  private:
+    std::vector<int> first_core_;
+    std::vector<int> count_;
+};
+
+/**
+ * Intel CAT-style way partitioning: each job gets a contiguous,
+ * disjoint way bitmask (real CAT requires contiguous masks).
+ */
+class CacheWayDriver : public IsolationDriver
+{
+  public:
+    Resource resource() const override { return Resource::LlcWays; }
+    void apply(const Allocation& alloc, size_t r) override;
+    std::string settingFor(size_t j) const override;
+    size_t jobCount() const override { return masks_.size(); }
+    double applyLatencyMs() const override { return 8.0; }
+
+    /** Programmed way bitmask for job @p j. */
+    uint32_t mask(size_t j) const;
+
+  private:
+    std::vector<uint32_t> masks_;
+};
+
+/**
+ * Intel MBA-style bandwidth throttling: per-job percentage in steps of
+ * the unit granularity.
+ */
+class MembwDriver : public IsolationDriver
+{
+  public:
+    Resource resource() const override { return Resource::MemBandwidth; }
+    void apply(const Allocation& alloc, size_t r) override;
+    std::string settingFor(size_t j) const override;
+    size_t jobCount() const override { return percent_.size(); }
+    double applyLatencyMs() const override { return 12.0; }
+
+    /** Programmed throttle percentage for job @p j. */
+    int percent(size_t j) const;
+
+  private:
+    std::vector<int> percent_;
+};
+
+/**
+ * cgroup/qdisc-style limits for memory capacity, disk bandwidth and
+ * network bandwidth: per-job absolute limit in the resource's unit.
+ */
+class LimitDriver : public IsolationDriver
+{
+  public:
+    /**
+     * @param kind MemCapacity, DiskBandwidth or NetBandwidth.
+     * @param unit_value Physical value of one allocation unit.
+     * @param unit_label Unit suffix for settingFor ("GB", "MB/s").
+     */
+    LimitDriver(Resource kind, double unit_value, std::string unit_label);
+
+    Resource resource() const override { return kind_; }
+    void apply(const Allocation& alloc, size_t r) override;
+    std::string settingFor(size_t j) const override;
+    size_t jobCount() const override { return limit_.size(); }
+    double applyLatencyMs() const override { return 6.0; }
+
+    /** Programmed limit for job @p j in physical units. */
+    double limit(size_t j) const;
+
+  private:
+    Resource kind_;
+    double unit_value_;
+    std::string unit_label_;
+    std::vector<double> limit_;
+};
+
+/**
+ * Driver factory for a resource spec.
+ */
+std::unique_ptr<IsolationDriver> makeDriver(const ResourceSpec& spec);
+
+} // namespace platform
+} // namespace clite
+
+#endif // CLITE_PLATFORM_ISOLATION_H

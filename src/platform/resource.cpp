@@ -1,0 +1,146 @@
+#include "platform/resource.h"
+
+#include <limits>
+
+#include "common/error.h"
+#include "stats/sampling.h"
+
+namespace clite {
+namespace platform {
+
+std::string
+resourceName(Resource r)
+{
+    switch (r) {
+      case Resource::Cores: return "cores";
+      case Resource::LlcWays: return "llc_ways";
+      case Resource::MemBandwidth: return "mem_bw";
+      case Resource::MemCapacity: return "mem_cap";
+      case Resource::DiskBandwidth: return "disk_bw";
+      case Resource::NetBandwidth: return "net_bw";
+    }
+    return "?";
+}
+
+std::string
+isolationTool(Resource r)
+{
+    switch (r) {
+      case Resource::Cores: return "taskset";
+      case Resource::LlcWays: return "Intel CAT";
+      case Resource::MemBandwidth: return "Intel MBA";
+      case Resource::MemCapacity: return "Linux memory cgroups";
+      case Resource::DiskBandwidth: return "Linux blkio cgroups";
+      case Resource::NetBandwidth: return "Linux qdisc";
+    }
+    return "?";
+}
+
+std::string
+allocationMethod(Resource r)
+{
+    switch (r) {
+      case Resource::Cores: return "Core Affinity";
+      case Resource::LlcWays: return "Way Partitioning";
+      case Resource::MemBandwidth: return "Bandwidth Limiting";
+      case Resource::MemCapacity: return "Capacity Division";
+      case Resource::DiskBandwidth: return "I/O Bandwidth Limiting";
+      case Resource::NetBandwidth: return "Network B/w Limiting";
+    }
+    return "?";
+}
+
+ServerConfig::ServerConfig(std::vector<ResourceSpec> resources)
+    : resources_(std::move(resources))
+{
+    CLITE_CHECK(!resources_.empty(), "server needs >= 1 resource");
+    for (size_t i = 0; i < resources_.size(); ++i) {
+        CLITE_CHECK(resources_[i].units >= 1,
+                    "resource " << resourceName(resources_[i].kind)
+                                << " needs >= 1 unit");
+        for (size_t j = 0; j < i; ++j)
+            CLITE_CHECK(resources_[j].kind != resources_[i].kind,
+                        "duplicate resource "
+                            << resourceName(resources_[i].kind));
+    }
+}
+
+ServerConfig
+ServerConfig::xeonSilver4114()
+{
+    // 10 physical cores at 1-core granularity; 11 LLC ways at 1-way
+    // granularity (Intel CAT); memory bandwidth in 10 MBA-style 10%
+    // steps of the 20 GB/s peak.
+    std::vector<ResourceSpec> res = {
+        {Resource::Cores, 10, 1.0, "core"},
+        {Resource::LlcWays, 11, 1280.0, "KB"},
+        {Resource::MemBandwidth, 10, 2000.0, "MB/s"},
+    };
+    return ServerConfig(std::move(res));
+}
+
+ServerConfig
+ServerConfig::xeonSilver4114AllResources()
+{
+    std::vector<ResourceSpec> res = {
+        {Resource::Cores, 10, 1.0, "core"},
+        {Resource::LlcWays, 11, 1280.0, "KB"},
+        {Resource::MemBandwidth, 10, 2000.0, "MB/s"},
+        {Resource::MemCapacity, 10, 4.6, "GB"},
+        {Resource::DiskBandwidth, 10, 50.0, "MB/s"},
+        {Resource::NetBandwidth, 10, 125.0, "MB/s"},
+    };
+    return ServerConfig(std::move(res));
+}
+
+const ResourceSpec&
+ServerConfig::resource(size_t r) const
+{
+    CLITE_CHECK(r < resources_.size(), "resource index " << r << " out of "
+                                           << resources_.size());
+    return resources_[r];
+}
+
+size_t
+ServerConfig::indexOf(Resource kind) const
+{
+    for (size_t i = 0; i < resources_.size(); ++i)
+        if (resources_[i].kind == kind)
+            return i;
+    CLITE_THROW("server does not expose resource " << resourceName(kind));
+}
+
+bool
+ServerConfig::has(Resource kind) const
+{
+    for (const auto& r : resources_)
+        if (r.kind == kind)
+            return true;
+    return false;
+}
+
+double
+ServerConfig::physicalTotal(size_t r) const
+{
+    const ResourceSpec& spec = resource(r);
+    return double(spec.units) * spec.unit_value;
+}
+
+uint64_t
+ServerConfig::configurationCount(int njobs) const
+{
+    CLITE_CHECK(njobs >= 1, "configurationCount needs njobs >= 1");
+    uint64_t total = 1;
+    for (const auto& spec : resources_) {
+        uint64_t per = stats::compositionCount(spec.units, njobs, 1);
+        if (per == 0)
+            return 0;
+        if (total > std::numeric_limits<uint64_t>::max() / per)
+            return std::numeric_limits<uint64_t>::max();
+        total *= per;
+    }
+    return total;
+}
+
+} // namespace platform
+} // namespace clite

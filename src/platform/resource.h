@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Shared-resource inventory of the simulated server.
+ *
+ * Mirrors Table 1 (shared resources, allocation methods, isolation
+ * tools) and Table 2 (the Xeon Silver 4114 testbed) of the paper. Each
+ * partitionable resource has an integral number of allocation units
+ * (e.g. 11 LLC ways allocatable at single-way granularity, memory
+ * bandwidth in 10% MBA steps); a configuration assigns every unit of
+ * every resource to exactly one co-located job.
+ */
+
+#ifndef CLITE_PLATFORM_RESOURCE_H
+#define CLITE_PLATFORM_RESOURCE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clite {
+namespace platform {
+
+/** Kinds of partitionable shared resources (Table 1). */
+enum class Resource {
+    Cores,         ///< CPU cores (core affinity / taskset).
+    LlcWays,       ///< Last-level-cache ways (Intel CAT).
+    MemBandwidth,  ///< Memory bandwidth (Intel MBA).
+    MemCapacity,   ///< Memory capacity (memory cgroups).
+    DiskBandwidth, ///< Disk I/O bandwidth (blkio cgroups).
+    NetBandwidth,  ///< Network bandwidth (qdisc).
+};
+
+/** Short lower-case name ("cores", "llc_ways", ...). */
+std::string resourceName(Resource r);
+
+/** The isolation tool the real testbed would use (Table 1). */
+std::string isolationTool(Resource r);
+
+/** The allocation method description (Table 1). */
+std::string allocationMethod(Resource r);
+
+/** One partitionable resource on the server. */
+struct ResourceSpec
+{
+    Resource kind = Resource::Cores; ///< What resource this is.
+    int units = 0;                   ///< Number of allocation units.
+    double unit_value = 1.0;         ///< Physical value of one unit.
+    std::string unit_label;          ///< e.g. "core", "way", "GB/s".
+};
+
+/**
+ * Full server description (Table 2) plus the active partitionable
+ * resource set. The default reproduces the paper's testbed: 10
+ * physical cores, 11-way 14080 KB L3, and memory bandwidth in 10
+ * MBA-style units; the extended config adds memory capacity, disk and
+ * network bandwidth for the N-resource experiments.
+ */
+class ServerConfig
+{
+  public:
+    /** The paper's testbed with the 3 primary resources. */
+    static ServerConfig xeonSilver4114();
+
+    /** Same server exposing all 6 Table-1 resources. */
+    static ServerConfig xeonSilver4114AllResources();
+
+    /**
+     * A custom server.
+     * @param resources Partitionable resources; each with units >= 1.
+     */
+    explicit ServerConfig(std::vector<ResourceSpec> resources);
+
+    /** Number of partitionable resources. */
+    size_t resourceCount() const { return resources_.size(); }
+
+    /** Spec of resource @p r. */
+    const ResourceSpec& resource(size_t r) const;
+
+    /** All resource specs. */
+    const std::vector<ResourceSpec>& resources() const { return resources_; }
+
+    /**
+     * Index of the resource of kind @p kind.
+     * @throws clite::Error when the server does not expose it.
+     */
+    size_t indexOf(Resource kind) const;
+
+    /** True when the server exposes resource @p kind. */
+    bool has(Resource kind) const;
+
+    /** Total physical value of resource @p r (units * unit_value). */
+    double physicalTotal(size_t r) const;
+
+    /**
+     * Number of distinct partition configurations for @p njobs
+     * co-located jobs (each job gets >= 1 unit of each resource) —
+     * the paper's N_conf = ∏_r C(N_units(r) − 1, N_jobs − 1).
+     * Saturates at UINT64_MAX.
+     */
+    uint64_t configurationCount(int njobs) const;
+
+    // Table 2 descriptive fields (informational).
+    std::string cpu_model = "Intel(R) Xeon(R) Silver 4114 (simulated)";
+    int sockets = 1;                ///< Number of sockets.
+    double frequency_ghz = 2.2;     ///< Processor speed.
+    int physical_cores = 10;        ///< Physical core count.
+    int logical_cores = 20;         ///< Logical (SMT) core count.
+    double l3_cache_kb = 14080.0;   ///< Shared L3 size.
+    int l3_ways = 11;               ///< L3 associativity.
+    double memory_gb = 46.0;        ///< DRAM capacity.
+    double peak_mem_bw_mbps = 20000.0; ///< Peak DRAM bandwidth (MB/s).
+    double disk_bw_mbps = 500.0;    ///< SSD bandwidth (MB/s).
+    double net_bw_mbps = 1250.0;    ///< NIC bandwidth (MB/s).
+    std::string os = "Ubuntu 18.04.1 LTS (simulated)";
+
+  private:
+    std::vector<ResourceSpec> resources_;
+};
+
+} // namespace platform
+} // namespace clite
+
+#endif // CLITE_PLATFORM_RESOURCE_H

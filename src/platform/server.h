@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The simulated co-location server.
+ *
+ * SimulatedServer is the substitute for the paper's Xeon testbed: it
+ * owns a set of co-located jobs, programs resource partitions through
+ * the Table-1 isolation drivers, and "runs" the system for an
+ * observation window by querying a performance model, adding
+ * multiplicative measurement noise. Controllers (CLITE and every
+ * baseline) interact with it only through apply()/observe()/evaluate(),
+ * exactly the black-box interface the paper's controllers have to the
+ * real machine. Sample and reprogram counters feed the overhead
+ * analysis of Fig. 15.
+ */
+
+#ifndef CLITE_PLATFORM_SERVER_H
+#define CLITE_PLATFORM_SERVER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "platform/allocation.h"
+#include "platform/isolation.h"
+#include "platform/resource.h"
+#include "workloads/perf_model.h"
+#include "workloads/profile.h"
+
+namespace clite {
+namespace platform {
+
+/**
+ * One job's measured behaviour during an observation window, plus the
+ * isolation baselines needed to normalize it (the paper's Iso-Perf,
+ * sampled during initialization).
+ */
+struct JobObservation
+{
+    std::string job_name;     ///< Workload name.
+    bool is_lc = false;       ///< Latency-critical?
+    double load_fraction = 0; ///< Offered load (LC).
+
+    double p95_ms = 0.0;      ///< Measured p95 tail latency (LC).
+    double qos_target_ms = 0; ///< QoS target (LC).
+    double throughput = 0.0;  ///< Measured throughput.
+
+    double iso_p95_ms = 0.0;     ///< p95 under maximum allocation (LC).
+    double iso_throughput = 0.0; ///< Throughput under max allocation (BG).
+
+    /** True when the job is BG or its p95 is within target. */
+    bool qosMet() const;
+
+    /**
+     * Normalized performance in (0, 1]: BG throughput / isolated
+     * throughput; for LC jobs iso_p95 / p95 (capped at 1) — the
+     * Colo-Perf/Iso-Perf ratio of Eq. 3.
+     */
+    double perfNorm() const;
+
+    /** QoS headroom target/p95 (LC; > 1 means met). */
+    double qosRatio() const;
+};
+
+/**
+ * The simulated server hosting a fixed set of co-located jobs.
+ */
+class SimulatedServer
+{
+  public:
+    /**
+     * @param config Hardware description.
+     * @param jobs Co-located jobs (>= 1, and at most
+     *     min_r units(r) so each can own a unit of everything).
+     * @param model Performance model backend (owned).
+     * @param seed Seed for measurement noise (and DES randomness).
+     * @param noise_sigma Log-normal sigma of measurement noise
+     *     (0 disables noise).
+     */
+    SimulatedServer(ServerConfig config, std::vector<workloads::JobSpec> jobs,
+                    std::unique_ptr<workloads::PerformanceModel> model,
+                    uint64_t seed = 1, double noise_sigma = 0.03);
+
+    /** Hardware description. */
+    const ServerConfig& config() const { return config_; }
+
+    /** Number of co-located jobs. */
+    size_t jobCount() const { return jobs_.size(); }
+
+    /** Job @p j's spec. */
+    const workloads::JobSpec& job(size_t j) const;
+
+    /** Indices of the latency-critical jobs. */
+    std::vector<size_t> lcJobs() const;
+
+    /** Indices of the background jobs. */
+    std::vector<size_t> bgJobs() const;
+
+    /**
+     * Program @p alloc through the isolation drivers.
+     * @pre alloc.valid() with matching shape.
+     */
+    void apply(const Allocation& alloc);
+
+    /** The currently programmed allocation. */
+    const Allocation& currentAllocation() const;
+
+    /**
+     * Observe every job for one observation window under the current
+     * allocation (applies measurement noise).
+     */
+    std::vector<JobObservation> observe();
+
+    /** apply() followed by observe(). */
+    std::vector<JobObservation> evaluate(const Allocation& alloc);
+
+    /**
+     * Noise-free, side-effect-free evaluation of @p alloc: does not
+     * reprogram the drivers and does not advance the sample counters.
+     * This is the "offline" oracle view of a configuration (and the
+     * harness's ground-truth reporter); online controllers must use
+     * evaluate() instead.
+     */
+    std::vector<JobObservation> observeNoiseless(
+        const Allocation& alloc) const;
+
+    /**
+     * Change job @p j's offered load (Fig. 16 dynamic scenario).
+     * Invalidates nothing: iso baselines are per-load and recomputed
+     * lazily.
+     */
+    void setLoad(size_t j, double load_fraction);
+
+    /**
+     * Co-locate an additional job (Sec. 4: "if ... the job mix
+     * changes, CLITE can be reinvoked"). The current partition is
+     * re-programmed to the equal share of the new job count; the
+     * caller is expected to re-run its controller.
+     *
+     * @return The new job's index.
+     * @throws clite::Error when some resource cannot give every job a
+     *     unit any more.
+     */
+    size_t addJob(const workloads::JobSpec& job);
+
+    /**
+     * Remove job @p j from the co-location; remaining jobs keep their
+     * relative order. The current partition is re-programmed to the
+     * equal share of the remaining jobs.
+     */
+    void removeJob(size_t j);
+
+    /** The per-job programmed isolation settings (driver state). */
+    std::vector<std::string> isolationSettings(size_t j) const;
+
+    /** Number of apply() calls so far (Fig. 15 overhead). */
+    uint64_t applyCount() const { return apply_count_; }
+
+    /** Number of observe() windows so far. */
+    uint64_t observeCount() const { return observe_count_; }
+
+    /** Total modeled reprogramming latency spent in apply() (ms). */
+    double totalApplyLatencyMs() const { return apply_latency_ms_; }
+
+    /** Model backend name. */
+    std::string modelName() const { return model_->name(); }
+
+    /**
+     * Noise-free isolated baseline of job @p j (max-allocation
+     * extremum): p95 for LC, throughput for BG. Cached per load.
+     */
+    workloads::JobMeasurement isolationBaseline(size_t j) const;
+
+  private:
+    ServerConfig config_;
+    std::vector<workloads::JobSpec> jobs_;
+    std::unique_ptr<workloads::PerformanceModel> model_;
+    Rng noise_rng_;
+    Rng model_rng_;
+    double noise_sigma_;
+
+    std::vector<std::unique_ptr<IsolationDriver>> drivers_;
+    std::unique_ptr<Allocation> current_;
+
+    mutable std::vector<double> iso_cache_value_;
+    mutable std::vector<double> iso_cache_load_;
+    mutable std::vector<bool> iso_cache_valid_;
+
+    uint64_t apply_count_ = 0;
+    uint64_t observe_count_ = 0;
+    double apply_latency_ms_ = 0.0;
+};
+
+} // namespace platform
+} // namespace clite
+
+#endif // CLITE_PLATFORM_SERVER_H

@@ -1,0 +1,58 @@
+#include "sim/event_queue.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.h"
+
+namespace clite {
+namespace sim {
+
+void
+Simulator::schedule(SimTime delay, Callback fn)
+{
+    CLITE_CHECK(delay >= 0.0, "cannot schedule into the past (delay "
+                                  << delay << ")");
+    scheduleAt(now_ + delay, std::move(fn));
+}
+
+void
+Simulator::scheduleAt(SimTime when, Callback fn)
+{
+    CLITE_CHECK(when >= now_, "cannot schedule at " << when
+                                  << ", clock is already at " << now_);
+    queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+SimTime
+Simulator::runUntil(SimTime until)
+{
+    while (!queue_.empty() && queue_.top().time <= until) {
+        // Copy out before pop: the callback may schedule new events.
+        Event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.time;
+        ++processed_;
+        ev.fn();
+    }
+    if (std::isfinite(until))
+        now_ = std::max(now_, until);
+    return now_;
+}
+
+SimTime
+Simulator::runToCompletion()
+{
+    return runUntil(std::numeric_limits<SimTime>::infinity());
+}
+
+void
+Simulator::clearPending()
+{
+    while (!queue_.empty())
+        queue_.pop();
+}
+
+} // namespace sim
+} // namespace clite

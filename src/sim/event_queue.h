@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * A classic calendar/event-queue simulator: events are (time, callback)
+ * pairs processed in non-decreasing time order with FIFO tie-breaking.
+ * The queueing stations in sim/queueing.h are built on this, and it is
+ * the substrate that stands in for "running the system for the two
+ * second observation period" on the paper's physical testbed.
+ */
+
+#ifndef CLITE_SIM_EVENT_QUEUE_H
+#define CLITE_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace clite {
+namespace sim {
+
+/** Simulated time in seconds. */
+using SimTime = double;
+
+/**
+ * Event-driven simulator with a monotonically advancing clock.
+ */
+class Simulator
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /** Number of events processed so far. */
+    uint64_t eventsProcessed() const { return processed_; }
+
+    /** Number of events currently pending. */
+    size_t pendingEvents() const { return queue_.size(); }
+
+    /**
+     * Schedule @p fn to run @p delay seconds from now.
+     * @pre delay >= 0
+     */
+    void schedule(SimTime delay, Callback fn);
+
+    /**
+     * Schedule @p fn at absolute time @p when.
+     * @pre when >= now()
+     */
+    void scheduleAt(SimTime when, Callback fn);
+
+    /**
+     * Run events until the queue empties or the clock would pass
+     * @p until. Events scheduled exactly at @p until are processed.
+     *
+     * @return Simulated time reached.
+     */
+    SimTime runUntil(SimTime until);
+
+    /** Run until the event queue is empty. @return final time. */
+    SimTime runToCompletion();
+
+    /** Drop all pending events (clock is unchanged). */
+    void clearPending();
+
+  private:
+    struct Event
+    {
+        SimTime time;
+        uint64_t seq; // FIFO tie-break
+        Callback fn;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event& a, const Event& b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    SimTime now_ = 0.0;
+    uint64_t next_seq_ = 0;
+    uint64_t processed_ = 0;
+};
+
+} // namespace sim
+} // namespace clite
+
+#endif // CLITE_SIM_EVENT_QUEUE_H

@@ -1,0 +1,119 @@
+#include "sim/queueing.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "stats/summary.h"
+
+namespace clite {
+namespace sim {
+
+QueueingStation::QueueingStation(Simulator& simulator, int servers,
+                                 double arrival_rate, ServiceSampler sampler,
+                                 Rng& rng)
+    : sim_(simulator),
+      servers_(servers),
+      arrival_rate_(arrival_rate),
+      sampler_(std::move(sampler)),
+      rng_(rng)
+{
+    CLITE_CHECK(servers_ >= 1, "station needs >= 1 server, got " << servers_);
+    CLITE_CHECK(arrival_rate_ >= 0.0, "arrival rate must be >= 0");
+    CLITE_CHECK(sampler_ != nullptr, "station needs a service sampler");
+}
+
+void
+QueueingStation::start()
+{
+    if (arrival_rate_ <= 0.0)
+        return;
+    sim_.schedule(rng_.exponential(arrival_rate_), [this] { onArrival(); });
+}
+
+void
+QueueingStation::resetMeasurements()
+{
+    response_.clear();
+}
+
+void
+QueueingStation::onArrival()
+{
+    // Schedule the next arrival first (renewal process).
+    sim_.schedule(rng_.exponential(arrival_rate_), [this] { onArrival(); });
+
+    SimTime arrival = sim_.now();
+    if (busy_ < servers_)
+        beginService(arrival);
+    else
+        waiting_.push_back(arrival);
+}
+
+void
+QueueingStation::beginService(SimTime arrival_time)
+{
+    ++busy_;
+    double service = sampler_(rng_);
+    CLITE_ASSERT(service >= 0.0, "negative service time sampled");
+    sim_.schedule(service,
+                  [this, arrival_time] { onDeparture(arrival_time); });
+}
+
+void
+QueueingStation::onDeparture(SimTime arrival_time)
+{
+    --busy_;
+    response_.push_back(sim_.now() - arrival_time);
+    if (!waiting_.empty()) {
+        SimTime next = waiting_.front();
+        waiting_.pop_front();
+        beginService(next);
+    }
+}
+
+TailMeasurement
+measureStation(int servers, double arrival_rate, double mean_service,
+               double service_sigma, double warmup, double window, Rng& rng)
+{
+    CLITE_CHECK(mean_service > 0.0, "mean service time must be > 0");
+    CLITE_CHECK(window > 0.0, "measurement window must be > 0");
+
+    Simulator simulator;
+    QueueingStation::ServiceSampler sampler;
+    if (service_sigma > 0.0) {
+        sampler = [mean_service, service_sigma](Rng& r) {
+            return r.logNormalMean(mean_service, service_sigma);
+        };
+    } else if (service_sigma < 0.0) {
+        // Exponential service: the M/M/c case of the analytic model.
+        sampler = [mean_service](Rng& r) {
+            return r.exponential(1.0 / mean_service);
+        };
+    } else {
+        sampler = [mean_service](Rng&) { return mean_service; };
+    }
+
+    QueueingStation station(simulator, servers, arrival_rate, sampler, rng);
+    station.start();
+    simulator.runUntil(warmup);
+    station.resetMeasurements();
+    simulator.runUntil(warmup + window);
+
+    TailMeasurement out;
+    const auto& rt = station.responseTimes();
+    out.completed = rt.size();
+    out.throughput = double(rt.size()) / window;
+    if (!rt.empty()) {
+        stats::RunningStats rs;
+        for (double t : rt)
+            rs.add(t);
+        out.mean = rs.mean();
+        out.p50 = stats::percentile(rt, 0.50);
+        out.p95 = stats::percentile(rt, 0.95);
+        out.p99 = stats::percentile(rt, 0.99);
+    }
+    return out;
+}
+
+} // namespace sim
+} // namespace clite

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Multi-server queueing station on the discrete-event core.
+ *
+ * Models one latency-critical service the way the paper's testbed does:
+ * a load generator (Poisson arrivals at the offered QPS) feeding c
+ * worker cores; each request holds one core for a sampled service time.
+ * Requests queue FIFO when all cores are busy. Response times
+ * (queueing + service) are recorded so the harness can report the p95
+ * tail latency over an observation window, exactly the quantity CLITE's
+ * score function consumes.
+ */
+
+#ifndef CLITE_SIM_QUEUEING_H
+#define CLITE_SIM_QUEUEING_H
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+
+namespace clite {
+namespace sim {
+
+/**
+ * A c-server FIFO queueing station driven by Poisson arrivals.
+ */
+class QueueingStation
+{
+  public:
+    /** Sampler for one request's service time (seconds). */
+    using ServiceSampler = std::function<double(Rng&)>;
+
+    /**
+     * @param simulator Event core; must outlive the station.
+     * @param servers Number of servers c (>= 1).
+     * @param arrival_rate Poisson arrival rate λ in requests/second
+     *     (0 disables arrivals).
+     * @param sampler Service-time sampler.
+     * @param rng Randomness; must outlive the station.
+     */
+    QueueingStation(Simulator& simulator, int servers, double arrival_rate,
+                    ServiceSampler sampler, Rng& rng);
+
+    /** Begin generating arrivals (schedules the first arrival). */
+    void start();
+
+    /**
+     * Drop response times recorded so far — used to discard warm-up
+     * transients before the measured observation window.
+     */
+    void resetMeasurements();
+
+    /** Response times (seconds) completed since the last reset. */
+    const std::vector<double>& responseTimes() const { return response_; }
+
+    /** Requests completed since the last reset. */
+    size_t completedCount() const { return response_.size(); }
+
+    /** Requests currently waiting (excludes in-service). */
+    size_t queuedCount() const { return waiting_.size(); }
+
+    /** Servers currently busy. */
+    int busyServers() const { return busy_; }
+
+  private:
+    /** Handle one arrival: enter service or queue. */
+    void onArrival();
+
+    /** Start service for the request that arrived at @p arrival_time. */
+    void beginService(SimTime arrival_time);
+
+    /** A server finished the request that arrived at @p arrival_time. */
+    void onDeparture(SimTime arrival_time);
+
+    Simulator& sim_;
+    int servers_;
+    double arrival_rate_;
+    ServiceSampler sampler_;
+    Rng& rng_;
+
+    int busy_ = 0;
+    std::deque<SimTime> waiting_; // arrival times of queued requests
+    std::vector<double> response_;
+};
+
+/** Result of a windowed tail-latency measurement. */
+struct TailMeasurement
+{
+    double p50 = 0.0;      ///< Median response time (seconds).
+    double p95 = 0.0;      ///< 95th-percentile response time (seconds).
+    double p99 = 0.0;      ///< 99th-percentile response time (seconds).
+    double mean = 0.0;     ///< Mean response time (seconds).
+    size_t completed = 0;  ///< Requests completed in the window.
+    double throughput = 0.0; ///< Completions per second in the window.
+};
+
+/**
+ * Convenience driver: simulate an M/G/c station with log-normal service
+ * times for @p warmup + @p window seconds and summarize the measured
+ * window (the paper's two-second observation period).
+ *
+ * @param servers Number of servers c.
+ * @param arrival_rate Offered load λ (requests/second).
+ * @param mean_service Mean service time (seconds).
+ * @param service_sigma Service distribution selector: > 0 gives
+ *     log-normal service with that sigma, 0 deterministic service,
+ *     < 0 exponential service (the M/M/c case).
+ * @param warmup Transient to discard (seconds).
+ * @param window Measured window (seconds).
+ * @param rng Randomness.
+ */
+TailMeasurement measureStation(int servers, double arrival_rate,
+                               double mean_service, double service_sigma,
+                               double warmup, double window, Rng& rng);
+
+} // namespace sim
+} // namespace clite
+
+#endif // CLITE_SIM_QUEUEING_H

@@ -1,0 +1,139 @@
+#include "stats/sampling.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace clite {
+namespace stats {
+
+std::vector<std::vector<double>>
+latinHypercube(size_t count, size_t dims, Rng& rng)
+{
+    CLITE_CHECK(count > 0, "latinHypercube needs count > 0");
+    CLITE_CHECK(dims > 0, "latinHypercube needs dims > 0");
+
+    std::vector<std::vector<double>> points(count,
+                                            std::vector<double>(dims));
+    std::vector<size_t> perm(count);
+    for (size_t d = 0; d < dims; ++d) {
+        std::iota(perm.begin(), perm.end(), size_t{0});
+        rng.shuffle(perm);
+        for (size_t i = 0; i < count; ++i) {
+            double stratum = double(perm[i]);
+            points[i][d] = (stratum + rng.uniform()) / double(count);
+        }
+    }
+    return points;
+}
+
+uint64_t
+compositionCount(int total, int parts, int min_per_part)
+{
+    CLITE_CHECK(parts >= 1, "compositionCount needs parts >= 1");
+    CLITE_CHECK(min_per_part >= 0, "min_per_part must be >= 0");
+    int free_units = total - parts * min_per_part;
+    if (free_units < 0)
+        return 0;
+    // C(free_units + parts - 1, parts - 1) with overflow saturation.
+    uint64_t n = uint64_t(free_units) + uint64_t(parts) - 1;
+    uint64_t k = uint64_t(parts) - 1;
+    if (k > n - k)
+        k = n - k;
+    uint64_t result = 1;
+    for (uint64_t i = 1; i <= k; ++i) {
+        // result *= (n - k + i) / i, keeping exactness by dividing first
+        // where possible.
+        uint64_t num = n - k + i;
+        uint64_t g = std::gcd(result, i);
+        uint64_t r = result / g;
+        uint64_t den = i / g;
+        uint64_t g2 = std::gcd(num, den);
+        num /= g2;
+        den /= g2;
+        CLITE_ASSERT(den == 1, "binomial accumulation must stay integral");
+        if (r > std::numeric_limits<uint64_t>::max() / num)
+            return std::numeric_limits<uint64_t>::max();
+        result = r * num;
+    }
+    return result;
+}
+
+std::vector<int>
+sampleComposition(int total, int parts, Rng& rng, int min_per_part)
+{
+    CLITE_CHECK(parts >= 1, "sampleComposition needs parts >= 1");
+    int free_units = total - parts * min_per_part;
+    CLITE_CHECK(free_units >= 0,
+                "cannot split " << total << " units into " << parts
+                                << " parts of at least " << min_per_part);
+
+    if (parts == 1)
+        return {total};
+
+    // Choose parts-1 distinct bar positions among free_units + parts - 1
+    // slots; gaps between bars are the free units per part.
+    int slots = free_units + parts - 1;
+    std::vector<int> bars;
+    bars.reserve(parts - 1);
+    // Floyd's algorithm for distinct sampling without replacement.
+    for (int j = slots - (parts - 1); j < slots; ++j) {
+        int t = int(rng.uniformInt(0, j));
+        if (std::find(bars.begin(), bars.end(), t) == bars.end())
+            bars.push_back(t);
+        else
+            bars.push_back(j);
+    }
+    std::sort(bars.begin(), bars.end());
+
+    std::vector<int> out(parts);
+    int prev = -1;
+    for (int i = 0; i < parts - 1; ++i) {
+        out[i] = bars[i] - prev - 1 + min_per_part;
+        prev = bars[i];
+    }
+    out[parts - 1] = slots - 1 - prev + min_per_part;
+    return out;
+}
+
+namespace {
+
+bool
+enumerateRec(int remaining, int part, std::vector<int>& current,
+             const std::function<bool(const std::vector<int>&)>& visit,
+             int min_per_part)
+{
+    int parts = int(current.size());
+    if (part == parts - 1) {
+        current[part] = remaining;
+        return visit(current);
+    }
+    int parts_after = parts - part - 1;
+    int max_here = remaining - parts_after * min_per_part;
+    for (int v = min_per_part; v <= max_here; ++v) {
+        current[part] = v;
+        if (!enumerateRec(remaining - v, part + 1, current, visit,
+                          min_per_part))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+forEachComposition(int total, int parts,
+                   const std::function<bool(const std::vector<int>&)>& visit,
+                   int min_per_part)
+{
+    CLITE_CHECK(parts >= 1, "forEachComposition needs parts >= 1");
+    if (total < parts * min_per_part)
+        return true; // empty set: trivially complete
+    std::vector<int> current(parts);
+    return enumerateRec(total, 0, current, visit, min_per_part);
+}
+
+} // namespace stats
+} // namespace clite

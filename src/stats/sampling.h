@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Space sampling utilities for the optimizers and the RAND+/GENETIC
+ * baselines: Latin-hypercube sampling of continuous boxes, and uniform
+ * sampling / enumeration of bounded integer compositions (the
+ * "stars-and-bars" sets that resource partitions live in, Sec. 2's
+ * N_conf formula).
+ */
+
+#ifndef CLITE_STATS_SAMPLING_H
+#define CLITE_STATS_SAMPLING_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace clite {
+namespace stats {
+
+/**
+ * Latin-hypercube sample of @p count points in the unit hypercube of
+ * dimension @p dims: each dimension is split into count strata and each
+ * stratum is hit exactly once.
+ *
+ * @return count vectors of length dims with entries in [0, 1).
+ */
+std::vector<std::vector<double>> latinHypercube(size_t count, size_t dims,
+                                                Rng& rng);
+
+/**
+ * Number of compositions of @p total into @p parts parts, each part at
+ * least @p min_per_part: C(total - parts*min + parts - 1, parts - 1).
+ * This is the per-resource factor of the paper's N_conf formula.
+ *
+ * @return The count, saturating at UINT64_MAX on overflow.
+ */
+uint64_t compositionCount(int total, int parts, int min_per_part = 1);
+
+/**
+ * Uniformly sample a composition of @p total into @p parts parts with
+ * each part >= @p min_per_part. Uses the bars-uniform construction
+ * (random distinct bar positions), which is exactly uniform over
+ * compositions.
+ */
+std::vector<int> sampleComposition(int total, int parts, Rng& rng,
+                                   int min_per_part = 1);
+
+/**
+ * Enumerate every composition of @p total into @p parts parts (each
+ * >= @p min_per_part), invoking @p visit for each. Enumeration order is
+ * lexicographic. Used by the ORACLE brute-force search.
+ *
+ * @param visit Callback receiving the composition; return false to stop
+ *     the enumeration early.
+ * @return true if the enumeration ran to completion.
+ */
+bool forEachComposition(int total, int parts,
+                        const std::function<bool(const std::vector<int>&)>&
+                            visit,
+                        int min_per_part = 1);
+
+} // namespace stats
+} // namespace clite
+
+#endif // CLITE_STATS_SAMPLING_H

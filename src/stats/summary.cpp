@@ -1,0 +1,124 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace clite {
+namespace stats {
+
+void
+RunningStats::add(double x)
+{
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / double(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / double(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::coefficientOfVariation() const
+{
+    if (mean_ == 0.0 || n_ == 0)
+        return 0.0;
+    return stddev() / std::fabs(mean_);
+}
+
+void
+RunningStats::merge(const RunningStats& other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.mean_ - mean_;
+    size_t total = n_ + other.n_;
+    m2_ += other.m2_ +
+           delta * delta * double(n_) * double(other.n_) / double(total);
+    mean_ += delta * double(other.n_) / double(total);
+    n_ = total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+percentile(std::vector<double> samples, double q)
+{
+    CLITE_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0,1], got " << q);
+    if (samples.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    std::sort(samples.begin(), samples.end());
+    double pos = q * double(samples.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, samples.size() - 1);
+    double frac = pos - double(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+ConfidenceInterval
+bootstrapMeanCI(const std::vector<double>& samples, double confidence,
+                int resamples, uint64_t seed)
+{
+    CLITE_CHECK(samples.size() >= 2, "bootstrap needs >= 2 samples");
+    CLITE_CHECK(confidence > 0.0 && confidence < 1.0,
+                "confidence must be in (0,1), got " << confidence);
+    CLITE_CHECK(resamples >= 10, "need >= 10 bootstrap resamples");
+
+    Rng rng(seed);
+    const size_t n = samples.size();
+    std::vector<double> means;
+    means.resize(size_t(resamples));
+    for (int b = 0; b < resamples; ++b) {
+        double sum = 0.0;
+        for (size_t i = 0; i < n; ++i)
+            sum += samples[size_t(rng.uniformInt(0, int64_t(n) - 1))];
+        means[size_t(b)] = sum / double(n);
+    }
+
+    double alpha = 1.0 - confidence;
+    ConfidenceInterval ci;
+    ci.lo = percentile(means, alpha / 2.0);
+    ci.hi = percentile(means, 1.0 - alpha / 2.0);
+    double total = 0.0;
+    for (double s : samples)
+        total += s;
+    ci.point = total / double(n);
+    return ci;
+}
+
+double
+geometricMean(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 1.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        CLITE_CHECK(v > 0.0, "geometricMean requires positive values, got "
+                                 << v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / double(values.size()));
+}
+
+} // namespace stats
+} // namespace clite

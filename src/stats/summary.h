@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Streaming and batch summary statistics.
+ *
+ * RunningStats implements Welford's online mean/variance; percentile()
+ * implements the linear-interpolation quantile estimator (matching
+ * numpy's default) used to extract p95 tail latencies from the
+ * discrete-event simulator's response-time samples, and the
+ * run-to-run variability metric of Fig. 11 (stddev as % of mean).
+ */
+
+#ifndef CLITE_STATS_SUMMARY_H
+#define CLITE_STATS_SUMMARY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace clite {
+namespace stats {
+
+/**
+ * Welford online accumulator for mean / variance / min / max.
+ */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    size_t count() const { return n_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 when fewer than 2 samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /**
+     * Coefficient of variation: stddev as a fraction of the mean
+     * (the Fig. 11 variability metric). Returns 0 when the mean is 0.
+     */
+    double coefficientOfVariation() const;
+
+    /** Minimum observation (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Maximum observation (-inf when empty). */
+    double max() const { return max_; }
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void merge(const RunningStats& other);
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Linear-interpolation quantile of a sample (numpy 'linear' method).
+ *
+ * @param samples Observations; copied and sorted internally.
+ * @param q Quantile in [0, 1].
+ * @return The q-quantile; NaN for an empty sample.
+ */
+double percentile(std::vector<double> samples, double q);
+
+/**
+ * Geometric mean of strictly positive values.
+ *
+ * @param values Values; each must be > 0.
+ * @return (∏ v_i)^(1/n); 1.0 for an empty list (neutral element).
+ */
+double geometricMean(const std::vector<double>& values);
+
+/** A two-sided confidence interval. */
+struct ConfidenceInterval
+{
+    double lo = 0.0;     ///< Lower bound.
+    double hi = 0.0;     ///< Upper bound.
+    double point = 0.0;  ///< The point estimate (sample statistic).
+};
+
+/**
+ * Percentile-bootstrap confidence interval for the mean of a sample —
+ * the error bars behind the repeated-trials comparisons (Fig. 11):
+ * with a handful of trials, normal-theory intervals are unreliable.
+ *
+ * @param samples Observations (>= 2).
+ * @param confidence Coverage in (0, 1), e.g. 0.95.
+ * @param resamples Bootstrap resamples (>= 100 recommended).
+ * @param seed RNG seed for the resampling.
+ */
+ConfidenceInterval bootstrapMeanCI(const std::vector<double>& samples,
+                                   double confidence = 0.95,
+                                   int resamples = 2000,
+                                   uint64_t seed = 0x9E3779B9ull);
+
+} // namespace stats
+} // namespace clite
+
+#endif // CLITE_STATS_SUMMARY_H

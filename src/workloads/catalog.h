@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Workload catalog — the Table 3 application set.
+ *
+ * Latency-critical profiles model the Tailbench applications the paper
+ * drives (img-dnn, masstree, memcached, specjbb, xapian); background
+ * profiles model the PARSEC applications (blackscholes, canneal,
+ * fluidanimate, freqmine, streamcluster, swaptions). Parameters encode
+ * each application's published resource character (e.g. streamcluster's
+ * large LLC working set, masstree's bandwidth appetite, blackscholes'
+ * CPU-bound scaling); see profile.h for the parameter semantics and
+ * DESIGN.md for the substitution rationale.
+ *
+ * QoS targets follow the paper's methodology (Sec. 5.1 / Fig. 6): each
+ * LC application's p95 target is the tail latency at the knee of its
+ * isolated QPS-vs-p95 curve, and max_qps is the load at that knee. The
+ * catalog computes the target from the analytic model at full isolated
+ * allocation so target and model are always consistent.
+ */
+
+#ifndef CLITE_WORKLOADS_CATALOG_H
+#define CLITE_WORKLOADS_CATALOG_H
+
+#include <string>
+#include <vector>
+
+#include "workloads/profile.h"
+
+namespace clite {
+namespace workloads {
+
+/** Names of the five latency-critical applications. */
+const std::vector<std::string>& lcWorkloadNames();
+
+/** Names of the six background applications. */
+const std::vector<std::string>& bgWorkloadNames();
+
+/**
+ * Latency-critical profile by name, QoS target already derived.
+ * @throws clite::Error for an unknown name.
+ */
+WorkloadProfile lcWorkload(const std::string& name);
+
+/**
+ * Background profile by name.
+ * @throws clite::Error for an unknown name.
+ */
+WorkloadProfile bgWorkload(const std::string& name);
+
+/** Either kind, by name. @throws clite::Error for an unknown name. */
+WorkloadProfile workloadByName(const std::string& name);
+
+/**
+ * Convenience: an LC job spec at @p load_fraction of its max load.
+ */
+JobSpec lcJob(const std::string& name, double load_fraction);
+
+/** Convenience: a BG job spec. */
+JobSpec bgJob(const std::string& name);
+
+} // namespace workloads
+} // namespace clite
+
+#endif // CLITE_WORKLOADS_CATALOG_H

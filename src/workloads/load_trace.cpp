@@ -1,0 +1,87 @@
+#include "workloads/load_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace clite {
+namespace workloads {
+
+double
+clampLoadFraction(double load)
+{
+    return std::clamp(load, 0.01, 1.0);
+}
+
+StepTrace::StepTrace(std::vector<Step> steps) : steps_(std::move(steps))
+{
+    CLITE_CHECK(!steps_.empty(), "StepTrace needs at least one step");
+    CLITE_CHECK(steps_.front().at_seconds == 0.0,
+                "StepTrace must begin with a step at time 0");
+    for (size_t i = 1; i < steps_.size(); ++i)
+        CLITE_CHECK(steps_[i].at_seconds >= steps_[i - 1].at_seconds,
+                    "StepTrace steps must be in time order");
+    for (const auto& s : steps_)
+        CLITE_CHECK(s.load > 0.0 && s.load <= 1.0,
+                    "step load must be in (0, 1], got " << s.load);
+}
+
+double
+StepTrace::loadAt(double t_seconds) const
+{
+    double load = steps_.front().load;
+    for (const auto& s : steps_) {
+        if (s.at_seconds <= t_seconds)
+            load = s.load;
+        else
+            break;
+    }
+    return clampLoadFraction(load);
+}
+
+DiurnalTrace::DiurnalTrace(double base, double amplitude,
+                           double period_seconds, double phase_radians)
+    : base_(base),
+      amplitude_(amplitude),
+      period_s_(period_seconds),
+      phase_(phase_radians)
+{
+    CLITE_CHECK(period_s_ > 0.0, "diurnal period must be > 0");
+    CLITE_CHECK(base_ > 0.0 && base_ <= 1.0, "base load must be in (0,1]");
+    CLITE_CHECK(amplitude_ >= 0.0, "amplitude must be >= 0");
+}
+
+double
+DiurnalTrace::loadAt(double t_seconds) const
+{
+    double v = base_ + amplitude_ *
+                           std::sin(2.0 * M_PI * t_seconds / period_s_ +
+                                    phase_);
+    return clampLoadFraction(v);
+}
+
+BurstTrace::BurstTrace(double base, double burst_load, double burst_seconds,
+                       double period_seconds)
+    : base_(base),
+      burst_load_(burst_load),
+      burst_s_(burst_seconds),
+      period_s_(period_seconds)
+{
+    CLITE_CHECK(period_s_ > 0.0, "burst period must be > 0");
+    CLITE_CHECK(burst_s_ >= 0.0 && burst_s_ <= period_s_,
+                "burst duration must be within the period");
+    CLITE_CHECK(base_ > 0.0 && base_ <= 1.0, "base load must be in (0,1]");
+    CLITE_CHECK(burst_load_ > 0.0 && burst_load_ <= 1.0,
+                "burst load must be in (0,1]");
+}
+
+double
+BurstTrace::loadAt(double t_seconds) const
+{
+    double t = std::fmod(std::max(0.0, t_seconds), period_s_);
+    return clampLoadFraction(t < burst_s_ ? burst_load_ : base_);
+}
+
+} // namespace workloads
+} // namespace clite

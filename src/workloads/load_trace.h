@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Time-varying load traces for latency-critical jobs.
+ *
+ * Production LC services see diurnal swings, step changes (deploys,
+ * failovers) and short bursts; the paper's Fig. 16 exercises a step
+ * trace. These trace generators drive the dynamic scenarios and the
+ * OnlineManager: a trace maps simulated wall-clock time to a load
+ * fraction of the job's max load.
+ */
+
+#ifndef CLITE_WORKLOADS_LOAD_TRACE_H
+#define CLITE_WORKLOADS_LOAD_TRACE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace clite {
+namespace workloads {
+
+/**
+ * Abstract load trace: time (seconds) -> load fraction in (0, 1].
+ */
+class LoadTrace
+{
+  public:
+    virtual ~LoadTrace() = default;
+
+    /** Load fraction at time @p t_seconds (clamped to (0, 1]). */
+    virtual double loadAt(double t_seconds) const = 0;
+
+    /** Trace kind for reporting. */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Piecewise-constant steps: the Fig. 16 pattern.
+ */
+class StepTrace : public LoadTrace
+{
+  public:
+    /** One step: from @p at_seconds onward the load is @p load. */
+    struct Step
+    {
+        double at_seconds = 0.0;
+        double load = 0.1;
+    };
+
+    /**
+     * @param steps Steps in non-decreasing time order; the first must
+     *     be at time 0 (the initial load).
+     */
+    explicit StepTrace(std::vector<Step> steps);
+
+    double loadAt(double t_seconds) const override;
+    std::string name() const override { return "step"; }
+
+  private:
+    std::vector<Step> steps_;
+};
+
+/**
+ * Diurnal sine: base + amplitude * sin(2*pi*t/period + phase),
+ * clamped to [floor, 1].
+ */
+class DiurnalTrace : public LoadTrace
+{
+  public:
+    /**
+     * @param base Mean load fraction.
+     * @param amplitude Swing around the mean.
+     * @param period_seconds Cycle length ("a day").
+     * @param phase_radians Phase offset.
+     */
+    DiurnalTrace(double base, double amplitude, double period_seconds,
+                 double phase_radians = 0.0);
+
+    double loadAt(double t_seconds) const override;
+    std::string name() const override { return "diurnal"; }
+
+  private:
+    double base_;
+    double amplitude_;
+    double period_s_;
+    double phase_;
+};
+
+/**
+ * Periodic burst: @p base load with rectangular bursts to
+ * @p burst_load of @p burst_seconds duration every @p period_seconds.
+ */
+class BurstTrace : public LoadTrace
+{
+  public:
+    BurstTrace(double base, double burst_load, double burst_seconds,
+               double period_seconds);
+
+    double loadAt(double t_seconds) const override;
+    std::string name() const override { return "burst"; }
+
+  private:
+    double base_;
+    double burst_load_;
+    double burst_s_;
+    double period_s_;
+};
+
+/** Clamp helper shared by the traces: into (0.01, 1]. */
+double clampLoadFraction(double load);
+
+} // namespace workloads
+} // namespace clite
+
+#endif // CLITE_WORKLOADS_LOAD_TRACE_H

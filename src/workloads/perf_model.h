@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Performance models: allocation -> (tail latency | throughput).
+ *
+ * This is the substitute for the paper's physical testbed (see
+ * DESIGN.md Sec. 2). Two interchangeable backends implement the same
+ * cost derivation:
+ *
+ *  - AnalyticModel: closed-form M/M/c queueing (Erlang-C) for LC tail
+ *    latency and a rate equation for BG throughput. Fast enough for
+ *    the ORACLE brute-force sweeps (~1 µs per evaluation).
+ *  - QueueingSimModel: the discrete-event simulator of sim/ replays
+ *    the same service-time model with log-normal service draws and
+ *    Poisson arrivals over a warm-up + observation window (the paper's
+ *    two-second measurement period) and reports the empirical p95.
+ *
+ * Cost derivation per job given its allocation (cores c, ways w,
+ * bandwidth units b, optional capacity/disk/net units):
+ *
+ *   miss(w)    = floor + (1-floor) * 2^-((w-1)/half)
+ *   bw_demand  = traffic * miss(w) * offered_rate
+ *   bw_stall   = 1 + k_bw * max(0, bw_demand/bw_alloc - 1)   (capped)
+ *   t_service  = [cpu + mem * miss(w) * bw_stall + io(disk,net)] * paging
+ *   LC p95     = M/M/c response-time 95th percentile at (c, lambda,
+ *                1/t_service)
+ *   BG rate    = amdahl(c) / t_service (ops/s), amdahl(c) =
+ *                1 / ((1-p) + p/c)
+ *
+ * The interaction structure the paper leans on is built in: ways
+ * reduce misses which both shortens memory stalls AND sheds bandwidth
+ * demand, so cache and bandwidth allocations are partially
+ * interchangeable (the "resource equivalence class" property), while
+ * cores trade against service-time inflation through queueing.
+ */
+
+#ifndef CLITE_WORKLOADS_PERF_MODEL_H
+#define CLITE_WORKLOADS_PERF_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "platform/allocation.h"
+#include "platform/resource.h"
+#include "workloads/profile.h"
+
+namespace clite {
+namespace workloads {
+
+/** Raw model output for one job under one allocation. */
+struct JobMeasurement
+{
+    double p95_ms = 0.0;       ///< p95 response time (LC; 0 for BG).
+    double mean_ms = 0.0;      ///< Mean response time (LC; 0 for BG).
+    double throughput = 0.0;   ///< Completions/s (LC) or ops/s (BG).
+    double service_ms = 0.0;   ///< Derived per-query/op service time.
+    double miss_ratio = 0.0;   ///< LLC miss ratio at the allocation.
+    double bw_stall = 1.0;     ///< Bandwidth-contention inflation.
+    bool saturated = false;    ///< LC: offered load exceeds capacity.
+};
+
+/**
+ * Intermediate service-cost derivation shared by both backends;
+ * exposed for white-box tests of the interaction structure.
+ */
+struct ServiceCost
+{
+    double service_ms = 0.0; ///< Total per-query/op time.
+    double miss_ratio = 0.0; ///< miss(w).
+    double bw_stall = 1.0;   ///< Bandwidth stall multiplier.
+    double paging = 1.0;     ///< Capacity-pressure multiplier.
+    int cores = 1;           ///< Cores allocated.
+};
+
+/**
+ * Derive the per-query/op service cost of @p job given the units of
+ * each resource in @p units (aligned with @p config's resource order).
+ *
+ * @param job The job being modeled.
+ * @param units Allocated units per resource.
+ * @param config Server description (peak bandwidths etc.).
+ * @param offered_rate Offered arrival rate for bandwidth-demand
+ *     purposes: queries/s for LC; for BG pass 0 (the model uses the
+ *     core count instead).
+ */
+ServiceCost deriveServiceCost(const JobSpec& job,
+                              const std::vector<int>& units,
+                              const platform::ServerConfig& config,
+                              double offered_rate);
+
+/**
+ * Abstract performance model.
+ */
+class PerformanceModel
+{
+  public:
+    virtual ~PerformanceModel() = default;
+
+    /**
+     * Measure @p job under the allocation @p units.
+     *
+     * @param job Job spec (profile + load).
+     * @param units Allocated units, one per config resource.
+     * @param config Server description.
+     * @param rng Randomness for stochastic backends; unused by
+     *     deterministic ones.
+     */
+    virtual JobMeasurement measure(const JobSpec& job,
+                                   const std::vector<int>& units,
+                                   const platform::ServerConfig& config,
+                                   Rng& rng) const = 0;
+
+    /** Backend name ("analytic" | "des"). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Convenience: measure job @p j of @p jobs under a full Allocation.
+     */
+    JobMeasurement measureJob(const std::vector<JobSpec>& jobs, size_t j,
+                              const platform::Allocation& alloc,
+                              const platform::ServerConfig& config,
+                              Rng& rng) const;
+};
+
+/**
+ * Closed-form queueing backend (deterministic).
+ */
+class AnalyticModel : public PerformanceModel
+{
+  public:
+    JobMeasurement measure(const JobSpec& job, const std::vector<int>& units,
+                           const platform::ServerConfig& config,
+                           Rng& rng) const override;
+    std::string name() const override { return "analytic"; }
+};
+
+/**
+ * Discrete-event-simulation backend.
+ */
+class QueueingSimModel : public PerformanceModel
+{
+  public:
+    /**
+     * @param warmup_s Transient discarded before measuring.
+     * @param window_s Measured window (the paper's observation period
+     *     is two seconds).
+     */
+    explicit QueueingSimModel(double warmup_s = 1.0, double window_s = 2.0);
+
+    JobMeasurement measure(const JobSpec& job, const std::vector<int>& units,
+                           const platform::ServerConfig& config,
+                           Rng& rng) const override;
+    std::string name() const override { return "des"; }
+
+  private:
+    double warmup_s_;
+    double window_s_;
+};
+
+} // namespace workloads
+} // namespace clite
+
+#endif // CLITE_WORKLOADS_PERF_MODEL_H

@@ -1,0 +1,42 @@
+#include "workloads/profile.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace clite {
+namespace workloads {
+
+bool
+WorkloadProfile::isLatencyCritical() const
+{
+    return job_class == JobClass::LatencyCritical;
+}
+
+double
+JobSpec::offeredQps() const
+{
+    CLITE_CHECK(load_fraction >= 0.0, "load fraction must be >= 0, got "
+                                          << load_fraction);
+    return load_fraction * profile.max_qps;
+}
+
+bool
+JobSpec::isLatencyCritical() const
+{
+    return profile.isLatencyCritical();
+}
+
+std::string
+JobSpec::label() const
+{
+    std::ostringstream oss;
+    oss << profile.name;
+    if (isLatencyCritical())
+        oss << "@" << std::lround(load_fraction * 100.0) << "%";
+    return oss.str();
+}
+
+} // namespace workloads
+} // namespace clite

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Unit tests for the comparison policies (ORACLE, PARTIES, Heracles,
+ * RAND+, GENETIC).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "baselines/genetic.h"
+#include "baselines/heracles.h"
+#include "baselines/oracle.h"
+#include "baselines/parties.h"
+#include "baselines/random_plus.h"
+#include "common/error.h"
+#include "workloads/catalog.h"
+#include "workloads/perf_model.h"
+
+namespace clite {
+namespace baselines {
+namespace {
+
+platform::SimulatedServer
+makeServer(std::vector<workloads::JobSpec> jobs, uint64_t seed = 5,
+           double noise = 0.02)
+{
+    return platform::SimulatedServer(
+        platform::ServerConfig::xeonSilver4114(), std::move(jobs),
+        std::make_unique<workloads::AnalyticModel>(), seed, noise);
+}
+
+std::vector<workloads::JobSpec>
+easyMix()
+{
+    return {workloads::lcJob("img-dnn", 0.2),
+            workloads::lcJob("memcached", 0.2),
+            workloads::bgJob("swaptions")};
+}
+
+TEST(Oracle, MatchesDirectExhaustiveSearchOnTinySpace)
+{
+    // 2 jobs on the testbed: 9*10*9 = 810 configurations; verify the
+    // memoized oracle against a plain scan.
+    auto jobs = std::vector<workloads::JobSpec>{
+        workloads::lcJob("memcached", 0.4), workloads::bgJob("canneal")};
+    auto server = makeServer(jobs, 7, 0.0);
+
+    OracleController oracle;
+    core::ControllerResult r = oracle.run(server);
+    EXPECT_EQ(r.samples, 810);
+
+    double best = -1.0;
+    platform::Allocation cur(2, server.config());
+    for (int c = 1; c <= 9; ++c)
+        for (int w = 1; w <= 10; ++w)
+            for (int b = 1; b <= 9; ++b) {
+                cur.set(0, 0, c);
+                cur.set(1, 0, 10 - c);
+                cur.set(0, 1, w);
+                cur.set(1, 1, 11 - w);
+                cur.set(0, 2, b);
+                cur.set(1, 2, 10 - b);
+                double s =
+                    core::score(server.observeNoiseless(cur));
+                best = std::max(best, s);
+            }
+    EXPECT_NEAR(r.best_score, best, 1e-9);
+}
+
+TEST(Oracle, EnumerationCapEnforced)
+{
+    OracleOptions o;
+    o.max_configurations = 100;
+    OracleController oracle(o);
+    auto server = makeServer(easyMix());
+    EXPECT_THROW(oracle.run(server), Error);
+}
+
+TEST(Oracle, NoBgMixOptimizesLcPerformance)
+{
+    auto server = makeServer({workloads::lcJob("img-dnn", 0.2),
+                              workloads::lcJob("memcached", 0.2)},
+                             3, 0.0);
+    OracleController oracle;
+    core::ControllerResult r = oracle.run(server);
+    EXPECT_TRUE(r.feasible);
+    EXPECT_GT(r.best_score, 0.5);
+}
+
+TEST(Parties, ReachesQosOnEasyMix)
+{
+    auto server = makeServer(easyMix());
+    PartiesController parties;
+    core::ControllerResult r = parties.run(server);
+    ASSERT_TRUE(r.best.has_value());
+    EXPECT_TRUE(r.feasible);
+}
+
+TEST(Parties, StartsFromEqualShare)
+{
+    auto server = makeServer(easyMix());
+    PartiesController parties;
+    core::ControllerResult r = parties.run(server);
+    platform::Allocation equal =
+        platform::Allocation::equalShare(3, server.config());
+    ASSERT_FALSE(r.trace.empty());
+    EXPECT_TRUE(r.trace[0].alloc == equal);
+}
+
+TEST(Parties, SingleResourceStepsBetweenSamples)
+{
+    // PARTIES is coordinate descent: successive configurations differ
+    // by at most one unit moved within one resource.
+    auto server = makeServer({workloads::lcJob("img-dnn", 0.4),
+                              workloads::lcJob("masstree", 0.4),
+                              workloads::bgJob("streamcluster")});
+    PartiesController parties;
+    core::ControllerResult r = parties.run(server);
+    for (size_t i = 1; i < r.trace.size(); ++i) {
+        int diff_units = 0;
+        for (size_t j = 0; j < 3; ++j)
+            for (size_t res = 0; res < 3; ++res)
+                diff_units += std::abs(r.trace[i].alloc.get(j, res) -
+                                       r.trace[i - 1].alloc.get(j, res));
+        EXPECT_LE(diff_units, 2) << "step " << i;
+    }
+}
+
+TEST(Parties, RespectsSampleBudget)
+{
+    PartiesOptions o;
+    o.max_samples = 17;
+    auto server = makeServer({workloads::lcJob("img-dnn", 0.9),
+                              workloads::lcJob("masstree", 0.9),
+                              workloads::lcJob("memcached", 0.9)});
+    PartiesController parties(o);
+    core::ControllerResult r = parties.run(server);
+    EXPECT_LE(r.samples, 17);
+}
+
+TEST(Heracles, ServesPrimaryLcJobOnly)
+{
+    // Primary (first LC) gets its QoS; the second LC job is treated as
+    // best-effort and typically starves at a demanding load.
+    auto server = makeServer({workloads::lcJob("img-dnn", 0.5),
+                              workloads::lcJob("masstree", 0.6),
+                              workloads::bgJob("swaptions")},
+                             11, 0.0);
+    HeraclesController heracles;
+    core::ControllerResult r = heracles.run(server);
+    ASSERT_TRUE(r.best.has_value());
+    auto truth = server.observeNoiseless(*r.best);
+    EXPECT_TRUE(truth[0].qosMet());
+    EXPECT_FALSE(truth[1].qosMet());
+}
+
+TEST(Heracles, NeedsAnLcJob)
+{
+    auto server = makeServer({workloads::bgJob("canneal"),
+                              workloads::bgJob("swaptions")});
+    HeraclesController heracles;
+    EXPECT_THROW(heracles.run(server), Error);
+}
+
+TEST(RandomPlus, HonoursBudgetAndDistanceFilter)
+{
+    RandomPlusOptions o;
+    o.budget = 30;
+    o.min_distance = 0.05;
+    auto server = makeServer(easyMix());
+    RandomPlusController rp(o);
+    core::ControllerResult r = rp.run(server);
+    EXPECT_EQ(r.samples, 30);
+    // Pairwise distances respect the filter (allowing the documented
+    // relaxation fallback: count violations, expect none here).
+    int violations = 0;
+    for (size_t i = 0; i < r.trace.size(); ++i)
+        for (size_t j = 0; j < i; ++j) {
+            auto a = r.trace[i].alloc.flattenNormalized();
+            auto b = r.trace[j].alloc.flattenNormalized();
+            double d2 = 0.0;
+            for (size_t k = 0; k < a.size(); ++k)
+                d2 += (a[k] - b[k]) * (a[k] - b[k]);
+            if (std::sqrt(d2) < o.min_distance)
+                ++violations;
+        }
+    EXPECT_EQ(violations, 0);
+}
+
+TEST(Genetic, HonoursBudgetAndImprovesOverInit)
+{
+    GeneticOptions o;
+    o.budget = 40;
+    o.population = 8;
+    auto server = makeServer(easyMix());
+    GeneticController ga(o);
+    core::ControllerResult r = ga.run(server);
+    EXPECT_EQ(r.samples, 40);
+    double best_init = 0.0;
+    for (int i = 0; i < o.population; ++i)
+        best_init = std::max(best_init, r.trace[size_t(i)].score);
+    EXPECT_GE(r.best_score, best_init);
+}
+
+TEST(Genetic, ChildrenAreValidAllocations)
+{
+    auto server = makeServer(easyMix());
+    GeneticController ga;
+    core::ControllerResult r = ga.run(server);
+    for (const auto& rec : r.trace)
+        EXPECT_TRUE(rec.alloc.valid());
+}
+
+TEST(Baselines, OptionValidation)
+{
+    PartiesOptions p;
+    p.max_samples = 0;
+    EXPECT_THROW(PartiesController c(p), Error);
+    RandomPlusOptions rp;
+    rp.budget = 0;
+    EXPECT_THROW(RandomPlusController c(rp), Error);
+    GeneticOptions g;
+    g.population = 1;
+    EXPECT_THROW(GeneticController c(g), Error);
+    g = GeneticOptions{};
+    g.budget = 2;
+    EXPECT_THROW(GeneticController c(g), Error);
+    HeraclesOptions h;
+    h.max_samples = 0;
+    EXPECT_THROW(HeraclesController c(h), Error);
+}
+
+TEST(Baselines, OracleDominatesEveryHeuristicOnTruth)
+{
+    // The defining property of ORACLE: nothing beats it on the
+    // noise-free score (tested on a small mix for speed).
+    auto jobs = std::vector<workloads::JobSpec>{
+        workloads::lcJob("memcached", 0.3), workloads::bgJob("freqmine")};
+
+    auto server_oracle = makeServer(jobs, 3, 0.0);
+    double oracle_score = OracleController().run(server_oracle).best_score;
+
+    for (int which = 0; which < 3; ++which) {
+        auto server = makeServer(jobs, 3, 0.02);
+        std::unique_ptr<core::Controller> ctl;
+        if (which == 0)
+            ctl = std::make_unique<PartiesController>();
+        else if (which == 1)
+            ctl = std::make_unique<RandomPlusController>();
+        else
+            ctl = std::make_unique<GeneticController>();
+        core::ControllerResult r = ctl->run(server);
+        double truth = core::score(server.observeNoiseless(*r.best));
+        EXPECT_LE(truth, oracle_score + 1e-9) << ctl->name();
+    }
+}
+
+} // namespace
+} // namespace baselines
+} // namespace clite

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tests for the static reference policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/static_policies.h"
+#include "workloads/catalog.h"
+#include "workloads/perf_model.h"
+
+namespace clite {
+namespace baselines {
+namespace {
+
+platform::SimulatedServer
+makeServer()
+{
+    std::vector<workloads::JobSpec> jobs = {
+        workloads::lcJob("memcached", 0.2),
+        workloads::lcJob("img-dnn", 0.2),
+        workloads::bgJob("canneal"),
+    };
+    return platform::SimulatedServer(
+        platform::ServerConfig::xeonSilver4114(), jobs,
+        std::make_unique<workloads::AnalyticModel>(), 3, 0.0);
+}
+
+TEST(EqualShare, SingleSampleEqualDivision)
+{
+    auto server = makeServer();
+    EqualShareController ctl;
+    core::ControllerResult r = ctl.run(server);
+    EXPECT_EQ(r.samples, 1);
+    ASSERT_TRUE(r.best.has_value());
+    platform::Allocation equal =
+        platform::Allocation::equalShare(3, server.config());
+    EXPECT_TRUE(*r.best == equal);
+    EXPECT_EQ(ctl.name(), "equal-share");
+}
+
+TEST(EqualShare, ScoreConsistentWithDirectEvaluation)
+{
+    auto server = makeServer();
+    EqualShareController ctl;
+    core::ControllerResult r = ctl.run(server);
+    double direct = core::score(server.observeNoiseless(*r.best));
+    EXPECT_NEAR(r.best_score, direct, 1e-9); // noise disabled
+}
+
+} // namespace
+} // namespace baselines
+} // namespace clite

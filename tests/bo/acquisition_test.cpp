@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for acquisition functions (Eq. 2 and alternatives).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bo/acquisition.h"
+#include "common/error.h"
+#include "stats/distributions.h"
+
+namespace clite {
+namespace bo {
+namespace {
+
+gp::GaussianProcess
+fittedGp()
+{
+    gp::GaussianProcess gp(std::make_unique<gp::Matern52Kernel>(1, 0.4,
+                                                                1.0),
+                           1e-6);
+    gp.fit({{0.0}, {0.5}, {1.0}}, {0.2, 0.8, 0.1});
+    return gp;
+}
+
+TEST(ExpectedImprovement, MatchesClosedFormFromPosterior)
+{
+    gp::GaussianProcess gp = fittedGp();
+    ExpectedImprovement ei(0.01);
+    linalg::Vector x = {0.3};
+    gp::Prediction p = gp.predict(x);
+    double incumbent = 0.8;
+    double improve = p.mean - incumbent - 0.01;
+    double z = improve / p.stddev();
+    double expect = improve * stats::normalCdf(z) +
+                    p.stddev() * stats::normalPdf(z);
+    EXPECT_NEAR(ei.evaluate(gp, x, incumbent), expect, 1e-12);
+}
+
+TEST(ExpectedImprovement, ZeroAtZeroVariance)
+{
+    // At a training point of a near-noiseless GP, sigma ~ 0 -> EI ~ 0
+    // (Eq. 2's second branch).
+    gp::GaussianProcess gp = fittedGp();
+    ExpectedImprovement ei(0.01);
+    EXPECT_LT(ei.evaluate(gp, {0.5}, 0.8), 1e-3);
+}
+
+TEST(ExpectedImprovement, NonNegativeEverywhere)
+{
+    gp::GaussianProcess gp = fittedGp();
+    ExpectedImprovement ei(0.01);
+    for (double t = -0.5; t <= 1.5; t += 0.05)
+        EXPECT_GE(ei.evaluate(gp, {t}, 0.8), 0.0) << "at " << t;
+}
+
+TEST(ExpectedImprovement, HigherZetaMeansMoreExploration)
+{
+    // Larger zeta discounts exploitation near the incumbent, shifting
+    // relative preference toward uncertain regions.
+    gp::GaussianProcess gp = fittedGp();
+    ExpectedImprovement small(0.0), big(0.3);
+    linalg::Vector near_best = {0.52};
+    linalg::Vector unexplored = {1.6};
+    double ratio_small = small.evaluate(gp, unexplored, 0.8) /
+                         (small.evaluate(gp, near_best, 0.8) + 1e-12);
+    double ratio_big = big.evaluate(gp, unexplored, 0.8) /
+                       (big.evaluate(gp, near_best, 0.8) + 1e-12);
+    EXPECT_GT(ratio_big, ratio_small);
+}
+
+TEST(ProbabilityOfImprovement, IsAProbability)
+{
+    gp::GaussianProcess gp = fittedGp();
+    ProbabilityOfImprovement pi(0.01);
+    for (double t = -0.5; t <= 1.5; t += 0.1) {
+        double v = pi.evaluate(gp, {t}, 0.5);
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+    }
+}
+
+TEST(UpperConfidenceBound, EqualsMeanPlusKappaSigma)
+{
+    gp::GaussianProcess gp = fittedGp();
+    UpperConfidenceBound ucb(2.0);
+    linalg::Vector x = {0.25};
+    gp::Prediction p = gp.predict(x);
+    EXPECT_NEAR(ucb.evaluate(gp, x, 0.0), p.mean + 2.0 * p.stddev(),
+                1e-12);
+}
+
+TEST(AcquisitionFactory, NamesAndValidation)
+{
+    EXPECT_EQ(makeAcquisition("ei", 0.01)->name(), "ei");
+    EXPECT_EQ(makeAcquisition("pi", 0.01)->name(), "pi");
+    EXPECT_EQ(makeAcquisition("ucb", 2.0)->name(), "ucb");
+    EXPECT_THROW(makeAcquisition("thompson"), Error);
+    EXPECT_THROW(ExpectedImprovement(-0.1), Error);
+}
+
+} // namespace
+} // namespace bo
+} // namespace clite

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the generic Bayesian-optimization driver
+ * (Algorithm 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bo/bayes_opt.h"
+#include "common/error.h"
+
+namespace clite {
+namespace bo {
+namespace {
+
+BayesOptOptions
+fastOptions()
+{
+    BayesOptOptions o;
+    o.initial_samples = 5;
+    o.max_iterations = 20;
+    o.candidates = 256;
+    o.hyper_fit_every = 5;
+    return o;
+}
+
+TEST(BayesOpt, Maximizes1dSmoothFunction)
+{
+    BayesOpt bo({0.0}, {1.0}, std::make_unique<ExpectedImprovement>(0.01),
+                fastOptions());
+    Rng rng(3);
+    auto f = [](const linalg::Vector& x) {
+        return -(x[0] - 0.73) * (x[0] - 0.73);
+    };
+    BayesOptResult r = bo.maximize(f, rng);
+    EXPECT_NEAR(r.best_x[0], 0.73, 0.05);
+    EXPECT_GT(r.best_y, -0.01);
+}
+
+TEST(BayesOpt, BeatsItsOwnSeedSamples)
+{
+    BayesOpt bo({-2.0, -2.0}, {2.0, 2.0},
+                std::make_unique<ExpectedImprovement>(0.01), fastOptions());
+    Rng rng(7);
+    auto f = [](const linalg::Vector& x) {
+        return std::exp(-(x[0] * x[0] + x[1] * x[1]));
+    };
+    BayesOptResult r = bo.maximize(f, rng);
+    // Best of the seed phase vs final best: BO must improve.
+    double best_seed = -1e100;
+    for (int i = 0; i < 5; ++i)
+        best_seed = std::max(best_seed, r.history[size_t(i)].y);
+    EXPECT_GE(r.best_y, best_seed);
+    EXPECT_GT(r.best_y, 0.8); // near the peak value 1.0
+}
+
+TEST(BayesOpt, HistoryRecordsEveryEvaluation)
+{
+    BayesOptOptions o = fastOptions();
+    o.max_iterations = 7;
+    BayesOpt bo({0.0}, {1.0}, std::make_unique<ExpectedImprovement>(0.01),
+                o);
+    Rng rng(11);
+    int calls = 0;
+    auto f = [&](const linalg::Vector& x) {
+        ++calls;
+        return x[0];
+    };
+    BayesOptResult r = bo.maximize(f, rng);
+    EXPECT_EQ(int(r.history.size()), calls);
+    EXPECT_LE(int(r.history.size()), 5 + 7);
+}
+
+TEST(BayesOpt, EiTerminationStopsEarly)
+{
+    BayesOptOptions o = fastOptions();
+    o.max_iterations = 50;
+    o.ei_termination = 0.5; // absurdly high: stop almost immediately
+    BayesOpt bo({0.0}, {1.0}, std::make_unique<ExpectedImprovement>(0.01),
+                o);
+    Rng rng(13);
+    auto f = [](const linalg::Vector& x) { return x[0]; };
+    BayesOptResult r = bo.maximize(f, rng);
+    EXPECT_TRUE(r.terminated_early);
+    EXPECT_LT(r.iterations, 50);
+}
+
+TEST(BayesOpt, WorksWithAlternativeAcquisitions)
+{
+    for (const char* name : {"pi", "ucb"}) {
+        BayesOpt bo({0.0}, {1.0}, makeAcquisition(name, 0.05),
+                    fastOptions());
+        Rng rng(17);
+        auto f = [](const linalg::Vector& x) {
+            return -(x[0] - 0.4) * (x[0] - 0.4);
+        };
+        BayesOptResult r = bo.maximize(f, rng);
+        EXPECT_NEAR(r.best_x[0], 0.4, 0.15) << name;
+    }
+}
+
+TEST(BayesOpt, ConstructionValidation)
+{
+    EXPECT_THROW(BayesOpt({}, {}, std::make_unique<ExpectedImprovement>()),
+                 Error);
+    EXPECT_THROW(BayesOpt({0.0}, {0.0, 1.0},
+                          std::make_unique<ExpectedImprovement>()),
+                 Error);
+    EXPECT_THROW(BayesOpt({1.0}, {0.0},
+                          std::make_unique<ExpectedImprovement>()),
+                 Error);
+    EXPECT_THROW(BayesOpt({0.0}, {1.0}, nullptr), Error);
+    BayesOptOptions bad;
+    bad.initial_samples = 1;
+    EXPECT_THROW(BayesOpt({0.0}, {1.0},
+                          std::make_unique<ExpectedImprovement>(), bad),
+                 Error);
+}
+
+} // namespace
+} // namespace bo
+} // namespace clite

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for error handling and logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace clite {
+namespace {
+
+TEST(Error, ThrowMacroThrowsWithMessage)
+{
+    try {
+        CLITE_THROW("value was " << 42);
+        FAIL() << "CLITE_THROW did not throw";
+    } catch (const Error& e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("value was 42"), std::string::npos);
+        EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+    }
+}
+
+TEST(Error, CheckPassesOnTrueCondition)
+{
+    EXPECT_NO_THROW(CLITE_CHECK(1 + 1 == 2, "math broke"));
+}
+
+TEST(Error, CheckThrowsWithConditionText)
+{
+    try {
+        int x = 3;
+        CLITE_CHECK(x > 5, "x is " << x);
+        FAIL() << "CLITE_CHECK did not throw";
+    } catch (const Error& e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("x > 5"), std::string::npos);
+        EXPECT_NE(what.find("x is 3"), std::string::npos);
+    }
+}
+
+TEST(Error, IsARuntimeError)
+{
+    EXPECT_THROW(CLITE_THROW("boom"), std::runtime_error);
+}
+
+TEST(Log, LevelGating)
+{
+    LogLevel orig = Log::level();
+    Log::setLevel(LogLevel::Warn);
+    EXPECT_FALSE(Log::enabled(LogLevel::Debug));
+    EXPECT_FALSE(Log::enabled(LogLevel::Info));
+    EXPECT_TRUE(Log::enabled(LogLevel::Warn));
+    Log::setLevel(LogLevel::Debug);
+    EXPECT_TRUE(Log::enabled(LogLevel::Debug));
+    Log::setLevel(LogLevel::Off);
+    EXPECT_FALSE(Log::enabled(LogLevel::Warn));
+    Log::setLevel(orig);
+}
+
+} // namespace
+} // namespace clite

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the table/CSV emitters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/table.h"
+
+namespace clite {
+namespace {
+
+TEST(TextTable, RowArityIsEnforced)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only one"}), Error);
+    EXPECT_NO_THROW(t.addRow({"1", "2"}));
+    EXPECT_EQ(t.rows(), 1u);
+    EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(TextTable, EmptyHeaderRejected)
+{
+    EXPECT_THROW(TextTable t({}), Error);
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(3.0, 0), "3");
+    EXPECT_EQ(TextTable::num(static_cast<long long>(-12)), "-12");
+    EXPECT_EQ(TextTable::percent(0.875, 1), "87.5%");
+    EXPECT_EQ(TextTable::num(std::nan(""), 2), "nan");
+}
+
+TEST(TextTable, PrintAlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"x", "1.00"});
+    t.addRow({"longer", "23.50"});
+    std::ostringstream oss;
+    t.print(oss);
+    std::string out = oss.str();
+    // Numeric cells right-aligned: "1.00" padded to width of "23.50".
+    EXPECT_NE(out.find("  1.00"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Separator line present.
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscapesSpecialCharacters)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"plain", "has,comma"});
+    t.addRow({"has\"quote", "x"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTable, WriteCsvRejectsBadPath)
+{
+    TextTable t({"a"});
+    EXPECT_THROW(t.writeCsv("/nonexistent-dir/x.csv"), Error);
+}
+
+TEST(Banner, ContainsTitle)
+{
+    std::ostringstream oss;
+    printBanner(oss, "Figure 7");
+    EXPECT_NE(oss.str().find("== Figure 7 =="), std::string::npos);
+}
+
+} // namespace
+} // namespace clite

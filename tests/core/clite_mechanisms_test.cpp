@@ -1,0 +1,179 @@
+/**
+ * @file
+ * White-box tests of individual CLITE mechanisms beyond the
+ * end-to-end behaviour covered in clite_test.cpp: the polish phase,
+ * validation windows, bootstrap variants, and the constraint
+ * machinery under the 6-resource server.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/error.h"
+#include "core/clite.h"
+#include "workloads/catalog.h"
+#include "workloads/perf_model.h"
+
+namespace clite {
+namespace core {
+namespace {
+
+platform::SimulatedServer
+makeServer(double noise = 0.02, uint64_t seed = 5)
+{
+    std::vector<workloads::JobSpec> jobs = {
+        workloads::lcJob("img-dnn", 0.3),
+        workloads::lcJob("memcached", 0.3),
+        workloads::lcJob("masstree", 0.3),
+        workloads::bgJob("streamcluster"),
+    };
+    return platform::SimulatedServer(
+        platform::ServerConfig::xeonSilver4114(), jobs,
+        std::make_unique<workloads::AnalyticModel>(), seed, noise);
+}
+
+TEST(ClitePolish, ImprovesBgPerformancePastFirstFeasible)
+{
+    // The Fig. 15b claim: the score of the final configuration beats
+    // the score at the moment QoS was first met.
+    CliteOptions o;
+    o.seed = 9;
+    CliteController clite(o);
+    auto server = makeServer(0.02, 9);
+    ControllerResult r = clite.run(server);
+    int first = r.firstFeasibleSample();
+    ASSERT_GE(first, 0);
+    double truth_first = score(
+        server.observeNoiseless(r.trace[size_t(first)].alloc));
+    double truth_final = score(server.observeNoiseless(*r.best));
+    EXPECT_GE(truth_final, truth_first);
+}
+
+TEST(ClitePolish, DisablingItReducesQuality)
+{
+    // Averaged over seeds, the polish phase must pay for itself.
+    double with_sum = 0.0, without_sum = 0.0;
+    for (uint64_t seed : {3u, 14u, 25u, 36u}) {
+        CliteOptions with;
+        with.seed = seed;
+        CliteOptions without = with;
+        without.polish_iterations = 0;
+        auto s1 = makeServer(0.02, seed);
+        auto r1 = CliteController(with).run(s1);
+        with_sum += score(s1.observeNoiseless(*r1.best));
+        auto s2 = makeServer(0.02, seed);
+        auto r2 = CliteController(without).run(s2);
+        without_sum += score(s2.observeNoiseless(*r2.best));
+    }
+    EXPECT_GE(with_sum, without_sum);
+}
+
+TEST(CliteValidation, ChosenConfigurationIsTrulyFeasible)
+{
+    // With sizeable measurement noise, the validation windows must
+    // prevent a truly-infeasible configuration from being selected on
+    // every tested seed.
+    for (uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+        CliteOptions o;
+        o.seed = seed;
+        auto server = makeServer(0.05, seed);
+        ControllerResult r = CliteController(o).run(server);
+        if (r.feasible) {
+            auto truth = scoreObservations(server.observeNoiseless(*r.best));
+            EXPECT_TRUE(truth.all_qos_met) << "seed " << seed;
+        }
+    }
+}
+
+TEST(CliteBootstrap, RandomBootstrapSkipsInfeasibilityCheck)
+{
+    // With informed_bootstrap off there are no extremum samples, so
+    // infeasibility cannot be proven (only suspected).
+    CliteOptions o;
+    o.informed_bootstrap = false;
+    o.max_iterations = 6;
+    o.polish_iterations = 0;
+    std::vector<workloads::JobSpec> jobs = {
+        workloads::lcJob("img-dnn", 1.0),
+        workloads::lcJob("masstree", 1.0),
+        workloads::lcJob("memcached", 1.0),
+    };
+    platform::SimulatedServer server(
+        platform::ServerConfig::xeonSilver4114(), jobs,
+        std::make_unique<workloads::AnalyticModel>(), 3, 0.02);
+    ControllerResult r = CliteController(o).run(server);
+    EXPECT_FALSE(r.infeasible_detected);
+    EXPECT_FALSE(r.feasible);
+}
+
+TEST(CliteConstraints, SixResourceAllocationsAlwaysValid)
+{
+    CliteOptions o;
+    o.max_iterations = 15;
+    o.polish_iterations = 4;
+    std::vector<workloads::JobSpec> jobs = {
+        workloads::lcJob("xapian", 0.4),
+        workloads::lcJob("memcached", 0.3),
+        workloads::bgJob("canneal"),
+        workloads::bgJob("swaptions"),
+    };
+    platform::SimulatedServer server(
+        platform::ServerConfig::xeonSilver4114AllResources(), jobs,
+        std::make_unique<workloads::AnalyticModel>(), 3, 0.02);
+    ControllerResult r = CliteController(o).run(server);
+    for (const auto& rec : r.trace) {
+        EXPECT_TRUE(rec.alloc.valid());
+        EXPECT_EQ(rec.alloc.resources(), 6u);
+    }
+}
+
+TEST(CliteTermination, PatienceExtendsSearch)
+{
+    CliteOptions impatient;
+    impatient.seed = 5;
+    impatient.termination_patience = 1;
+    impatient.polish_iterations = 0;
+    impatient.validation_windows = 0;
+    CliteOptions patient = impatient;
+    patient.termination_patience = 4;
+
+    auto s1 = makeServer(0.02, 5);
+    int n1 = CliteController(impatient).run(s1).samples;
+    auto s2 = makeServer(0.02, 5);
+    int n2 = CliteController(patient).run(s2).samples;
+    EXPECT_GE(n2, n1);
+}
+
+TEST(CliteTwoJobMix, DropoutInactiveButSearchWorks)
+{
+    // njobs < 3 disables dropout-copy; everything else still works.
+    CliteOptions o;
+    o.max_iterations = 12;
+    std::vector<workloads::JobSpec> jobs = {
+        workloads::lcJob("memcached", 0.5),
+        workloads::bgJob("freqmine"),
+    };
+    platform::SimulatedServer server(
+        platform::ServerConfig::xeonSilver4114(), jobs,
+        std::make_unique<workloads::AnalyticModel>(), 3, 0.02);
+    ControllerResult r = CliteController(o).run(server);
+    EXPECT_TRUE(r.feasible);
+    EXPECT_GT(r.best_score, 0.5);
+}
+
+TEST(CliteSamples, TraceMatchesSampleCount)
+{
+    auto server = makeServer();
+    CliteController clite;
+    ControllerResult r = clite.run(server);
+    EXPECT_EQ(size_t(r.samples), r.trace.size());
+    // Every configuration the server applied beyond the trace came
+    // from validation re-measurement or the final re-apply.
+    EXPECT_GE(server.applyCount(), uint64_t(r.samples));
+}
+
+} // namespace
+} // namespace core
+} // namespace clite

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the online monitoring / re-invocation loop (Sec. 4's
+ * steady-state behaviour).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.h"
+#include "core/monitor.h"
+#include "workloads/catalog.h"
+#include "workloads/perf_model.h"
+
+namespace clite {
+namespace core {
+namespace {
+
+platform::SimulatedServer
+makeServer(uint64_t seed = 5)
+{
+    std::vector<workloads::JobSpec> jobs = {
+        workloads::lcJob("img-dnn", 0.1),
+        workloads::lcJob("memcached", 0.1),
+        workloads::bgJob("fluidanimate"),
+    };
+    return platform::SimulatedServer(
+        platform::ServerConfig::xeonSilver4114(), jobs,
+        std::make_unique<workloads::AnalyticModel>(), seed, 0.02);
+}
+
+CliteOptions
+fastClite()
+{
+    CliteOptions o;
+    o.max_iterations = 12;
+    o.polish_iterations = 3;
+    return o;
+}
+
+TEST(OnlineManager, SteadyStateDoesNotReoptimize)
+{
+    auto server = makeServer();
+    OnlineManager manager(server, fastClite());
+    const ControllerResult& init = manager.initialize();
+    ASSERT_TRUE(init.feasible);
+
+    for (int w = 0; w < 10; ++w) {
+        OnlineManager::Tick t = manager.tick();
+        EXPECT_FALSE(t.reoptimized) << "window " << w << ": " << t.reason;
+    }
+    EXPECT_EQ(manager.reoptimizations(), 0);
+    EXPECT_EQ(manager.windows(), 10);
+}
+
+TEST(OnlineManager, LoadStepTriggersReoptimization)
+{
+    auto server = makeServer();
+    OnlineManager manager(server, fastClite());
+    manager.initialize();
+
+    // Triple memcached's load: observed completion rate departs from
+    // the incumbent's reference; after drift_patience windows the
+    // manager re-optimizes.
+    server.setLoad(1, 0.3);
+    bool reoptimized = false;
+    std::string reason;
+    for (int w = 0; w < 6 && !reoptimized; ++w) {
+        OnlineManager::Tick t = manager.tick();
+        reoptimized = t.reoptimized;
+        reason = t.reason;
+    }
+    EXPECT_TRUE(reoptimized);
+    // Either detector may fire first (the step can also violate QoS).
+    EXPECT_TRUE(reason == "load-drift" || reason == "qos-violation")
+        << reason;
+    EXPECT_EQ(manager.reoptimizations(), 1);
+
+    // And the system re-stabilizes: no further triggers.
+    for (int w = 0; w < 5; ++w)
+        EXPECT_FALSE(manager.tick().reoptimized);
+}
+
+TEST(OnlineManager, MixChangeTriggersFullSearch)
+{
+    auto server = makeServer();
+    OnlineManager manager(server, fastClite());
+    manager.initialize();
+    size_t before = server.jobCount();
+
+    server.addJob(workloads::bgJob("swaptions"));
+    manager.notifyMixChange();
+    OnlineManager::Tick t = manager.tick();
+    EXPECT_TRUE(t.reoptimized);
+    EXPECT_EQ(t.reason, "mix-change");
+    EXPECT_EQ(server.jobCount(), before + 1);
+    EXPECT_EQ(manager.incumbent().jobs(), before + 1);
+}
+
+TEST(OnlineManager, JobDepartureFreesResources)
+{
+    auto server = makeServer();
+    OnlineManager manager(server, fastClite());
+    manager.initialize();
+
+    server.removeJob(0); // img-dnn leaves
+    manager.notifyMixChange();
+    OnlineManager::Tick t = manager.tick();
+    EXPECT_TRUE(t.reoptimized);
+    EXPECT_EQ(manager.incumbent().jobs(), 2u);
+    EXPECT_TRUE(manager.lastResult().feasible);
+}
+
+TEST(OnlineManager, TickBeforeInitializeThrows)
+{
+    auto server = makeServer();
+    OnlineManager manager(server, fastClite());
+    EXPECT_THROW(manager.tick(), Error);
+    EXPECT_THROW(manager.incumbent(), Error);
+    EXPECT_THROW(manager.lastResult(), Error);
+}
+
+TEST(OnlineManager, OptionValidation)
+{
+    auto server = makeServer();
+    MonitorOptions bad;
+    bad.violation_patience = 0;
+    EXPECT_THROW(OnlineManager m(server, {}, bad), Error);
+    bad = MonitorOptions{};
+    bad.load_drift_threshold = 0.0;
+    EXPECT_THROW(OnlineManager m(server, {}, bad), Error);
+}
+
+TEST(SimulatedServer, AddRemoveJobInvariants)
+{
+    auto server = makeServer();
+    size_t idx = server.addJob(workloads::bgJob("canneal"));
+    EXPECT_EQ(idx, 3u);
+    EXPECT_EQ(server.jobCount(), 4u);
+    EXPECT_TRUE(server.currentAllocation().valid());
+    EXPECT_EQ(server.currentAllocation().jobs(), 4u);
+
+    server.removeJob(1);
+    EXPECT_EQ(server.jobCount(), 3u);
+    EXPECT_EQ(server.job(1).profile.name, "fluidanimate");
+    EXPECT_TRUE(server.currentAllocation().valid());
+
+    EXPECT_THROW(server.removeJob(9), Error);
+    // Cannot exceed the per-resource unit budget (10 cores -> max 10).
+    for (int i = 0; i < 7; ++i)
+        server.addJob(workloads::bgJob("swaptions"));
+    EXPECT_THROW(server.addJob(workloads::bgJob("swaptions")), Error);
+}
+
+} // namespace
+} // namespace core
+} // namespace clite

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Property tests for the Eq. 3 score on randomized observations: the
+ * bounds and monotonicity guarantees the BO search relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/score.h"
+
+namespace clite {
+namespace core {
+namespace {
+
+platform::JobObservation
+randomLc(Rng& rng)
+{
+    platform::JobObservation ob;
+    ob.is_lc = true;
+    ob.job_name = "lc";
+    ob.qos_target_ms = rng.uniform(1.0, 20.0);
+    ob.p95_ms = ob.qos_target_ms * rng.uniform(0.2, 5.0);
+    ob.iso_p95_ms = ob.qos_target_ms * rng.uniform(0.2, 0.9);
+    return ob;
+}
+
+platform::JobObservation
+randomBg(Rng& rng)
+{
+    platform::JobObservation ob;
+    ob.is_lc = false;
+    ob.job_name = "bg";
+    ob.iso_throughput = rng.uniform(100.0, 10000.0);
+    ob.throughput = ob.iso_throughput * rng.uniform(0.05, 1.0);
+    return ob;
+}
+
+class ScorePropertyTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ScorePropertyTest, ScoreAlwaysInUnitInterval)
+{
+    Rng rng(GetParam());
+    for (int rep = 0; rep < 200; ++rep) {
+        std::vector<platform::JobObservation> obs;
+        int nlc = int(rng.uniformInt(1, 4));
+        int nbg = int(rng.uniformInt(0, 3));
+        for (int i = 0; i < nlc; ++i)
+            obs.push_back(randomLc(rng));
+        for (int i = 0; i < nbg; ++i)
+            obs.push_back(randomBg(rng));
+        ScoreBreakdown sb = scoreObservations(obs);
+        EXPECT_GE(sb.score, 0.0);
+        EXPECT_LE(sb.score, 1.0);
+        EXPECT_EQ(sb.lc_jobs, nlc);
+        EXPECT_EQ(sb.bg_jobs, nbg);
+    }
+}
+
+TEST_P(ScorePropertyTest, ModeBoundaryAtOneHalf)
+{
+    // Mode 1 <= 0.5 < mode 2, always.
+    Rng rng(GetParam() * 31);
+    for (int rep = 0; rep < 200; ++rep) {
+        std::vector<platform::JobObservation> obs = {randomLc(rng),
+                                                     randomBg(rng)};
+        ScoreBreakdown sb = scoreObservations(obs);
+        if (sb.all_qos_met)
+            EXPECT_GT(sb.score, 0.5);
+        else
+            EXPECT_LE(sb.score, 0.5);
+    }
+}
+
+TEST_P(ScorePropertyTest, LoweringAnyLatencyNeverLowersScore)
+{
+    Rng rng(GetParam() * 57 + 1);
+    for (int rep = 0; rep < 100; ++rep) {
+        std::vector<platform::JobObservation> obs = {
+            randomLc(rng), randomLc(rng), randomBg(rng)};
+        ScoreBreakdown before = scoreObservations(obs);
+        size_t which = size_t(rng.uniformInt(0, 1));
+        obs[which].p95_ms *= rng.uniform(0.5, 0.99);
+        ScoreBreakdown after = scoreObservations(obs);
+        EXPECT_GE(after.score, before.score - 1e-12);
+    }
+}
+
+TEST_P(ScorePropertyTest, RaisingBgThroughputHelpsOnlyWhenFeasible)
+{
+    Rng rng(GetParam() * 91 + 2);
+    for (int rep = 0; rep < 100; ++rep) {
+        std::vector<platform::JobObservation> obs = {randomLc(rng),
+                                                     randomBg(rng)};
+        ScoreBreakdown before = scoreObservations(obs);
+        obs[1].throughput = std::min(obs[1].iso_throughput,
+                                     obs[1].throughput * 1.3);
+        ScoreBreakdown after = scoreObservations(obs);
+        if (before.all_qos_met)
+            EXPECT_GE(after.score, before.score - 1e-12);
+        else
+            // Mode 1 ignores BG jobs entirely (Eq. 3 first branch).
+            EXPECT_NEAR(after.score, before.score, 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScorePropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+} // namespace
+} // namespace core
+} // namespace clite

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the Eq. 3 score function — the contract that shapes
+ * the whole search.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "core/score.h"
+
+namespace clite {
+namespace core {
+namespace {
+
+platform::JobObservation
+lcObs(double p95, double target, double iso = 1.0)
+{
+    platform::JobObservation ob;
+    ob.is_lc = true;
+    ob.job_name = "lc";
+    ob.p95_ms = p95;
+    ob.qos_target_ms = target;
+    ob.iso_p95_ms = iso;
+    return ob;
+}
+
+platform::JobObservation
+bgObs(double thr, double iso)
+{
+    platform::JobObservation ob;
+    ob.is_lc = false;
+    ob.job_name = "bg";
+    ob.throughput = thr;
+    ob.iso_throughput = iso;
+    return ob;
+}
+
+TEST(Score, Mode1WhenAnyQosMissed)
+{
+    // One LC job at 2x its target, BG at full speed: mode 1, and the
+    // BG performance must NOT lift the score (Eq. 3's first branch
+    // ignores BG jobs entirely).
+    auto sb = scoreObservations({lcObs(10.0, 5.0), bgObs(1000.0, 1000.0)});
+    EXPECT_FALSE(sb.all_qos_met);
+    EXPECT_NEAR(sb.score, 0.5 * 0.5, 1e-12); // 0.5 * min(1, 5/10)
+    EXPECT_LE(sb.score, 0.5);
+}
+
+TEST(Score, Mode2WhenAllQosMet)
+{
+    auto sb = scoreObservations({lcObs(4.0, 5.0), bgObs(600.0, 1000.0)});
+    EXPECT_TRUE(sb.all_qos_met);
+    EXPECT_NEAR(sb.score, 0.5 + 0.5 * 0.6, 1e-12);
+    EXPECT_GT(sb.score, 0.5);
+}
+
+TEST(Score, PerfectScoreIsOne)
+{
+    auto sb = scoreObservations({lcObs(4.0, 5.0), bgObs(1000.0, 1000.0)});
+    EXPECT_NEAR(sb.score, 1.0, 1e-12);
+}
+
+TEST(Score, Mode1IsMeanOverLcJobs)
+{
+    // Two LC jobs at ratios 0.5 and 0.125 -> mean 0.3125 -> 0.15625.
+    auto sb = scoreObservations({lcObs(10.0, 5.0), lcObs(8.0, 1.0)});
+    EXPECT_NEAR(sb.score, 0.5 * 0.3125, 1e-9);
+}
+
+TEST(Score, QosRatiosCapAtOneInMode1)
+{
+    // One job misses (ratio .5), the other has huge headroom (ratio
+    // capped at 1): the cap stops the good job from hiding the miss.
+    auto sb = scoreObservations({lcObs(10.0, 5.0), lcObs(0.1, 5.0)});
+    EXPECT_NEAR(sb.score, 0.5 * 0.75, 1e-9);
+}
+
+TEST(Score, AllLcMixUsesLcPerformanceInMode2)
+{
+    // Paper: with no BG jobs, N_BG -> N_LC; perf = iso_p95/p95.
+    auto sb = scoreObservations(
+        {lcObs(4.0, 5.0, 2.0), lcObs(2.0, 5.0, 1.0)});
+    EXPECT_TRUE(sb.all_qos_met);
+    EXPECT_NEAR(sb.perf_component, 0.5, 1e-12); // mean(0.5, 0.5)
+    EXPECT_NEAR(sb.score, 0.75, 1e-12);
+}
+
+TEST(Score, BoundsHoldOnExtremes)
+{
+    // Catastrophic latency still gives score > 0 (smoothness floor).
+    auto bad = scoreObservations({lcObs(1e9, 1.0)});
+    EXPECT_GT(bad.score, 0.0);
+    EXPECT_LT(bad.score, 0.01);
+    // Mode boundary: meeting exactly the target counts as met.
+    auto edge = scoreObservations({lcObs(5.0, 5.0, 5.0)});
+    EXPECT_TRUE(edge.all_qos_met);
+    EXPECT_GE(edge.score, 0.5);
+}
+
+TEST(Score, ImprovingLatencyNeverLowersScore)
+{
+    double prev = 0.0;
+    for (double p95 : {20.0, 10.0, 6.0, 5.0, 3.0, 2.0}) {
+        auto sb = scoreObservations({lcObs(p95, 5.0, 2.0)});
+        EXPECT_GE(sb.score, prev);
+        prev = sb.score;
+    }
+}
+
+TEST(Score, BreakdownCountsJobs)
+{
+    auto sb = scoreObservations(
+        {lcObs(4.0, 5.0), bgObs(1.0, 2.0), bgObs(1.0, 2.0)});
+    EXPECT_EQ(sb.lc_jobs, 1);
+    EXPECT_EQ(sb.bg_jobs, 2);
+}
+
+TEST(Score, EmptyObservationsRejected)
+{
+    EXPECT_THROW(scoreObservations({}), Error);
+}
+
+} // namespace
+} // namespace core
+} // namespace clite

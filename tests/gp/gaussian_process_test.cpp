@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit and property tests for the Gaussian-process surrogate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "gp/gaussian_process.h"
+
+namespace clite {
+namespace gp {
+namespace {
+
+GaussianProcess
+makeGp(double noise = 1e-6, size_t dims = 1)
+{
+    return GaussianProcess(std::make_unique<Matern52Kernel>(dims, 0.5, 1.0),
+                           noise);
+}
+
+TEST(GaussianProcess, InterpolatesTrainingPoints)
+{
+    GaussianProcess gp = makeGp();
+    std::vector<linalg::Vector> x = {{0.0}, {0.5}, {1.0}};
+    std::vector<double> y = {1.0, -0.5, 2.0};
+    gp.fit(x, y);
+    for (size_t i = 0; i < x.size(); ++i) {
+        Prediction p = gp.predict(x[i]);
+        EXPECT_NEAR(p.mean, y[i], 1e-3);
+        EXPECT_LT(p.stddev(), 0.05);
+    }
+}
+
+TEST(GaussianProcess, UncertaintyGrowsAwayFromData)
+{
+    GaussianProcess gp = makeGp();
+    gp.fit({{0.0}, {1.0}}, {0.0, 1.0});
+    double near = gp.predict({0.05}).variance;
+    double mid = gp.predict({0.5}).variance;
+    double far = gp.predict({3.0}).variance;
+    EXPECT_LT(near, mid);
+    EXPECT_LT(mid, far);
+}
+
+TEST(GaussianProcess, PriorVarianceRecoveredFarAway)
+{
+    GaussianProcess gp = makeGp();
+    gp.fit({{0.0}}, {0.7});
+    // Far from data the posterior reverts to the prior (scaled by the
+    // target standardization, which is 1 for a single point).
+    Prediction p = gp.predict({100.0});
+    EXPECT_NEAR(p.variance, 1.0, 0.05);
+}
+
+TEST(GaussianProcess, RecoversSmoothFunction)
+{
+    GaussianProcess gp = makeGp(1e-5);
+    std::vector<linalg::Vector> x;
+    std::vector<double> y;
+    for (double t = 0.0; t <= 1.001; t += 0.1) {
+        x.push_back({t});
+        y.push_back(std::sin(2.0 * M_PI * t));
+    }
+    gp.fit(x, y);
+    for (double t = 0.05; t < 1.0; t += 0.1) {
+        Prediction p = gp.predict({t});
+        EXPECT_NEAR(p.mean, std::sin(2.0 * M_PI * t), 0.1)
+            << "at t=" << t;
+    }
+}
+
+TEST(GaussianProcess, HyperparameterFitImprovesLml)
+{
+    Rng rng(3);
+    GaussianProcess gp = makeGp(1e-2, 1);
+    std::vector<linalg::Vector> x;
+    std::vector<double> y;
+    for (double t = 0.0; t <= 1.001; t += 0.05) {
+        x.push_back({t});
+        y.push_back(std::sin(2.0 * M_PI * t) + rng.normal(0.0, 0.05));
+    }
+    gp.fit(x, y);
+    double before = gp.logMarginalLikelihood();
+    double after = gp.optimizeHyperparameters(rng);
+    EXPECT_GE(after, before - 1e-9);
+    EXPECT_DOUBLE_EQ(after, gp.logMarginalLikelihood());
+}
+
+TEST(GaussianProcess, ConstantTargetsHandled)
+{
+    GaussianProcess gp = makeGp();
+    gp.fit({{0.0}, {0.5}, {1.0}}, {2.0, 2.0, 2.0});
+    Prediction p = gp.predict({0.25});
+    EXPECT_NEAR(p.mean, 2.0, 1e-6);
+}
+
+TEST(GaussianProcess, CopySemanticsIndependent)
+{
+    GaussianProcess a = makeGp();
+    a.fit({{0.0}, {1.0}}, {0.0, 1.0});
+    GaussianProcess b = a;
+    b.fit({{0.0}, {1.0}}, {5.0, 5.0});
+    EXPECT_NEAR(a.predict({0.0}).mean, 0.0, 1e-3);
+    EXPECT_NEAR(b.predict({0.0}).mean, 5.0, 1e-3);
+}
+
+TEST(GaussianProcess, MultiDimensionalFit)
+{
+    GaussianProcess gp = makeGp(1e-5, 2);
+    Rng rng(5);
+    std::vector<linalg::Vector> x;
+    std::vector<double> y;
+    for (int i = 0; i < 30; ++i) {
+        double a = rng.uniform(), b = rng.uniform();
+        x.push_back({a, b});
+        y.push_back(a * a + 0.5 * b);
+    }
+    gp.fit(x, y);
+    Prediction p = gp.predict({0.5, 0.5});
+    EXPECT_NEAR(p.mean, 0.5, 0.1);
+}
+
+TEST(GaussianProcess, Validation)
+{
+    GaussianProcess gp = makeGp();
+    EXPECT_FALSE(gp.fitted());
+    EXPECT_THROW(gp.predict({0.0}), Error);
+    EXPECT_THROW(gp.logMarginalLikelihood(), Error);
+    EXPECT_THROW(gp.fit({}, {}), Error);
+    EXPECT_THROW(gp.fit({{0.0}}, {1.0, 2.0}), Error);
+    EXPECT_THROW(gp.fit({{0.0, 1.0}}, {1.0}), Error); // dim mismatch
+    gp.fit({{0.0}}, {1.0});
+    EXPECT_TRUE(gp.fitted());
+    EXPECT_THROW(gp.predict({0.0, 1.0}), Error);
+    EXPECT_THROW(GaussianProcess(nullptr, 0.1), Error);
+    EXPECT_THROW(GaussianProcess(std::make_unique<RbfKernel>(1), 0.0),
+                 Error);
+}
+
+TEST(GaussianProcess, NoisyDuplicatePointsStayStable)
+{
+    // Duplicate inputs with different targets: the noise term must
+    // keep the kernel matrix factorizable.
+    GaussianProcess gp(std::make_unique<Matern52Kernel>(1, 0.5, 1.0),
+                       1e-3);
+    gp.fit({{0.5}, {0.5}, {0.5}}, {1.0, 1.2, 0.8});
+    Prediction p = gp.predict({0.5});
+    EXPECT_NEAR(p.mean, 1.0, 0.05);
+}
+
+} // namespace
+} // namespace gp
+} // namespace clite

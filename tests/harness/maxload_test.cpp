@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the max-supported-load probe behind the Figs. 7/8/12
+ * heatmaps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "harness/maxload.h"
+#include "workloads/catalog.h"
+
+namespace clite {
+namespace harness {
+namespace {
+
+TEST(MaxLoad, ZeroWhenNothingFits)
+{
+    // Two saturating LC jobs leave no room for any memcached load.
+    MaxLoadQuery q;
+    q.fixed_jobs = {workloads::lcJob("img-dnn", 1.0),
+                    workloads::lcJob("masstree", 1.0)};
+    q.probe_workload = "memcached";
+    q.noise_sigma = 0.0;
+    EXPECT_DOUBLE_EQ(maxSupportedLoad("oracle", q), 0.0);
+}
+
+TEST(MaxLoad, FullWhenCompanionsAreTiny)
+{
+    // With two 10% companions the probe fits even at its own max.
+    MaxLoadQuery q;
+    q.fixed_jobs = {workloads::lcJob("img-dnn", 0.1),
+                    workloads::lcJob("xapian", 0.1)};
+    q.probe_workload = "memcached";
+    q.noise_sigma = 0.0;
+    EXPECT_GE(maxSupportedLoad("oracle", q), 0.7);
+}
+
+TEST(MaxLoad, ReturnsOnlyProbeLoadsFromTheGrid)
+{
+    MaxLoadQuery q;
+    q.fixed_jobs = {workloads::lcJob("img-dnn", 0.5),
+                    workloads::lcJob("masstree", 0.5)};
+    q.probe_workload = "memcached";
+    q.probe_loads = {0.25, 0.5, 0.75};
+    q.noise_sigma = 0.0;
+    double v = maxSupportedLoad("oracle", q);
+    EXPECT_TRUE(v == 0.0 || v == 0.25 || v == 0.5 || v == 0.75) << v;
+}
+
+TEST(MaxLoad, OracleDominatesEqualShare)
+{
+    MaxLoadQuery q;
+    q.fixed_jobs = {workloads::lcJob("img-dnn", 0.3),
+                    workloads::lcJob("masstree", 0.3)};
+    q.probe_workload = "memcached";
+    q.noise_sigma = 0.0;
+    double oracle = maxSupportedLoad("oracle", q);
+    double equal = maxSupportedLoad("equal-share", q);
+    EXPECT_GE(oracle, equal);
+}
+
+TEST(MaxLoad, EmptyProbeGridRejected)
+{
+    MaxLoadQuery q;
+    q.fixed_jobs = {workloads::lcJob("img-dnn", 0.3)};
+    q.probe_workload = "memcached";
+    q.probe_loads = {};
+    EXPECT_THROW(maxSupportedLoad("oracle", q), Error);
+}
+
+TEST(MaxLoadHeatmap, ShapeAndMonotonicityForOracle)
+{
+    std::vector<double> grid = {0.2, 0.6};
+    LoadHeatmap map = maxLoadHeatmap("oracle", "masstree", "img-dnn",
+                                     grid, "memcached", {}, 0.0);
+    ASSERT_EQ(map.cell.size(), 2u);
+    ASSERT_EQ(map.cell[0].size(), 2u);
+    EXPECT_EQ(map.scheme, "oracle");
+    // ORACLE's supported load cannot grow when companions' loads grow.
+    EXPECT_GE(map.cell[0][0], map.cell[1][0]); // img-dnn 20% vs 60%
+    EXPECT_GE(map.cell[0][0], map.cell[0][1]); // masstree 20% vs 60%
+    EXPECT_GE(map.cell[0][0], map.cell[1][1]); // both heavier
+}
+
+TEST(MaxLoadHeatmap, EmptyGridRejected)
+{
+    EXPECT_THROW(maxLoadHeatmap("oracle", "masstree", "img-dnn", {},
+                                "memcached"),
+                 Error);
+}
+
+} // namespace
+} // namespace harness
+} // namespace clite

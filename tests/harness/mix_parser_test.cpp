@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the mix-specification parser behind the CLI driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "harness/mix_parser.h"
+
+namespace clite {
+namespace harness {
+namespace {
+
+TEST(MixParser, ParsesLcAndBgTerms)
+{
+    auto jobs = parseMix("img-dnn@30%,memcached@0.4,streamcluster");
+    ASSERT_EQ(jobs.size(), 3u);
+    EXPECT_EQ(jobs[0].profile.name, "img-dnn");
+    EXPECT_TRUE(jobs[0].isLatencyCritical());
+    EXPECT_NEAR(jobs[0].load_fraction, 0.3, 1e-12);
+    EXPECT_NEAR(jobs[1].load_fraction, 0.4, 1e-12);
+    EXPECT_EQ(jobs[2].profile.name, "streamcluster");
+    EXPECT_FALSE(jobs[2].isLatencyCritical());
+}
+
+TEST(MixParser, ToleratesWhitespace)
+{
+    auto jobs = parseMix("  masstree @ 50% ,  canneal ");
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[0].profile.name, "masstree");
+    EXPECT_NEAR(jobs[0].load_fraction, 0.5, 1e-12);
+    EXPECT_EQ(jobs[1].profile.name, "canneal");
+}
+
+TEST(MixParser, PercentAndFractionAgree)
+{
+    auto a = parseMix("xapian@75%");
+    auto b = parseMix("xapian@0.75");
+    EXPECT_DOUBLE_EQ(a[0].load_fraction, b[0].load_fraction);
+}
+
+TEST(MixParser, FullLoadBoundary)
+{
+    EXPECT_NEAR(parseMix("specjbb@100%")[0].load_fraction, 1.0, 1e-12);
+    EXPECT_THROW(parseMix("specjbb@101%"), Error);
+    EXPECT_THROW(parseMix("specjbb@0%"), Error);
+}
+
+TEST(MixParser, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(parseMix(""), Error);
+    EXPECT_THROW(parseMix(","), Error);
+    EXPECT_THROW(parseMix("unicorn@50%"), Error);
+    EXPECT_THROW(parseMix("img-dnn"), Error);          // LC needs load
+    EXPECT_THROW(parseMix("streamcluster@50%"), Error); // BG takes none
+    EXPECT_THROW(parseMix("img-dnn@"), Error);
+    EXPECT_THROW(parseMix("img-dnn@half"), Error);
+    EXPECT_THROW(parseMix("img-dnn@30%x"), Error);
+}
+
+TEST(MixParser, FormatRoundTrips)
+{
+    std::string text = "img-dnn@30%,memcached@40%,streamcluster";
+    auto jobs = parseMix(text);
+    EXPECT_EQ(formatMix(jobs), text);
+    auto again = parseMix(formatMix(jobs));
+    ASSERT_EQ(again.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(again[i].profile.name, jobs[i].profile.name);
+        EXPECT_NEAR(again[i].load_fraction, jobs[i].load_fraction, 0.005);
+    }
+}
+
+} // namespace
+} // namespace harness
+} // namespace clite

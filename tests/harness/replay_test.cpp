@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the trace-replay harness (OnlineManager under diurnal /
+ * step / burst load).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "harness/dynamic.h"
+#include "workloads/catalog.h"
+
+namespace clite {
+namespace harness {
+namespace {
+
+ServerSpec
+replaySpec()
+{
+    ServerSpec spec;
+    spec.jobs = {workloads::lcJob("memcached", 0.1),
+                 workloads::lcJob("img-dnn", 0.1),
+                 workloads::bgJob("swaptions")};
+    spec.seed = 61;
+    return spec;
+}
+
+core::CliteOptions
+fastClite()
+{
+    core::CliteOptions o;
+    o.max_iterations = 10;
+    o.polish_iterations = 2;
+    return o;
+}
+
+TEST(TraceReplay, ConstantLoadNeverReoptimizes)
+{
+    workloads::StepTrace trace({{0.0, 0.1}});
+    TraceReplayResult r = replayLoadTrace(replaySpec(), 0, trace, 20.0,
+                                          2.0, fastClite());
+    EXPECT_EQ(r.windows.size(), 10u);
+    EXPECT_EQ(r.reoptimizations, 0);
+    EXPECT_GT(r.qos_met_fraction, 0.9);
+}
+
+TEST(TraceReplay, StepTraceReoptimizesOncePerStep)
+{
+    workloads::StepTrace trace({{0.0, 0.1}, {20.0, 0.4}});
+    TraceReplayResult r = replayLoadTrace(replaySpec(), 0, trace, 40.0,
+                                          2.0, fastClite());
+    EXPECT_GE(r.reoptimizations, 1);
+    EXPECT_LE(r.reoptimizations, 3);
+    // The step is visible in the recorded loads.
+    EXPECT_DOUBLE_EQ(r.windows.front().load, 0.1);
+    EXPECT_DOUBLE_EQ(r.windows.back().load, 0.4);
+    // After re-stabilizing, QoS holds again at the end.
+    EXPECT_TRUE(r.windows.back().all_qos_met);
+}
+
+TEST(TraceReplay, BurstTraceRecoversAfterBursts)
+{
+    workloads::BurstTrace trace(0.1, 0.5, 6.0, 30.0);
+    TraceReplayResult r = replayLoadTrace(replaySpec(), 0, trace, 60.0,
+                                          2.0, fastClite());
+    EXPECT_GE(r.reoptimizations, 1);
+    EXPECT_GT(r.qos_met_fraction, 0.5);
+}
+
+TEST(TraceReplay, Validation)
+{
+    workloads::StepTrace trace({{0.0, 0.1}});
+    EXPECT_THROW(replayLoadTrace(replaySpec(), 2, trace, 10.0), Error);
+    EXPECT_THROW(replayLoadTrace(replaySpec(), 9, trace, 10.0), Error);
+    EXPECT_THROW(replayLoadTrace(replaySpec(), 0, trace, 0.0), Error);
+}
+
+} // namespace
+} // namespace harness
+} // namespace clite

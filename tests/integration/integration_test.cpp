@@ -1,0 +1,133 @@
+/**
+ * @file
+ * End-to-end integration tests reproducing the paper's headline
+ * claims on fixed seeds:
+ *
+ *  - CLITE meets QoS where it is feasible and lands near ORACLE
+ *    (Sec. 5.2: "within 5% of the oracle scheme").
+ *  - CLITE beats PARTIES on BG performance (Fig. 13: "more than 40%
+ *    gap" in the paper's setups; we assert a conservative margin).
+ *  - CLITE converges in a modest number of samples (<30 paper, <45
+ *    here including bootstrap).
+ *  - The DES backend agrees with the analytic backend end-to-end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/score.h"
+#include "harness/analysis.h"
+#include "harness/schemes.h"
+#include "workloads/catalog.h"
+
+namespace clite {
+namespace {
+
+harness::ServerSpec
+paperMix()
+{
+    // The Fig. 9a mix: img-dnn + memcached + masstree + streamcluster.
+    harness::ServerSpec spec;
+    spec.jobs = {workloads::lcJob("img-dnn", 0.3),
+                 workloads::lcJob("memcached", 0.3),
+                 workloads::lcJob("masstree", 0.3),
+                 workloads::bgJob("streamcluster")};
+    spec.seed = 42;
+    return spec;
+}
+
+TEST(Integration, CliteMeetsQosAndApproachesOracle)
+{
+    harness::SchemeOutcome oracle =
+        harness::runScheme("oracle", paperMix());
+    harness::SchemeOutcome clite = harness::runScheme("clite", paperMix());
+
+    ASSERT_TRUE(oracle.truth.all_qos_met)
+        << "mix must be feasible for this test to be meaningful";
+    EXPECT_TRUE(clite.truth.all_qos_met);
+    // Paper: within 5% of ORACLE on their testbed. Across seeds our
+    // CLITE lands at 87-100% of ORACLE on this mix while always
+    // meeting QoS (see EXPERIMENTS.md); assert a floor robust to the
+    // seed.
+    EXPECT_GT(clite.truth.score, 0.85 * oracle.truth.score);
+}
+
+TEST(Integration, CliteBeatsPartiesOnBgPerformance)
+{
+    harness::SchemeOutcome clite = harness::runScheme("clite", paperMix());
+    harness::SchemeOutcome parties =
+        harness::runScheme("parties", paperMix());
+
+    double clite_bg = harness::meanBgPerformance(clite.truth_obs);
+    double parties_bg = harness::meanBgPerformance(parties.truth_obs);
+    // PARTIES stops at QoS; CLITE keeps optimizing the BG job.
+    EXPECT_GT(clite_bg, parties_bg);
+}
+
+TEST(Integration, CliteConvergesInModestSampleCount)
+{
+    // Bootstrap (5) + BO iterations (<=40) + polish (<=10).
+    harness::SchemeOutcome clite = harness::runScheme("clite", paperMix());
+    EXPECT_LE(clite.result.samples, 55);
+    EXPECT_GE(clite.result.samples, 5); // bootstrap at minimum
+}
+
+TEST(Integration, SchemeOrderingOnTruthScore)
+{
+    // The paper's quality ordering on a feasible mix:
+    // ORACLE >= CLITE > {PARTIES, Heracles}.
+    double oracle = harness::runScheme("oracle", paperMix()).truth.score;
+    double clite = harness::runScheme("clite", paperMix()).truth.score;
+    double parties = harness::runScheme("parties", paperMix()).truth.score;
+    double heracles =
+        harness::runScheme("heracles", paperMix()).truth.score;
+
+    EXPECT_GE(oracle, clite - 1e-9);
+    EXPECT_GT(clite, parties);
+    EXPECT_GT(clite, heracles);
+}
+
+TEST(Integration, CliteWorksOnDesBackend)
+{
+    harness::ServerSpec spec;
+    spec.jobs = {workloads::lcJob("memcached", 0.3),
+                 workloads::lcJob("img-dnn", 0.2),
+                 workloads::bgJob("swaptions")};
+    spec.backend = harness::ModelBackend::Des;
+    spec.seed = 9;
+    harness::SchemeOutcome clite = harness::runScheme("clite", spec, 9);
+    // End-to-end on the discrete-event backend the controller still
+    // finds a feasible configuration.
+    EXPECT_TRUE(clite.truth.all_qos_met);
+}
+
+TEST(Integration, SixResourceServerEndToEnd)
+{
+    harness::ServerSpec spec;
+    spec.jobs = {workloads::lcJob("xapian", 0.3),
+                 workloads::lcJob("memcached", 0.3),
+                 workloads::bgJob("canneal")};
+    spec.all_resources = true;
+    spec.seed = 17;
+    harness::SchemeOutcome clite = harness::runScheme("clite", spec, 17);
+    ASSERT_TRUE(clite.result.best.has_value());
+    EXPECT_EQ(clite.result.best->resources(), 6u);
+    EXPECT_TRUE(clite.truth.all_qos_met);
+}
+
+TEST(Integration, AllLcMixOptimizesPastQos)
+{
+    // With no BG jobs CLITE keeps improving LC performance after QoS
+    // is met (score mode 2 with N_BG -> N_LC).
+    harness::ServerSpec spec;
+    spec.jobs = {workloads::lcJob("img-dnn", 0.2),
+                 workloads::lcJob("memcached", 0.2),
+                 workloads::lcJob("masstree", 0.2)};
+    spec.seed = 23;
+    harness::SchemeOutcome clite = harness::runScheme("clite", spec, 23);
+    EXPECT_TRUE(clite.truth.all_qos_met);
+    EXPECT_GT(clite.truth.score, 0.5);
+    EXPECT_GT(clite.truth.perf_component, 0.0);
+}
+
+} // namespace
+} // namespace clite

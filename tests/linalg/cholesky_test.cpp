@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit and property tests for the Cholesky factorization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "linalg/cholesky.h"
+
+namespace clite {
+namespace linalg {
+namespace {
+
+/** Random SPD matrix A = B Bᵀ + n·I. */
+Matrix
+randomSpd(size_t n, Rng& rng)
+{
+    Matrix b(n, n);
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < n; ++c)
+            b(r, c) = rng.uniform(-1.0, 1.0);
+    Matrix a = b * b.transposed();
+    a.addDiagonal(double(n) * 0.1);
+    return a;
+}
+
+TEST(Cholesky, FactorReconstructsMatrix)
+{
+    Rng rng(3);
+    Matrix a = randomSpd(6, rng);
+    Cholesky chol(a);
+    Matrix recon = chol.factor() * chol.factor().transposed();
+    EXPECT_LT((recon - a).maxAbs(), 1e-9);
+    EXPECT_DOUBLE_EQ(chol.appliedJitter(), 0.0);
+}
+
+TEST(Cholesky, FactorIsLowerTriangular)
+{
+    Rng rng(5);
+    Matrix a = randomSpd(5, rng);
+    Cholesky chol(a);
+    for (size_t r = 0; r < 5; ++r)
+        for (size_t c = r + 1; c < 5; ++c)
+            EXPECT_DOUBLE_EQ(chol.factor()(r, c), 0.0);
+}
+
+class CholeskySolveTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(CholeskySolveTest, SolveRecoversKnownSolution)
+{
+    const size_t n = GetParam();
+    Rng rng(7 + n);
+    Matrix a = randomSpd(n, rng);
+    Vector x_true(n);
+    for (size_t i = 0; i < n; ++i)
+        x_true[i] = rng.uniform(-3.0, 3.0);
+    Vector b = a * x_true;
+    Cholesky chol(a);
+    Vector x = chol.solve(b);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], x_true[i], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySolveTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Cholesky, TriangularSolvesComposeToFullSolve)
+{
+    Rng rng(11);
+    Matrix a = randomSpd(4, rng);
+    Cholesky chol(a);
+    Vector b = {1.0, -2.0, 0.5, 3.0};
+    Vector via_parts = chol.solveUpper(chol.solveLower(b));
+    Vector direct = chol.solve(b);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(via_parts[i], direct[i]);
+}
+
+TEST(Cholesky, LogDetMatchesKnownDiagonalMatrix)
+{
+    Matrix a(3, 3, 0.0);
+    a(0, 0) = 2.0;
+    a(1, 1) = 3.0;
+    a(2, 2) = 4.0;
+    Cholesky chol(a);
+    EXPECT_NEAR(chol.logDet(), std::log(24.0), 1e-12);
+}
+
+TEST(Cholesky, JitterRescuesSingularMatrix)
+{
+    // Rank-1 PSD matrix (singular): jitter path must engage.
+    Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+    Cholesky chol(a);
+    EXPECT_GT(chol.appliedJitter(), 0.0);
+    EXPECT_EQ(chol.size(), 2u);
+}
+
+TEST(Cholesky, IndefiniteMatrixThrows)
+{
+    Matrix a{{1.0, 0.0}, {0.0, -5.0}};
+    EXPECT_THROW(Cholesky c(a), Error);
+}
+
+TEST(Cholesky, NonSquareThrows)
+{
+    Matrix a(2, 3, 1.0);
+    EXPECT_THROW(Cholesky c(a), Error);
+}
+
+TEST(Cholesky, SolveSizeMismatchThrows)
+{
+    Rng rng(13);
+    Matrix a = randomSpd(3, rng);
+    Cholesky chol(a);
+    Vector wrong = {1.0, 2.0};
+    EXPECT_THROW(chol.solve(wrong), Error);
+}
+
+} // namespace
+} // namespace linalg
+} // namespace clite

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit and property tests for the dense matrix substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace clite {
+namespace linalg {
+namespace {
+
+Matrix
+randomMatrix(size_t rows, size_t cols, Rng& rng)
+{
+    Matrix m(rows, cols);
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            m(r, c) = rng.uniform(-2.0, 2.0);
+    return m;
+}
+
+TEST(Matrix, ConstructionAndAccess)
+{
+    Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+    m(0, 1) = -4.0;
+    EXPECT_DOUBLE_EQ(m(0, 1), -4.0);
+}
+
+TEST(Matrix, InitializerListAndRaggedRejection)
+{
+    Matrix m{{1, 2}, {3, 4}};
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+    EXPECT_THROW((Matrix{{1, 2}, {3}}), Error);
+}
+
+TEST(Matrix, IdentityBehavesAsNeutralElement)
+{
+    Rng rng(5);
+    Matrix a = randomMatrix(4, 4, rng);
+    Matrix i = Matrix::identity(4);
+    Matrix prod = a * i;
+    EXPECT_LT((prod - a).maxAbs(), 1e-12);
+}
+
+TEST(Matrix, ProductMatchesHandComputedExample)
+{
+    Matrix a{{1, 2}, {3, 4}};
+    Matrix b{{5, 6}, {7, 8}};
+    Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, ProductShapeMismatchThrows)
+{
+    Matrix a(2, 3), b(2, 3);
+    EXPECT_THROW(a * b, Error);
+}
+
+TEST(Matrix, TransposeProductProperty)
+{
+    // (AB)^T == B^T A^T for random matrices.
+    Rng rng(9);
+    Matrix a = randomMatrix(3, 5, rng);
+    Matrix b = randomMatrix(5, 2, rng);
+    Matrix lhs = (a * b).transposed();
+    Matrix rhs = b.transposed() * a.transposed();
+    EXPECT_LT((lhs - rhs).maxAbs(), 1e-12);
+}
+
+TEST(Matrix, MatVecMatchesMatMat)
+{
+    Rng rng(11);
+    Matrix a = randomMatrix(4, 3, rng);
+    Vector v = {1.0, -2.0, 0.5};
+    Vector got = a * v;
+    Matrix vm(3, 1);
+    for (size_t i = 0; i < 3; ++i)
+        vm(i, 0) = v[i];
+    Matrix expect = a * vm;
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(got[i], expect(i, 0), 1e-12);
+}
+
+TEST(Matrix, RowColExtraction)
+{
+    Matrix m{{1, 2, 3}, {4, 5, 6}};
+    EXPECT_EQ(m.row(1), (Vector{4, 5, 6}));
+    EXPECT_EQ(m.col(2), (Vector{3, 6}));
+    EXPECT_THROW(m.row(2), Error);
+    EXPECT_THROW(m.col(3), Error);
+}
+
+TEST(Matrix, AddDiagonalRequiresSquare)
+{
+    Matrix sq(3, 3, 1.0);
+    sq.addDiagonal(0.5);
+    EXPECT_DOUBLE_EQ(sq(0, 0), 1.5);
+    EXPECT_DOUBLE_EQ(sq(0, 1), 1.0);
+    Matrix rect(2, 3);
+    EXPECT_THROW(rect.addDiagonal(1.0), Error);
+}
+
+TEST(VectorOps, DotNormAddSubScaleAxpy)
+{
+    Vector a = {3.0, 4.0};
+    Vector b = {1.0, -1.0};
+    EXPECT_DOUBLE_EQ(dot(a, b), -1.0);
+    EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+    EXPECT_EQ(add(a, b), (Vector{4.0, 3.0}));
+    EXPECT_EQ(sub(a, b), (Vector{2.0, 5.0}));
+    EXPECT_EQ(scale(a, 2.0), (Vector{6.0, 8.0}));
+    Vector c = a;
+    axpy(c, 2.0, b);
+    EXPECT_EQ(c, (Vector{5.0, 2.0}));
+}
+
+TEST(VectorOps, SizeMismatchThrows)
+{
+    Vector a = {1.0};
+    Vector b = {1.0, 2.0};
+    EXPECT_THROW(dot(a, b), Error);
+    EXPECT_THROW(add(a, b), Error);
+    EXPECT_THROW(sub(a, b), Error);
+    Vector c = a;
+    EXPECT_THROW(axpy(c, 1.0, b), Error);
+}
+
+} // namespace
+} // namespace linalg
+} // namespace clite

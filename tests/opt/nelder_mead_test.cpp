@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the Nelder-Mead minimizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "opt/nelder_mead.h"
+
+namespace clite {
+namespace opt {
+namespace {
+
+TEST(NelderMead, MinimizesShiftedQuadratic)
+{
+    auto f = [](const std::vector<double>& x) {
+        double a = x[0] - 2.0, b = x[1] + 1.0;
+        return a * a + 3.0 * b * b + 5.0;
+    };
+    NmResult r = nelderMeadMinimize(f, {0.0, 0.0});
+    EXPECT_NEAR(r.x[0], 2.0, 1e-3);
+    EXPECT_NEAR(r.x[1], -1.0, 1e-3);
+    EXPECT_NEAR(r.value, 5.0, 1e-5);
+    EXPECT_GT(r.evaluations, 0);
+}
+
+TEST(NelderMead, MinimizesRosenbrock)
+{
+    auto rosen = [](const std::vector<double>& x) {
+        double a = 1.0 - x[0];
+        double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+    };
+    NmOptions opts;
+    opts.max_iters = 2000;
+    NmResult r = nelderMeadMinimize(rosen, {-1.2, 1.0}, opts);
+    EXPECT_NEAR(r.x[0], 1.0, 1e-2);
+    EXPECT_NEAR(r.x[1], 1.0, 2e-2);
+}
+
+TEST(NelderMead, OneDimensional)
+{
+    auto f = [](const std::vector<double>& x) {
+        return std::cosh(x[0] - 0.5);
+    };
+    NmResult r = nelderMeadMinimize(f, {3.0});
+    EXPECT_NEAR(r.x[0], 0.5, 1e-3);
+}
+
+TEST(NelderMead, HandlesInfiniteRegions)
+{
+    // Objective is +inf outside |x| < 2; optimum at 1.
+    auto f = [](const std::vector<double>& x) {
+        if (std::fabs(x[0]) >= 2.0)
+            return 1e18;
+        double d = x[0] - 1.0;
+        return d * d;
+    };
+    NmResult r = nelderMeadMinimize(f, {0.0});
+    EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+}
+
+TEST(NelderMead, ConvergesFlagOnEasyProblem)
+{
+    auto f = [](const std::vector<double>& x) { return x[0] * x[0]; };
+    NmOptions opts;
+    opts.max_iters = 500;
+    NmResult r = nelderMeadMinimize(f, {5.0}, opts);
+    EXPECT_TRUE(r.converged);
+}
+
+TEST(NelderMead, EmptyStartRejected)
+{
+    auto f = [](const std::vector<double>&) { return 0.0; };
+    EXPECT_THROW(nelderMeadMinimize(f, {}), Error);
+}
+
+TEST(NelderMead, RespectsIterationCap)
+{
+    auto f = [](const std::vector<double>& x) {
+        return std::sin(x[0] * 13.0) + x[0] * x[0] * 0.01;
+    };
+    NmOptions opts;
+    opts.max_iters = 3;
+    NmResult r = nelderMeadMinimize(f, {10.0}, opts);
+    EXPECT_LE(r.iterations, 3);
+}
+
+} // namespace
+} // namespace opt
+} // namespace clite

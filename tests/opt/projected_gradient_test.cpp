@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the projected-gradient constrained maximizer (the
+ * SLSQP stand-in that optimizes CLITE's acquisition under Eq. 5–6).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "opt/projected_gradient.h"
+
+namespace clite {
+namespace opt {
+namespace {
+
+SimplexBlock
+block(std::vector<size_t> idx, double total, double lo, double hi)
+{
+    SimplexBlock b;
+    b.indices = std::move(idx);
+    b.total = total;
+    b.lo.assign(b.indices.size(), lo);
+    b.hi.assign(b.indices.size(), hi);
+    return b;
+}
+
+TEST(ProjectedGradient, MaximizesConcaveQuadraticOnSimplex)
+{
+    // maximize -(x0-3)^2 - (x1-1)^2 subject to x0+x1 = 4, 0.5<=xi<=3.5.
+    // Unconstrained optimum (3,1) lies on the constraint: optimal.
+    ProjectedGradientOptimizer opt({block({0, 1}, 4.0, 0.5, 3.5)}, 2);
+    auto f = [](const std::vector<double>& x) {
+        return -(x[0] - 3.0) * (x[0] - 3.0) - (x[1] - 1.0) * (x[1] - 1.0);
+    };
+    PgResult r = opt.maximize(f, {2.0, 2.0});
+    EXPECT_NEAR(r.x[0], 3.0, 1e-2);
+    EXPECT_NEAR(r.x[1], 1.0, 1e-2);
+}
+
+TEST(ProjectedGradient, ActiveConstraintOptimum)
+{
+    // maximize x0 subject to x0+x1 = 4, 1<=xi<=3: optimum x0=3.
+    ProjectedGradientOptimizer opt({block({0, 1}, 4.0, 1.0, 3.0)}, 2);
+    auto f = [](const std::vector<double>& x) { return x[0]; };
+    PgResult r = opt.maximize(f, {2.0, 2.0});
+    EXPECT_NEAR(r.x[0], 3.0, 1e-3);
+    EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(ProjectedGradient, TwoIndependentBlocks)
+{
+    // Two resources: block {0,1} sums to 4, block {2,3} sums to 6.
+    ProjectedGradientOptimizer opt(
+        {block({0, 1}, 4.0, 1.0, 3.0), block({2, 3}, 6.0, 1.0, 5.0)}, 4);
+    auto f = [](const std::vector<double>& x) {
+        return -(x[0] - 2.5) * (x[0] - 2.5) - (x[2] - 4.5) * (x[2] - 4.5);
+    };
+    PgResult r = opt.maximize(f, {1.0, 3.0, 1.0, 5.0});
+    EXPECT_NEAR(r.x[0], 2.5, 1e-2);
+    EXPECT_NEAR(r.x[1], 1.5, 1e-2);
+    EXPECT_NEAR(r.x[2], 4.5, 1e-2);
+    EXPECT_NEAR(r.x[3], 1.5, 1e-2);
+}
+
+TEST(ProjectedGradient, UncoveredCoordinatesHeldFixed)
+{
+    // Coordinate 2 is in no block: must stay at its start value.
+    ProjectedGradientOptimizer opt({block({0, 1}, 4.0, 1.0, 3.0)}, 3);
+    auto f = [](const std::vector<double>& x) {
+        return x[0] + 10.0 * x[2];
+    };
+    PgResult r = opt.maximize(f, {2.0, 2.0, 0.7});
+    EXPECT_DOUBLE_EQ(r.x[2], 0.7);
+}
+
+TEST(ProjectedGradient, ProjectMakesArbitraryPointFeasible)
+{
+    ProjectedGradientOptimizer opt({block({0, 1, 2}, 9.0, 1.0, 5.0)}, 3);
+    auto x = opt.project({100.0, -50.0, 3.0});
+    EXPECT_NEAR(x[0] + x[1] + x[2], 9.0, 1e-7);
+    for (double v : x) {
+        EXPECT_GE(v, 1.0 - 1e-9);
+        EXPECT_LE(v, 5.0 + 1e-9);
+    }
+}
+
+TEST(ProjectedGradient, MultiStartKeepsBest)
+{
+    // Bimodal objective on the segment x0+x1=4: peaks at x0=1 (h=1)
+    // and x0=3 (h=2). Multi-start from both basins must find x0=3.
+    ProjectedGradientOptimizer opt({block({0, 1}, 4.0, 0.5, 3.5)}, 2);
+    auto f = [](const std::vector<double>& x) {
+        double p1 = std::exp(-10.0 * (x[0] - 1.0) * (x[0] - 1.0));
+        double p2 = 2.0 * std::exp(-10.0 * (x[0] - 3.0) * (x[0] - 3.0));
+        return p1 + p2;
+    };
+    PgResult r = opt.maximizeMultiStart(
+        f, {{1.0, 3.0}, {3.0, 1.0}, {2.0, 2.0}});
+    EXPECT_NEAR(r.x[0], 3.0, 0.05);
+    EXPECT_GT(r.value, 1.9);
+}
+
+TEST(ProjectedGradient, ValidationErrors)
+{
+    // Overlapping blocks.
+    EXPECT_THROW(ProjectedGradientOptimizer(
+                     {block({0, 1}, 4.0, 1.0, 3.0),
+                      block({1, 2}, 4.0, 1.0, 3.0)},
+                     3),
+                 Error);
+    // Index out of dimension.
+    EXPECT_THROW(ProjectedGradientOptimizer({block({5}, 1.0, 0.0, 2.0)}, 2),
+                 Error);
+    // Infeasible block.
+    EXPECT_THROW(ProjectedGradientOptimizer({block({0, 1}, 10.0, 1.0, 3.0)},
+                                            2),
+                 Error);
+    // Empty multistart.
+    ProjectedGradientOptimizer ok({block({0, 1}, 4.0, 1.0, 3.0)}, 2);
+    auto f = [](const std::vector<double>&) { return 0.0; };
+    EXPECT_THROW(ok.maximizeMultiStart(f, {}), Error);
+}
+
+} // namespace
+} // namespace opt
+} // namespace clite

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit and property tests for the simplex-box projection and integer
+ * rounding (the Eq. 5–6 constraint machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "opt/simplex.h"
+
+namespace clite {
+namespace opt {
+namespace {
+
+double
+sum(const std::vector<double>& v)
+{
+    return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(SimplexFeasible, DetectsEmptyAndNonEmptySets)
+{
+    EXPECT_TRUE(simplexBoxFeasible(5.0, {1, 1, 1}, {3, 3, 3}));
+    EXPECT_TRUE(simplexBoxFeasible(3.0, {1, 1, 1}, {3, 3, 3})); // all-lo
+    EXPECT_TRUE(simplexBoxFeasible(9.0, {1, 1, 1}, {3, 3, 3})); // all-hi
+    EXPECT_FALSE(simplexBoxFeasible(2.0, {1, 1, 1}, {3, 3, 3}));
+    EXPECT_FALSE(simplexBoxFeasible(10.0, {1, 1, 1}, {3, 3, 3}));
+}
+
+TEST(Projection, FeasiblePointIsFixed)
+{
+    std::vector<double> y = {2.0, 1.5, 1.5};
+    auto x = projectSimplexBox(y, 5.0, {1, 1, 1}, {3, 3, 3});
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(x[i], y[i], 1e-9);
+}
+
+TEST(Projection, SatisfiesConstraints)
+{
+    Rng rng(3);
+    for (int rep = 0; rep < 200; ++rep) {
+        size_t n = size_t(rng.uniformInt(2, 6));
+        std::vector<double> y(n), lo(n, 1.0), hi(n);
+        double total = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            y[i] = rng.uniform(-5.0, 15.0);
+            hi[i] = rng.uniform(2.0, 8.0);
+        }
+        total = rng.uniform(sum(lo), sum(hi));
+        auto x = projectSimplexBox(y, total, lo, hi);
+        EXPECT_NEAR(sum(x), total, 1e-7);
+        for (size_t i = 0; i < n; ++i) {
+            EXPECT_GE(x[i], lo[i] - 1e-9);
+            EXPECT_LE(x[i], hi[i] + 1e-9);
+        }
+    }
+}
+
+TEST(Projection, IsIdempotent)
+{
+    Rng rng(5);
+    std::vector<double> y = {9.0, -3.0, 4.0, 0.0};
+    std::vector<double> lo(4, 1.0), hi(4, 6.0);
+    auto x1 = projectSimplexBox(y, 12.0, lo, hi);
+    auto x2 = projectSimplexBox(x1, 12.0, lo, hi);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(x2[i], x1[i], 1e-8);
+}
+
+TEST(Projection, IsNearestPointVersusGridSearch)
+{
+    // 2-D case: check optimality against a dense grid on the segment
+    // x0 + x1 = 4, 1 <= xi <= 3.
+    std::vector<double> y = {3.5, 0.2};
+    auto x = projectSimplexBox(y, 4.0, {1, 1}, {3, 3});
+    double best = 1e100;
+    double best_x0 = 0.0;
+    for (double x0 = 1.0; x0 <= 3.0; x0 += 1e-4) {
+        double x1 = 4.0 - x0;
+        if (x1 < 1.0 || x1 > 3.0)
+            continue;
+        double d = (x0 - y[0]) * (x0 - y[0]) + (x1 - y[1]) * (x1 - y[1]);
+        if (d < best) {
+            best = d;
+            best_x0 = x0;
+        }
+    }
+    EXPECT_NEAR(x[0], best_x0, 1e-3);
+}
+
+TEST(Projection, RejectsInfeasibleOrMalformed)
+{
+    EXPECT_THROW(projectSimplexBox({1.0, 1.0}, 10.0, {1, 1}, {3, 3}),
+                 Error);
+    EXPECT_THROW(projectSimplexBox({1.0, 1.0}, 4.0, {1, 1, 1}, {3, 3}),
+                 Error);
+    EXPECT_THROW(projectSimplexBox({1.0, 1.0}, 4.0, {3, 1}, {1, 3}),
+                 Error);
+}
+
+class RoundingTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RoundingTest, SumAndBoundsPreserved)
+{
+    int total = GetParam();
+    Rng rng{uint64_t(total)};
+    for (int rep = 0; rep < 100; ++rep) {
+        size_t n = size_t(rng.uniformInt(2, 5));
+        if (total < int(n))
+            continue;
+        std::vector<int> lo(n, 1), hi(n, total - int(n) + 1);
+        // Start from a feasible continuous point plus noise.
+        std::vector<double> x(n);
+        double remaining = double(total);
+        for (size_t i = 0; i < n; ++i) {
+            x[i] = remaining / double(n - i) + rng.uniform(-0.4, 0.4);
+            remaining -= x[i];
+        }
+        std::vector<int> out = roundToIntegerComposition(x, total, lo, hi);
+        EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), total);
+        for (size_t i = 0; i < n; ++i) {
+            EXPECT_GE(out[i], lo[i]);
+            EXPECT_LE(out[i], hi[i]);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Totals, RoundingTest,
+                         ::testing::Values(4, 7, 10, 11, 20));
+
+TEST(Rounding, ExactIntegersPassThrough)
+{
+    std::vector<double> x = {3.0, 4.0, 3.0};
+    auto out = roundToIntegerComposition(x, 10, {1, 1, 1}, {8, 8, 8});
+    EXPECT_EQ(out, (std::vector<int>{3, 4, 3}));
+}
+
+TEST(Rounding, PinnedCoordinateRespected)
+{
+    // lo == hi pins a coordinate (dropout-copy's mechanism).
+    std::vector<double> x = {2.7, 4.0, 3.3};
+    auto out = roundToIntegerComposition(x, 10, {1, 4, 1}, {8, 4, 8});
+    EXPECT_EQ(out[1], 4);
+    EXPECT_EQ(out[0] + out[1] + out[2], 10);
+}
+
+TEST(Rounding, InfeasibleBoxThrows)
+{
+    std::vector<double> x = {1.0, 1.0};
+    EXPECT_THROW(roundToIntegerComposition(x, 10, {1, 1}, {3, 3}), Error);
+    EXPECT_THROW(roundToIntegerComposition(x, 1, {1, 1}, {3, 3}), Error);
+}
+
+} // namespace
+} // namespace opt
+} // namespace clite

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Property tests for Allocation on the 6-resource server and under
+ * randomized round-trips — the lattice the whole search walks on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "platform/allocation.h"
+#include "stats/sampling.h"
+
+namespace clite {
+namespace platform {
+namespace {
+
+class AllocationPropertyTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(AllocationPropertyTest, RandomTransferChainsPreserveValidity)
+{
+    Rng rng(GetParam());
+    ServerConfig cfg = ServerConfig::xeonSilver4114AllResources();
+    size_t njobs = size_t(rng.uniformInt(2, 6));
+    Allocation a = Allocation::equalShare(njobs, cfg);
+    for (int step = 0; step < 500; ++step) {
+        size_t r = size_t(rng.uniformInt(0, int64_t(a.resources()) - 1));
+        size_t from = size_t(rng.uniformInt(0, int64_t(njobs) - 1));
+        size_t to = size_t(rng.uniformInt(0, int64_t(njobs) - 1));
+        if (from != to)
+            a.transferUnit(r, from, to);
+        ASSERT_TRUE(a.valid()) << "step " << step;
+    }
+}
+
+TEST_P(AllocationPropertyTest, FlattenRoundTripOnSixResources)
+{
+    Rng rng(GetParam() * 7 + 1);
+    ServerConfig cfg = ServerConfig::xeonSilver4114AllResources();
+    size_t njobs = size_t(rng.uniformInt(2, 5));
+    for (int rep = 0; rep < 50; ++rep) {
+        Allocation a(njobs, cfg);
+        for (size_t r = 0; r < a.resources(); ++r) {
+            auto parts = stats::sampleComposition(a.resourceUnits(r),
+                                                  int(njobs), rng, 1);
+            for (size_t j = 0; j < njobs; ++j)
+                a.set(j, r, parts[j]);
+        }
+        Allocation back = Allocation::fromFlatNormalized(
+            a.flattenNormalized(), njobs, cfg);
+        EXPECT_TRUE(back == a);
+    }
+}
+
+TEST_P(AllocationPropertyTest, PerturbedFlatVectorsAlwaysRepair)
+{
+    // fromFlatNormalized must produce a valid allocation from any
+    // perturbation of a feasible point (how CLITE rounds acquisition
+    // optima back onto the lattice).
+    Rng rng(GetParam() * 13 + 2);
+    ServerConfig cfg = ServerConfig::xeonSilver4114();
+    size_t njobs = 4;
+    for (int rep = 0; rep < 100; ++rep) {
+        Allocation a = Allocation::equalShare(njobs, cfg);
+        std::vector<double> flat = a.flattenNormalized();
+        for (double& v : flat)
+            v = std::max(0.0, v + rng.uniform(-0.3, 0.3));
+        Allocation repaired =
+            Allocation::fromFlatNormalized(flat, njobs, cfg);
+        EXPECT_TRUE(repaired.valid());
+    }
+}
+
+TEST_P(AllocationPropertyTest, KeyIsInjectiveOnRandomPairs)
+{
+    Rng rng(GetParam() * 17 + 3);
+    ServerConfig cfg = ServerConfig::xeonSilver4114();
+    for (int rep = 0; rep < 100; ++rep) {
+        Allocation a(3, cfg), b(3, cfg);
+        for (size_t r = 0; r < a.resources(); ++r) {
+            auto pa = stats::sampleComposition(a.resourceUnits(r), 3, rng);
+            auto pb = stats::sampleComposition(b.resourceUnits(r), 3, rng);
+            for (size_t j = 0; j < 3; ++j) {
+                a.set(j, r, pa[j]);
+                b.set(j, r, pb[j]);
+            }
+        }
+        EXPECT_EQ(a == b, a.key() == b.key());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocationPropertyTest,
+                         ::testing::Values(1u, 2u, 3u));
+
+} // namespace
+} // namespace platform
+} // namespace clite

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the simulated isolation drivers (Table 1 semantics):
+ * disjoint covering core ranges, contiguous disjoint CAT masks, MBA
+ * percentages, cgroup/qdisc limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "platform/isolation.h"
+
+namespace clite {
+namespace platform {
+namespace {
+
+ServerConfig
+full()
+{
+    return ServerConfig::xeonSilver4114AllResources();
+}
+
+TEST(CoreAffinityDriver, RangesAreDisjointAndCoverAllCores)
+{
+    ServerConfig cfg = full();
+    Allocation a = Allocation::equalShare(3, cfg);
+    CoreAffinityDriver d;
+    d.apply(a, cfg.indexOf(Resource::Cores));
+    ASSERT_EQ(d.jobCount(), 3u);
+    int next = 0;
+    int total = 0;
+    for (size_t j = 0; j < 3; ++j) {
+        EXPECT_EQ(d.firstCore(j), next);
+        next += d.coreCount(j);
+        total += d.coreCount(j);
+        EXPECT_EQ(d.coreCount(j), a.get(j, cfg.indexOf(Resource::Cores)));
+    }
+    EXPECT_EQ(total, 10);
+    EXPECT_EQ(d.tool(), "taskset");
+    EXPECT_NE(d.settingFor(0).find("taskset -c 0-"), std::string::npos);
+}
+
+TEST(CacheWayDriver, MasksAreContiguousDisjointAndCover)
+{
+    ServerConfig cfg = full();
+    Allocation a = Allocation::equalShare(4, cfg);
+    CacheWayDriver d;
+    size_t r = cfg.indexOf(Resource::LlcWays);
+    d.apply(a, r);
+
+    uint32_t combined = 0;
+    for (size_t j = 0; j < 4; ++j) {
+        uint32_t m = d.mask(j);
+        EXPECT_NE(m, 0u);
+        // Contiguity: m >> trailing zeros is all-ones.
+        uint32_t shifted = m >> __builtin_ctz(m);
+        EXPECT_EQ((shifted & (shifted + 1)), 0u) << "mask not contiguous";
+        EXPECT_EQ(combined & m, 0u) << "masks overlap";
+        combined |= m;
+        EXPECT_EQ(__builtin_popcount(m), a.get(j, r));
+    }
+    EXPECT_EQ(__builtin_popcount(combined), 11);
+}
+
+TEST(MembwDriver, PercentagesMatchUnits)
+{
+    ServerConfig cfg = full();
+    Allocation a = Allocation::equalShare(2, cfg);
+    MembwDriver d;
+    size_t r = cfg.indexOf(Resource::MemBandwidth);
+    d.apply(a, r);
+    EXPECT_EQ(d.percent(0), a.get(0, r) * 10);
+    EXPECT_EQ(d.percent(1), a.get(1, r) * 10);
+    EXPECT_NE(d.settingFor(0).find("MBA"), std::string::npos);
+}
+
+TEST(LimitDriver, LimitsScaleWithUnits)
+{
+    ServerConfig cfg = full();
+    Allocation a = Allocation::equalShare(2, cfg);
+    size_t r = cfg.indexOf(Resource::MemCapacity);
+    LimitDriver d(Resource::MemCapacity, cfg.resource(r).unit_value, "GB");
+    d.apply(a, r);
+    EXPECT_DOUBLE_EQ(d.limit(0), a.get(0, r) * 4.6);
+    EXPECT_NE(d.settingFor(0).find("memory.limit"), std::string::npos);
+}
+
+TEST(LimitDriver, RejectsWrongKinds)
+{
+    EXPECT_THROW(LimitDriver(Resource::Cores, 1.0, "core"), Error);
+    EXPECT_THROW(LimitDriver(Resource::MemCapacity, 0.0, "GB"), Error);
+}
+
+TEST(DriverFactory, BuildsMatchingDriverPerResource)
+{
+    ServerConfig cfg = full();
+    for (size_t r = 0; r < cfg.resourceCount(); ++r) {
+        auto d = makeDriver(cfg.resource(r));
+        ASSERT_NE(d, nullptr);
+        EXPECT_EQ(d->resource(), cfg.resource(r).kind);
+        EXPECT_EQ(d->tool(), isolationTool(cfg.resource(r).kind));
+        EXPECT_GT(d->applyLatencyMs(), 0.0);
+    }
+}
+
+TEST(Drivers, QueryBeforeApplyThrows)
+{
+    CoreAffinityDriver cores;
+    EXPECT_THROW(cores.settingFor(0), Error);
+    CacheWayDriver cat;
+    EXPECT_THROW(cat.mask(0), Error);
+    MembwDriver mba;
+    EXPECT_THROW(mba.percent(0), Error);
+}
+
+} // namespace
+} // namespace platform
+} // namespace clite

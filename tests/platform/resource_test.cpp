@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the resource inventory (Tables 1 and 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/error.h"
+#include "platform/resource.h"
+
+namespace clite {
+namespace platform {
+namespace {
+
+TEST(Resource, Table1NamesAndTools)
+{
+    EXPECT_EQ(resourceName(Resource::Cores), "cores");
+    EXPECT_EQ(isolationTool(Resource::Cores), "taskset");
+    EXPECT_EQ(isolationTool(Resource::LlcWays), "Intel CAT");
+    EXPECT_EQ(isolationTool(Resource::MemBandwidth), "Intel MBA");
+    EXPECT_EQ(isolationTool(Resource::MemCapacity),
+              "Linux memory cgroups");
+    EXPECT_EQ(isolationTool(Resource::DiskBandwidth),
+              "Linux blkio cgroups");
+    EXPECT_EQ(isolationTool(Resource::NetBandwidth), "Linux qdisc");
+    EXPECT_EQ(allocationMethod(Resource::LlcWays), "Way Partitioning");
+}
+
+TEST(ServerConfig, Table2Testbed)
+{
+    ServerConfig c = ServerConfig::xeonSilver4114();
+    EXPECT_EQ(c.physical_cores, 10);
+    EXPECT_EQ(c.l3_ways, 11);
+    EXPECT_EQ(c.resourceCount(), 3u);
+    EXPECT_EQ(c.resource(c.indexOf(Resource::Cores)).units, 10);
+    EXPECT_EQ(c.resource(c.indexOf(Resource::LlcWays)).units, 11);
+    EXPECT_EQ(c.resource(c.indexOf(Resource::MemBandwidth)).units, 10);
+    EXPECT_TRUE(c.has(Resource::Cores));
+    EXPECT_FALSE(c.has(Resource::DiskBandwidth));
+    EXPECT_THROW(c.indexOf(Resource::DiskBandwidth), Error);
+}
+
+TEST(ServerConfig, AllResourcesVariantExposesSix)
+{
+    ServerConfig c = ServerConfig::xeonSilver4114AllResources();
+    EXPECT_EQ(c.resourceCount(), 6u);
+    for (Resource r : {Resource::Cores, Resource::LlcWays,
+                       Resource::MemBandwidth, Resource::MemCapacity,
+                       Resource::DiskBandwidth, Resource::NetBandwidth})
+        EXPECT_TRUE(c.has(r));
+}
+
+TEST(ServerConfig, PhysicalTotals)
+{
+    ServerConfig c = ServerConfig::xeonSilver4114();
+    size_t bw = c.indexOf(Resource::MemBandwidth);
+    EXPECT_DOUBLE_EQ(c.physicalTotal(bw), 20000.0);
+    size_t cores = c.indexOf(Resource::Cores);
+    EXPECT_DOUBLE_EQ(c.physicalTotal(cores), 10.0);
+}
+
+TEST(ServerConfig, ConfigurationCountMatchesPaperExample)
+{
+    // Sec. 2: 4 jobs, 3 resources with 10 units each -> 592,704.
+    ServerConfig c({{Resource::Cores, 10, 1.0, "core"},
+                    {Resource::MemBandwidth, 10, 1.0, "u"},
+                    {Resource::MemCapacity, 10, 1.0, "u"}});
+    EXPECT_EQ(c.configurationCount(4), 592704u);
+}
+
+TEST(ServerConfig, ConfigurationCountTestbedThreeJobs)
+{
+    // 10 cores / 11 ways / 10 bw units for 3 jobs:
+    // C(9,2)*C(10,2)*C(9,2) = 36*45*36 = 58320 (Sec. 5.2's "58320
+    // configurations" example for the 2 LC + 1 BG scenario).
+    ServerConfig c = ServerConfig::xeonSilver4114();
+    EXPECT_EQ(c.configurationCount(3), 58320u);
+}
+
+TEST(ServerConfig, ConfigurationCountEdgeCases)
+{
+    ServerConfig c = ServerConfig::xeonSilver4114();
+    EXPECT_EQ(c.configurationCount(1), 1u);
+    // 11 jobs cannot each get a core from 10 cores.
+    EXPECT_EQ(c.configurationCount(11), 0u);
+    EXPECT_THROW(c.configurationCount(0), Error);
+}
+
+TEST(ServerConfig, RejectsMalformedInventories)
+{
+    EXPECT_THROW(ServerConfig({}), Error);
+    EXPECT_THROW(ServerConfig({{Resource::Cores, 0, 1.0, "core"}}), Error);
+    EXPECT_THROW(ServerConfig({{Resource::Cores, 4, 1.0, "core"},
+                               {Resource::Cores, 4, 1.0, "core"}}),
+                 Error);
+}
+
+} // namespace
+} // namespace platform
+} // namespace clite

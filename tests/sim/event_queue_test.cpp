@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "sim/event_queue.h"
+
+namespace clite {
+namespace sim {
+namespace {
+
+TEST(Simulator, ProcessesEventsInTimeOrder)
+{
+    Simulator s;
+    std::vector<int> order;
+    s.schedule(3.0, [&] { order.push_back(3); });
+    s.schedule(1.0, [&] { order.push_back(1); });
+    s.schedule(2.0, [&] { order.push_back(2); });
+    s.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(s.now(), 3.0);
+    EXPECT_EQ(s.eventsProcessed(), 3u);
+}
+
+TEST(Simulator, FifoTieBreakAtEqualTimes)
+{
+    Simulator s;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        s.schedule(1.0, [&order, i] { order.push_back(i); });
+    s.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive)
+{
+    Simulator s;
+    int fired = 0;
+    s.schedule(1.0, [&] { ++fired; });
+    s.schedule(2.0, [&] { ++fired; });
+    s.schedule(2.0001, [&] { ++fired; });
+    s.runUntil(2.0);
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(s.now(), 2.0);
+    EXPECT_EQ(s.pendingEvents(), 1u);
+    s.runUntil(3.0);
+    EXPECT_EQ(fired, 3);
+    EXPECT_DOUBLE_EQ(s.now(), 3.0); // clock advances to the boundary
+}
+
+TEST(Simulator, CallbacksCanScheduleMoreEvents)
+{
+    Simulator s;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            s.schedule(1.0, chain);
+    };
+    s.schedule(1.0, chain);
+    s.runToCompletion();
+    EXPECT_EQ(depth, 5);
+    EXPECT_DOUBLE_EQ(s.now(), 5.0);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime)
+{
+    Simulator s;
+    bool fired = false;
+    s.scheduleAt(4.5, [&] { fired = true; });
+    s.runUntil(4.0);
+    EXPECT_FALSE(fired);
+    s.runUntil(5.0);
+    EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, SchedulingIntoThePastThrows)
+{
+    Simulator s;
+    s.schedule(1.0, [] {});
+    s.runToCompletion();
+    EXPECT_THROW(s.scheduleAt(0.5, [] {}), Error);
+    EXPECT_THROW(s.schedule(-0.1, [] {}), Error);
+}
+
+TEST(Simulator, ClearPendingDropsEventsKeepsClock)
+{
+    Simulator s;
+    int fired = 0;
+    s.schedule(1.0, [&] { ++fired; });
+    s.runUntil(1.0);
+    s.schedule(1.0, [&] { ++fired; });
+    s.clearPending();
+    s.runToCompletion();
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(s.now(), 1.0);
+    EXPECT_EQ(s.pendingEvents(), 0u);
+}
+
+} // namespace
+} // namespace sim
+} // namespace clite

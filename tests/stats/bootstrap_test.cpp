@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the bootstrap confidence interval (the Fig. 11 error
+ * bars).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "stats/summary.h"
+
+namespace clite {
+namespace stats {
+namespace {
+
+TEST(BootstrapCI, PointEstimateIsSampleMean)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    ConfidenceInterval ci = bootstrapMeanCI(xs, 0.95, 500, 3);
+    EXPECT_DOUBLE_EQ(ci.point, 2.5);
+}
+
+TEST(BootstrapCI, IntervalContainsPointEstimate)
+{
+    Rng rng(7);
+    std::vector<double> xs;
+    for (int i = 0; i < 20; ++i)
+        xs.push_back(rng.normal(10.0, 2.0));
+    ConfidenceInterval ci = bootstrapMeanCI(xs, 0.95, 1000, 11);
+    EXPECT_LE(ci.lo, ci.point);
+    EXPECT_GE(ci.hi, ci.point);
+    EXPECT_LT(ci.lo, ci.hi);
+}
+
+TEST(BootstrapCI, WiderConfidenceGivesWiderInterval)
+{
+    Rng rng(13);
+    std::vector<double> xs;
+    for (int i = 0; i < 15; ++i)
+        xs.push_back(rng.uniform(0.0, 1.0));
+    ConfidenceInterval narrow = bootstrapMeanCI(xs, 0.80, 2000, 5);
+    ConfidenceInterval wide = bootstrapMeanCI(xs, 0.99, 2000, 5);
+    EXPECT_LE(wide.lo, narrow.lo + 1e-12);
+    EXPECT_GE(wide.hi, narrow.hi - 1e-12);
+}
+
+TEST(BootstrapCI, ShrinksWithSampleSize)
+{
+    Rng rng(17);
+    std::vector<double> small, large;
+    for (int i = 0; i < 400; ++i) {
+        double x = rng.normal(5.0, 1.0);
+        if (i < 8)
+            small.push_back(x);
+        large.push_back(x);
+    }
+    ConfidenceInterval s = bootstrapMeanCI(small, 0.95, 2000, 3);
+    ConfidenceInterval l = bootstrapMeanCI(large, 0.95, 2000, 3);
+    EXPECT_LT(l.hi - l.lo, s.hi - s.lo);
+}
+
+TEST(BootstrapCI, CoversTrueMeanUsually)
+{
+    // Property check: across repetitions, the 95% CI covers the true
+    // mean far more often than not (exact coverage needs far more
+    // repetitions than a unit test should run).
+    Rng rng(23);
+    int covered = 0;
+    const int reps = 40;
+    for (int r = 0; r < reps; ++r) {
+        std::vector<double> xs;
+        for (int i = 0; i < 25; ++i)
+            xs.push_back(rng.normal(3.0, 1.5));
+        ConfidenceInterval ci =
+            bootstrapMeanCI(xs, 0.95, 500, 100 + uint64_t(r));
+        if (ci.lo <= 3.0 && 3.0 <= ci.hi)
+            ++covered;
+    }
+    EXPECT_GE(covered, reps * 3 / 4);
+}
+
+TEST(BootstrapCI, DeterministicForSameSeed)
+{
+    std::vector<double> xs = {1.0, 5.0, 2.0, 8.0, 3.0};
+    ConfidenceInterval a = bootstrapMeanCI(xs, 0.9, 300, 42);
+    ConfidenceInterval b = bootstrapMeanCI(xs, 0.9, 300, 42);
+    EXPECT_DOUBLE_EQ(a.lo, b.lo);
+    EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(BootstrapCI, Validation)
+{
+    EXPECT_THROW(bootstrapMeanCI({1.0}, 0.95), Error);
+    std::vector<double> ok = {1.0, 2.0};
+    EXPECT_THROW(bootstrapMeanCI(ok, 0.0), Error);
+    EXPECT_THROW(bootstrapMeanCI(ok, 1.0), Error);
+    EXPECT_THROW(bootstrapMeanCI(ok, 0.9, 5), Error);
+}
+
+} // namespace
+} // namespace stats
+} // namespace clite

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit and property tests for distribution functions and queueing
+ * formulas.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "stats/distributions.h"
+
+namespace clite {
+namespace stats {
+namespace {
+
+TEST(Normal, PdfKnownValues)
+{
+    EXPECT_NEAR(normalPdf(0.0), 0.3989422804014327, 1e-12);
+    EXPECT_NEAR(normalPdf(1.0), 0.24197072451914337, 1e-12);
+    EXPECT_DOUBLE_EQ(normalPdf(1.0), normalPdf(-1.0));
+}
+
+TEST(Normal, CdfKnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.0), 0.8413447460685429, 1e-10);
+    EXPECT_NEAR(normalCdf(-1.96), 0.024997895148220435, 1e-9);
+}
+
+class NormalQuantileRoundTrip : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(NormalQuantileRoundTrip, CdfOfQuantileIsIdentity)
+{
+    double p = GetParam();
+    EXPECT_NEAR(normalCdf(normalQuantile(p)), p, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, NormalQuantileRoundTrip,
+                         ::testing::Values(1e-6, 0.001, 0.025, 0.1, 0.5,
+                                           0.9, 0.95, 0.975, 0.999,
+                                           1.0 - 1e-6));
+
+TEST(Normal, QuantileRejectsOutOfRange)
+{
+    EXPECT_THROW(normalQuantile(0.0), Error);
+    EXPECT_THROW(normalQuantile(1.0), Error);
+    EXPECT_THROW(normalQuantile(-0.5), Error);
+}
+
+TEST(ErlangC, SingleServerEqualsUtilization)
+{
+    // For M/M/1, P(wait) = rho.
+    for (double rho : {0.1, 0.3, 0.5, 0.8, 0.95})
+        EXPECT_NEAR(erlangC(1, rho), rho, 1e-12);
+}
+
+TEST(ErlangC, BoundaryCases)
+{
+    EXPECT_DOUBLE_EQ(erlangC(4, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(erlangC(4, 4.0), 1.0);
+    EXPECT_DOUBLE_EQ(erlangC(4, 5.0), 1.0);
+}
+
+TEST(ErlangC, KnownMultiServerValue)
+{
+    // c=2, a=1 (rho=0.5): ErlangB = (1/2)/(1+1+1/2) = 0.2;
+    // ErlangC = 0.2/(1-0.5+0.5*0.2) = 1/3.
+    EXPECT_NEAR(erlangC(2, 1.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ErlangC, DecreasesWithMoreServers)
+{
+    // At fixed offered load, more servers -> less waiting.
+    double prev = 1.0;
+    for (int c = 2; c <= 8; ++c) {
+        double now = erlangC(c, 1.5);
+        EXPECT_LT(now, prev);
+        prev = now;
+    }
+}
+
+TEST(Mmc, SingleServerQuantileMatchesClosedForm)
+{
+    // M/M/1 sojourn time ~ Exp(mu - lambda):
+    // q-quantile = -ln(1-q)/(mu-lambda).
+    double mu = 10.0, lambda = 6.0, q = 0.95;
+    double expect = -std::log(1.0 - q) / (mu - lambda);
+    EXPECT_NEAR(mmcResponseQuantile(1, lambda, mu, q), expect, 1e-9);
+}
+
+TEST(Mmc, ZeroLoadQuantileIsServiceQuantile)
+{
+    // With no arrivals, sojourn = service ~ Exp(mu).
+    double mu = 4.0, q = 0.9;
+    double expect = -std::log(1.0 - q) / mu;
+    EXPECT_NEAR(mmcResponseQuantile(3, 0.0, mu, q), expect, 1e-9);
+}
+
+TEST(Mmc, UnstableQueueReturnsInfinity)
+{
+    EXPECT_TRUE(std::isinf(mmcResponseQuantile(2, 25.0, 10.0, 0.95)));
+    EXPECT_TRUE(std::isinf(mmcMeanResponse(2, 25.0, 10.0)));
+}
+
+TEST(Mmc, MeanResponseMatchesClosedFormSingleServer)
+{
+    // M/M/1 mean sojourn = 1/(mu - lambda).
+    EXPECT_NEAR(mmcMeanResponse(1, 6.0, 10.0), 0.25, 1e-12);
+}
+
+class MmcMonotoneLoad : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MmcMonotoneLoad, QuantileIncreasesWithLoad)
+{
+    int servers = GetParam();
+    double mu = 5.0;
+    double prev = 0.0;
+    for (double frac : {0.1, 0.3, 0.5, 0.7, 0.9, 0.97}) {
+        double lambda = frac * servers * mu;
+        double p95 = mmcResponseQuantile(servers, lambda, mu, 0.95);
+        EXPECT_GT(p95, prev);
+        prev = p95;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ServerCounts, MmcMonotoneLoad,
+                         ::testing::Values(1, 2, 4, 8, 10, 16));
+
+TEST(Mmc, QuantileMonotoneInQ)
+{
+    double prev = 0.0;
+    for (double q : {0.5, 0.75, 0.9, 0.95, 0.99}) {
+        double v = mmcResponseQuantile(4, 15.0, 5.0, q);
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+}
+
+TEST(Mmc, ParameterValidation)
+{
+    EXPECT_THROW(mmcResponseQuantile(1, -1.0, 5.0, 0.95), Error);
+    EXPECT_THROW(mmcResponseQuantile(1, 1.0, 0.0, 0.95), Error);
+    EXPECT_THROW(mmcResponseQuantile(1, 1.0, 5.0, 1.0), Error);
+    EXPECT_THROW(erlangC(0, 1.0), Error);
+}
+
+} // namespace
+} // namespace stats
+} // namespace clite

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit and property tests for sampling utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "common/error.h"
+#include "stats/sampling.h"
+
+namespace clite {
+namespace stats {
+namespace {
+
+TEST(LatinHypercube, StratificationProperty)
+{
+    Rng rng(3);
+    const size_t count = 16, dims = 3;
+    auto pts = latinHypercube(count, dims, rng);
+    ASSERT_EQ(pts.size(), count);
+    for (size_t d = 0; d < dims; ++d) {
+        std::set<size_t> strata;
+        for (const auto& p : pts) {
+            EXPECT_GE(p[d], 0.0);
+            EXPECT_LT(p[d], 1.0);
+            strata.insert(size_t(p[d] * double(count)));
+        }
+        // Each of the `count` strata hit exactly once.
+        EXPECT_EQ(strata.size(), count);
+    }
+}
+
+TEST(LatinHypercube, RejectsDegenerateArguments)
+{
+    Rng rng(5);
+    EXPECT_THROW(latinHypercube(0, 2, rng), Error);
+    EXPECT_THROW(latinHypercube(4, 0, rng), Error);
+}
+
+TEST(CompositionCount, MatchesBinomialFormula)
+{
+    // C(total-1, parts-1) with min 1 per part.
+    EXPECT_EQ(compositionCount(10, 3), 36u);
+    EXPECT_EQ(compositionCount(11, 3), 45u);
+    EXPECT_EQ(compositionCount(10, 4), 84u);
+    EXPECT_EQ(compositionCount(5, 1), 1u);
+    EXPECT_EQ(compositionCount(5, 5), 1u);
+    EXPECT_EQ(compositionCount(4, 5), 0u);
+}
+
+TEST(CompositionCount, PaperExampleNconf)
+{
+    // Sec. 2: four jobs, three resources of 10 units each ->
+    // C(9,3)^3 = 84^3 = 592,704 total configurations.
+    uint64_t per_resource = compositionCount(10, 4);
+    EXPECT_EQ(per_resource * per_resource * per_resource, 592704u);
+}
+
+TEST(CompositionCount, MinPerPartZero)
+{
+    // Weak compositions of 3 into 2 parts: 4.
+    EXPECT_EQ(compositionCount(3, 2, 0), 4u);
+}
+
+TEST(CompositionCount, MatchesEnumeration)
+{
+    for (int total : {5, 8, 11}) {
+        for (int parts : {2, 3, 4}) {
+            uint64_t enumerated = 0;
+            forEachComposition(total, parts,
+                               [&](const std::vector<int>&) {
+                                   ++enumerated;
+                                   return true;
+                               });
+            EXPECT_EQ(enumerated, compositionCount(total, parts))
+                << "total=" << total << " parts=" << parts;
+        }
+    }
+}
+
+class SampleCompositionTest
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(SampleCompositionTest, SumAndBoundsInvariants)
+{
+    auto [total, parts] = GetParam();
+    Rng rng(uint64_t(total) * 31 + uint64_t(parts));
+    for (int rep = 0; rep < 200; ++rep) {
+        std::vector<int> c = sampleComposition(total, parts, rng);
+        ASSERT_EQ(c.size(), size_t(parts));
+        EXPECT_EQ(std::accumulate(c.begin(), c.end(), 0), total);
+        for (int v : c)
+            EXPECT_GE(v, 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SampleCompositionTest,
+    ::testing::Values(std::pair{3, 3}, std::pair{10, 3}, std::pair{11, 4},
+                      std::pair{10, 1}, std::pair{20, 7}));
+
+TEST(SampleComposition, ApproximatelyUniform)
+{
+    // Compositions of 4 into 2 parts: (1,3), (2,2), (3,1) - each 1/3.
+    Rng rng(11);
+    std::map<int, int> first_part_counts;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i)
+        ++first_part_counts[sampleComposition(4, 2, rng)[0]];
+    for (int v : {1, 2, 3})
+        EXPECT_NEAR(double(first_part_counts[v]) / n, 1.0 / 3.0, 0.02);
+}
+
+TEST(SampleComposition, InfeasibleThrows)
+{
+    Rng rng(13);
+    EXPECT_THROW(sampleComposition(2, 3, rng), Error);
+}
+
+TEST(ForEachComposition, LexicographicOrderAndEarlyStop)
+{
+    std::vector<std::vector<int>> seen;
+    forEachComposition(4, 2, [&](const std::vector<int>& c) {
+        seen.push_back(c);
+        return true;
+    });
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], (std::vector<int>{1, 3}));
+    EXPECT_EQ(seen[1], (std::vector<int>{2, 2}));
+    EXPECT_EQ(seen[2], (std::vector<int>{3, 1}));
+
+    int visits = 0;
+    bool completed = forEachComposition(4, 2, [&](const std::vector<int>&) {
+        return ++visits < 2;
+    });
+    EXPECT_FALSE(completed);
+    EXPECT_EQ(visits, 2);
+}
+
+TEST(ForEachComposition, EmptySpaceIsComplete)
+{
+    int visits = 0;
+    bool completed = forEachComposition(2, 3, [&](const std::vector<int>&) {
+        ++visits;
+        return true;
+    });
+    EXPECT_TRUE(completed);
+    EXPECT_EQ(visits, 0);
+}
+
+} // namespace
+} // namespace stats
+} // namespace clite

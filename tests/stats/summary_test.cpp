@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for summary statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "stats/summary.h"
+
+namespace clite {
+namespace stats {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation)
+{
+    std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    RunningStats rs;
+    for (double x : xs)
+        rs.add(x);
+    EXPECT_EQ(rs.count(), xs.size());
+    EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+    // Unbiased sample variance of this classic set is 32/7.
+    EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle)
+{
+    RunningStats rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+    rs.add(3.0);
+    EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential)
+{
+    Rng rng(3);
+    RunningStats whole, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.normal(2.0, 3.0);
+        whole.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    RunningStats a_copy = a;
+    a.merge(b); // empty rhs: no-op
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    b.merge(a_copy); // empty lhs adopts rhs
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, CoefficientOfVariation)
+{
+    RunningStats rs;
+    rs.add(9.0);
+    rs.add(11.0);
+    // mean 10, sample stddev sqrt(2) -> CoV = sqrt(2)/10.
+    EXPECT_NEAR(rs.coefficientOfVariation(), std::sqrt(2.0) / 10.0, 1e-12);
+}
+
+TEST(Percentile, KnownValues)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 1.75);
+}
+
+TEST(Percentile, UnsortedInputHandled)
+{
+    std::vector<double> xs = {9.0, 1.0, 5.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 5.0);
+}
+
+TEST(Percentile, SingleAndEmpty)
+{
+    EXPECT_DOUBLE_EQ(percentile({42.0}, 0.95), 42.0);
+    EXPECT_TRUE(std::isnan(percentile({}, 0.5)));
+}
+
+TEST(Percentile, RejectsOutOfRangeQuantile)
+{
+    EXPECT_THROW(percentile({1.0}, 1.5), Error);
+    EXPECT_THROW(percentile({1.0}, -0.1), Error);
+}
+
+TEST(GeometricMean, KnownValuesAndNeutralElement)
+{
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geometricMean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geometricMean({}), 1.0);
+}
+
+TEST(GeometricMean, BoundedByArithmeticMean)
+{
+    Rng rng(7);
+    for (int rep = 0; rep < 20; ++rep) {
+        std::vector<double> xs;
+        double sum = 0.0;
+        for (int i = 0; i < 5; ++i) {
+            xs.push_back(rng.uniform(0.1, 10.0));
+            sum += xs.back();
+        }
+        EXPECT_LE(geometricMean(xs), sum / 5.0 + 1e-12);
+    }
+}
+
+TEST(GeometricMean, RejectsNonPositive)
+{
+    EXPECT_THROW(geometricMean({1.0, 0.0}), Error);
+    EXPECT_THROW(geometricMean({-1.0}), Error);
+}
+
+} // namespace
+} // namespace stats
+} // namespace clite

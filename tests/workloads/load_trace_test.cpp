@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the load-trace generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "workloads/load_trace.h"
+
+namespace clite {
+namespace workloads {
+namespace {
+
+TEST(StepTrace, HoldsEachStepUntilTheNext)
+{
+    StepTrace trace({{0.0, 0.1}, {10.0, 0.2}, {20.0, 0.3}});
+    EXPECT_DOUBLE_EQ(trace.loadAt(0.0), 0.1);
+    EXPECT_DOUBLE_EQ(trace.loadAt(9.99), 0.1);
+    EXPECT_DOUBLE_EQ(trace.loadAt(10.0), 0.2);
+    EXPECT_DOUBLE_EQ(trace.loadAt(19.0), 0.2);
+    EXPECT_DOUBLE_EQ(trace.loadAt(25.0), 0.3);
+    EXPECT_DOUBLE_EQ(trace.loadAt(1e9), 0.3);
+    EXPECT_EQ(trace.name(), "step");
+}
+
+TEST(StepTrace, Validation)
+{
+    EXPECT_THROW(StepTrace({}), Error);
+    EXPECT_THROW(StepTrace({{5.0, 0.1}}), Error); // must start at 0
+    EXPECT_THROW(StepTrace({{0.0, 0.1}, {10.0, 0.2}, {5.0, 0.3}}), Error);
+    EXPECT_THROW(StepTrace({{0.0, 0.0}}), Error);
+    EXPECT_THROW(StepTrace({{0.0, 1.5}}), Error);
+}
+
+TEST(DiurnalTrace, OscillatesAroundBase)
+{
+    DiurnalTrace trace(0.5, 0.3, 100.0);
+    EXPECT_NEAR(trace.loadAt(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(trace.loadAt(25.0), 0.8, 1e-12); // quarter period peak
+    EXPECT_NEAR(trace.loadAt(75.0), 0.2, 1e-12); // trough
+    EXPECT_NEAR(trace.loadAt(100.0), 0.5, 1e-9); // full period
+}
+
+TEST(DiurnalTrace, ClampsToValidRange)
+{
+    DiurnalTrace trace(0.9, 0.5, 50.0);
+    for (double t = 0.0; t < 50.0; t += 1.0) {
+        double v = trace.loadAt(t);
+        EXPECT_GT(v, 0.0);
+        EXPECT_LE(v, 1.0);
+    }
+    EXPECT_DOUBLE_EQ(trace.loadAt(12.5), 1.0); // clamped peak
+}
+
+TEST(DiurnalTrace, Validation)
+{
+    EXPECT_THROW(DiurnalTrace(0.5, 0.2, 0.0), Error);
+    EXPECT_THROW(DiurnalTrace(0.0, 0.2, 10.0), Error);
+    EXPECT_THROW(DiurnalTrace(0.5, -0.1, 10.0), Error);
+}
+
+TEST(BurstTrace, PeriodicRectangularBursts)
+{
+    BurstTrace trace(0.2, 0.8, 5.0, 20.0);
+    EXPECT_DOUBLE_EQ(trace.loadAt(0.0), 0.8);  // in burst
+    EXPECT_DOUBLE_EQ(trace.loadAt(4.99), 0.8);
+    EXPECT_DOUBLE_EQ(trace.loadAt(5.0), 0.2);  // after burst
+    EXPECT_DOUBLE_EQ(trace.loadAt(19.0), 0.2);
+    EXPECT_DOUBLE_EQ(trace.loadAt(21.0), 0.8); // next period's burst
+    EXPECT_DOUBLE_EQ(trace.loadAt(-1.0), 0.8); // negative time clamps
+}
+
+TEST(BurstTrace, Validation)
+{
+    EXPECT_THROW(BurstTrace(0.2, 0.8, 25.0, 20.0), Error);
+    EXPECT_THROW(BurstTrace(0.2, 0.8, 5.0, 0.0), Error);
+    EXPECT_THROW(BurstTrace(0.0, 0.8, 5.0, 20.0), Error);
+}
+
+TEST(ClampLoadFraction, Bounds)
+{
+    EXPECT_DOUBLE_EQ(clampLoadFraction(-3.0), 0.01);
+    EXPECT_DOUBLE_EQ(clampLoadFraction(0.5), 0.5);
+    EXPECT_DOUBLE_EQ(clampLoadFraction(7.0), 1.0);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace clite
