@@ -11,6 +11,7 @@
 #include "opt/projected_gradient.h"
 #include "opt/simplex.h"
 #include "stats/sampling.h"
+#include "stats/summary.h"
 
 namespace clite {
 namespace core {
@@ -19,20 +20,30 @@ namespace {
 
 /**
  * Round a continuous normalized configuration to a valid Allocation,
- * optionally pinning one job's allocation (dropout-copy).
+ * optionally pinning one job's allocation (dropout-copy) and freezing
+ * dead-knob resource columns at their actually-programmed partition.
  *
  * @param flat Normalized job-major coordinates.
  * @param fixed_job Job whose allocation is pinned (-1 for none).
  * @param fixed_units Pinned units per resource (when fixed_job >= 0).
+ * @param dead Per-resource dead-knob mask (empty for none).
+ * @param frozen Actually-programmed allocation supplying dead columns.
  */
 platform::Allocation
 roundWithPinning(const std::vector<double>& flat, size_t njobs,
                  const platform::ServerConfig& config, int fixed_job,
-                 const std::vector<int>& fixed_units)
+                 const std::vector<int>& fixed_units,
+                 const std::vector<char>& dead = {},
+                 const platform::Allocation* frozen = nullptr)
 {
     platform::Allocation alloc(njobs, config);
     const size_t nres = config.resourceCount();
     for (size_t r = 0; r < nres; ++r) {
+        if (r < dead.size() && dead[r] && frozen != nullptr) {
+            for (size_t j = 0; j < njobs; ++j)
+                alloc.set(j, r, frozen->get(j, r));
+            continue;
+        }
         int units = config.resource(r).units;
         std::vector<double> col(njobs);
         std::vector<int> lo(njobs, 1);
@@ -95,6 +106,10 @@ CliteController::CliteController(CliteOptions options)
     CLITE_CHECK(options_.dropout_random_prob >= 0.0 &&
                     options_.dropout_random_prob <= 1.0,
                 "dropout_random_prob must be in [0,1]");
+    CLITE_CHECK(options_.apply_retries >= 0,
+                "apply_retries must be >= 0");
+    CLITE_CHECK(options_.retry_backoff_ms >= 0.0,
+                "retry_backoff_ms must be >= 0");
 }
 
 ControllerResult
@@ -123,11 +138,33 @@ CliteController::search(platform::SimulatedServer& server,
     std::vector<SampleRecord> trace;
     std::set<std::string> seen;
 
+    // Fault tolerance engages only when the server can actually
+    // inject faults; on a fault-free server every path below is
+    // bit-identical to the non-resilient search.
+    const bool resilient = options_.resilient && server.faultsEnabled();
+
+    auto evaluate_raw = [&](const platform::Allocation& alloc) {
+        return resilient
+                   ? evaluateSampleResilient(server, alloc,
+                                             options_.apply_retries,
+                                             options_.retry_backoff_ms)
+                   : evaluateSample(server, alloc);
+    };
     auto evaluate_unique = [&](const platform::Allocation& alloc) -> bool {
         if (!seen.insert(alloc.key()).second)
             return false;
-        trace.push_back(evaluateSample(server, alloc));
+        trace.push_back(evaluate_raw(alloc));
         return true;
+    };
+    // Indices of quarantine-free samples — the only ones that may
+    // feed the surrogate or win the search.
+    auto usable_indices = [&]() {
+        std::vector<size_t> idx;
+        idx.reserve(trace.size());
+        for (size_t i = 0; i < trace.size(); ++i)
+            if (trace[i].usable())
+                idx.push_back(i);
+        return idx;
     };
 
     // ---- Bootstrap (Sec. 4, "Selecting Bootstrapping Configuration
@@ -151,13 +188,29 @@ CliteController::search(platform::SimulatedServer& server,
             evaluate_unique(randomAllocation(njobs, config, rng));
     }
 
+    // Under faults the whole bootstrap can come back quarantined
+    // (e.g. an apply-failure burst): re-measure the equal share a few
+    // times — without it the surrogate has nothing to stand on.
+    if (resilient && usable_indices().empty()) {
+        for (int attempt = 0; attempt < 3; ++attempt) {
+            trace.push_back(evaluate_raw(
+                platform::Allocation::equalShare(njobs, config)));
+            if (trace.back().usable())
+                break;
+        }
+    }
+
     // ---- Early infeasibility detection: an LC job that misses QoS
     // even with the maximum possible allocation cannot be co-located
     // with this job set (paper: schedule it elsewhere, no BO cycles).
+    // Only a clean (usable) extremum observation may prove it — a
+    // faulted window must not condemn the whole co-location.
     bool infeasible = false;
     for (size_t j = 0; j < njobs && options_.informed_bootstrap; ++j) {
         size_t s = extremum_sample_of_job[j];
         if (s == size_t(-1) || !server.job(j).isLatencyCritical())
+            continue;
+        if (!trace[s].usable())
             continue;
         const platform::JobObservation& ob = trace[s].observations[j];
         if (!ob.qosMet()) {
@@ -168,7 +221,8 @@ CliteController::search(platform::SimulatedServer& server,
             infeasible = true;
         }
     }
-    if (infeasible || njobs == 1 || options_.max_iterations == 0)
+    if (infeasible || njobs == 1 || options_.max_iterations == 0 ||
+        usable_indices().empty())
         return finalizeResult(server, std::move(trace), infeasible);
 
     // ---- BO loop (Algorithm 1 specialized to the partition lattice).
@@ -185,14 +239,62 @@ CliteController::search(platform::SimulatedServer& server,
         options_.termination_threshold * std::max(1.0, double(njobs) / 3.0);
     int below_threshold_streak = 0;
 
+    // Dead-knob state: a resource whose isolation tool permanently
+    // fails collapses to a frozen column — the search continues over
+    // the remaining dimensions instead of aborting.
+    std::vector<char> dead(nres, 0);
+    size_t dead_count = 0;
+
     for (int iter = 0; iter < options_.max_iterations; ++iter) {
-        // Update the surrogate.
+        if (resilient) {
+            bool grew = false;
+            for (size_t r : server.deadResources())
+                if (!dead[r]) {
+                    dead[r] = 1;
+                    ++dead_count;
+                    grew = true;
+                    CLITE_LOG_INFO(
+                        "resource knob "
+                        << platform::resourceName(
+                               config.resource(r).kind)
+                        << " died; collapsing dimension");
+                }
+            if (grew && dead_count < nres) {
+                // Re-seed the collapsed search: the best usable
+                // configuration with dead columns snapped to what is
+                // actually programmed.
+                std::vector<size_t> usable = usable_indices();
+                if (!usable.empty()) {
+                    size_t b = usable[0];
+                    for (size_t i : usable)
+                        if (trace[i].score > trace[b].score)
+                            b = i;
+                    platform::Allocation reseed = trace[b].alloc;
+                    const platform::Allocation& frozen =
+                        server.currentAllocation();
+                    for (size_t r = 0; r < nres; ++r)
+                        if (dead[r])
+                            for (size_t j = 0; j < njobs; ++j)
+                                reseed.set(j, r, frozen.get(j, r));
+                    evaluate_unique(reseed);
+                }
+            }
+            if (dead_count >= nres)
+                break; // nothing left to program
+        }
+
+        // Update the surrogate from the usable samples only —
+        // quarantined observations describe faults, not the score
+        // surface.
+        std::vector<size_t> usable = usable_indices();
+        if (usable.empty())
+            break;
         std::vector<linalg::Vector> xs;
         std::vector<double> ys;
-        xs.reserve(trace.size());
-        for (const auto& rec : trace) {
-            xs.push_back(rec.alloc.flattenNormalized());
-            ys.push_back(rec.score);
+        xs.reserve(usable.size());
+        for (size_t i : usable) {
+            xs.push_back(trace[i].alloc.flattenNormalized());
+            ys.push_back(trace[i].score);
         }
         surrogate.fit(xs, ys);
         if (iter % std::max(1, options_.gp_fit_every) == 0) {
@@ -202,8 +304,8 @@ CliteController::search(platform::SimulatedServer& server,
             surrogate.optimizeHyperparameters(rng, fo);
         }
 
-        size_t best_idx = 0;
-        for (size_t i = 1; i < trace.size(); ++i)
+        size_t best_idx = usable[0];
+        for (size_t i : usable)
             if (trace[i].score > trace[best_idx].score)
                 best_idx = i;
         const double incumbent_score = trace[best_idx].score;
@@ -265,6 +367,8 @@ CliteController::search(platform::SimulatedServer& server,
             if (int(j) != fixed_job)
                 free_jobs.push_back(j);
         for (size_t r = 0; r < nres; ++r) {
+            if (dead[r])
+                continue; // collapsed dimension: no block, held fixed
             int units = config.resource(r).units;
             int free_total =
                 units - (fixed_job >= 0 ? fixed_units[r] : 0);
@@ -289,6 +393,22 @@ CliteController::search(platform::SimulatedServer& server,
             return acquisition->evaluate(surrogate, x, incumbent_score);
         };
 
+        // Dead columns are held at the actually-programmed partition
+        // in every start (no block covers them, so the optimizer
+        // leaves them untouched).
+        auto pin_dead = [&](std::vector<double>& x) {
+            if (dead_count == 0)
+                return;
+            const platform::Allocation& frozen =
+                server.currentAllocation();
+            for (size_t r = 0; r < nres; ++r)
+                if (dead[r])
+                    for (size_t j = 0; j < njobs; ++j)
+                        x[j * nres + r] =
+                            double(frozen.get(j, r)) /
+                            double(config.resource(r).units);
+        };
+
         // Multi-start: the incumbent plus random feasible points.
         std::vector<std::vector<double>> starts;
         {
@@ -299,6 +419,7 @@ CliteController::search(platform::SimulatedServer& server,
                     s0[size_t(fixed_job) * nres + r] =
                         double(fixed_units[r]) /
                         double(config.resource(r).units);
+            pin_dead(s0);
             starts.push_back(std::move(s0));
         }
         for (int s = 1; s < options_.acquisition_starts; ++s) {
@@ -316,6 +437,7 @@ CliteController::search(platform::SimulatedServer& server,
                     x[size_t(fixed_job) * nres + r] =
                         double(fixed_units[r]) / double(units);
             }
+            pin_dead(x);
             starts.push_back(std::move(x));
         }
 
@@ -332,7 +454,8 @@ CliteController::search(platform::SimulatedServer& server,
         // whose EI collapses on the mode-1 plateau.
         bool any_feasible = false;
         for (const auto& rec : trace)
-            any_feasible = any_feasible || rec.all_qos_met;
+            any_feasible =
+                any_feasible || (rec.usable() && rec.all_qos_met);
         below_threshold_streak =
             acq.value < threshold ? below_threshold_streak + 1 : 0;
         if (any_feasible && iter >= options_.min_iterations &&
@@ -345,20 +468,30 @@ CliteController::search(platform::SimulatedServer& server,
         }
 
         // ---- Round to the lattice; never resample a configuration.
+        const platform::Allocation* frozen =
+            dead_count > 0 ? &server.currentAllocation() : nullptr;
         platform::Allocation next = roundWithPinning(
-            acq.x, njobs, config, fixed_job, fixed_units);
+            acq.x, njobs, config, fixed_job, fixed_units, dead, frozen);
         int guard = 0;
         while (seen.count(next.key()) && guard++ < 32) {
-            // Perturb: move one unit of a random resource between two
-            // random jobs.
+            // Perturb: move one unit of a random (live) resource
+            // between two random jobs.
             size_t r = size_t(rng.uniformInt(0, int64_t(nres) - 1));
+            if (dead[r])
+                continue;
             size_t from = size_t(rng.uniformInt(0, int64_t(njobs) - 1));
             size_t to = size_t(rng.uniformInt(0, int64_t(njobs) - 1));
             if (from != to)
                 next.transferUnit(r, from, to);
         }
-        if (seen.count(next.key()))
+        if (seen.count(next.key())) {
             next = randomAllocation(njobs, config, rng);
+            if (frozen != nullptr)
+                for (size_t r = 0; r < nres; ++r)
+                    if (dead[r])
+                        for (size_t j = 0; j < njobs; ++j)
+                            next.set(j, r, frozen->get(j, r));
+        }
         if (seen.count(next.key()))
             break; // space effectively exhausted
 
@@ -375,18 +508,25 @@ CliteController::search(platform::SimulatedServer& server,
     // step donates one unit from the job with the most observed QoS
     // headroom to the worst-performing job, choosing the resource (or
     // equivalence-class double-move) the surrogate ranks highest.
+    std::vector<char> polish_dead(nres, 0);
+    if (resilient)
+        for (size_t r : server.deadResources())
+            polish_dead[r] = 1;
     for (int it = 0; it < options_.polish_iterations; ++it) {
+        std::vector<size_t> usable = usable_indices();
+        if (usable.empty())
+            break;
         std::vector<linalg::Vector> xs;
         std::vector<double> ys;
-        xs.reserve(trace.size());
-        for (const auto& rec : trace) {
-            xs.push_back(rec.alloc.flattenNormalized());
-            ys.push_back(rec.score);
+        xs.reserve(usable.size());
+        for (size_t i : usable) {
+            xs.push_back(trace[i].alloc.flattenNormalized());
+            ys.push_back(trace[i].score);
         }
         surrogate.fit(xs, ys);
 
-        size_t best_idx = 0;
-        for (size_t i = 1; i < trace.size(); ++i)
+        size_t best_idx = usable[0];
+        for (size_t i : usable)
             if (trace[i].score > trace[best_idx].score)
                 best_idx = i;
         const SampleRecord& incumbent_rec = trace[best_idx];
@@ -450,13 +590,13 @@ CliteController::search(platform::SimulatedServer& server,
             }
         };
         for (size_t r = 0; r < nres; ++r) {
-            if (incumbent_alloc.get(from, r) <= 1)
+            if (polish_dead[r] || incumbent_alloc.get(from, r) <= 1)
                 continue;
             platform::Allocation one = incumbent_alloc;
             one.transferUnit(r, from, to);
             consider(one);
             for (size_t r2 = 0; r2 < nres; ++r2) {
-                if (r2 == r)
+                if (r2 == r || polish_dead[r2])
                     continue;
                 // Same direction on a second resource.
                 if (one.get(from, r2) > 1) {
@@ -479,9 +619,55 @@ CliteController::search(platform::SimulatedServer& server,
 
     // ---- Validation: re-measure the top candidates for extra
     // observation windows so boundary noise cannot promote a truly
-    // QoS-violating configuration. Each candidate's recorded score
-    // becomes the mean across windows; QoS must hold in EVERY window.
-    if (options_.validation_windows > 0 && !trace.empty()) {
+    // QoS-violating configuration. Fault-free: the recorded score
+    // becomes the mean across windows and QoS must hold in EVERY
+    // window. Under faults the aggregation is robust instead —
+    // median-of-k score and majority QoS vote — so one latency-spike
+    // outlier can neither demote a genuinely good configuration nor
+    // let a bad one slip through on a lucky window; dropout/stale
+    // windows are discarded and re-measured.
+    if (options_.validation_windows > 0 && !trace.empty() && resilient) {
+        std::vector<size_t> order = usable_indices();
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+            return trace[a].score > trace[b].score;
+        });
+        size_t ncand = std::min(size_t(options_.validation_candidates),
+                                order.size());
+        for (size_t c = 0; c < ncand; ++c) {
+            SampleRecord& rec = trace[order[c]];
+            server.apply(rec.alloc);
+            for (int a = 0;
+                 a < options_.apply_retries && !server.lastApplyOk(); ++a)
+                server.apply(rec.alloc);
+            if (!server.lastApplyOk())
+                continue; // cannot re-program: keep the sample as-is
+            std::vector<double> scores = {rec.score};
+            int met_votes = rec.all_qos_met ? 1 : 0;
+            int windows = 0;
+            int attempts = 0;
+            const int max_attempts = options_.validation_windows * 2 + 2;
+            while (windows < options_.validation_windows &&
+                   attempts < max_attempts) {
+                ++attempts;
+                std::vector<platform::JobObservation> obs =
+                    server.observe();
+                bool faulted = false;
+                for (const auto& ob : obs)
+                    faulted = faulted || !ob.valid || ob.stale;
+                if (faulted)
+                    continue; // wasted window, re-measure
+                ScoreBreakdown sb = scoreObservations(obs);
+                scores.push_back(sb.score);
+                if (sb.all_qos_met)
+                    ++met_votes;
+                ++windows;
+            }
+            rec.score = stats::percentile(scores, 0.5);
+            rec.all_qos_met = met_votes * 2 > int(scores.size());
+            if (!rec.all_qos_met)
+                rec.score = std::min(rec.score, 0.5);
+        }
+    } else if (options_.validation_windows > 0 && !trace.empty()) {
         std::vector<size_t> order(trace.size());
         for (size_t i = 0; i < order.size(); ++i)
             order[i] = i;

@@ -106,6 +106,22 @@ struct CliteOptions
     std::string acquisition = "ei";
     /** RNG seed for all stochastic choices. */
     uint64_t seed = 7;
+    /**
+     * Fault tolerance. Only active when the server has fault
+     * injection enabled — on a fault-free server the search is
+     * bit-identical with the flag on or off. When active: transient
+     * apply failures are retried with bounded exponential back-off,
+     * samples measured during fault windows are quarantined (kept in
+     * the trace but never fed to the GP or eligible as the winner),
+     * validation aggregates with median score / majority QoS vote to
+     * reject latency-spike outliers, and a permanently dead resource
+     * knob collapses that search dimension instead of aborting.
+     */
+    bool resilient = true;
+    /** Extra apply attempts per sample on transient failure. */
+    int apply_retries = 3;
+    /** Base of the exponential retry back-off (modeled ms). */
+    double retry_backoff_ms = 8.0;
 };
 
 /**

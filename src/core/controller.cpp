@@ -5,13 +5,43 @@
 namespace clite {
 namespace core {
 
+const char*
+sampleStatusName(SampleStatus status)
+{
+    switch (status) {
+      case SampleStatus::Ok:
+        return "ok";
+      case SampleStatus::ApplyFailed:
+        return "apply-failed";
+      case SampleStatus::Dropout:
+        return "dropout";
+      case SampleStatus::Stale:
+        return "stale";
+      case SampleStatus::Crashed:
+        return "crashed";
+    }
+    return "unknown";
+}
+
 int
 ControllerResult::firstFeasibleSample() const
 {
     for (size_t i = 0; i < trace.size(); ++i)
-        if (trace[i].all_qos_met)
+        if (trace[i].usable() && trace[i].all_qos_met)
             return int(i);
     return -1;
+}
+
+int
+ControllerResult::wastedSamples() const
+{
+    int wasted = 0;
+    for (const auto& rec : trace) {
+        if (!rec.usable())
+            ++wasted;
+        wasted += rec.apply_retries;
+    }
+    return wasted;
 }
 
 SampleRecord
@@ -20,7 +50,48 @@ evaluateSample(platform::SimulatedServer& server,
 {
     std::vector<platform::JobObservation> obs = server.evaluate(alloc);
     ScoreBreakdown sb = scoreObservations(obs);
-    return SampleRecord(alloc, sb.score, sb.all_qos_met, std::move(obs));
+    SampleRecord rec(alloc, sb.score, sb.all_qos_met, std::move(obs));
+    if (!server.lastApplyOk()) {
+        rec.status = SampleStatus::ApplyFailed;
+    } else {
+        for (const auto& ob : rec.observations) {
+            if (!ob.valid) {
+                rec.status = SampleStatus::Dropout;
+                break;
+            }
+            if (ob.stale) {
+                rec.status = SampleStatus::Stale;
+                break;
+            }
+            if (ob.crashed) {
+                rec.status = SampleStatus::Crashed;
+                break;
+            }
+        }
+    }
+    return rec;
+}
+
+SampleRecord
+evaluateSampleResilient(platform::SimulatedServer& server,
+                        const platform::Allocation& alloc, int max_retries,
+                        double backoff_base_ms)
+{
+    CLITE_CHECK(max_retries >= 0, "max_retries must be >= 0");
+    SampleRecord rec = evaluateSample(server, alloc);
+    int retries = 0;
+    double backoff_ms = 0.0;
+    while (rec.status == SampleStatus::ApplyFailed &&
+           retries < max_retries) {
+        // Bounded exponential back-off before re-applying; modeled
+        // time only (the simulator has no wall clock to sleep on).
+        backoff_ms += backoff_base_ms * double(1 << retries);
+        ++retries;
+        rec = evaluateSample(server, alloc);
+    }
+    rec.apply_retries = retries;
+    rec.backoff_ms = backoff_ms;
+    return rec;
 }
 
 ControllerResult
@@ -31,22 +102,33 @@ finalizeResult(platform::SimulatedServer& server,
     result.infeasible_detected = infeasible_detected;
     result.samples = int(trace.size());
     result.trace = std::move(trace);
-    if (result.trace.empty())
+
+    // Only usable samples can win; an all-quarantined (or empty)
+    // trace yields a well-formed "no usable configuration" outcome.
+    size_t best = result.trace.size();
+    for (size_t i = 0; i < result.trace.size(); ++i) {
+        if (!result.trace[i].usable())
+            continue;
+        if (best == result.trace.size() ||
+            result.trace[i].score > result.trace[best].score)
+            best = i;
+    }
+    if (best == result.trace.size())
         return result;
 
-    size_t best = 0;
-    for (size_t i = 1; i < result.trace.size(); ++i)
-        if (result.trace[i].score > result.trace[best].score)
-            best = i;
     result.best = result.trace[best].alloc;
     result.best_score = result.trace[best].score;
     result.feasible = false;
     for (const auto& rec : result.trace)
-        if (rec.all_qos_met)
+        if (rec.usable() && rec.all_qos_met)
             result.feasible = true;
 
-    // Leave the server running the winner.
+    // Leave the server running the winner. Under fault injection the
+    // final programming can itself fail transiently; retry a few
+    // times rather than hand back a server running a stale partition.
     server.apply(*result.best);
+    for (int attempt = 0; attempt < 3 && !server.lastApplyOk(); ++attempt)
+        server.apply(*result.best);
     return result;
 }
 

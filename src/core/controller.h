@@ -24,6 +24,27 @@
 namespace clite {
 namespace core {
 
+/**
+ * What happened to one evaluated sample. Anything other than Ok means
+ * the observation cannot be trusted: the configuration was never
+ * programmed (ApplyFailed), the telemetry was lost (Dropout) or
+ * repeats a previous window (Stale), or a co-located job was down
+ * (Crashed). Fault-aware controllers quarantine such samples — they
+ * stay in the trace for accounting but never feed the surrogate or
+ * win the search.
+ */
+enum class SampleStatus
+{
+    Ok,          ///< Clean observation of the requested configuration.
+    ApplyFailed, ///< Partition never programmed; observed the old one.
+    Dropout,     ///< Measurement lost for the window.
+    Stale,       ///< Frozen counters: telemetry repeats a past window.
+    Crashed,     ///< A job was down during the window.
+};
+
+/** Printable name of a sample status ("ok", "apply-failed", ...). */
+const char* sampleStatusName(SampleStatus status);
+
 /** One evaluated configuration in a controller's search. */
 struct SampleRecord
 {
@@ -31,6 +52,9 @@ struct SampleRecord
     double score = 0.0;          ///< Eq. 3 score observed.
     bool all_qos_met = false;    ///< Every LC job within target?
     std::vector<platform::JobObservation> observations; ///< Raw data.
+    SampleStatus status = SampleStatus::Ok; ///< Fault state (see above).
+    int apply_retries = 0;       ///< Extra apply attempts consumed.
+    double backoff_ms = 0.0;     ///< Modeled retry back-off time.
 
     SampleRecord(platform::Allocation a, double s, bool met,
                  std::vector<platform::JobObservation> obs)
@@ -38,6 +62,9 @@ struct SampleRecord
           observations(std::move(obs))
     {
     }
+
+    /** True when the sample may inform a search (status == Ok). */
+    bool usable() const { return status == SampleStatus::Ok; }
 };
 
 /** Outcome of one controller run. */
@@ -50,8 +77,18 @@ struct ControllerResult
     int samples = 0;             ///< Configurations evaluated.
     std::vector<SampleRecord> trace; ///< Every sample in order.
 
-    /** Index into trace of the first sample meeting all QoS (-1 none). */
+    /**
+     * Index into trace of the first usable sample meeting all QoS
+     * (-1 none). Quarantined samples never count: their QoS bits
+     * describe faulted telemetry.
+     */
     int firstFeasibleSample() const;
+
+    /**
+     * Observation windows burnt on faults: quarantined samples plus
+     * apply retries (Fig. 15-style overhead under adverse conditions).
+     */
+    int wastedSamples() const;
 };
 
 /**
@@ -75,14 +112,36 @@ class Controller
 
 /**
  * Evaluate one allocation on the server and append a SampleRecord —
- * the shared "run the system for one observation period" step.
+ * the shared "run the system for one observation period" step. The
+ * record carries a SampleStatus derived from the server's honest
+ * online signals (apply error code, missing/stale telemetry, crashed
+ * processes); on a fault-free server it is always Ok.
  */
 SampleRecord evaluateSample(platform::SimulatedServer& server,
                             const platform::Allocation& alloc);
 
 /**
- * Finish a run: pick the best-scoring sample from @p trace, re-apply
- * it to the server, and fill the result fields.
+ * evaluateSample() with bounded retry on transient apply failure:
+ * each failed attempt backs off exponentially (modeled, accumulated
+ * in SampleRecord::backoff_ms) and re-applies, up to @p max_retries
+ * extra attempts. The returned record is the last attempt's; its
+ * apply_retries counts the windows burnt.
+ */
+SampleRecord evaluateSampleResilient(platform::SimulatedServer& server,
+                                     const platform::Allocation& alloc,
+                                     int max_retries,
+                                     double backoff_base_ms = 8.0);
+
+/**
+ * Finish a run: pick the best-scoring *usable* sample from @p trace,
+ * re-apply it to the server, and fill the result fields. Quarantined
+ * (non-Ok) samples are never eligible as the winner. When the trace
+ * is empty or contains no usable sample, the result is a well-formed
+ * infeasible outcome: best is empty, best_score is 0, feasible is
+ * false, the trace is retained for accounting and the server is left
+ * untouched. (`best == nullopt && !infeasible_detected` therefore
+ * reads "the search produced no usable sample", while
+ * infeasible_detected keeps its proven-impossible meaning.)
  */
 ControllerResult finalizeResult(platform::SimulatedServer& server,
                                 std::vector<SampleRecord> trace,

@@ -18,12 +18,17 @@ OnlineManager::OnlineManager(platform::SimulatedServer& server,
     CLITE_CHECK(options_.drift_patience >= 1, "drift patience must be >= 1");
     CLITE_CHECK(options_.load_drift_threshold > 0.0,
                 "drift threshold must be > 0");
+    CLITE_CHECK(options_.apply_fail_patience >= 1,
+                "apply-fail patience must be >= 1");
+    CLITE_CHECK(options_.apply_retries >= 0,
+                "apply retries must be >= 0");
 }
 
 const ControllerResult&
 OnlineManager::initialize()
 {
     last_result_ = clite_.run(server_);
+    adoptResult();
     captureReference();
     return *last_result_;
 }
@@ -35,24 +40,51 @@ OnlineManager::captureReference()
     for (size_t j = 0; j < server_.jobCount(); ++j)
         if (server_.job(j).isLatencyCritical())
             reference_rate_[j] = server_.job(j).offeredQps();
+    job_down_.assign(server_.jobCount(), 0);
     violation_streak_ = 0;
     drift_streak_ = 0;
+    apply_fail_streak_ = 0;
 }
 
 const platform::Allocation&
 OnlineManager::incumbent() const
 {
-    CLITE_CHECK(last_result_.has_value() && last_result_->best.has_value(),
-                "OnlineManager::initialize() has not run");
-    return *last_result_->best;
+    CLITE_CHECK(incumbent_.has_value(),
+                "OnlineManager::incumbent() called before initialize(); "
+                "run initialize() first");
+    return *incumbent_;
 }
 
 const ControllerResult&
 OnlineManager::lastResult() const
 {
     CLITE_CHECK(last_result_.has_value(),
-                "OnlineManager::initialize() has not run");
+                "OnlineManager::lastResult() called before initialize(); "
+                "run initialize() first");
     return *last_result_;
+}
+
+void
+OnlineManager::adoptResult()
+{
+    if (last_result_->best.has_value()) {
+        incumbent_ = *last_result_->best;
+        return;
+    }
+    // The search produced no usable configuration (possible under
+    // heavy faults). Keep the previous incumbent when its shape still
+    // matches the job set; otherwise degrade to the equal share so
+    // the loop keeps running instead of aborting.
+    if (incumbent_.has_value() && incumbent_->jobs() == server_.jobCount())
+        return;
+    platform::Allocation equal =
+        platform::Allocation::equalShare(server_.jobCount(), server_.config());
+    server_.apply(equal);
+    for (int a = 0; a < options_.apply_retries && !server_.lastApplyOk(); ++a)
+        server_.apply(equal);
+    incumbent_ = equal;
+    CLITE_LOG_INFO("no usable search result; incumbent degraded to "
+                   "equal share");
 }
 
 void
@@ -63,18 +95,83 @@ OnlineManager::reoptimize(const std::string& reason, bool mix_changed)
         // The incumbent's shape no longer matches the job set.
         last_result_ = clite_.run(server_);
     } else {
-        last_result_ = clite_.reoptimize(server_, incumbent());
+        last_result_ = clite_.reoptimize(server_, *incumbent_);
     }
+    adoptResult();
     captureReference();
     mix_changed_ = false;
     ++reoptimizations_;
+}
+
+bool
+OnlineManager::watchdog(Tick& out)
+{
+    if (!incumbent_.has_value() ||
+        incumbent_->jobs() != server_.jobCount())
+        return false;
+
+    // Compare only live columns: a dead knob keeps its last programmed
+    // value, which the incumbent cannot (and need not) change.
+    std::vector<char> is_dead(incumbent_->resources(), 0);
+    for (size_t r : server_.deadResources())
+        is_dead[r] = 1;
+    bool match = true;
+    {
+        const platform::Allocation& cur = server_.currentAllocation();
+        for (size_t j = 0; j < cur.jobs() && match; ++j)
+            for (size_t r = 0; r < cur.resources(); ++r)
+                if (!is_dead[r] && cur.get(j, r) != incumbent_->get(j, r)) {
+                    match = false;
+                    break;
+                }
+    }
+    if (match) {
+        apply_fail_streak_ = 0;
+        return true;
+    }
+
+    // The incumbent is not programmed (a transient apply failure left
+    // the server on a stale partition): re-apply with bounded retries.
+    server_.apply(*incumbent_);
+    for (int a = 0; a < options_.apply_retries && !server_.lastApplyOk(); ++a)
+        server_.apply(*incumbent_);
+    if (server_.lastApplyOk()) {
+        apply_fail_streak_ = 0;
+        return true;
+    }
+
+    ++apply_fail_streak_;
+    if (apply_fail_streak_ < options_.apply_fail_patience)
+        return false;
+
+    // Repeated failure to program the incumbent: degrade gracefully to
+    // the last configuration known to meet QoS, or the equal share
+    // when none is known yet.
+    platform::Allocation fallback =
+        (last_known_good_.has_value() &&
+         last_known_good_->jobs() == server_.jobCount())
+            ? *last_known_good_
+            : platform::Allocation::equalShare(server_.jobCount(),
+                                               server_.config());
+    server_.apply(fallback);
+    for (int a = 0; a < options_.apply_retries && !server_.lastApplyOk(); ++a)
+        server_.apply(fallback);
+    incumbent_ = std::move(fallback);
+    apply_fail_streak_ = 0;
+    ++fallbacks_;
+    out.fallback = true;
+    CLITE_LOG_INFO("watchdog: incumbent unprogrammable, fell back to "
+                   << (last_known_good_.has_value() ? "last known-good"
+                                                    : "equal share"));
+    return false;
 }
 
 OnlineManager::Tick
 OnlineManager::tick()
 {
     CLITE_CHECK(last_result_.has_value(),
-                "tick() before initialize()");
+                "OnlineManager::tick() called before initialize(); "
+                "run initialize() first");
     ++windows_;
 
     Tick out;
@@ -86,12 +183,65 @@ OnlineManager::tick()
         out.search_samples = last_result_->samples;
     }
 
+    const bool faults = server_.faultsEnabled();
+    bool incumbent_verified = !faults;
+    if (!out.reoptimized && faults)
+        incumbent_verified = watchdog(out);
+
     std::vector<platform::JobObservation> obs = server_.observe();
     ScoreBreakdown sb = scoreObservations(obs);
     out.all_qos_met = sb.all_qos_met;
     out.score = sb.score;
+
+    if (faults) {
+        // Crash bookkeeping: a restart re-captures the reference rates
+        // (the restarted job ramps back to its offered load, which
+        // must not read as drift of the incumbent's operating point).
+        if (job_down_.size() != obs.size())
+            job_down_.assign(obs.size(), 0);
+        bool restarted = false;
+        for (size_t j = 0; j < obs.size(); ++j) {
+            if (obs[j].crashed) {
+                job_down_[j] = 1;
+            } else if (job_down_[j]) {
+                job_down_[j] = 0;
+                restarted = true;
+            }
+        }
+        if (restarted && !out.reoptimized) {
+            CLITE_LOG_INFO("job restart detected; re-capturing reference "
+                           "rates");
+            captureReference();
+        }
+    }
+
     if (out.reoptimized)
         return out;
+
+    if (faults) {
+        // Quarantine faulted windows: lost/stale telemetry or a down
+        // job makes this window's QoS/score describe the fault, not
+        // the partition. No streak advances — a glitch must not
+        // trigger a spurious re-optimization, and no partition can
+        // fix a dead process.
+        bool fault_window = false;
+        for (const auto& ob : obs)
+            if (!ob.valid || ob.stale || ob.crashed)
+                fault_window = true;
+        for (char down : job_down_)
+            if (down)
+                fault_window = true;
+        if (fault_window) {
+            out.faulted = true;
+            ++faulted_windows_;
+            return out;
+        }
+        // Only a window whose incumbent was verified programmed may
+        // record a known-good configuration — a QoS-met window running
+        // some stale partition says nothing about the incumbent.
+        if (incumbent_verified && sb.all_qos_met && incumbent_.has_value())
+            last_known_good_ = *incumbent_;
+    }
 
     // QoS violation detection.
     violation_streak_ = sb.all_qos_met ? 0 : violation_streak_ + 1;

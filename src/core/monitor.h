@@ -11,6 +11,25 @@
  * violations, drift of an LC job's observed load away from the level
  * the incumbent was optimized for, and job arrivals/departures all
  * trigger a re-optimization seeded with the incumbent configuration.
+ *
+ * The loop is fault-tolerant (all of it inert on a fault-free
+ * server): windows whose telemetry is lost or stale are quarantined —
+ * they advance no violation/drift streak, so a glitch cannot trigger
+ * a spurious re-optimization; a watchdog verifies each window that
+ * the incumbent is actually programmed, re-applies it with bounded
+ * retries after a transient apply failure, and after repeated
+ * failures degrades gracefully to the last known-good configuration
+ * (or the equal share when none is known); a job crash holds the
+ * re-optimization triggers while the job is down — no partition can
+ * fix a dead process — and its restart re-captures the per-job
+ * reference rates.
+ *
+ * Preconditions: initialize() must complete before tick(),
+ * incumbent() or lastResult() is used; each of those throws
+ * clite::Error (with a message naming the missing initialize() call)
+ * when invoked early. notifyMixChange() may be called at any time
+ * after construction; a mix change notified before the first tick()
+ * is honoured by that first tick().
  */
 
 #ifndef CLITE_CORE_MONITOR_H
@@ -38,6 +57,14 @@ struct MonitorOptions
     double load_drift_threshold = 0.20;
     /** Consecutive drifting windows before re-optimizing. */
     int drift_patience = 2;
+    /**
+     * Watchdog: consecutive windows with a failed incumbent
+     * re-programming before falling back to the last known-good
+     * configuration (equal share when none is known).
+     */
+    int apply_fail_patience = 3;
+    /** Watchdog: re-apply attempts per window on apply failure. */
+    int apply_retries = 2;
 };
 
 /**
@@ -57,6 +84,9 @@ class OnlineManager
 
     /**
      * Run the initial optimization. Must be called before tick().
+     * When the search yields no usable configuration (possible under
+     * heavy faults), the manager falls back to the equal-share
+     * partition as its incumbent instead of failing.
      * @return The search result (also retained internally).
      */
     const ControllerResult& initialize();
@@ -69,22 +99,37 @@ class OnlineManager
         bool reoptimized = false;   ///< A re-optimization ran.
         std::string reason;         ///< Why ("qos-violation", ...).
         int search_samples = 0;     ///< Samples spent if reoptimized.
+        /**
+         * The window's telemetry was quarantined (lost/stale
+         * measurement or a crashed job): its QoS/score describe the
+         * fault, not the partition, and no streak advanced.
+         */
+        bool faulted = false;
+        /** The watchdog fell back to a degraded configuration. */
+        bool fallback = false;
     };
 
     /**
      * One observation window plus the re-invocation decision.
      * @pre initialize() has been called.
+     * @throws clite::Error when called before initialize().
      */
     Tick tick();
 
     /**
      * Tell the manager the job mix changed (after calling the
      * server's addJob/removeJob): the next tick() re-optimizes from
-     * scratch (the incumbent's shape no longer matches).
+     * scratch (the incumbent's shape no longer matches). Valid at any
+     * time, including before the first tick().
      */
     void notifyMixChange();
 
-    /** The incumbent configuration. @pre initialize() was called. */
+    /**
+     * The incumbent configuration (the degraded fallback when the
+     * watchdog demoted a failing incumbent).
+     * @pre initialize() has been called.
+     * @throws clite::Error when called before initialize().
+     */
     const platform::Allocation& incumbent() const;
 
     /** Number of re-optimizations triggered so far (excl. initial). */
@@ -93,7 +138,23 @@ class OnlineManager
     /** Number of monitoring windows observed so far. */
     int windows() const { return windows_; }
 
-    /** The result of the most recent search. */
+    /** Number of watchdog fallbacks to a degraded configuration. */
+    int fallbacks() const { return fallbacks_; }
+
+    /** Number of quarantined (faulted) windows so far. */
+    int faultedWindows() const { return faulted_windows_; }
+
+    /** Current consecutive QoS-violating window count (for tests). */
+    int violationStreak() const { return violation_streak_; }
+
+    /** Current consecutive drifting window count (for tests). */
+    int driftStreak() const { return drift_streak_; }
+
+    /**
+     * The result of the most recent search.
+     * @pre initialize() has been called.
+     * @throws clite::Error when called before initialize().
+     */
     const ControllerResult& lastResult() const;
 
   private:
@@ -103,17 +164,35 @@ class OnlineManager
     /** Run a re-optimization and reset monitor state. */
     void reoptimize(const std::string& reason, bool mix_changed);
 
+    /** Adopt @p result's winner (or a fallback) as the incumbent. */
+    void adoptResult();
+
+    /**
+     * Watchdog: verify the incumbent is programmed; re-apply with
+     * bounded retries; degrade to last known-good / equal share after
+     * apply_fail_patience consecutive failing windows.
+     * @return True when the incumbent is verified programmed (only
+     *     such windows may record a last known-good configuration).
+     */
+    bool watchdog(Tick& out);
+
     platform::SimulatedServer& server_;
     CliteController clite_;
     MonitorOptions options_;
 
     std::optional<ControllerResult> last_result_;
+    std::optional<platform::Allocation> incumbent_;
+    std::optional<platform::Allocation> last_known_good_;
     std::vector<double> reference_rate_; // per-job completions/s (LC)
+    std::vector<char> job_down_;         // crash state per job
     int violation_streak_ = 0;
     int drift_streak_ = 0;
+    int apply_fail_streak_ = 0;
     bool mix_changed_ = false;
     int reoptimizations_ = 0;
     int windows_ = 0;
+    int fallbacks_ = 0;
+    int faulted_windows_ = 0;
 };
 
 } // namespace core

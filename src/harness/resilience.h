@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Resilience evaluation harness: run any scheme under a declarative
+ * fault plan and quantify how gracefully it degrades.
+ *
+ * The paper evaluates CLITE on a well-behaved testbed; production
+ * servers are not so polite — telemetry windows get lost, counters
+ * freeze, cgroup/CAT writes fail transiently, knobs die, jobs crash.
+ * This harness attaches a seeded FaultInjector to the evaluation
+ * server, runs the scheme's full search, then scores the partition
+ * the server was actually left programmed with against the noise-free
+ * (and fault-free) ground truth. Comparing that score to the same
+ * scheme's fault-free run on the same mix and seed yields the score
+ * degradation attributable to the faults alone.
+ *
+ * faultRateSweep() drives the fig_resilience bench: one row per
+ * (scheme, fault rate) with QoS-violation windows, wasted samples,
+ * ground-truth score and degradation, so CLITE's fault-tolerant
+ * control path can be compared against baselines that lack one.
+ */
+
+#ifndef CLITE_HARNESS_RESILIENCE_H
+#define CLITE_HARNESS_RESILIENCE_H
+
+#include <string>
+#include <vector>
+
+#include "harness/schemes.h"
+#include "platform/faults.h"
+
+namespace clite {
+namespace harness {
+
+/** One resilience run: a scheme, a mix, and a fault plan. */
+struct ResilienceSpec
+{
+    ServerSpec server;          ///< Mix / backend / noise / seed.
+    std::string scheme = "clite"; ///< Scheme name (see makeScheme()).
+    platform::FaultPlan plan;   ///< Faults to inject (empty = clean).
+    uint64_t fault_seed = 0xFA5715EEDull; ///< FaultInjector seed.
+    uint64_t seed = 7;          ///< Controller seed.
+};
+
+/** Outcome of one resilience run. */
+struct ResilienceOutcome
+{
+    core::ControllerResult result; ///< Search outcome under faults.
+    /** The scheme produced a configuration at all. */
+    bool found_config = false;
+    /**
+     * Noise-free, fault-free ground-truth score of the partition the
+     * server ended up programmed with (0 when none was found).
+     */
+    double truth_score = 0.0;
+    /** Ground truth: does the final partition meet every LC QoS? */
+    bool truth_qos_met = false;
+    /** Search windows whose telemetry described a QoS violation. */
+    int violation_windows = 0;
+    /** Quarantined samples + apply retries (see wastedSamples()). */
+    int wasted_samples = 0;
+    /** Fault events the injector actually delivered. */
+    int fault_events = 0;
+    /** Total samples the search spent. */
+    int samples = 0;
+};
+
+/**
+ * Run @p spec.scheme on a fresh server with @p spec.plan injected.
+ * Unlike runScheme(), a search that produces no configuration is a
+ * reported outcome (found_config = false), not an error — that IS the
+ * failure mode being measured.
+ */
+ResilienceOutcome runResilient(const ResilienceSpec& spec);
+
+/**
+ * A fault plan whose event probabilities all scale with one knob:
+ * apply failures at @p rate, measurement dropouts and latency spikes
+ * at rate/2, frozen counters at rate/4. Crashes and knob losses are
+ * scripted faults and stay off — sweep those separately.
+ */
+platform::FaultPlan scaledFaultPlan(double rate);
+
+/** One row of a fault-rate sweep. */
+struct ResilienceSweepRow
+{
+    std::string scheme;
+    double fault_rate = 0.0;
+    ResilienceOutcome outcome;
+    /**
+     * truth_score drop relative to the same scheme's clean run
+     * (rate 0) on the same mix and seed; 0 for the clean run itself.
+     */
+    double score_degradation = 0.0;
+};
+
+/**
+ * Run each scheme at each fault rate (rows ordered scheme-major, the
+ * clean rate-0 run first so degradation has its baseline).
+ */
+std::vector<ResilienceSweepRow>
+faultRateSweep(const std::vector<std::string>& schemes,
+               const ServerSpec& server, const std::vector<double>& rates,
+               uint64_t seed = 7);
+
+} // namespace harness
+} // namespace clite
+
+#endif // CLITE_HARNESS_RESILIENCE_H

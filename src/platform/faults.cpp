@@ -1,0 +1,156 @@
+#include "platform/faults.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace clite {
+namespace platform {
+
+const char*
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::MeasurementDropout:
+        return "measurement-dropout";
+      case FaultKind::FrozenCounters:
+        return "frozen-counters";
+      case FaultKind::LatencySpike:
+        return "latency-spike";
+      case FaultKind::ApplyFailure:
+        return "apply-failure";
+      case FaultKind::KnobLoss:
+        return "knob-loss";
+      case FaultKind::JobCrash:
+        return "job-crash";
+    }
+    return "unknown";
+}
+
+bool
+FaultPlan::any() const
+{
+    return dropout_prob > 0.0 || freeze_prob > 0.0 || spike_prob > 0.0 ||
+           apply_fail_prob > 0.0 || crash_prob > 0.0 ||
+           !knob_losses.empty() || !crashes.empty();
+}
+
+void
+FaultPlan::validate() const
+{
+    auto check_prob = [](double p, const char* name) {
+        CLITE_CHECK(p >= 0.0 && p <= 1.0,
+                    name << " must be in [0,1], got " << p);
+    };
+    check_prob(dropout_prob, "dropout_prob");
+    check_prob(freeze_prob, "freeze_prob");
+    check_prob(spike_prob, "spike_prob");
+    check_prob(apply_fail_prob, "apply_fail_prob");
+    check_prob(crash_prob, "crash_prob");
+    CLITE_CHECK(spike_factor >= 1.0,
+                "spike_factor must be >= 1, got " << spike_factor);
+    CLITE_CHECK(crash_down_windows >= 1,
+                "crash_down_windows must be >= 1, got "
+                    << crash_down_windows);
+    for (const auto& c : crashes)
+        CLITE_CHECK(c.down_windows >= 1,
+                    "scripted crash down_windows must be >= 1, got "
+                        << c.down_windows);
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, uint64_t seed)
+    : plan_(std::move(plan)), seed_(seed)
+{
+    plan_.validate();
+}
+
+double
+FaultInjector::hash01(FaultKind kind, uint64_t a, uint64_t b) const
+{
+    // Counter-keyed hash: mix the seed, the kind tag and the event
+    // coordinates through SplitMix64 so each decision is independent
+    // of every other and of query order.
+    SplitMix64 mix(seed_ ^ (uint64_t(kind) + 1) * 0x9E3779B97F4A7C15ull);
+    uint64_t h = mix.next() ^ (a * 0xBF58476D1CE4E5B9ull);
+    SplitMix64 mix2(h ^ (b * 0x94D049BB133111EBull));
+    uint64_t v = mix2.next();
+    return double(v >> 11) * 0x1.0p-53; // 53-bit mantissa in [0,1)
+}
+
+bool
+FaultInjector::applyFails(uint64_t apply_index) const
+{
+    return plan_.apply_fail_prob > 0.0 &&
+           hash01(FaultKind::ApplyFailure, apply_index, 0) <
+               plan_.apply_fail_prob;
+}
+
+bool
+FaultInjector::resourceDead(size_t r, uint64_t apply_index) const
+{
+    for (const auto& kl : plan_.knob_losses)
+        if (kl.resource == r && apply_index >= kl.after_apply)
+            return true;
+    return false;
+}
+
+bool
+FaultInjector::windowDropout(uint64_t window) const
+{
+    return plan_.dropout_prob > 0.0 &&
+           hash01(FaultKind::MeasurementDropout, window, 0) <
+               plan_.dropout_prob;
+}
+
+bool
+FaultInjector::windowFrozen(uint64_t window) const
+{
+    return plan_.freeze_prob > 0.0 &&
+           hash01(FaultKind::FrozenCounters, window, 0) < plan_.freeze_prob;
+}
+
+bool
+FaultInjector::latencySpike(uint64_t window, size_t job) const
+{
+    return plan_.spike_prob > 0.0 &&
+           hash01(FaultKind::LatencySpike, window, job + 1) <
+               plan_.spike_prob;
+}
+
+bool
+FaultInjector::jobDown(uint64_t window, size_t job) const
+{
+    for (const auto& c : plan_.crashes)
+        if (c.job == job && window >= c.at_window &&
+            window < c.at_window + uint64_t(c.down_windows))
+            return true;
+    if (plan_.crash_prob > 0.0) {
+        // Down if a probabilistic crash started in any of the last
+        // crash_down_windows windows (including this one).
+        uint64_t span = uint64_t(plan_.crash_down_windows);
+        uint64_t first = window >= span - 1 ? window - (span - 1) : 0;
+        for (uint64_t w0 = first; w0 <= window; ++w0)
+            if (hash01(FaultKind::JobCrash, w0, job + 1) <
+                plan_.crash_prob)
+                return true;
+    }
+    return false;
+}
+
+void
+FaultInjector::record(FaultKind kind, uint64_t index, size_t subject)
+{
+    events_.push_back(FaultEvent{kind, index, subject});
+}
+
+uint64_t
+FaultInjector::count(FaultKind kind) const
+{
+    uint64_t n = 0;
+    for (const auto& e : events_)
+        if (e.kind == kind)
+            ++n;
+    return n;
+}
+
+} // namespace platform
+} // namespace clite

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulated server.
+ *
+ * The paper's controller runs *online* on a real machine, where
+ * telemetry is noisy and the isolation knobs of Table 1 are ordinary
+ * system tools that can fail: perf counters drop or freeze, a tail
+ * latency sample can spike for reasons unrelated to the partition,
+ * `pqos`/cgroup writes transiently return errors, a knob can die for
+ * the rest of the run, and jobs crash and restart. FaultInjector
+ * reproduces those adversities deterministically so that any
+ * controller can be exercised under a declarative FaultPlan without
+ * code changes, and the same seed + plan always yields the identical
+ * fault sequence (the basis of the resilience bench and of regression
+ * tests).
+ *
+ * Every probabilistic decision is a pure function of (seed, fault
+ * kind, event counter): a counter-keyed hash rather than a shared
+ * stateful stream. This makes the sequence independent of call order
+ * and of how often a decision is re-queried — retries see the same
+ * world they failed in, and two runs with the same plan diverge only
+ * through the controller's own choices.
+ */
+
+#ifndef CLITE_PLATFORM_FAULTS_H
+#define CLITE_PLATFORM_FAULTS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace clite {
+namespace platform {
+
+/** The injectable fault kinds. */
+enum class FaultKind
+{
+    MeasurementDropout, ///< A whole observation window returns no data.
+    FrozenCounters,     ///< A window repeats the previous telemetry.
+    LatencySpike,       ///< One LC job's p95 is multiplied by a factor.
+    ApplyFailure,       ///< One apply() transiently fails to program.
+    KnobLoss,           ///< A resource knob dies for the rest of the run.
+    JobCrash,           ///< A job crashes and restarts windows later.
+};
+
+/** Printable name of a fault kind ("apply-failure", ...). */
+const char* faultKindName(FaultKind kind);
+
+/**
+ * Declarative fault schedule: per-event probabilities for the
+ * transient kinds plus scripted schedules for permanent knob loss and
+ * job crashes. All probabilities are per-event (per observation
+ * window, per apply attempt, per window x LC job for spikes).
+ */
+struct FaultPlan
+{
+    /** P(an observe() window returns no valid measurement). */
+    double dropout_prob = 0.0;
+    /** P(an observe() window repeats the previous window's telemetry). */
+    double freeze_prob = 0.0;
+    /** P(one LC job's p95 spikes in a window), per job. */
+    double spike_prob = 0.0;
+    /** Multiplier applied to a spiked p95. */
+    double spike_factor = 8.0;
+    /** P(an apply() attempt transiently fails), per attempt. */
+    double apply_fail_prob = 0.0;
+    /** P(a job crashes in a window), per window x job. */
+    double crash_prob = 0.0;
+    /** Down-time of a probabilistic crash, in observation windows. */
+    int crash_down_windows = 3;
+
+    /** Permanent loss of one resource knob. */
+    struct KnobLoss
+    {
+        /** The knob is dead for every apply with index >= this. */
+        uint64_t after_apply = 0;
+        /** Resource column that can no longer be reprogrammed. */
+        size_t resource = 0;
+    };
+    std::vector<KnobLoss> knob_losses;
+
+    /** Scripted job crash/restart. */
+    struct JobCrash
+    {
+        uint64_t at_window = 0; ///< First down window (observe index).
+        size_t job = 0;         ///< Crashing job.
+        int down_windows = 3;   ///< Windows the job stays down.
+    };
+    std::vector<JobCrash> crashes;
+
+    /** True when the plan can inject at least one fault. */
+    bool any() const;
+
+    /** @throws clite::Error on out-of-range fields. */
+    void validate() const;
+};
+
+/** One injected fault, for reporting and tests. */
+struct FaultEvent
+{
+    FaultKind kind;     ///< What was injected.
+    uint64_t index = 0; ///< Observe-window or apply index it hit.
+    size_t subject = 0; ///< Job or resource concerned (0 if n/a).
+};
+
+/**
+ * Seeded, deterministic fault source. Decision methods are pure
+ * (const, counter-keyed); the event log records what the server
+ * actually injected.
+ */
+class FaultInjector
+{
+  public:
+    /**
+     * @param plan The fault schedule (validated).
+     * @param seed Seed of the counter-keyed hash; same seed + plan
+     *     produce the identical decision sequence.
+     */
+    explicit FaultInjector(FaultPlan plan, uint64_t seed = 0xFA5715EEDull);
+
+    /** The plan in effect. */
+    const FaultPlan& plan() const { return plan_; }
+
+    /** The seed in effect. */
+    uint64_t seed() const { return seed_; }
+
+    /** Does apply attempt @p apply_index transiently fail? */
+    bool applyFails(uint64_t apply_index) const;
+
+    /** Is resource @p r's knob dead at apply index @p apply_index? */
+    bool resourceDead(size_t r, uint64_t apply_index) const;
+
+    /** Does observation window @p window drop entirely? */
+    bool windowDropout(uint64_t window) const;
+
+    /** Does window @p window repeat the previous telemetry? */
+    bool windowFrozen(uint64_t window) const;
+
+    /** Does job @p job's p95 spike in window @p window? */
+    bool latencySpike(uint64_t window, size_t job) const;
+
+    /**
+     * Is job @p job down (crashed, not yet restarted) in window
+     * @p window? Combines the scripted crashes with probabilistic
+     * ones of plan().crash_down_windows duration.
+     */
+    bool jobDown(uint64_t window, size_t job) const;
+
+    /** Record an injected fault (called by the server). */
+    void record(FaultKind kind, uint64_t index, size_t subject = 0);
+
+    /** Every fault injected so far, in injection order. */
+    const std::vector<FaultEvent>& events() const { return events_; }
+
+    /** Number of injected events of @p kind. */
+    uint64_t count(FaultKind kind) const;
+
+    /** Forget the event log (decisions are unaffected). */
+    void clearEvents() { events_.clear(); }
+
+  private:
+    /** Uniform [0,1) hash of (seed, kind, a, b). */
+    double hash01(FaultKind kind, uint64_t a, uint64_t b) const;
+
+    FaultPlan plan_;
+    uint64_t seed_;
+    std::vector<FaultEvent> events_;
+};
+
+} // namespace platform
+} // namespace clite
+
+#endif // CLITE_PLATFORM_FAULTS_H

@@ -97,6 +97,18 @@ SimulatedServer::bgJobs() const
 }
 
 void
+SimulatedServer::applyInternal(const Allocation& alloc)
+{
+    for (size_t r = 0; r < drivers_.size(); ++r) {
+        drivers_[r]->apply(alloc, r);
+        apply_latency_ms_ += drivers_[r]->applyLatencyMs();
+    }
+    current_ = std::make_unique<Allocation>(alloc);
+    ++apply_count_;
+    last_apply_ok_ = true;
+}
+
+void
 SimulatedServer::apply(const Allocation& alloc)
 {
     CLITE_CHECK(alloc.jobs() == jobs_.size(),
@@ -107,12 +119,65 @@ SimulatedServer::apply(const Allocation& alloc)
                                   << " resources, server has "
                                   << config_.resourceCount());
     alloc.validate();
+    if (!faultsEnabled()) {
+        applyInternal(alloc);
+        return;
+    }
+
+    const uint64_t idx = apply_count_;
+    if (faults_->applyFails(idx)) {
+        // Transient failure: the tool returned an error, nothing got
+        // programmed. The attempt still counts toward the overhead
+        // accounting; latency does not (the call failed fast).
+        faults_->record(FaultKind::ApplyFailure, idx);
+        last_apply_ok_ = false;
+        ++apply_count_;
+        return;
+    }
+
+    // Dead knobs keep their last programmed column; every live knob
+    // is programmed as requested, so current_ records what actually
+    // runs, not what was asked for.
+    Allocation programmed = alloc;
+    std::vector<char> dead(drivers_.size(), 0);
+    if (current_ != nullptr && current_->jobs() == alloc.jobs()) {
+        for (size_t r = 0; r < drivers_.size(); ++r) {
+            if (!faults_->resourceDead(r, idx))
+                continue;
+            dead[r] = 1;
+            for (size_t j = 0; j < jobs_.size(); ++j)
+                programmed.set(j, r, current_->get(j, r));
+        }
+    }
     for (size_t r = 0; r < drivers_.size(); ++r) {
-        drivers_[r]->apply(alloc, r);
+        if (dead[r])
+            continue; // knob untouched: old driver state, no latency
+        drivers_[r]->apply(programmed, r);
         apply_latency_ms_ += drivers_[r]->applyLatencyMs();
     }
-    current_ = std::make_unique<Allocation>(alloc);
+    current_ = std::make_unique<Allocation>(programmed);
     ++apply_count_;
+    last_apply_ok_ = true;
+}
+
+void
+SimulatedServer::setFaultInjector(std::shared_ptr<FaultInjector> faults)
+{
+    faults_ = std::move(faults);
+    last_apply_ok_ = true;
+    last_window_.clear();
+}
+
+std::vector<size_t>
+SimulatedServer::deadResources() const
+{
+    std::vector<size_t> out;
+    if (!faultsEnabled())
+        return out;
+    for (size_t r = 0; r < config_.resourceCount(); ++r)
+        if (faults_->resourceDead(r, apply_count_))
+            out.push_back(r);
+    return out;
 }
 
 const Allocation&
@@ -154,6 +219,7 @@ std::vector<JobObservation>
 SimulatedServer::observe()
 {
     CLITE_CHECK(current_ != nullptr, "observe() before any apply()");
+    const uint64_t window = observe_count_;
     ++observe_count_;
 
     std::vector<JobObservation> out;
@@ -184,6 +250,39 @@ SimulatedServer::observe()
         }
         out.push_back(std::move(ob));
     }
+    if (!faultsEnabled())
+        return out;
+
+    // Frozen counters: the window repeats the previously delivered
+    // telemetry (the measurement above still happened — the system
+    // ran — only its readout is lost).
+    if (faults_->windowFrozen(window) && last_window_.size() == out.size()) {
+        std::vector<JobObservation> frozen = last_window_;
+        for (auto& ob : frozen)
+            ob.stale = true;
+        faults_->record(FaultKind::FrozenCounters, window);
+        return frozen;
+    }
+    for (size_t j = 0; j < out.size(); ++j) {
+        if (faults_->jobDown(window, j)) {
+            JobObservation& ob = out[j];
+            ob.crashed = true;
+            ob.throughput = 0.0;
+            if (ob.is_lc)
+                ob.p95_ms = 1e9; // no service: unbounded tail
+            faults_->record(FaultKind::JobCrash, window, j);
+        } else if (out[j].is_lc && faults_->latencySpike(window, j)) {
+            out[j].p95_ms *= faults_->plan().spike_factor;
+            faults_->record(FaultKind::LatencySpike, window, j);
+        }
+    }
+    if (faults_->windowDropout(window)) {
+        for (auto& ob : out)
+            ob.valid = false;
+        faults_->record(FaultKind::MeasurementDropout, window);
+        return out;
+    }
+    last_window_ = out;
     return out;
 }
 
@@ -261,7 +360,10 @@ SimulatedServer::addJob(const workloads::JobSpec& job)
     iso_cache_value_.push_back(0.0);
     iso_cache_load_.push_back(-1.0);
     iso_cache_valid_.push_back(false);
-    apply(Allocation::equalShare(jobs_.size(), config_));
+    // Slot reconfiguration is an offline operation: it bypasses fault
+    // injection so drivers, current_ and jobs_ never disagree on shape.
+    applyInternal(Allocation::equalShare(jobs_.size(), config_));
+    last_window_.clear();
     CLITE_LOG_INFO("job " << job.profile.name << " arrived; "
                           << jobs_.size() << " jobs co-located");
     return jobs_.size() - 1;
@@ -278,7 +380,8 @@ SimulatedServer::removeJob(size_t j)
     iso_cache_value_.erase(iso_cache_value_.begin() + long(j));
     iso_cache_load_.erase(iso_cache_load_.begin() + long(j));
     iso_cache_valid_.erase(iso_cache_valid_.begin() + long(j));
-    apply(Allocation::equalShare(jobs_.size(), config_));
+    applyInternal(Allocation::equalShare(jobs_.size(), config_));
+    last_window_.clear();
 }
 
 std::vector<std::string>

@@ -22,6 +22,7 @@
 
 #include "common/rng.h"
 #include "platform/allocation.h"
+#include "platform/faults.h"
 #include "platform/isolation.h"
 #include "platform/resource.h"
 #include "workloads/perf_model.h"
@@ -47,6 +48,25 @@ struct JobObservation
 
     double iso_p95_ms = 0.0;     ///< p95 under maximum allocation (LC).
     double iso_throughput = 0.0; ///< Throughput under max allocation (BG).
+
+    /**
+     * False when the window's telemetry was lost (measurement
+     * dropout): the numeric fields are meaningless and the sample must
+     * not be trusted. Detectable online — the monitoring agent knows
+     * it received no data.
+     */
+    bool valid = true;
+    /**
+     * True when the telemetry repeats the previous window (frozen
+     * counters). Detectable online through the sample's unchanged
+     * timestamp.
+     */
+    bool stale = false;
+    /**
+     * True while the job is crashed (down): zero throughput, p95 far
+     * beyond any target. Detectable online — the process is gone.
+     */
+    bool crashed = false;
 
     /** True when the job is BG or its p95 is within target. */
     bool qosMet() const;
@@ -98,9 +118,47 @@ class SimulatedServer
 
     /**
      * Program @p alloc through the isolation drivers.
+     *
+     * Under fault injection an apply attempt can transiently fail
+     * (drivers and currentAllocation() keep their previous state;
+     * lastApplyOk() turns false) and dead knobs keep their last
+     * programmed column, so currentAllocation() reflects what is
+     * actually programmed, not what was requested.
+     *
      * @pre alloc.valid() with matching shape.
      */
     void apply(const Allocation& alloc);
+
+    /**
+     * Attach (or detach, with nullptr) a fault injector. Without one —
+     * or with a plan that injects nothing — every code path is
+     * identical to the fault-free server.
+     */
+    void setFaultInjector(std::shared_ptr<FaultInjector> faults);
+
+    /** The attached fault injector (nullptr when none). */
+    FaultInjector* faultInjector() const { return faults_.get(); }
+
+    /** True when an injector with a non-trivial plan is attached. */
+    bool faultsEnabled() const
+    {
+        return faults_ != nullptr && faults_->plan().any();
+    }
+
+    /**
+     * Did the most recent apply() program the drivers? Mirrors the
+     * error code a real isolation tool returns, so controllers can
+     * retry. Always true on a fault-free server.
+     */
+    bool lastApplyOk() const { return last_apply_ok_; }
+
+    /**
+     * Resources whose knob is permanently dead at the current apply
+     * index (empty on a fault-free server). A dead knob keeps its
+     * last programmed partition; controllers should collapse the
+     * dimension.
+     */
+    std::vector<size_t> deadResources() const;
 
     /** The currently programmed allocation. */
     const Allocation& currentAllocation() const;
@@ -172,6 +230,13 @@ class SimulatedServer
     workloads::JobMeasurement isolationBaseline(size_t j) const;
 
   private:
+    /**
+     * Program @p alloc unconditionally, bypassing fault injection —
+     * construction and job arrival/departure reconfigure the slots as
+     * an offline operation that cannot be left half-done.
+     */
+    void applyInternal(const Allocation& alloc);
+
     ServerConfig config_;
     std::vector<workloads::JobSpec> jobs_;
     std::unique_ptr<workloads::PerformanceModel> model_;
@@ -181,6 +246,10 @@ class SimulatedServer
 
     std::vector<std::unique_ptr<IsolationDriver>> drivers_;
     std::unique_ptr<Allocation> current_;
+
+    std::shared_ptr<FaultInjector> faults_;
+    bool last_apply_ok_ = true;
+    std::vector<JobObservation> last_window_; // for frozen counters
 
     mutable std::vector<double> iso_cache_value_;
     mutable std::vector<double> iso_cache_load_;

@@ -132,6 +132,134 @@ TEST(OnlineManager, OptionValidation)
     EXPECT_THROW(OnlineManager m(server, {}, bad), Error);
 }
 
+TEST(OnlineManager, MixChangeNotifiedBeforeFirstTick)
+{
+    // notifyMixChange() is valid at any time after construction; a
+    // change notified between initialize() and the first tick() (or
+    // even before initialize()) is honoured by the first tick.
+    auto server = makeServer();
+    OnlineManager manager(server, fastClite());
+    manager.initialize();
+    server.addJob(workloads::bgJob("swaptions"));
+    manager.notifyMixChange();
+
+    OnlineManager::Tick t = manager.tick();
+    EXPECT_TRUE(t.reoptimized);
+    EXPECT_EQ(t.reason, "mix-change");
+    EXPECT_EQ(manager.incumbent().jobs(), 4u);
+    EXPECT_EQ(manager.windows(), 1);
+}
+
+TEST(OnlineManager, StreaksResetAfterReoptimization)
+{
+    auto server = makeServer();
+    OnlineManager manager(server, fastClite());
+    manager.initialize();
+
+    // Overload memcached far past the incumbent's operating point;
+    // streaks build until a re-optimization fires, which must reset
+    // them to zero.
+    server.setLoad(1, 0.9);
+    bool reoptimized = false;
+    for (int w = 0; w < 8 && !reoptimized; ++w) {
+        OnlineManager::Tick t = manager.tick();
+        reoptimized = t.reoptimized;
+        if (!reoptimized) {
+            EXPECT_GE(manager.violationStreak() + manager.driftStreak(), 1);
+        }
+    }
+    ASSERT_TRUE(reoptimized);
+    EXPECT_EQ(manager.violationStreak(), 0);
+    EXPECT_EQ(manager.driftStreak(), 0);
+}
+
+TEST(OnlineManager, FaultedWindowsAreQuarantined)
+{
+    // Total measurement dropout: every window is quarantined, so no
+    // streak advances and no spurious re-optimization fires even
+    // though the faulted telemetry reads as a QoS violation.
+    auto server = makeServer();
+    OnlineManager manager(server, fastClite());
+    manager.initialize();
+
+    platform::FaultPlan plan;
+    plan.dropout_prob = 1.0;
+    server.setFaultInjector(
+        std::make_shared<platform::FaultInjector>(plan, 9));
+
+    for (int w = 0; w < 5; ++w) {
+        OnlineManager::Tick t = manager.tick();
+        EXPECT_TRUE(t.faulted);
+        EXPECT_FALSE(t.reoptimized);
+    }
+    EXPECT_EQ(manager.faultedWindows(), 5);
+    EXPECT_EQ(manager.violationStreak(), 0);
+    EXPECT_EQ(manager.reoptimizations(), 0);
+}
+
+TEST(OnlineManager, WatchdogFallsBackAfterRepeatedApplyFailures)
+{
+    auto server = makeServer();
+    MonitorOptions mopts;
+    mopts.violation_patience = 100; // isolate the watchdog
+    mopts.drift_patience = 100;
+    mopts.apply_fail_patience = 2;
+    mopts.apply_retries = 1;
+    OnlineManager manager(server, fastClite(), mopts);
+    manager.initialize();
+
+    // Knock the server off the incumbent with a clean apply, then make
+    // every further apply fail: the watchdog detects the mismatch,
+    // retries, and after apply_fail_patience windows degrades to the
+    // equal share (no known-good configuration was recorded yet).
+    platform::Allocation other = manager.incumbent();
+    bool moved = false;
+    for (size_t j = 0; j < other.jobs() && !moved; ++j)
+        if (other.get(j, 0) > 1)
+            moved = other.transferUnit(0, j, (j + 1) % other.jobs());
+    ASSERT_TRUE(moved);
+    server.apply(other);
+
+    platform::FaultPlan plan;
+    plan.apply_fail_prob = 1.0;
+    server.setFaultInjector(
+        std::make_shared<platform::FaultInjector>(plan, 9));
+
+    OnlineManager::Tick t1 = manager.tick();
+    EXPECT_FALSE(t1.fallback);
+    OnlineManager::Tick t2 = manager.tick();
+    EXPECT_TRUE(t2.fallback);
+    EXPECT_EQ(manager.fallbacks(), 1);
+    EXPECT_TRUE(manager.incumbent() ==
+                platform::Allocation::equalShare(server.jobCount(),
+                                                 server.config()));
+}
+
+TEST(OnlineManager, JobCrashHoldsTriggersAndRecapturesReference)
+{
+    auto server = makeServer();
+    OnlineManager manager(server, fastClite());
+    manager.initialize();
+
+    // Script a crash covering the 2nd and 3rd monitoring windows.
+    platform::FaultPlan plan;
+    plan.crashes.push_back({server.observeCount() + 1, 1, 2});
+    server.setFaultInjector(
+        std::make_shared<platform::FaultInjector>(plan, 9));
+
+    EXPECT_FALSE(manager.tick().faulted);  // window before the crash
+    EXPECT_TRUE(manager.tick().faulted);   // down
+    EXPECT_TRUE(manager.tick().faulted);   // still down
+    OnlineManager::Tick after = manager.tick(); // restarted
+    EXPECT_FALSE(after.faulted);
+    EXPECT_EQ(manager.faultedWindows(), 2);
+    // No partition change can fix a dead process: nothing re-optimized.
+    EXPECT_EQ(manager.reoptimizations(), 0);
+    // The restart re-captured references: streaks are clean.
+    EXPECT_EQ(manager.violationStreak(), 0);
+    EXPECT_EQ(manager.driftStreak(), 0);
+}
+
 TEST(SimulatedServer, AddRemoveJobInvariants)
 {
     auto server = makeServer();

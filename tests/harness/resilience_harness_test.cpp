@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the resilience harness: scaled fault plans, single runs
+ * under faults, and the fault-rate sweep's shape and baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "harness/resilience.h"
+#include "workloads/catalog.h"
+
+namespace clite {
+namespace harness {
+namespace {
+
+ServerSpec
+smallSpec()
+{
+    ServerSpec spec;
+    spec.jobs = {
+        workloads::lcJob("img-dnn", 0.1),
+        workloads::lcJob("memcached", 0.1),
+    };
+    return spec;
+}
+
+TEST(ScaledFaultPlan, ZeroRateIsClean)
+{
+    platform::FaultPlan plan = scaledFaultPlan(0.0);
+    EXPECT_FALSE(plan.any());
+}
+
+TEST(ScaledFaultPlan, RatesScaleTogether)
+{
+    platform::FaultPlan plan = scaledFaultPlan(0.2);
+    EXPECT_TRUE(plan.any());
+    EXPECT_DOUBLE_EQ(plan.apply_fail_prob, 0.2);
+    EXPECT_DOUBLE_EQ(plan.dropout_prob, 0.1);
+    EXPECT_DOUBLE_EQ(plan.spike_prob, 0.1);
+    EXPECT_DOUBLE_EQ(plan.freeze_prob, 0.05);
+    EXPECT_TRUE(plan.crashes.empty());
+    EXPECT_TRUE(plan.knob_losses.empty());
+}
+
+TEST(ScaledFaultPlan, RejectsOutOfRangeRate)
+{
+    EXPECT_THROW(scaledFaultPlan(-0.1), Error);
+    EXPECT_THROW(scaledFaultPlan(1.5), Error);
+}
+
+TEST(RunResilient, CleanPlanMatchesOrdinaryRun)
+{
+    ResilienceSpec spec;
+    spec.server = smallSpec();
+    spec.scheme = "equal-share";
+    ResilienceOutcome out = runResilient(spec);
+    EXPECT_TRUE(out.found_config);
+    EXPECT_GT(out.truth_score, 0.0);
+    EXPECT_EQ(out.wasted_samples, 0);
+    EXPECT_EQ(out.fault_events, 0);
+    EXPECT_EQ(out.samples, out.result.samples);
+}
+
+TEST(RunResilient, ReportsNoConfigInsteadOfThrowing)
+{
+    // Every apply fails forever: the single-sample scheme can never
+    // program anything, so the run reports found_config = false — a
+    // measured outcome, not an error.
+    ResilienceSpec spec;
+    spec.server = smallSpec();
+    spec.scheme = "equal-share";
+    spec.plan.apply_fail_prob = 1.0;
+    ResilienceOutcome out = runResilient(spec);
+    EXPECT_FALSE(out.found_config);
+    EXPECT_DOUBLE_EQ(out.truth_score, 0.0);
+    EXPECT_GT(out.fault_events, 0);
+    EXPECT_GT(out.wasted_samples, 0);
+}
+
+TEST(FaultRateSweep, RowsOrderedWithCleanBaseline)
+{
+    std::vector<ResilienceSweepRow> rows = faultRateSweep(
+        {"equal-share"}, smallSpec(), {0.0, 0.3});
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].scheme, "equal-share");
+    EXPECT_DOUBLE_EQ(rows[0].fault_rate, 0.0);
+    EXPECT_DOUBLE_EQ(rows[0].score_degradation, 0.0);
+    EXPECT_DOUBLE_EQ(rows[1].fault_rate, 0.3);
+    // Degradation is measured against the clean row's truth score.
+    EXPECT_DOUBLE_EQ(rows[1].score_degradation,
+                     rows[0].outcome.truth_score -
+                         rows[1].outcome.truth_score);
+}
+
+} // namespace
+} // namespace harness
+} // namespace clite

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Tests for the fault-injection subsystem: determinism of the
+ * counter-keyed decisions, plan validation, and the server-level
+ * fault semantics (dropout, frozen counters, spikes, apply failure,
+ * knob loss, job crash).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.h"
+#include "platform/faults.h"
+#include "platform/server.h"
+#include "workloads/catalog.h"
+#include "workloads/perf_model.h"
+
+namespace clite {
+namespace platform {
+namespace {
+
+SimulatedServer
+makeServer(uint64_t seed = 5)
+{
+    std::vector<workloads::JobSpec> jobs = {
+        workloads::lcJob("img-dnn", 0.2),
+        workloads::lcJob("memcached", 0.2),
+        workloads::bgJob("fluidanimate"),
+    };
+    return SimulatedServer(ServerConfig::xeonSilver4114(), jobs,
+                           std::make_unique<workloads::AnalyticModel>(),
+                           seed, 0.0);
+}
+
+FaultPlan
+mixedPlan()
+{
+    FaultPlan plan;
+    plan.dropout_prob = 0.2;
+    plan.freeze_prob = 0.15;
+    plan.spike_prob = 0.25;
+    plan.apply_fail_prob = 0.3;
+    plan.crash_prob = 0.05;
+    return plan;
+}
+
+TEST(FaultInjector, SameSeedSamePlanIdenticalSequence)
+{
+    FaultInjector a(mixedPlan(), 99);
+    FaultInjector b(mixedPlan(), 99);
+    for (uint64_t i = 0; i < 500; ++i) {
+        EXPECT_EQ(a.applyFails(i), b.applyFails(i)) << i;
+        EXPECT_EQ(a.windowDropout(i), b.windowDropout(i)) << i;
+        EXPECT_EQ(a.windowFrozen(i), b.windowFrozen(i)) << i;
+        for (size_t j = 0; j < 3; ++j) {
+            EXPECT_EQ(a.latencySpike(i, j), b.latencySpike(i, j)) << i;
+            EXPECT_EQ(a.jobDown(i, j), b.jobDown(i, j)) << i;
+        }
+    }
+}
+
+TEST(FaultInjector, DecisionsAreQueryOrderIndependent)
+{
+    // Counter-keyed hashing: re-querying or reordering must not change
+    // any decision (a retry sees the same world it failed in).
+    FaultInjector a(mixedPlan(), 7);
+    FaultInjector b(mixedPlan(), 7);
+    std::vector<bool> forward, backward;
+    for (uint64_t i = 0; i < 200; ++i) {
+        forward.push_back(a.applyFails(i));
+        forward.push_back(a.applyFails(i)); // re-query
+    }
+    for (uint64_t i = 200; i-- > 0;) {
+        backward.push_back(b.applyFails(i));
+        backward.push_back(b.applyFails(i));
+    }
+    for (uint64_t i = 0; i < 200; ++i)
+        EXPECT_EQ(forward[2 * i], backward[2 * (199 - i)]) << i;
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge)
+{
+    FaultInjector a(mixedPlan(), 1);
+    FaultInjector b(mixedPlan(), 2);
+    int differences = 0;
+    for (uint64_t i = 0; i < 500; ++i)
+        if (a.applyFails(i) != b.applyFails(i) ||
+            a.windowDropout(i) != b.windowDropout(i))
+            ++differences;
+    EXPECT_GT(differences, 0);
+}
+
+TEST(FaultInjector, ProbabilitiesRoughlyRespected)
+{
+    FaultPlan plan;
+    plan.apply_fail_prob = 0.3;
+    FaultInjector inj(plan, 42);
+    int fails = 0;
+    const int n = 4000;
+    for (uint64_t i = 0; i < n; ++i)
+        fails += inj.applyFails(i) ? 1 : 0;
+    double rate = double(fails) / n;
+    EXPECT_NEAR(rate, 0.3, 0.05);
+}
+
+TEST(FaultInjector, ZeroPlanInjectsNothing)
+{
+    FaultPlan plan;
+    EXPECT_FALSE(plan.any());
+    FaultInjector inj(plan, 3);
+    for (uint64_t i = 0; i < 100; ++i) {
+        EXPECT_FALSE(inj.applyFails(i));
+        EXPECT_FALSE(inj.windowDropout(i));
+        EXPECT_FALSE(inj.windowFrozen(i));
+        EXPECT_FALSE(inj.latencySpike(i, 0));
+        EXPECT_FALSE(inj.jobDown(i, 0));
+    }
+}
+
+TEST(FaultInjector, PlanValidation)
+{
+    FaultPlan plan;
+    plan.dropout_prob = 1.5;
+    EXPECT_THROW(FaultInjector{plan}, Error);
+    plan = FaultPlan{};
+    plan.apply_fail_prob = -0.1;
+    EXPECT_THROW(FaultInjector{plan}, Error);
+    plan = FaultPlan{};
+    plan.spike_prob = 0.1;
+    plan.spike_factor = 0.5; // a "spike" must make latency worse
+    EXPECT_THROW(FaultInjector{plan}, Error);
+    plan = FaultPlan{};
+    plan.crash_prob = 0.1;
+    plan.crash_down_windows = 0;
+    EXPECT_THROW(FaultInjector{plan}, Error);
+}
+
+TEST(FaultInjector, ScriptedCrashWindows)
+{
+    FaultPlan plan;
+    plan.crashes.push_back({10, 1, 3});
+    FaultInjector inj(plan, 5);
+    for (uint64_t w = 0; w < 20; ++w) {
+        bool down = w >= 10 && w < 13;
+        EXPECT_EQ(inj.jobDown(w, 1), down) << "window " << w;
+        EXPECT_FALSE(inj.jobDown(w, 0)) << "window " << w;
+    }
+}
+
+TEST(FaultInjector, EventLog)
+{
+    FaultInjector inj(mixedPlan(), 5);
+    inj.record(FaultKind::ApplyFailure, 3);
+    inj.record(FaultKind::LatencySpike, 4, 1);
+    EXPECT_EQ(inj.events().size(), 2u);
+    EXPECT_EQ(inj.count(FaultKind::ApplyFailure), 1u);
+    EXPECT_EQ(inj.count(FaultKind::LatencySpike), 1u);
+    EXPECT_EQ(inj.count(FaultKind::JobCrash), 0u);
+    EXPECT_EQ(inj.events()[1].subject, 1u);
+    inj.clearEvents();
+    EXPECT_TRUE(inj.events().empty());
+}
+
+TEST(FaultKindNames, AllDistinct)
+{
+    EXPECT_STREQ(faultKindName(FaultKind::MeasurementDropout),
+                 "measurement-dropout");
+    EXPECT_STRNE(faultKindName(FaultKind::ApplyFailure),
+                 faultKindName(FaultKind::KnobLoss));
+}
+
+// --- Server-level fault semantics ----------------------------------
+
+TEST(ServerFaults, NoInjectorMeansFaultsDisabled)
+{
+    auto server = makeServer();
+    EXPECT_FALSE(server.faultsEnabled());
+    EXPECT_TRUE(server.lastApplyOk());
+    EXPECT_TRUE(server.deadResources().empty());
+
+    // An attached injector with an empty plan is also disabled.
+    server.setFaultInjector(std::make_shared<FaultInjector>(FaultPlan{}));
+    EXPECT_FALSE(server.faultsEnabled());
+}
+
+TEST(ServerFaults, ApplyFailureKeepsOldPartition)
+{
+    auto server = makeServer();
+    FaultPlan plan;
+    plan.apply_fail_prob = 1.0;
+    auto inj = std::make_shared<FaultInjector>(plan, 9);
+    server.setFaultInjector(inj);
+
+    Allocation before = server.currentAllocation();
+    Allocation other = before;
+    // Find a movable unit to build a genuinely different allocation.
+    bool moved = false;
+    for (size_t j = 0; j < other.jobs() && !moved; ++j)
+        if (other.get(j, 0) > 1)
+            moved = other.transferUnit(0, j, (j + 1) % other.jobs());
+    ASSERT_TRUE(moved);
+
+    server.apply(other);
+    EXPECT_FALSE(server.lastApplyOk());
+    EXPECT_TRUE(server.currentAllocation() == before);
+    EXPECT_GE(inj->count(FaultKind::ApplyFailure), 1u);
+}
+
+TEST(ServerFaults, DropoutWindowInvalidatesObservations)
+{
+    auto server = makeServer();
+    FaultPlan plan;
+    plan.dropout_prob = 1.0;
+    server.setFaultInjector(std::make_shared<FaultInjector>(plan, 9));
+
+    std::vector<JobObservation> obs = server.observe();
+    ASSERT_EQ(obs.size(), server.jobCount());
+    for (const auto& ob : obs)
+        EXPECT_FALSE(ob.valid);
+}
+
+TEST(ServerFaults, FrozenWindowRepeatsPreviousTelemetry)
+{
+    auto server = makeServer();
+    FaultPlan plan;
+    plan.freeze_prob = 1.0;
+    server.setFaultInjector(std::make_shared<FaultInjector>(plan, 9));
+
+    // Window 0 cannot freeze (nothing to repeat yet) and is delivered
+    // fresh; every later window repeats it, flagged stale.
+    std::vector<JobObservation> first = server.observe();
+    for (const auto& ob : first)
+        EXPECT_FALSE(ob.stale);
+    std::vector<JobObservation> second = server.observe();
+    ASSERT_EQ(second.size(), first.size());
+    for (size_t j = 0; j < second.size(); ++j) {
+        EXPECT_TRUE(second[j].stale);
+        EXPECT_DOUBLE_EQ(second[j].throughput, first[j].throughput);
+        EXPECT_DOUBLE_EQ(second[j].p95_ms, first[j].p95_ms);
+    }
+}
+
+TEST(ServerFaults, LatencySpikeMultipliesLcTail)
+{
+    auto server = makeServer(); // noise disabled: deterministic values
+    std::vector<JobObservation> clean = server.observe();
+
+    FaultPlan plan;
+    plan.spike_prob = 1.0;
+    plan.spike_factor = 8.0;
+    server.setFaultInjector(std::make_shared<FaultInjector>(plan, 9));
+    std::vector<JobObservation> spiked = server.observe();
+    for (size_t j = 0; j < spiked.size(); ++j) {
+        if (!spiked[j].is_lc)
+            continue;
+        EXPECT_NEAR(spiked[j].p95_ms, clean[j].p95_ms * 8.0,
+                    clean[j].p95_ms * 0.01);
+        // Spikes are NOT flagged: they look like real measurements and
+        // must be rejected statistically, not via metadata.
+        EXPECT_TRUE(spiked[j].valid);
+        EXPECT_FALSE(spiked[j].stale);
+    }
+}
+
+TEST(ServerFaults, KnobLossFreezesDeadColumn)
+{
+    auto server = makeServer();
+    FaultPlan plan;
+    plan.knob_losses.push_back({0, 1}); // resource 1 dead from the start
+    server.setFaultInjector(std::make_shared<FaultInjector>(plan, 9));
+
+    Allocation before = server.currentAllocation();
+    std::vector<size_t> dead = server.deadResources();
+    ASSERT_EQ(dead.size(), 1u);
+    EXPECT_EQ(dead[0], 1u);
+
+    Allocation req = before;
+    bool moved = false;
+    for (size_t j = 0; j < req.jobs() && !moved; ++j) {
+        if (req.get(j, 0) > 1)
+            moved = req.transferUnit(0, j, (j + 1) % req.jobs());
+    }
+    ASSERT_TRUE(moved);
+    for (size_t j = 0; j < req.jobs(); ++j)
+        if (req.get(j, 1) > 1) {
+            req.transferUnit(1, j, (j + 1) % req.jobs());
+            break;
+        }
+
+    server.apply(req);
+    EXPECT_TRUE(server.lastApplyOk());
+    const Allocation& cur = server.currentAllocation();
+    for (size_t j = 0; j < cur.jobs(); ++j) {
+        // Live column programmed as requested; dead column unchanged.
+        EXPECT_EQ(cur.get(j, 0), req.get(j, 0));
+        EXPECT_EQ(cur.get(j, 1), before.get(j, 1));
+    }
+}
+
+TEST(ServerFaults, CrashedJobObservation)
+{
+    auto server = makeServer();
+    FaultPlan plan;
+    plan.crashes.push_back({0, 0, 2}); // job 0 down for windows 0-1
+    server.setFaultInjector(std::make_shared<FaultInjector>(plan, 9));
+
+    std::vector<JobObservation> obs = server.observe();
+    EXPECT_TRUE(obs[0].crashed);
+    EXPECT_DOUBLE_EQ(obs[0].throughput, 0.0);
+    EXPECT_FALSE(obs[1].crashed);
+
+    server.observe(); // window 1: still down
+    std::vector<JobObservation> after = server.observe(); // window 2
+    EXPECT_FALSE(after[0].crashed); // restarted
+    EXPECT_GT(after[0].throughput, 0.0);
+}
+
+TEST(ServerFaults, SlotReconfigurationBypassesFaults)
+{
+    auto server = makeServer();
+    FaultPlan plan;
+    plan.apply_fail_prob = 1.0;
+    server.setFaultInjector(std::make_shared<FaultInjector>(plan, 9));
+
+    // addJob/removeJob are offline slot reconfigurations: they must
+    // succeed (and keep shapes consistent) even when every online
+    // apply fails.
+    size_t idx = server.addJob(workloads::bgJob("swaptions"));
+    EXPECT_EQ(idx, 3u);
+    EXPECT_EQ(server.currentAllocation().jobs(), 4u);
+    EXPECT_NO_THROW(server.observe());
+
+    server.removeJob(idx);
+    EXPECT_EQ(server.currentAllocation().jobs(), 3u);
+    EXPECT_NO_THROW(server.observe());
+}
+
+} // namespace
+} // namespace platform
+} // namespace clite
