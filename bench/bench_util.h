@@ -8,15 +8,38 @@
 #define CLITE_BENCH_BENCH_UTIL_H
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "harness/maxload.h"
 
 namespace clite {
 namespace bench {
+
+/**
+ * Apply the --threads=N flag (the serial escape hatch is --threads=1)
+ * to the global thread pool. Unrecognized arguments are ignored so
+ * the figure binaries keep accepting none. The CLITE_THREADS
+ * environment variable sets the default when the flag is absent.
+ */
+inline void
+applyThreadFlag(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strncmp(arg, "--threads=", 10) == 0) {
+            int n = std::atoi(arg + 10);
+            if (n >= 1)
+                setGlobalThreadCount(n);
+            else
+                std::cerr << "ignoring invalid " << arg << "\n";
+        }
+    }
+}
 
 /**
  * Write @p table as CSV into $CLITE_BENCH_CSV_DIR/<name>.csv when the

@@ -5,18 +5,36 @@
  * sample counts, acquisition evaluation and constrained maximization,
  * score evaluation, the analytic and DES model backends, and the
  * memoized ORACLE enumeration rate.
+ *
+ * This binary doubles as the repo's perf-baseline harness: the
+ * surrogate-maintenance hot paths are timed in incremental vs
+ * from-scratch pairs (Cholesky append vs refactor, GP addSample vs
+ * refit) at n = 16 / 64 / 256 samples, plus serial vs pooled
+ * acquisition rounds and the end-to-end BO loop. Set CLITE_BENCH_JSON
+ * to a path (or pass the usual --benchmark_out flags) to emit the
+ * machine-readable BENCH_components.json that CI archives per commit;
+ * docs/PERF.md explains how to read it. --threads=N sizes the global
+ * pool (--threads=1 is the serial escape hatch).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "baselines/oracle.h"
 #include "bo/acquisition.h"
+#include "bo/bayes_opt.h"
+#include "common/thread_pool.h"
 #include "core/clite.h"
 #include "core/score.h"
 #include "gp/gaussian_process.h"
 #include "harness/schemes.h"
+#include "linalg/cholesky.h"
 #include "opt/projected_gradient.h"
 #include "stats/sampling.h"
 #include "workloads/catalog.h"
@@ -25,6 +43,8 @@
 using namespace clite;
 
 namespace {
+
+constexpr size_t kDim = 12; // 4 jobs x 3 resources, CLITE's usual box
 
 std::vector<linalg::Vector>
 randomInputs(size_t n, size_t dim, Rng& rng)
@@ -35,6 +55,223 @@ randomInputs(size_t n, size_t dim, Rng& rng)
             v = rng.uniform();
     return xs;
 }
+
+/** Random SPD matrix shaped like a kernel Gram matrix. */
+linalg::Matrix
+randomSpd(size_t n, Rng& rng)
+{
+    linalg::Matrix b(n, n);
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < n; ++c)
+            b(r, c) = rng.uniform(-1.0, 1.0);
+    linalg::Matrix a = b * b.transposed();
+    a.addDiagonal(double(n) * 0.1);
+    return a;
+}
+
+/** A GP fitted to n random samples, shared base for the extend pair. */
+gp::GaussianProcess
+fittedGp(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    auto xs = randomInputs(n, kDim, rng);
+    std::vector<double> ys(n);
+    for (auto& y : ys)
+        y = rng.uniform();
+    gp::GaussianProcess g(std::make_unique<gp::Matern52Kernel>(kDim, 0.3),
+                          1e-4);
+    g.fit(xs, ys);
+    return g;
+}
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+// ---- Surrogate-extension pair: the cost of growing the sample set by
+// one point, from scratch vs incrementally. The ratio between the two
+// at n = 256 is the headline number of this harness (target >= 5x).
+
+void
+BM_CholeskyFactor(benchmark::State& state)
+{
+    const size_t n = size_t(state.range(0));
+    Rng rng(17);
+    linalg::Matrix a = randomSpd(n, rng);
+    for (auto _ : state) {
+        linalg::Cholesky chol(a);
+        benchmark::DoNotOptimize(chol.factor().rows());
+    }
+}
+BENCHMARK(BM_CholeskyFactor)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_CholeskyAppendRow(benchmark::State& state)
+{
+    const size_t n = size_t(state.range(0));
+    Rng rng(17);
+    linalg::Matrix a = randomSpd(n + 1, rng);
+    linalg::Matrix head(n, n);
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < n; ++c)
+            head(r, c) = a(r, c);
+    linalg::Vector b(n);
+    for (size_t r = 0; r < n; ++r)
+        b[r] = a(n, r);
+    const double c = a(n, n);
+    linalg::Cholesky base(head);
+    for (auto _ : state) {
+        // The copy restores the pre-append factor; only the append is
+        // timed (manual time), so the pair is comparable.
+        linalg::Cholesky chol = base;
+        auto t0 = std::chrono::steady_clock::now();
+        bool ok = chol.appendRow(b, c);
+        state.SetIterationTime(elapsedSeconds(t0));
+        benchmark::DoNotOptimize(ok);
+    }
+}
+BENCHMARK(BM_CholeskyAppendRow)->Arg(16)->Arg(64)->Arg(256)->UseManualTime();
+
+void
+BM_SurrogateExtendFullRefit(benchmark::State& state)
+{
+    const size_t n = size_t(state.range(0));
+    Rng rng(23);
+    auto xs = randomInputs(n + 1, kDim, rng);
+    std::vector<double> ys(n + 1);
+    for (auto& y : ys)
+        y = rng.uniform();
+    gp::GaussianProcess g(std::make_unique<gp::Matern52Kernel>(kDim, 0.3),
+                          1e-4);
+    for (auto _ : state) {
+        g.fit(xs, ys);
+        benchmark::DoNotOptimize(g.sampleCount());
+    }
+}
+BENCHMARK(BM_SurrogateExtendFullRefit)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_SurrogateExtendIncremental(benchmark::State& state)
+{
+    const size_t n = size_t(state.range(0));
+    gp::GaussianProcess base = fittedGp(n, 23);
+    Rng rng(29);
+    linalg::Vector xq(kDim);
+    for (auto& v : xq)
+        v = rng.uniform();
+    const double yq = rng.uniform();
+    for (auto _ : state) {
+        gp::GaussianProcess g = base; // untimed: restore n samples
+        auto t0 = std::chrono::steady_clock::now();
+        g.addSample(xq, yq);
+        state.SetIterationTime(elapsedSeconds(t0));
+        benchmark::DoNotOptimize(g.sampleCount());
+    }
+}
+BENCHMARK(BM_SurrogateExtendIncremental)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->UseManualTime();
+
+// ---- Hyper-parameter probe: one LML evaluation under fresh Matérn
+// log-length-scales, i.e. the Nelder-Mead inner loop that the
+// stationary-distance cache accelerates.
+
+void
+BM_GpHyperparameterProbe(benchmark::State& state)
+{
+    const size_t n = size_t(state.range(0));
+    gp::GaussianProcess g = fittedGp(n, 31);
+    Rng rng(37);
+    gp::GpFitOptions fo;
+    fo.restarts = 0;
+    fo.max_iters = 8;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(g.optimizeHyperparameters(rng, fo));
+}
+BENCHMARK(BM_GpHyperparameterProbe)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- Acquisition rounds: one BO iteration's worth of candidate
+// evaluations, serial vs fanned out on the pool.
+
+void
+acquisitionRound(benchmark::State& state, bool parallel)
+{
+    const size_t n = size_t(state.range(0)), candidates = 512;
+    gp::GaussianProcess g = fittedGp(n, 41);
+    bo::ExpectedImprovement ei(0.01);
+    Rng rng(43);
+    std::vector<linalg::Vector> cands =
+        randomInputs(candidates, kDim, rng);
+    std::vector<double> acq(candidates);
+    for (auto _ : state) {
+        if (parallel) {
+            globalPool().parallelFor(candidates, [&](size_t c) {
+                acq[c] = ei.evaluate(g, cands[c], 0.6);
+            });
+        } else {
+            for (size_t c = 0; c < candidates; ++c)
+                acq[c] = ei.evaluate(g, cands[c], 0.6);
+        }
+        benchmark::DoNotOptimize(acq.data());
+    }
+}
+
+void
+BM_AcquisitionRoundSerial(benchmark::State& state)
+{
+    acquisitionRound(state, false);
+}
+BENCHMARK(BM_AcquisitionRoundSerial)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_AcquisitionRoundParallel(benchmark::State& state)
+{
+    acquisitionRound(state, true);
+}
+BENCHMARK(BM_AcquisitionRoundParallel)->Arg(16)->Arg(64)->Arg(256);
+
+// ---- End-to-end BO decision loop at a given sample budget
+// (surrogate extension + acquisition per iteration; hyper-fitting is
+// timed separately above).
+
+void
+BM_BayesOptLoop(benchmark::State& state)
+{
+    const int budget = int(state.range(0));
+    bo::BayesOptOptions o;
+    o.initial_samples = 4;
+    o.max_iterations = budget - o.initial_samples;
+    o.candidates = 128;
+    o.fit_hyperparameters = false;
+    o.ei_termination = -1.0; // never stop early: fixed work per run
+    auto f = [](const linalg::Vector& x) {
+        double s = 0.0;
+        for (double v : x)
+            s -= (v - 0.37) * (v - 0.37);
+        return s;
+    };
+    for (auto _ : state) {
+        bo::BayesOpt bo(linalg::Vector(kDim, 0.0),
+                        linalg::Vector(kDim, 1.0),
+                        std::make_unique<bo::ExpectedImprovement>(0.01), o);
+        Rng rng(47);
+        benchmark::DoNotOptimize(bo.maximize(f, rng).best_y);
+    }
+}
+BENCHMARK(BM_BayesOptLoop)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_GpFit(benchmark::State& state)
@@ -224,4 +461,42 @@ BENCHMARK(BM_ProjectedGradientAcqStep)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * BENCHMARK_MAIN plus two conveniences: --threads=N resizes the global
+ * pool before anything runs, and CLITE_BENCH_JSON=<path> injects the
+ * --benchmark_out flags so CI emits BENCH_components.json without
+ * quoting games.
+ */
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> keep;
+    keep.reserve(size_t(argc) + 2);
+    keep.emplace_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+            int n = std::atoi(argv[i] + 10);
+            if (n >= 1)
+                setGlobalThreadCount(n);
+        } else {
+            keep.emplace_back(argv[i]);
+        }
+    }
+    if (const char* path = std::getenv("CLITE_BENCH_JSON")) {
+        if (*path != '\0') {
+            keep.push_back(std::string("--benchmark_out=") + path);
+            keep.emplace_back("--benchmark_out_format=json");
+        }
+    }
+    std::vector<char*> args;
+    args.reserve(keep.size());
+    for (auto& s : keep)
+        args.push_back(s.data());
+    int filtered_argc = int(args.size());
+    benchmark::Initialize(&filtered_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

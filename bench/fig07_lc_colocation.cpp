@@ -15,8 +15,9 @@
 using namespace clite;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::applyThreadFlag(argc, argv);
     printBanner(std::cout,
                 "Figure 7: max memcached load when co-located with "
                 "masstree (x) and img-dnn (y), no BG job");

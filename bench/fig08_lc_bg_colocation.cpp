@@ -15,8 +15,9 @@
 using namespace clite;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::applyThreadFlag(argc, argv);
     printBanner(std::cout,
                 "Figure 8: max memcached load with masstree (x), "
                 "img-dnn (y) and blackscholes (BG)");

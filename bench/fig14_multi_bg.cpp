@@ -9,7 +9,9 @@
 
 #include <iostream>
 
+#include "bench_util.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "harness/analysis.h"
 #include "workloads/catalog.h"
 
@@ -30,15 +32,23 @@ runMix(const std::string& label,
     headers.push_back("QoS");
     TextTable t(headers);
 
-    for (const char* scheme : {"oracle", "clite", "parties", "genetic"}) {
-        harness::ServerSpec spec;
-        spec.jobs = lc_jobs;
-        for (const auto& bg : bg_names)
-            spec.jobs.push_back(workloads::bgJob(bg));
-        spec.seed = 55;
-        harness::SchemeOutcome out =
-            harness::runScheme(scheme, spec, spec.seed);
+    // The four schemes are independent seeded runs: fan out on the
+    // pool, render rows in the fixed scheme order afterwards.
+    const std::vector<std::string> schemes = {"oracle", "clite",
+                                              "parties", "genetic"};
+    std::vector<harness::SchemeOutcome> outs = globalPool().parallelMap(
+        schemes.size(), [&](size_t s) {
+            harness::ServerSpec spec;
+            spec.jobs = lc_jobs;
+            for (const auto& bg : bg_names)
+                spec.jobs.push_back(workloads::bgJob(bg));
+            spec.seed = 55;
+            return harness::runScheme(schemes[s], spec, spec.seed);
+        });
 
+    for (size_t s = 0; s < schemes.size(); ++s) {
+        const std::string& scheme = schemes[s];
+        const harness::SchemeOutcome& out = outs[s];
         std::vector<std::string> row = {scheme};
         double sum = 0.0;
         int n = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "stats/sampling.h"
 
 namespace clite {
@@ -23,6 +24,8 @@ BayesOpt::BayesOpt(linalg::Vector lo, linalg::Vector hi,
     CLITE_CHECK(acquisition_ != nullptr, "BayesOpt needs an acquisition");
     CLITE_CHECK(options_.initial_samples >= 2,
                 "need at least 2 initial samples");
+    CLITE_CHECK(options_.candidates >= 1,
+                "need at least 1 acquisition candidate");
 }
 
 BayesOptResult
@@ -31,29 +34,56 @@ BayesOpt::maximize(const Objective& f, Rng& rng) const
     const size_t dims = lo_.size();
     BayesOptResult result;
 
+    const size_t capacity =
+        size_t(options_.initial_samples) + size_t(options_.max_iterations);
+    std::vector<linalg::Vector> xs;
+    std::vector<double> ys;
+    xs.reserve(capacity);
+    ys.reserve(capacity);
+    result.history.reserve(capacity);
+
+    // Running incumbent: maintained as samples arrive instead of
+    // rescanning ys every iteration (and once more at the end).
+    size_t best_idx = 0;
+    double best_y = 0.0;
+    auto record = [&](linalg::Vector x, double y) {
+        result.history.push_back({x, y});
+        xs.push_back(std::move(x));
+        ys.push_back(y);
+        if (ys.size() == 1 || y > best_y) {
+            best_y = y;
+            best_idx = ys.size() - 1;
+        }
+    };
+
     // Seed via Latin hypercube (Algorithm 1's S_init).
     auto unit = stats::latinHypercube(size_t(options_.initial_samples),
                                       dims, rng);
-    std::vector<linalg::Vector> xs;
-    std::vector<double> ys;
     for (const auto& u : unit) {
         linalg::Vector x(dims);
         for (size_t d = 0; d < dims; ++d)
             x[d] = lo_[d] + u[d] * (hi_[d] - lo_[d]);
         double y = f(x);
-        result.history.push_back({x, y});
-        xs.push_back(std::move(x));
-        ys.push_back(y);
+        record(std::move(x), y);
     }
 
     gp::GaussianProcess surrogate(
         std::make_unique<gp::Matern52Kernel>(dims), 1e-4);
 
+    // Candidate and acquisition buffers reused across iterations.
+    std::vector<linalg::Vector> cands(size_t(options_.candidates),
+                                      linalg::Vector(dims));
+    std::vector<double> acq(size_t(options_.candidates));
+
     for (int iter = 0; iter < options_.max_iterations; ++iter) {
         result.iterations = iter + 1;
 
-        // Step 3: update the surrogate model.
-        surrogate.fit(xs, ys);
+        // Step 3: update the surrogate model — full fit once, then
+        // O(n²) Cholesky rank-appends for each new observation.
+        if (iter == 0)
+            surrogate.fit(xs, ys);
+        else
+            surrogate.addSample(xs.back(), ys.back());
         if (options_.fit_hyperparameters &&
             iter % std::max(1, options_.hyper_fit_every) == 0) {
             gp::GpFitOptions fo;
@@ -62,42 +92,40 @@ BayesOpt::maximize(const Objective& f, Rng& rng) const
             surrogate.optimizeHyperparameters(rng, fo);
         }
 
-        double incumbent = *std::max_element(ys.begin(), ys.end());
+        const double incumbent = best_y;
 
         // Steps 4-5: compute the acquisition, pick the next sample.
-        linalg::Vector best_cand;
-        double best_acq = -1.0;
-        for (int c = 0; c < options_.candidates; ++c) {
-            linalg::Vector cand(dims);
+        // Candidates are drawn serially (so the RNG stream is
+        // identical to a serial run), then evaluated in parallel —
+        // each GP predict is independent and read-only. The argmax
+        // scan keeps the serial first-wins tie-break, so best_x /
+        // best_y are bit-identical to --threads=1.
+        for (auto& cand : cands)
             for (size_t d = 0; d < dims; ++d)
                 cand[d] = rng.uniform(lo_[d], hi_[d]);
-            double a = acquisition_->evaluate(surrogate, cand, incumbent);
-            if (a > best_acq) {
-                best_acq = a;
-                best_cand = std::move(cand);
-            }
-        }
+        globalPool().parallelFor(cands.size(), [&](size_t c) {
+            acq[c] =
+                acquisition_->evaluate(surrogate, cands[c], incumbent);
+        });
+        size_t best_cand = 0;
+        for (size_t c = 1; c < cands.size(); ++c)
+            if (acq[c] > acq[best_cand])
+                best_cand = c;
 
         // Step 8: termination condition on the expected improvement.
-        if (best_acq < options_.ei_termination) {
+        if (acq[best_cand] < options_.ei_termination) {
             result.terminated_early = true;
             break;
         }
 
         // Steps 6-7: run the system, observe, extend the sample set.
-        double y = f(best_cand);
-        result.history.push_back({best_cand, y});
-        xs.push_back(std::move(best_cand));
-        ys.push_back(y);
+        double y = f(cands[best_cand]);
+        record(cands[best_cand], y);
     }
 
-    // Step 9: output the best configuration.
-    size_t best = 0;
-    for (size_t i = 1; i < ys.size(); ++i)
-        if (ys[i] > ys[best])
-            best = i;
-    result.best_x = xs[best];
-    result.best_y = ys[best];
+    // Step 9: output the best configuration (tracked running best).
+    result.best_x = xs[best_idx];
+    result.best_y = best_y;
     return result;
 }
 

@@ -10,6 +10,14 @@
  * the same surrogate/acquisition types but optimizes over the
  * simplex-box lattice. The generic driver powers the Fig. 3/4
  * illustration bench and the substrate tests.
+ *
+ * Hot-path structure: the surrogate is fit once and then extended per
+ * iteration with an O(n²) Cholesky rank-append (GaussianProcess::
+ * addSample) rather than refit from scratch, and the per-iteration
+ * acquisition candidates are evaluated on the global thread pool —
+ * candidates are drawn serially from the caller's RNG and the argmax
+ * keeps the serial tie-break, so the result is bit-identical to a
+ * single-threaded run (see common/thread_pool.h).
  */
 
 #ifndef CLITE_BO_BAYES_OPT_H

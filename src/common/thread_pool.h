@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Deterministic thread pool for embarrassingly parallel fan-out.
+ *
+ * The hot spots this pool serves — acquisition-candidate evaluation in
+ * the BO loop and the independent workload-mix cells of the figure
+ * sweeps — are pure index-addressed maps: task i reads shared immutable
+ * state and writes only slot i of a result array. Under that contract
+ * the output is a function of the index alone, so results are
+ * bit-identical no matter how the OS schedules the workers (and
+ * identical to serial execution with threads = 1, the escape hatch).
+ * Randomized tasks keep the guarantee by deriving a per-task stream
+ * with Rng::split(index) instead of sharing a generator.
+ *
+ * parallelFor is reentrant: the calling thread participates in the
+ * work, so nested calls (a parallel sweep whose cells run a parallel
+ * BO loop) complete even when every worker is busy — helper tasks that
+ * never get scheduled find the index range exhausted and exit.
+ */
+
+#ifndef CLITE_COMMON_THREAD_POOL_H
+#define CLITE_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace clite {
+
+/**
+ * Fixed-size worker pool executing index-parallel loops.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; 1 means fully inline (serial)
+     *     execution with no threads spawned. Values < 1 are clamped
+     *     to 1.
+     */
+    explicit ThreadPool(int threads);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Number of threads that may run tasks (including the caller). */
+    int threadCount() const { return threads_; }
+
+    /**
+     * Run fn(0) ... fn(n-1), blocking until every call has returned.
+     * The caller participates, so this never deadlocks under nesting.
+     * If any call throws, the exception with the lowest index is
+     * rethrown after all claimed work finishes.
+     *
+     * @pre fn(i) writes only state owned by index i (determinism
+     *     contract; not checkable, but everything here relies on it).
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+    /**
+     * Index-parallel map: returns {f(0), ..., f(n-1)}. The result
+     * type must be default-constructible.
+     */
+    template <typename F>
+    auto
+    parallelMap(size_t n, F&& f) -> std::vector<decltype(f(size_t(0)))>
+    {
+        std::vector<decltype(f(size_t(0)))> out(n);
+        parallelFor(n, [&](size_t i) { out[i] = f(i); });
+        return out;
+    }
+
+    /**
+     * Pool size used by globalPool() when not overridden: the
+     * CLITE_THREADS environment variable when set, otherwise the
+     * hardware concurrency (at least 1).
+     */
+    static int defaultThreadCount();
+
+  private:
+    /** Enqueue a job for the workers (no-op target when threads_==1). */
+    void submit(std::function<void()> job);
+
+    void workerLoop();
+
+    int threads_;
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+/**
+ * The process-wide pool shared by the BO loop and the bench sweeps.
+ * Lazily constructed with defaultThreadCount() workers.
+ */
+ThreadPool& globalPool();
+
+/**
+ * Replace the global pool with one of @p threads workers (the
+ * --threads=N escape hatch of the bench binaries; 1 = serial). Must
+ * not be called while another thread is using globalPool().
+ */
+void setGlobalThreadCount(int threads);
+
+} // namespace clite
+
+#endif // CLITE_COMMON_THREAD_POOL_H

@@ -285,7 +285,11 @@ CliteController::search(platform::SimulatedServer& server,
 
         // Update the surrogate from the usable samples only —
         // quarantined observations describe faults, not the score
-        // surface.
+        // surface. fitIncremental extends the Cholesky factor in
+        // O(n²) while the usable list only grows at the tail (the
+        // common case); a quarantined sample changes the filtered
+        // prefix and falls back to a full refit, so a faulted
+        // observation can never linger in the factor.
         std::vector<size_t> usable = usable_indices();
         if (usable.empty())
             break;
@@ -296,7 +300,7 @@ CliteController::search(platform::SimulatedServer& server,
             xs.push_back(trace[i].alloc.flattenNormalized());
             ys.push_back(trace[i].score);
         }
-        surrogate.fit(xs, ys);
+        surrogate.fitIncremental(xs, ys);
         if (iter % std::max(1, options_.gp_fit_every) == 0) {
             gp::GpFitOptions fo;
             fo.restarts = options_.gp_restarts;
@@ -523,7 +527,7 @@ CliteController::search(platform::SimulatedServer& server,
             xs.push_back(trace[i].alloc.flattenNormalized());
             ys.push_back(trace[i].score);
         }
-        surrogate.fit(xs, ys);
+        surrogate.fitIncremental(xs, ys);
 
         size_t best_idx = usable[0];
         for (size_t i : usable)

@@ -37,6 +37,9 @@ GaussianProcess::GaussianProcess(const GaussianProcess& other)
       y_raw_(other.y_raw_),
       y_mean_(other.y_mean_),
       y_scale_(other.y_scale_),
+      ys_std_(other.ys_std_),
+      pair_sqdist_(other.pair_sqdist_),
+      pair_sqdiff_(other.pair_sqdiff_),
       chol_(other.chol_),
       alpha_(other.alpha_)
 {
@@ -52,6 +55,9 @@ GaussianProcess::operator=(const GaussianProcess& other)
         y_raw_ = other.y_raw_;
         y_mean_ = other.y_mean_;
         y_scale_ = other.y_scale_;
+        ys_std_ = other.ys_std_;
+        pair_sqdist_ = other.pair_sqdist_;
+        pair_sqdiff_ = other.pair_sqdiff_;
         chol_ = other.chol_;
         alpha_ = other.alpha_;
     }
@@ -72,7 +78,77 @@ GaussianProcess::fit(const std::vector<linalg::Vector>& x,
 
     x_ = x;
     y_raw_ = y;
+    updateStandardization();
+    rebuildDistanceCache();
+    refit();
+}
 
+void
+GaussianProcess::addSample(const linalg::Vector& x, double y)
+{
+    CLITE_CHECK(fitted(), "addSample called before fit");
+    CLITE_CHECK(x.size() == kernel_->dims(),
+                "addSample input of dim " << x.size()
+                                          << ", kernel expects "
+                                          << kernel_->dims());
+    const size_t n = x_.size();
+    appendDistanceCache(x);
+    x_.push_back(x);
+    y_raw_.push_back(y);
+    updateStandardization();
+
+    // Kernel row of the new point against the existing set, from the
+    // just-appended cache entries so the values match what refit()
+    // would compute for the same pairs.
+    const std::vector<double> inv_l2 = inverseSquaredLengthscales();
+    const size_t base = n * (n - 1) / 2;
+    linalg::Vector krow(n);
+    for (size_t j = 0; j < n; ++j)
+        krow[j] = kernel_->fromScaledDistance(
+            cachedScaledDistance(base + j, inv_l2));
+    const double c =
+        kernel_->fromScaledDistance(0.0) + noise_variance_;
+
+    if (chol_->appendRow(krow, c)) {
+        // Standardization shifts with the new target, so α must be
+        // recomputed in full — but through the cached factor: O(n²).
+        alpha_ = chol_->solve(ys_std_);
+    } else {
+        // Nearly duplicate point: the appended pivot went non-positive.
+        // Refactor from scratch so the jitter search can engage.
+        refit();
+    }
+}
+
+void
+GaussianProcess::fitIncremental(const std::vector<linalg::Vector>& x,
+                                const std::vector<double>& y)
+{
+    CLITE_CHECK(x.size() == y.size(), "fitIncremental: " << x.size()
+                                          << " inputs vs " << y.size()
+                                          << " targets");
+    CLITE_CHECK(!x.empty(), "fitIncremental needs at least one point");
+    if (!fitted() || x.size() < x_.size()) {
+        fit(x, y);
+        return;
+    }
+    for (size_t i = 0; i < x_.size(); ++i) {
+        if (x[i] != x_[i] || y[i] != y_raw_[i]) {
+            // The shared prefix diverged (a sample was removed,
+            // reordered, or re-scored — e.g. quarantined by the fault
+            // path): incremental extension would silently keep the
+            // dropped point in the factor, so refit from scratch.
+            fit(x, y);
+            return;
+        }
+    }
+    for (size_t i = x_.size(); i < x.size(); ++i)
+        addSample(x[i], y[i]);
+}
+
+void
+GaussianProcess::updateStandardization()
+{
     // Standardize targets; guard against a constant target vector.
     double mean = 0.0;
     for (double v : y_raw_)
@@ -85,28 +161,104 @@ GaussianProcess::fit(const std::vector<linalg::Vector>& x,
     y_mean_ = mean;
     y_scale_ = (var > 1e-12) ? std::sqrt(var) : 1.0;
 
-    refit();
+    ys_std_.resize(y_raw_.size());
+    for (size_t i = 0; i < y_raw_.size(); ++i)
+        ys_std_[i] = standardize(y_raw_[i]);
+}
+
+void
+GaussianProcess::rebuildDistanceCache()
+{
+    const size_t n = x_.size();
+    const size_t d = kernel_->dims();
+    const bool ard = !kernel_->isotropic();
+    pair_sqdist_.clear();
+    pair_sqdist_.reserve(n * (n - 1) / 2);
+    pair_sqdiff_.clear();
+    if (ard)
+        pair_sqdiff_.reserve(n * (n - 1) / 2 * d);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < i; ++j) {
+            double sum = 0.0;
+            for (size_t k = 0; k < d; ++k) {
+                double diff = x_[i][k] - x_[j][k];
+                double sq = diff * diff;
+                sum += sq;
+                if (ard)
+                    pair_sqdiff_.push_back(sq);
+            }
+            pair_sqdist_.push_back(sum);
+        }
+    }
+}
+
+void
+GaussianProcess::appendDistanceCache(const linalg::Vector& x)
+{
+    const size_t d = kernel_->dims();
+    const bool ard = !kernel_->isotropic();
+    for (const auto& xj : x_) {
+        double sum = 0.0;
+        for (size_t k = 0; k < d; ++k) {
+            double diff = x[k] - xj[k];
+            double sq = diff * diff;
+            sum += sq;
+            if (ard)
+                pair_sqdiff_.push_back(sq);
+        }
+        pair_sqdist_.push_back(sum);
+    }
+}
+
+std::vector<double>
+GaussianProcess::inverseSquaredLengthscales() const
+{
+    const size_t d = kernel_->dims();
+    std::vector<double> inv_l2(d);
+    for (size_t k = 0; k < d; ++k) {
+        double l = kernel_->lengthscale(k);
+        inv_l2[k] = 1.0 / (l * l);
+    }
+    return inv_l2;
+}
+
+double
+GaussianProcess::cachedScaledDistance(
+    size_t pair, const std::vector<double>& inv_l2) const
+{
+    double r2;
+    if (kernel_->isotropic()) {
+        r2 = pair_sqdist_[pair] * inv_l2[0];
+    } else {
+        const size_t d = inv_l2.size();
+        const double* sq = &pair_sqdiff_[pair * d];
+        r2 = 0.0;
+        for (size_t k = 0; k < d; ++k)
+            r2 += sq[k] * inv_l2[k];
+    }
+    return std::sqrt(r2);
 }
 
 void
 GaussianProcess::refit()
 {
     const size_t n = x_.size();
+    const std::vector<double> inv_l2 = inverseSquaredLengthscales();
+    const double diag =
+        kernel_->fromScaledDistance(0.0) + noise_variance_;
     linalg::Matrix k(n, n);
+    size_t pair = 0;
     for (size_t i = 0; i < n; ++i) {
-        for (size_t j = 0; j <= i; ++j) {
-            double v = (*kernel_)(x_[i], x_[j]);
+        k(i, i) = diag;
+        for (size_t j = 0; j < i; ++j, ++pair) {
+            double v = kernel_->fromScaledDistance(
+                cachedScaledDistance(pair, inv_l2));
             k(i, j) = v;
             k(j, i) = v;
         }
     }
-    k.addDiagonal(noise_variance_);
     chol_.emplace(k);
-
-    linalg::Vector ys(n);
-    for (size_t i = 0; i < n; ++i)
-        ys[i] = standardize(y_raw_[i]);
-    alpha_ = chol_->solve(ys);
+    alpha_ = chol_->solve(ys_std_);
 }
 
 double
@@ -155,10 +307,7 @@ GaussianProcess::logMarginalLikelihood() const
 {
     CLITE_CHECK(fitted(), "logMarginalLikelihood called before fit");
     const size_t n = x_.size();
-    linalg::Vector ys(n);
-    for (size_t i = 0; i < n; ++i)
-        ys[i] = standardize(y_raw_[i]);
-    double data_fit = -0.5 * linalg::dot(ys, alpha_);
+    double data_fit = -0.5 * linalg::dot(ys_std_, alpha_);
     double complexity = -0.5 * chol_->logDet();
     double norm = -0.5 * double(n) * kLog2Pi;
     return data_fit + complexity + norm;

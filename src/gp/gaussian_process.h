@@ -8,10 +8,25 @@
  * The implementation follows Rasmussen & Williams Algorithm 2.1:
  * Cholesky of K + σ_n² I, α = K⁻¹y, predictive mean kᵀα and variance
  * k(x,x) − ‖L⁻¹k‖². Targets are standardized internally so kernel
- * hyper-parameter defaults are scale-free. The paper deliberately keeps
- * the sample count small (tens), so dense O(n³) algebra is the right
- * tool — no sparse approximations (Sec. 4 discusses why CLITE avoids
- * them: they degrade uncertainty estimates).
+ * hyper-parameter defaults are scale-free.
+ *
+ * Two structural optimizations keep the online decision loop cheap as
+ * the sample set grows (the per-iteration overhead the paper bounds in
+ * Sec. 5.2 / Fig. 15):
+ *
+ *  - **Stationary-distance caching.** All kernels depend on the inputs
+ *    only through per-dimension squared differences, which never
+ *    change for a fixed training set. fit() precomputes them once;
+ *    every refit() under new hyper-parameters — the inner loop of
+ *    optimizeHyperparameters — rebuilds the Gram matrix from the cache
+ *    plus the kernel's radial profile without re-touching raw inputs.
+ *    The standardized target vector is cached the same way.
+ *
+ *  - **Incremental updates.** addSample() extends the training set by
+ *    one point in O(n²) via a Cholesky rank-append instead of the
+ *    O(n³) refactorization of a full fit(); fitIncremental() detects
+ *    when a proposed training set merely appends to the current one
+ *    and takes that path automatically.
  */
 
 #ifndef CLITE_GP_GAUSSIAN_PROCESS_H
@@ -66,13 +81,38 @@ class GaussianProcess
     GaussianProcess& operator=(GaussianProcess&&) = default;
 
     /**
-     * Fit to training data (replaces any previous data).
+     * Fit to training data (replaces any previous data). O(n³).
      *
      * @param x Training inputs, all of kernel().dims() length.
      * @param y Training targets, same length as x.
      */
     void fit(const std::vector<linalg::Vector>& x,
              const std::vector<double>& y);
+
+    /**
+     * Extend the training set by one observation in O(n²): the
+     * distance cache and kernel row grow by one point, the Cholesky
+     * factor is rank-appended, and α is recomputed through the cached
+     * factor. Numerically equivalent to a full fit() on the extended
+     * data (the appended factor matches the batch factor row for row).
+     * Falls back to a full refactorization only when the new point is
+     * so close to an existing one that the appended pivot loses
+     * positivity. Hyper-parameters are left untouched.
+     *
+     * @pre fitted()
+     */
+    void addSample(const linalg::Vector& x, double y);
+
+    /**
+     * fit() that recognizes pure extensions: when the current training
+     * set is an exact prefix of (@p x, @p y), only the new tail is
+     * added via addSample() — the O(n²) path. Any other change
+     * (reordering, removal, e.g. a sample quarantined by the fault
+     * path) triggers a full fit(). Callers that maintain a filtered
+     * sample list can therefore call this unconditionally.
+     */
+    void fitIncremental(const std::vector<linalg::Vector>& x,
+                        const std::vector<double>& y);
 
     /** True once fit() has been called with at least one point. */
     bool fitted() const { return chol_.has_value(); }
@@ -87,7 +127,9 @@ class GaussianProcess
     double noiseVariance() const { return noise_variance_; }
 
     /**
-     * Posterior prediction at @p x.
+     * Posterior prediction at @p x. Read-only and safe to call
+     * concurrently from multiple threads on the same fitted model
+     * (the parallel acquisition path relies on this).
      * @pre fitted()
      */
     Prediction predict(const linalg::Vector& x) const;
@@ -115,6 +157,22 @@ class GaussianProcess
     /** Rebuild the Cholesky and α for current data + hyper-parameters. */
     void refit();
 
+    /** Recompute y_mean_ / y_scale_ / ys_std_ from y_raw_. */
+    void updateStandardization();
+
+    /** Rebuild the pairwise squared-difference cache from x_. */
+    void rebuildDistanceCache();
+
+    /** Extend the cache with the pairs (x, x_[j]) for all current j. */
+    void appendDistanceCache(const linalg::Vector& x);
+
+    /** Per-dimension 1/ℓ_d² under the current kernel parameters. */
+    std::vector<double> inverseSquaredLengthscales() const;
+
+    /** Scaled distance of cached pair @p pair given 1/ℓ². */
+    double cachedScaledDistance(size_t pair,
+                                const std::vector<double>& inv_l2) const;
+
     /** Standardized-target helpers. */
     double standardize(double y) const;
     double destandardizeMean(double m) const;
@@ -127,6 +185,16 @@ class GaussianProcess
     std::vector<double> y_raw_;
     double y_mean_ = 0.0;
     double y_scale_ = 1.0;
+    linalg::Vector ys_std_; ///< Standardized targets (cached).
+
+    /**
+     * Packed lower-triangular pair caches, ordered (i, j<i) with pair
+     * index i(i-1)/2 + j. pair_sqdist_ holds Σ_d (x_i − x_j)² (the
+     * isotropic fast path); pair_sqdiff_ holds the per-dimension
+     * squared differences (ARD mode only — empty when isotropic).
+     */
+    std::vector<double> pair_sqdist_;
+    std::vector<double> pair_sqdiff_;
 
     std::optional<linalg::Cholesky> chol_;
     linalg::Vector alpha_; // K⁻¹ y (standardized)

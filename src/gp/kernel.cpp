@@ -101,7 +101,12 @@ double
 Matern52Kernel::operator()(const linalg::Vector& a,
                            const linalg::Vector& b) const
 {
-    double r = scaledDistance(a, b);
+    return fromScaledDistance(scaledDistance(a, b));
+}
+
+double
+Matern52Kernel::fromScaledDistance(double r) const
+{
     double s = std::sqrt(5.0) * r;
     return signalVariance() * (1.0 + s + s * s / 3.0) * std::exp(-s);
 }
@@ -122,7 +127,13 @@ double
 Matern32Kernel::operator()(const linalg::Vector& a,
                            const linalg::Vector& b) const
 {
-    double s = std::sqrt(3.0) * scaledDistance(a, b);
+    return fromScaledDistance(scaledDistance(a, b));
+}
+
+double
+Matern32Kernel::fromScaledDistance(double r) const
+{
+    double s = std::sqrt(3.0) * r;
     return signalVariance() * (1.0 + s) * std::exp(-s);
 }
 
@@ -140,7 +151,12 @@ RbfKernel::RbfKernel(size_t dims, double lengthscale, double signal_variance)
 double
 RbfKernel::operator()(const linalg::Vector& a, const linalg::Vector& b) const
 {
-    double r = scaledDistance(a, b);
+    return fromScaledDistance(scaledDistance(a, b));
+}
+
+double
+RbfKernel::fromScaledDistance(double r) const
+{
     return signalVariance() * std::exp(-0.5 * r * r);
 }
 

@@ -38,6 +38,17 @@ class Kernel
     virtual double operator()(const linalg::Vector& a,
                               const linalg::Vector& b) const = 0;
 
+    /**
+     * Covariance as a function of the ARD-scaled distance
+     * r = ||(a-b)/ℓ|| alone (every kernel here is stationary). This is
+     * the hook behind the GP's training-set distance cache: the
+     * per-pair squared differences are precomputed once per fit, so a
+     * hyper-parameter probe rebuilds the Gram matrix from cached
+     * distances + this radial profile without re-touching raw inputs.
+     * Includes the σ_f² factor: fromScaledDistance(0) == σ_f².
+     */
+    virtual double fromScaledDistance(double r) const = 0;
+
     /** Human-readable name ("matern52", ...). */
     virtual std::string name() const = 0;
 
@@ -101,6 +112,7 @@ class Matern52Kernel : public Kernel
                             double signal_variance = 1.0);
     double operator()(const linalg::Vector& a,
                       const linalg::Vector& b) const override;
+    double fromScaledDistance(double r) const override;
     std::string name() const override { return "matern52"; }
     std::unique_ptr<Kernel> clone() const override;
 };
@@ -113,6 +125,7 @@ class Matern32Kernel : public Kernel
                             double signal_variance = 1.0);
     double operator()(const linalg::Vector& a,
                       const linalg::Vector& b) const override;
+    double fromScaledDistance(double r) const override;
     std::string name() const override { return "matern32"; }
     std::unique_ptr<Kernel> clone() const override;
 };
@@ -125,6 +138,7 @@ class RbfKernel : public Kernel
                        double signal_variance = 1.0);
     double operator()(const linalg::Vector& a,
                       const linalg::Vector& b) const override;
+    double fromScaledDistance(double r) const override;
     std::string name() const override { return "rbf"; }
     std::unique_ptr<Kernel> clone() const override;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "workloads/catalog.h"
 
 namespace clite {
@@ -64,22 +65,26 @@ maxLoadHeatmap(const std::string& scheme, const std::string& x_job,
     map.cell.assign(grid_loads.size(),
                     std::vector<double>(grid_loads.size(), 0.0));
 
-    for (size_t yi = 0; yi < grid_loads.size(); ++yi) {
-        for (size_t xi = 0; xi < grid_loads.size(); ++xi) {
-            MaxLoadQuery q;
-            q.fixed_jobs = {
-                workloads::lcJob(x_job, grid_loads[xi]),
-                workloads::lcJob(y_job, grid_loads[yi]),
-            };
-            for (const auto& bg : extra_bg)
-                q.fixed_jobs.push_back(workloads::bgJob(bg));
-            q.probe_workload = probe;
-            q.noise_sigma = noise_sigma;
-            // Per-cell seed so noise realizations differ across cells.
-            q.seed = 1000 + yi * grid_loads.size() + xi;
-            map.cell[yi][xi] = maxSupportedLoad(scheme, q);
-        }
-    }
+    // Every cell is an independent search with its own seed, so the
+    // sweep fans out on the global thread pool; each task writes only
+    // its own cell, making the heatmap bit-identical to a serial run
+    // regardless of scheduling (and of --threads).
+    const size_t g = grid_loads.size();
+    globalPool().parallelFor(g * g, [&](size_t idx) {
+        const size_t yi = idx / g, xi = idx % g;
+        MaxLoadQuery q;
+        q.fixed_jobs = {
+            workloads::lcJob(x_job, grid_loads[xi]),
+            workloads::lcJob(y_job, grid_loads[yi]),
+        };
+        for (const auto& bg : extra_bg)
+            q.fixed_jobs.push_back(workloads::bgJob(bg));
+        q.probe_workload = probe;
+        q.noise_sigma = noise_sigma;
+        // Per-cell seed so noise realizations differ across cells.
+        q.seed = 1000 + yi * g + xi;
+        map.cell[yi][xi] = maxSupportedLoad(scheme, q);
+    });
     return map;
 }
 

@@ -6,7 +6,10 @@
  * jobs at fixed loads, what is the highest load (in 10% steps) of one
  * probe LC job for which a scheme still finds a configuration meeting
  * EVERY LC job's QoS? maxSupportedLoad answers that per scheme; the
- * heatmap helpers sweep two other jobs' loads over a grid.
+ * heatmap helpers sweep two other jobs' loads over a grid. Heatmap
+ * cells are independent seeded searches and run in parallel on the
+ * global thread pool (common/thread_pool.h) with results bit-identical
+ * to a serial sweep.
  */
 
 #ifndef CLITE_HARNESS_MAXLOAD_H

@@ -50,6 +50,31 @@ Cholesky::tryFactor(const Matrix& a, double jitter)
     return true;
 }
 
+bool
+Cholesky::appendRow(const Vector& b, double c)
+{
+    const size_t n = size();
+    CLITE_CHECK(b.size() == n,
+                "appendRow expects " << n << " covariances, got "
+                                     << b.size());
+    // New off-diagonal row: L l₁₂ = b, exactly the recurrence the full
+    // factorization would run for row n.
+    Vector l12 = solveLower(b);
+    double pivot = c + applied_jitter_ - dot(l12, l12);
+    if (pivot <= 0.0 || !std::isfinite(pivot))
+        return false;
+
+    Matrix grown(n + 1, n + 1, 0.0);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j <= i; ++j)
+            grown(i, j) = l_(i, j);
+    for (size_t j = 0; j < n; ++j)
+        grown(n, j) = l12[j];
+    grown(n, n) = std::sqrt(pivot);
+    l_ = std::move(grown);
+    return true;
+}
+
 Vector
 Cholesky::solveLower(const Vector& b) const
 {

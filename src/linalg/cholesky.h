@@ -40,6 +40,26 @@ class Cholesky
     /** The lower-triangular factor L. */
     const Matrix& factor() const { return l_; }
 
+    /**
+     * Rank-append: extend the factor of A to the factor of
+     *
+     *   A' = [[A, b], [bᵀ, c]]
+     *
+     * in O(n²) (one forward substitution plus a copy-grow of L)
+     * instead of the O(n³) full refactorization. The jitter that was
+     * applied when A was factored is added to c so the extended factor
+     * matches what a from-scratch factorization of A' + jitter·I
+     * produces, row for row — Cholesky computes row i from rows < i
+     * only, so appending never perturbs the existing rows.
+     *
+     * @param b Covariances of the new point against the existing n.
+     * @param c Diagonal entry (self-covariance) of the new point.
+     * @return false, leaving the factor unchanged, when the new pivot
+     *     is not positive (nearly duplicate point) — the caller should
+     *     fall back to a full factorization with fresh jitter.
+     */
+    bool appendRow(const Vector& b, double c);
+
     /** Jitter that was actually added to the diagonal (0 if none). */
     double appliedJitter() const { return applied_jitter_; }
 

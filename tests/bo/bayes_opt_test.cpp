@@ -10,6 +10,7 @@
 
 #include "bo/bayes_opt.h"
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace clite {
 namespace bo {
@@ -117,6 +118,46 @@ TEST(BayesOpt, ConstructionValidation)
     EXPECT_THROW(BayesOpt({0.0}, {1.0},
                           std::make_unique<ExpectedImprovement>(), bad),
                  Error);
+}
+
+TEST(BayesOpt, ParallelAcquisitionBitIdenticalToSerial)
+{
+    // Candidates are drawn serially from the caller's RNG and only
+    // their acquisition evaluations fan out, so a parallel run must be
+    // bit-identical to a serial one — same best point, same value,
+    // same history, down to the last bit.
+    auto run = [](int threads) {
+        setGlobalThreadCount(threads);
+        BayesOpt bo({-1.0, -1.0}, {1.0, 1.0},
+                    std::make_unique<ExpectedImprovement>(0.01),
+                    fastOptions());
+        Rng rng(11);
+        auto f = [](const linalg::Vector& x) {
+            return std::cos(3.0 * x[0]) * std::exp(-x[1] * x[1]);
+        };
+        return bo.maximize(f, rng);
+    };
+
+    BayesOptResult serial = run(1);
+    for (int threads : {2, 4}) {
+        BayesOptResult par = run(threads);
+        ASSERT_EQ(par.history.size(), serial.history.size())
+            << "threads=" << threads;
+        for (size_t i = 0; i < serial.history.size(); ++i) {
+            ASSERT_EQ(par.history[i].x.size(), serial.history[i].x.size());
+            for (size_t d = 0; d < serial.history[i].x.size(); ++d)
+                EXPECT_EQ(par.history[i].x[d], serial.history[i].x[d])
+                    << "threads=" << threads << " sample=" << i;
+            EXPECT_EQ(par.history[i].y, serial.history[i].y)
+                << "threads=" << threads << " sample=" << i;
+        }
+        for (size_t d = 0; d < serial.best_x.size(); ++d)
+            EXPECT_EQ(par.best_x[d], serial.best_x[d]);
+        EXPECT_EQ(par.best_y, serial.best_y);
+        EXPECT_EQ(par.iterations, serial.iterations);
+        EXPECT_EQ(par.terminated_early, serial.terminated_early);
+    }
+    setGlobalThreadCount(1);
 }
 
 } // namespace

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the incremental surrogate-update path: addSample() must
+ * agree with a from-scratch fit(), fitIncremental() must append only
+ * on an exact prefix match, and — the fault-path regression — a
+ * quarantined sample removed from the usable list must force a full
+ * refit so it can never linger inside the incrementally-extended
+ * factor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "gp/gaussian_process.h"
+
+namespace clite {
+namespace gp {
+namespace {
+
+GaussianProcess
+makeGp(size_t dims = 2, double noise = 1e-6)
+{
+    return GaussianProcess(std::make_unique<Matern52Kernel>(dims, 0.5, 1.0),
+                           noise);
+}
+
+std::vector<linalg::Vector>
+randomInputs(size_t n, size_t dims, Rng& rng)
+{
+    std::vector<linalg::Vector> xs;
+    for (size_t i = 0; i < n; ++i) {
+        linalg::Vector x(dims);
+        for (size_t d = 0; d < dims; ++d)
+            x[d] = rng.uniform(0.0, 1.0);
+        xs.push_back(x);
+    }
+    return xs;
+}
+
+double
+targetFn(const linalg::Vector& x)
+{
+    return std::sin(4.0 * x[0]) + 0.5 * x[1] * x[1];
+}
+
+void
+expectSamePosterior(const GaussianProcess& a, const GaussianProcess& b,
+                    const std::vector<linalg::Vector>& probes,
+                    double tol = 1e-8)
+{
+    ASSERT_EQ(a.sampleCount(), b.sampleCount());
+    for (const auto& p : probes) {
+        Prediction pa = a.predict(p);
+        Prediction pb = b.predict(p);
+        EXPECT_NEAR(pa.mean, pb.mean, tol);
+        EXPECT_NEAR(pa.variance, pb.variance, tol);
+    }
+    EXPECT_NEAR(a.logMarginalLikelihood(), b.logMarginalLikelihood(), 1e-6);
+}
+
+TEST(GpIncremental, AddSampleMatchesBatchFit)
+{
+    Rng rng(31);
+    std::vector<linalg::Vector> xs = randomInputs(12, 2, rng);
+    std::vector<double> ys;
+    for (const auto& x : xs)
+        ys.push_back(targetFn(x));
+
+    // Incremental: fit the first 6, then add the rest one at a time.
+    GaussianProcess inc = makeGp();
+    inc.fit({xs.begin(), xs.begin() + 6}, {ys.begin(), ys.begin() + 6});
+    for (size_t i = 6; i < xs.size(); ++i)
+        inc.addSample(xs[i], ys[i]);
+
+    GaussianProcess batch = makeGp();
+    batch.fit(xs, ys);
+
+    Rng probe_rng(32);
+    expectSamePosterior(inc, batch, randomInputs(20, 2, probe_rng));
+}
+
+TEST(GpIncremental, AddSampleRequiresFittedModel)
+{
+    GaussianProcess gp = makeGp();
+    EXPECT_THROW(gp.addSample({0.5, 0.5}, 1.0), Error);
+}
+
+TEST(GpIncremental, AddSampleSurvivesDuplicatePoint)
+{
+    // An exact duplicate makes the appended pivot non-positive; the
+    // jittered full-refit fallback must keep the model usable.
+    GaussianProcess gp = makeGp();
+    Rng rng(33);
+    std::vector<linalg::Vector> xs = randomInputs(5, 2, rng);
+    std::vector<double> ys;
+    for (const auto& x : xs)
+        ys.push_back(targetFn(x));
+    gp.fit(xs, ys);
+    gp.addSample(xs[2], ys[2]);
+    EXPECT_EQ(gp.sampleCount(), 6u);
+    Prediction p = gp.predict(xs[2]);
+    EXPECT_TRUE(std::isfinite(p.mean));
+    EXPECT_TRUE(std::isfinite(p.variance));
+    EXPECT_NEAR(p.mean, ys[2], 0.05);
+}
+
+TEST(GpIncremental, FitIncrementalAppendsOnExactPrefix)
+{
+    Rng rng(34);
+    std::vector<linalg::Vector> xs = randomInputs(10, 2, rng);
+    std::vector<double> ys;
+    for (const auto& x : xs)
+        ys.push_back(targetFn(x));
+
+    GaussianProcess inc = makeGp();
+    inc.fitIncremental({xs.begin(), xs.begin() + 7},
+                       {ys.begin(), ys.begin() + 7});
+    EXPECT_EQ(inc.sampleCount(), 7u);
+    inc.fitIncremental(xs, ys); // 7-sample prefix unchanged: appends 3
+    EXPECT_EQ(inc.sampleCount(), 10u);
+
+    GaussianProcess batch = makeGp();
+    batch.fit(xs, ys);
+    Rng probe_rng(35);
+    expectSamePosterior(inc, batch, randomInputs(20, 2, probe_rng));
+}
+
+/**
+ * Fault-path regression (PR 1 quarantine + PR 2 incremental updates):
+ * the control loop refits the surrogate from the *filtered* usable
+ * sample list, so quarantining a previously-fitted sample shrinks or
+ * reorders that list mid-sequence. fitIncremental must notice the
+ * prefix divergence and rebuild from scratch — the quarantined sample
+ * must never survive inside the incrementally-extended factor.
+ */
+TEST(GpIncremental, QuarantinedSampleNeverEntersIncrementalUpdate)
+{
+    Rng rng(36);
+    std::vector<linalg::Vector> xs = randomInputs(8, 2, rng);
+    std::vector<double> ys;
+    for (const auto& x : xs)
+        ys.push_back(targetFn(x));
+
+    GaussianProcess gp = makeGp();
+    gp.fitIncremental(xs, ys);
+    ASSERT_EQ(gp.sampleCount(), 8u);
+
+    // Sample 3 gets quarantined: the usable list drops it and later
+    // gains a new observation, exactly what core::CliteController
+    // passes after a mid-run fault.
+    std::vector<linalg::Vector> usable_x;
+    std::vector<double> usable_y;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        if (i == 3)
+            continue;
+        usable_x.push_back(xs[i]);
+        usable_y.push_back(ys[i]);
+    }
+    Rng rng2(37);
+    linalg::Vector fresh = randomInputs(1, 2, rng2)[0];
+    usable_x.push_back(fresh);
+    usable_y.push_back(targetFn(fresh));
+
+    gp.fitIncremental(usable_x, usable_y);
+    EXPECT_EQ(gp.sampleCount(), 8u); // 7 survivors + 1 new, not 9
+
+    // The refit model must be indistinguishable from one that never
+    // saw the quarantined sample at all.
+    GaussianProcess clean = makeGp();
+    clean.fit(usable_x, usable_y);
+    Rng probe_rng(38);
+    expectSamePosterior(gp, clean, randomInputs(20, 2, probe_rng));
+
+    // And it must differ from the pre-quarantine posterior at the
+    // dropped point — proof the sample is really gone.
+    GaussianProcess with_bad = makeGp();
+    with_bad.fit(xs, ys);
+    EXPECT_GT(gp.predict(xs[3]).variance,
+              with_bad.predict(xs[3]).variance);
+}
+
+TEST(GpIncremental, FitIncrementalRefitsOnChangedTarget)
+{
+    // Same inputs, one historical y revised: not an append.
+    Rng rng(39);
+    std::vector<linalg::Vector> xs = randomInputs(6, 2, rng);
+    std::vector<double> ys;
+    for (const auto& x : xs)
+        ys.push_back(targetFn(x));
+    GaussianProcess gp = makeGp();
+    gp.fitIncremental(xs, ys);
+    ys[2] += 1.0;
+    gp.fitIncremental(xs, ys);
+    GaussianProcess batch = makeGp();
+    batch.fit(xs, ys);
+    Rng probe_rng(40);
+    expectSamePosterior(gp, batch, randomInputs(10, 2, probe_rng));
+}
+
+TEST(GpIncremental, CachedLogMarginalLikelihoodMatchesDefinition)
+{
+    // logMarginalLikelihood() reads the cached standardized targets;
+    // it must keep agreeing with a fresh fit after incremental growth.
+    Rng rng(41);
+    std::vector<linalg::Vector> xs = randomInputs(9, 2, rng);
+    std::vector<double> ys;
+    for (const auto& x : xs)
+        ys.push_back(targetFn(x));
+    GaussianProcess inc = makeGp();
+    inc.fit({xs.begin(), xs.begin() + 4}, {ys.begin(), ys.begin() + 4});
+    for (size_t i = 4; i < xs.size(); ++i)
+        inc.addSample(xs[i], ys[i]);
+    GaussianProcess batch = makeGp();
+    batch.fit(xs, ys);
+    EXPECT_NEAR(inc.logMarginalLikelihood(), batch.logMarginalLikelihood(),
+                1e-6);
+}
+
+} // namespace
+} // namespace gp
+} // namespace clite

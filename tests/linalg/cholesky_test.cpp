@@ -92,6 +92,102 @@ TEST(Cholesky, LogDetMatchesKnownDiagonalMatrix)
     EXPECT_NEAR(chol.logDet(), std::log(24.0), 1e-12);
 }
 
+TEST(Cholesky, AppendRowMatchesBatchFactor)
+{
+    // Factor the leading (n-1)x(n-1) block, append the last row/column
+    // incrementally, and compare against factoring the full matrix.
+    Rng rng(17);
+    const size_t n = 8;
+    Matrix a = randomSpd(n, rng);
+    Matrix leading(n - 1, n - 1);
+    for (size_t r = 0; r + 1 < n; ++r)
+        for (size_t c = 0; c + 1 < n; ++c)
+            leading(r, c) = a(r, c);
+    Cholesky inc(leading);
+    Vector b(n - 1);
+    for (size_t r = 0; r + 1 < n; ++r)
+        b[r] = a(r, n - 1);
+    ASSERT_TRUE(inc.appendRow(b, a(n - 1, n - 1)));
+    ASSERT_EQ(inc.size(), n);
+
+    Cholesky batch(a);
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c <= r; ++c)
+            EXPECT_NEAR(inc.factor()(r, c), batch.factor()(r, c), 1e-10)
+                << "entry (" << r << "," << c << ")";
+}
+
+TEST(Cholesky, AppendRowGrowsFromScalar)
+{
+    // Build the factor of a 5x5 SPD matrix one row at a time and check
+    // the solve against the batch factorization.
+    Rng rng(19);
+    const size_t n = 5;
+    Matrix a = randomSpd(n, rng);
+    Matrix first(1, 1);
+    first(0, 0) = a(0, 0);
+    Cholesky inc(first);
+    for (size_t k = 1; k < n; ++k) {
+        Vector b(k);
+        for (size_t r = 0; r < k; ++r)
+            b[r] = a(r, k);
+        ASSERT_TRUE(inc.appendRow(b, a(k, k))) << "append " << k;
+    }
+    Vector x_true(n);
+    for (size_t i = 0; i < n; ++i)
+        x_true[i] = rng.uniform(-2.0, 2.0);
+    Vector rhs = a * x_true;
+    Vector x = inc.solve(rhs);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(Cholesky, AppendRowMatchesBatchAfterJitter)
+{
+    // A singular base engages the jitter path; the appended factor
+    // must match a batch factorization of the grown matrix with the
+    // same jitter added, row for row.
+    // The new column must be consistent with the base's rank
+    // deficiency (b[0] == b[1]); an inconsistent column correctly
+    // drives the pivot negative and appendRow refuses.
+    Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+    Cholesky inc(a);
+    ASSERT_GT(inc.appliedJitter(), 0.0);
+    Vector b = {0.5, 0.5};
+    ASSERT_TRUE(inc.appendRow(b, 2.0));
+
+    Matrix grown{{1.0, 1.0, 0.5}, {1.0, 1.0, 0.5}, {0.5, 0.5, 2.0}};
+    grown.addDiagonal(inc.appliedJitter());
+    Cholesky batch(grown);
+    ASSERT_DOUBLE_EQ(batch.appliedJitter(), 0.0);
+    for (size_t r = 0; r < 3; ++r)
+        for (size_t c = 0; c <= r; ++c)
+            EXPECT_NEAR(inc.factor()(r, c), batch.factor()(r, c), 1e-9)
+                << "entry (" << r << "," << c << ")";
+}
+
+TEST(Cholesky, AppendRowRejectsDuplicatePointAndKeepsFactor)
+{
+    // Appending an exact duplicate of an existing point makes the new
+    // pivot zero: appendRow must refuse and leave the factor intact.
+    Matrix a{{1.0, 0.0}, {0.0, 1.0}};
+    Cholesky chol(a);
+    Matrix before = chol.factor();
+    Vector dup = {1.0, 0.0};
+    EXPECT_FALSE(chol.appendRow(dup, 1.0));
+    EXPECT_EQ(chol.size(), 2u);
+    EXPECT_DOUBLE_EQ((chol.factor() - before).maxAbs(), 0.0);
+}
+
+TEST(Cholesky, AppendRowSizeMismatchThrows)
+{
+    Rng rng(23);
+    Matrix a = randomSpd(3, rng);
+    Cholesky chol(a);
+    Vector wrong = {1.0, 2.0};
+    EXPECT_THROW(chol.appendRow(wrong, 5.0), Error);
+}
+
 TEST(Cholesky, JitterRescuesSingularMatrix)
 {
     // Rank-1 PSD matrix (singular): jitter path must engage.
