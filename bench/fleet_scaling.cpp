@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Fleet scaling sweep: QoS-met fraction, BG performance and
+ * scheduling activity as the cluster grows from 1 to 64 nodes.
+ *
+ * Every fleet size runs the same admission pressure per node (two
+ * jobs per node, ~60% latency-critical, including a slice of hot
+ * full-load tenants that are infeasible wherever they are
+ * co-located), so the sweep isolates the effect of scale on the
+ * scheduler: more nodes mean more rescheduling destinations and a
+ * better chance of absorbing an unservable-in-place job. Wall time
+ * per window is also reported — fleet windows fan node evaluations
+ * out on the global thread pool (--threads=N, bit-identical results
+ * at any worker count).
+ *
+ * With CLITE_FLEET_JSON=<path> the per-size series is also written as
+ * JSON (like BENCH_components.json for the component benchmarks), so
+ * scaling regressions are visible across commits.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "bench_util.h"
+#include "cluster/fleet.h"
+#include "common/table.h"
+#include "workloads/catalog.h"
+
+using namespace clite;
+
+namespace {
+
+struct ScalePoint
+{
+    int nodes = 0;
+    int jobs = 0;
+    double qos_met_mean = 0.0;
+    double qos_met_final = 0.0;
+    double bg_perf_mean = 0.0;
+    int evictions = 0;
+    int parked = 0;
+    int pending = 0;
+    double ms_per_window = 0.0;
+};
+
+ScalePoint
+runFleet(int nodes, int windows)
+{
+    cluster::FleetOptions options;
+    options.nodes = nodes;
+    options.seed = 29;
+    // Modest per-node search budgets: the sweep measures the fleet
+    // layer, not per-node search quality.
+    options.clite.max_iterations = 8;
+    options.clite.acquisition_starts = 2;
+    cluster::Fleet fleet(options);
+
+    const std::vector<std::string>& lc = workloads::lcWorkloadNames();
+    const std::vector<std::string>& bg = workloads::bgWorkloadNames();
+    const int total_jobs = nodes * 2;
+
+    // Admissions spread over the first half of the run: index-driven
+    // mix, every 10th job a full-load masstree (unservable next to
+    // anything — it must end up alone or parked).
+    int admitted = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (int w = 0; w < windows; ++w) {
+        int target = std::min(total_jobs,
+                              (w + 1) * (2 * total_jobs / windows + 1));
+        for (; admitted < target; ++admitted) {
+            if (admitted % 10 == 9)
+                fleet.admit(workloads::lcJob("masstree", 1.0));
+            else if (admitted % 3 == 2)
+                fleet.admit(workloads::bgJob(
+                    bg[size_t(admitted) % bg.size()]));
+            else
+                fleet.admit(workloads::lcJob(
+                    lc[size_t(admitted) % lc.size()], 0.3));
+        }
+        fleet.tick();
+    }
+    auto elapsed = std::chrono::duration<double, std::milli>(
+        std::chrono::steady_clock::now() - start);
+
+    cluster::FleetSummary s = fleet.summarize();
+    ScalePoint p;
+    p.nodes = nodes;
+    p.jobs = admitted;
+    p.qos_met_mean = s.qos_met_fraction.mean();
+    p.qos_met_final = fleet.history().back().qos_met_fraction;
+    p.bg_perf_mean = s.bg_perf.mean();
+    p.evictions = s.evictions;
+    p.parked = s.jobs_parked;
+    p.pending = s.jobs_pending;
+    p.ms_per_window = elapsed.count() / windows;
+    return p;
+}
+
+void
+maybeWriteJson(const std::vector<ScalePoint>& points)
+{
+    const char* path = std::getenv("CLITE_FLEET_JSON");
+    if (path == nullptr || *path == '\0')
+        return;
+    std::ofstream out(path);
+    out << "{\n  \"benchmark\": \"fleet_scaling\",\n  \"points\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+        const ScalePoint& p = points[i];
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\"nodes\": %d, \"jobs\": %d, \"qos_met_mean\": %.6f, "
+            "\"qos_met_final\": %.6f, \"bg_perf_mean\": %.6f, "
+            "\"evictions\": %d, \"parked\": %d, \"pending\": %d, "
+            "\"ms_per_window\": %.3f}%s\n",
+            p.nodes, p.jobs, p.qos_met_mean, p.qos_met_final,
+            p.bg_perf_mean, p.evictions, p.parked, p.pending,
+            p.ms_per_window, i + 1 < points.size() ? "," : "");
+        out << buf;
+    }
+    out << "  ]\n}\n";
+    std::cout << "[json written to " << path << "]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::applyThreadFlag(argc, argv);
+    printBanner(std::cout,
+                "Fleet scaling: QoS-met fraction vs node count "
+                "(2 jobs/node, 10% hot tenants)");
+
+    const int windows = 12;
+    std::vector<ScalePoint> points;
+    for (int nodes : {1, 2, 4, 8, 16, 32, 64})
+        points.push_back(runFleet(nodes, windows));
+
+    TextTable t({"Nodes", "Jobs", "QoS met (mean)", "QoS met (final)",
+                 "BG perf", "Evictions", "Parked", "Pending",
+                 "ms/window"});
+    for (const ScalePoint& p : points)
+        t.addRow({std::to_string(p.nodes), std::to_string(p.jobs),
+                  TextTable::percent(p.qos_met_mean, 1),
+                  TextTable::percent(p.qos_met_final, 1),
+                  TextTable::num(p.bg_perf_mean, 3),
+                  std::to_string(p.evictions), std::to_string(p.parked),
+                  std::to_string(p.pending),
+                  TextTable::num(p.ms_per_window, 1)});
+    t.print(std::cout);
+    bench::maybeWriteCsv(t, "fleet_scaling");
+    maybeWriteJson(points);
+
+    std::cout << "\nLarger fleets give evicted jobs more landing spots: "
+                 "the final QoS-met fraction should not degrade with "
+                 "node count, and hot tenants end up alone or parked "
+                 "instead of degrading a neighbor.\n";
+    return 0;
+}

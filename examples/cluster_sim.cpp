@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Scenario: a small cluster, not just one node.
+ *
+ * Runs a 4-node Fleet through a job-arrival trace: latency-critical
+ * and batch jobs stream in, the ClusterScheduler places each on the
+ * node predicted to keep the most QoS headroom, every node's
+ * OnlineManager partitions its own resources with CLITE, and jobs a
+ * node proves infeasible (QoS missed even at the max-allocation
+ * extremum) are evicted and rescheduled onto nodes that still have
+ * room. Prints one line per window plus a final fleet summary.
+ */
+
+#include <iostream>
+
+#include "cluster/fleet.h"
+#include "workloads/catalog.h"
+
+int
+main()
+{
+    using namespace clite;
+
+    cluster::FleetOptions options;
+    options.nodes = 4;
+    options.seed = 11;
+    cluster::Fleet fleet(options);
+
+    // The arrival trace: window -> jobs submitted at its start. Loads
+    // are high enough that the fleet has to spread LC jobs out (one
+    // node cannot hold them all and keep QoS).
+    struct Arrival
+    {
+        int window;
+        workloads::JobSpec spec;
+    };
+    const std::vector<Arrival> arrivals = {
+        {1, workloads::lcJob("memcached", 0.6)},
+        {1, workloads::bgJob("freqmine")},
+        {2, workloads::lcJob("xapian", 0.5)},
+        {3, workloads::lcJob("img-dnn", 0.5)},
+        {4, workloads::bgJob("canneal")},
+        {6, workloads::lcJob("masstree", 0.4)},
+        {8, workloads::lcJob("memcached", 0.7)},
+        {10, workloads::bgJob("streamcluster")},
+        {12, workloads::lcJob("specjbb", 0.4)},
+    };
+
+    std::cout << "policy: "
+              << cluster::placementPolicyName(
+                     fleet.options().placement.policy)
+              << ", nodes: " << fleet.nodeCount() << "\n\n";
+    std::cout << "win  placed  resched  qos-met  bg-perf  pending\n";
+    std::cout << "------------------------------------------------\n";
+
+    const int windows = 20;
+    size_t next = 0;
+    for (int w = 1; w <= windows; ++w) {
+        while (next < arrivals.size() && arrivals[next].window <= w) {
+            uint64_t id = fleet.admit(arrivals[next].spec);
+            std::cout << "  -> submit job " << id << " ("
+                      << arrivals[next].spec.label() << ")\n";
+            ++next;
+        }
+        cluster::FleetWindow win = fleet.tick();
+        std::printf("%3d  %6d  %7d  %6.0f%%  %7.3f  %7d\n", win.window,
+                    win.placed, win.rescheduled,
+                    100.0 * win.qos_met_fraction, win.mean_bg_perf,
+                    win.pending);
+    }
+
+    cluster::FleetSummary s = fleet.summarize();
+    std::cout << "\nfleet summary over " << s.windows << " windows:\n";
+    std::cout << "  jobs admitted/placed/pending/parked: "
+              << s.jobs_admitted << "/" << s.jobs_placed << "/"
+              << s.jobs_pending << "/" << s.jobs_parked << "\n";
+    std::cout << "  evictions: " << s.evictions
+              << ", re-optimizations: " << s.reoptimizations << "\n";
+    std::printf("  QoS-met fraction: mean %.3f (min %.3f)\n",
+                s.qos_met_fraction.mean(), s.qos_met_fraction.min());
+    std::printf("  BG performance:   mean %.3f\n", s.bg_perf.mean());
+
+    std::cout << "\nfinal placement:\n";
+    for (size_t n = 0; n < fleet.nodeCount(); ++n) {
+        std::cout << "  node " << n << ":";
+        if (fleet.nodeJobIds(n).empty())
+            std::cout << " (empty)";
+        for (uint64_t id : fleet.nodeJobIds(n))
+            std::cout << " " << fleet.job(id).spec.label();
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * A fleet of CLITE nodes with QoS-aware admission and rescheduling.
+ *
+ * Fleet scales the reproduction from one server to a cluster: N
+ * SimulatedServers, each wrapped in its own OnlineManager (the
+ * steady-state per-node control loop), advanced in lockstep
+ * observation windows. Each window:
+ *
+ *  1. **Admission (serial).** Queued jobs — new arrivals and evicted
+ *     jobs awaiting rescheduling — are placed onto nodes by the
+ *     ClusterScheduler (best-fit on GP-predicted headroom, falling
+ *     back to least-loaded). A job that fits nowhere stays queued;
+ *     nothing is ever dropped.
+ *  2. **Node windows (parallel).** Every occupied node runs one
+ *     OnlineManager step (the initial search for fresh nodes, one
+ *     monitoring tick otherwise) fanned out on the global thread
+ *     pool. Node i's step touches only node i's state, so the fleet
+ *     window is bit-identical to a serial run at any thread count —
+ *     the same contract the BO hot path and figure sweeps rely on.
+ *  3. **Rescheduling (serial).** A node whose search proved an LC job
+ *     cannot be co-located there (QoS missed even at the
+ *     maximum-allocation extremum — the paper's "schedule it
+ *     elsewhere" signal, now acted on) evicts that job. The evicted
+ *     job is placed onto another node with predicted headroom; both
+ *     source and destination adapt through incumbent-seeded
+ *     re-optimizations at their next window. A job evicted more than
+ *     max_moves times (or infeasible even alone on a node) is parked:
+ *     it stays in the registry, reported as unplaceable, rather than
+ *     ping-ponging through the fleet.
+ *
+ * Fleet-level metrics (QoS-met fraction over LC jobs, mean BG
+ * normalized throughput) are ground-truth values from noise-free
+ * observation of each node's incumbent, aggregated with
+ * stats::RunningStats.
+ */
+
+#ifndef CLITE_CLUSTER_FLEET_H
+#define CLITE_CLUSTER_FLEET_H
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/scheduler.h"
+#include "core/monitor.h"
+#include "harness/schemes.h"
+#include "stats/summary.h"
+
+namespace clite {
+namespace cluster {
+
+/** Fleet construction and behaviour knobs. */
+struct FleetOptions
+{
+    /** Number of nodes (homogeneous; each the Table 2 testbed). */
+    int nodes = 4;
+    /** Performance-model backend for every node. */
+    harness::ModelBackend backend = harness::ModelBackend::Analytic;
+    /** 6-resource config instead of 3. */
+    bool all_resources = false;
+    /** Per-node measurement noise. */
+    double noise_sigma = 0.03;
+    /** Fleet seed; per-node noise/controller seeds derive from it. */
+    uint64_t seed = 1;
+    /** Per-node CLITE knobs (budgets; seed is overridden per node). */
+    core::CliteOptions clite;
+    /** Per-node monitoring knobs. */
+    core::MonitorOptions monitor;
+    /** Placement knobs. */
+    PlacementOptions placement;
+    /** Evictions a job may suffer before it is parked. */
+    int max_moves = 3;
+};
+
+/** Where a job currently is. */
+enum class JobState {
+    Pending, ///< Awaiting placement (queued).
+    Placed,  ///< Running on a node.
+    Parked,  ///< Unplaceable (move limit or infeasible alone).
+};
+
+/** Printable state name ("pending", "placed", "parked"). */
+const char* jobStateName(JobState state);
+
+/** One job's cluster-level record. */
+struct FleetJob
+{
+    uint64_t id = 0;            ///< Fleet-wide id (1-based, dense).
+    workloads::JobSpec spec;    ///< What the job is.
+    JobState state = JobState::Pending;
+    int node = -1;              ///< Hosting node (Placed only).
+    int moves = 0;              ///< Evictions suffered so far.
+};
+
+/** Outcome of one fleet window. */
+struct FleetWindow
+{
+    int window = 0;          ///< 1-based window number.
+    int placed = 0;          ///< Jobs placed this window.
+    int evicted = 0;         ///< Jobs evicted for rescheduling.
+    int rescheduled = 0;     ///< Evicted jobs re-placed this window.
+    int parked = 0;          ///< Jobs parked this window.
+    int reoptimizations = 0; ///< Node searches run this window.
+    int pending = 0;         ///< Queue depth after the window.
+    /** Ground-truth fraction of placed LC jobs meeting QoS (1 when
+     *  none are placed). */
+    double qos_met_fraction = 1.0;
+    /** Ground-truth mean BG normalized performance (0 when no BG). */
+    double mean_bg_perf = 0.0;
+    /** Placed jobs at the end of the window. */
+    int placed_total = 0;
+};
+
+/** Aggregates over a run (reusing stats/summary). */
+struct FleetSummary
+{
+    int windows = 0;             ///< Windows ticked.
+    int jobs_admitted = 0;       ///< Jobs ever admitted.
+    int jobs_placed = 0;         ///< Currently placed.
+    int jobs_pending = 0;        ///< Currently queued.
+    int jobs_parked = 0;         ///< Currently parked.
+    int evictions = 0;           ///< Total evictions.
+    int reoptimizations = 0;     ///< Total node searches after init.
+    stats::RunningStats qos_met_fraction; ///< Per-window QoS fraction.
+    stats::RunningStats bg_perf;          ///< Per-window mean BG perf.
+};
+
+/**
+ * The multi-node co-location fleet.
+ */
+class Fleet
+{
+  public:
+    explicit Fleet(FleetOptions options = {});
+
+    /** Number of nodes. */
+    size_t nodeCount() const { return nodes_.size(); }
+
+    /** The options in effect. */
+    const FleetOptions& options() const { return options_; }
+
+    /**
+     * Submit a job to the cluster. It is queued and placed at the
+     * next tick()'s admission phase.
+     * @return The job's fleet-wide id.
+     */
+    uint64_t admit(const workloads::JobSpec& spec);
+
+    /** Advance the whole fleet by one lockstep observation window. */
+    FleetWindow tick();
+
+    /**
+     * Change a placed job's offered load (diurnal drift). The hosting
+     * node's manager reacts through its load-drift trigger at its
+     * next window.
+     * @pre job(id).state == JobState::Placed
+     */
+    void setJobLoad(uint64_t id, double load_fraction);
+
+    /** All job records (index = id - 1). */
+    const std::vector<FleetJob>& jobs() const { return jobs_; }
+
+    /** One job's record. @throws clite::Error for an unknown id. */
+    const FleetJob& job(uint64_t id) const;
+
+    /** Ids hosted by node @p n, in server job-index order. */
+    const std::vector<uint64_t>& nodeJobIds(size_t n) const;
+
+    /** Node @p n's server (nullptr while the node is empty). */
+    const platform::SimulatedServer* nodeServer(size_t n) const;
+
+    /** Node @p n's manager (nullptr while the node is empty). */
+    const core::OnlineManager* nodeManager(size_t n) const;
+
+    /** Windows ticked so far. */
+    int windows() const { return windows_; }
+
+    /** Per-window metrics history. */
+    const std::vector<FleetWindow>& history() const { return history_; }
+
+    /** Aggregate the run so far. */
+    FleetSummary summarize() const;
+
+    /** The placement engine (for tests / introspection). */
+    const ClusterScheduler& scheduler() const { return scheduler_; }
+
+    /**
+     * Deterministic fingerprint of the full fleet state: per-node job
+     * placements, programmed allocations and ground-truth scores plus
+     * the queue and parked lists. Two runs with equal digests made
+     * bit-identical decisions — the serial-vs-parallel equality
+     * tests compare exactly this.
+     */
+    std::string digest() const;
+
+  private:
+    struct Node
+    {
+        std::unique_ptr<platform::SimulatedServer> server;
+        std::unique_ptr<core::OnlineManager> manager;
+        std::vector<uint64_t> job_ids; ///< Parallel to server indices.
+        bool initialized = false;
+        /** Did this window run a search (initialize or reoptimize)? */
+        bool searched = false;
+        /** Did this window re-optimize (post-initialization search)? */
+        bool reoptimized = false;
+        /** Ground-truth observations of the incumbent (this window). */
+        std::vector<platform::JobObservation> truth;
+        double truth_score = 0.0;
+        bool truth_qos = false;
+    };
+
+    /** Per-node deterministic seed. */
+    uint64_t nodeSeed(size_t n) const;
+
+    /** Snapshot of node @p n for the scheduler. */
+    NodeSnapshot snapshot(size_t n) const;
+
+    /** Place job @p id if possible. @return True when placed. */
+    bool tryPlace(uint64_t id, int exclude);
+
+    /** Put @p id onto node @p n (creates the node when empty). */
+    void hostJob(uint64_t id, size_t n);
+
+    /** Remove server index @p idx from node @p n (may empty it). */
+    void unhostJob(size_t n, size_t idx);
+
+    /** Run node @p n's window (phase B; called from the pool). */
+    void stepNode(size_t n);
+
+    FleetOptions options_;
+    platform::ServerConfig config_;
+    size_t node_capacity_ = 0; ///< Max jobs per node (unit budget).
+
+    ClusterScheduler scheduler_;
+    std::vector<Node> nodes_;
+    std::vector<FleetJob> jobs_;
+    std::deque<uint64_t> queue_; ///< Pending ids, FIFO.
+
+    int windows_ = 0;
+    int evictions_ = 0;
+    int reoptimizations_ = 0;
+    std::vector<FleetWindow> history_;
+};
+
+} // namespace cluster
+} // namespace clite
+
+#endif // CLITE_CLUSTER_FLEET_H

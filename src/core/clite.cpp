@@ -206,6 +206,7 @@ CliteController::search(platform::SimulatedServer& server,
     // Only a clean (usable) extremum observation may prove it — a
     // faulted window must not condemn the whole co-location.
     bool infeasible = false;
+    std::vector<size_t> infeasible_jobs;
     for (size_t j = 0; j < njobs && options_.informed_bootstrap; ++j) {
         size_t s = extremum_sample_of_job[j];
         if (s == size_t(-1) || !server.job(j).isLatencyCritical())
@@ -219,11 +220,13 @@ CliteController::search(platform::SimulatedServer& server,
                                   << ob.p95_ms << "ms > " << ob.qos_target_ms
                                   << "ms); co-location infeasible");
             infeasible = true;
+            infeasible_jobs.push_back(j);
         }
     }
     if (infeasible || njobs == 1 || options_.max_iterations == 0 ||
         usable_indices().empty())
-        return finalizeResult(server, std::move(trace), infeasible);
+        return finalizeResult(server, std::move(trace), infeasible,
+                              std::move(infeasible_jobs));
 
     // ---- BO loop (Algorithm 1 specialized to the partition lattice).
     std::unique_ptr<gp::Kernel> kernel =

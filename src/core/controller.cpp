@@ -96,10 +96,12 @@ evaluateSampleResilient(platform::SimulatedServer& server,
 
 ControllerResult
 finalizeResult(platform::SimulatedServer& server,
-               std::vector<SampleRecord> trace, bool infeasible_detected)
+               std::vector<SampleRecord> trace, bool infeasible_detected,
+               std::vector<size_t> infeasible_jobs)
 {
     ControllerResult result;
     result.infeasible_detected = infeasible_detected;
+    result.infeasible_jobs = std::move(infeasible_jobs);
     result.samples = int(trace.size());
     result.trace = std::move(trace);
 

@@ -74,6 +74,13 @@ struct ControllerResult
     double best_score = 0.0;     ///< Eq. 3 score of the best sample.
     bool feasible = false;       ///< A QoS-satisfying config was found.
     bool infeasible_detected = false; ///< Proven impossible (max-alloc miss).
+    /**
+     * Server job indices of the LC jobs that missed QoS even at their
+     * maximum-allocation extremum (set when infeasible_detected): the
+     * jobs a cluster scheduler must move to another node, since no
+     * partition of THIS node can serve them alongside this job set.
+     */
+    std::vector<size_t> infeasible_jobs;
     int samples = 0;             ///< Configurations evaluated.
     std::vector<SampleRecord> trace; ///< Every sample in order.
 
@@ -145,7 +152,8 @@ SampleRecord evaluateSampleResilient(platform::SimulatedServer& server,
  */
 ControllerResult finalizeResult(platform::SimulatedServer& server,
                                 std::vector<SampleRecord> trace,
-                                bool infeasible_detected = false);
+                                bool infeasible_detected = false,
+                                std::vector<size_t> infeasible_jobs = {});
 
 } // namespace core
 } // namespace clite

@@ -92,14 +92,32 @@ OnlineManager::reoptimize(const std::string& reason, bool mix_changed)
 {
     CLITE_LOG_INFO("re-optimizing: " << reason);
     if (mix_changed) {
-        // The incumbent's shape no longer matches the job set.
-        last_result_ = clite_.run(server_);
+        // The incumbent's shape no longer matches the job set. When
+        // the change is a recognizable single add/remove, adapt the
+        // incumbent to the new shape and seed the search with it —
+        // the partition the search converged on is a strong warm
+        // start; an unrecognizable change (several jobs at once)
+        // falls back to a from-scratch search.
+        std::optional<platform::Allocation> seed;
+        if (incumbent_.has_value()) {
+            if (server_.jobCount() == incumbent_->jobs() + 1)
+                seed = incumbent_->withJobAdded();
+            else if (removed_job_.has_value() &&
+                     incumbent_->jobs() == server_.jobCount() + 1 &&
+                     *removed_job_ < incumbent_->jobs() &&
+                     server_.jobCount() >= 1)
+                seed = incumbent_->withJobRemoved(*removed_job_);
+        }
+        last_result_ = seed.has_value()
+                           ? clite_.reoptimize(server_, *seed)
+                           : clite_.run(server_);
     } else {
         last_result_ = clite_.reoptimize(server_, *incumbent_);
     }
     adoptResult();
     captureReference();
     mix_changed_ = false;
+    removed_job_.reset();
     ++reoptimizations_;
 }
 
@@ -279,6 +297,18 @@ void
 OnlineManager::notifyMixChange()
 {
     mix_changed_ = true;
+    removed_job_.reset();
+}
+
+void
+OnlineManager::notifyJobRemoved(size_t server_index)
+{
+    mix_changed_ = true;
+    // Only a single removal since the last search can be seeded; a
+    // second structural change invalidates the remembered index.
+    removed_job_ = removed_job_.has_value() ? std::optional<size_t>{}
+                                            : std::optional<size_t>{
+                                                  server_index};
 }
 
 } // namespace core

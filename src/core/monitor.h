@@ -118,11 +118,24 @@ class OnlineManager
 
     /**
      * Tell the manager the job mix changed (after calling the
-     * server's addJob/removeJob): the next tick() re-optimizes from
-     * scratch (the incumbent's shape no longer matches). Valid at any
+     * server's addJob/removeJob): the next tick() re-optimizes. When
+     * the change is a single appended job (the addJob contract), the
+     * search is seeded with the incumbent adapted to the new shape
+     * (Allocation::withJobAdded) so adaptation starts warm; any other
+     * shape change falls back to a from-scratch search. Valid at any
      * time, including before the first tick().
      */
     void notifyMixChange();
+
+    /**
+     * notifyMixChange() carrying the removed job's former server
+     * index: the next tick()'s search is seeded with the incumbent
+     * minus that job's row (Allocation::withJobRemoved) — the warm
+     * start for the departure/eviction half of cluster rescheduling.
+     *
+     * @param server_index The index the job had before removeJob().
+     */
+    void notifyJobRemoved(size_t server_index);
 
     /**
      * The incumbent configuration (the degraded fallback when the
@@ -189,6 +202,7 @@ class OnlineManager
     int drift_streak_ = 0;
     int apply_fail_streak_ = 0;
     bool mix_changed_ = false;
+    std::optional<size_t> removed_job_; ///< Index removed since last tick.
     int reoptimizations_ = 0;
     int windows_ = 0;
     int fallbacks_ = 0;

@@ -1,5 +1,6 @@
 #include "platform/allocation.h"
 
+#include <algorithm>
 #include <numeric>
 #include <sstream>
 
@@ -127,6 +128,76 @@ Allocation::transferUnit(size_t r, size_t from, size_t to)
     set(from, r, get(from, r) - 1);
     set(to, r, get(to, r) + 1);
     return true;
+}
+
+Allocation
+Allocation::withJobAdded() const
+{
+    const size_t old_jobs = njobs_;
+    const size_t new_jobs = old_jobs + 1;
+    Allocation out = *this;
+    out.njobs_ = new_jobs;
+    out.cells_.resize(new_jobs * resources(), 0);
+
+    for (size_t r = 0; r < resources(); ++r) {
+        int units = units_per_resource_[r];
+        CLITE_CHECK(size_t(units) >= new_jobs,
+                    "resource " << r << " has " << units
+                                << " units, cannot host " << new_jobs
+                                << " jobs");
+        // The newcomer's fair share, but never so much that a donor
+        // would drop below 1 unit.
+        int want = std::max(1, units / int(new_jobs));
+        int have = 0;
+        while (have < want) {
+            size_t richest = 0;
+            for (size_t j = 1; j < old_jobs; ++j)
+                if (out.get(j, r) > out.get(richest, r))
+                    richest = j;
+            if (out.get(richest, r) <= 1)
+                break;
+            out.set(richest, r, out.get(richest, r) - 1);
+            ++have;
+        }
+        CLITE_CHECK(have >= 1, "resource " << r
+                                           << " cannot give the new job a "
+                                              "unit");
+        out.set(old_jobs, r, have);
+    }
+    out.validate();
+    return out;
+}
+
+Allocation
+Allocation::withJobRemoved(size_t j) const
+{
+    CLITE_CHECK(njobs_ >= 2, "cannot remove the only job");
+    CLITE_CHECK(j < njobs_, "job " << j << " out of " << njobs_);
+    const size_t new_jobs = njobs_ - 1;
+    Allocation out = *this;
+    out.njobs_ = new_jobs;
+    out.cells_.clear();
+    out.cells_.reserve(new_jobs * resources());
+    for (size_t jj = 0; jj < njobs_; ++jj) {
+        if (jj == j)
+            continue;
+        for (size_t r = 0; r < resources(); ++r)
+            out.cells_.push_back(get(jj, r));
+    }
+    // Hand the departed job's units to the currently poorest survivors
+    // (ties to the lowest index), keeping the shape balanced.
+    for (size_t r = 0; r < resources(); ++r) {
+        int freed = get(j, r);
+        while (freed-- > 0) {
+            size_t poorest = 0;
+            for (size_t jj = 1; jj < new_jobs; ++jj)
+                if (out.get(jj, r) < out.get(poorest, r))
+                    poorest = jj;
+            out.set(poorest, r, out.get(poorest, r) + 1);
+        }
+    }
+    out.validate();
+    return out;
 }
 
 std::vector<double>

@@ -77,6 +77,30 @@ class Allocation
     bool transferUnit(size_t r, size_t from, size_t to);
 
     /**
+     * Shape-adapt to one more job (appended at the end, matching
+     * SimulatedServer::addJob): the newcomer receives roughly its
+     * equal share of every resource, taken one unit at a time from
+     * whichever incumbent job currently holds the most (ties to the
+     * lowest index), so the relative partition the search converged on
+     * is preserved as a warm start for the next optimization.
+     *
+     * @throws clite::Error when some resource cannot give the new job
+     *     a unit (every incumbent already at 1).
+     */
+    Allocation withJobAdded() const;
+
+    /**
+     * Shape-adapt to the removal of job @p j (remaining jobs keep
+     * their relative order, matching SimulatedServer::removeJob): the
+     * departed job's units are redistributed one at a time to
+     * whichever remaining job currently holds the least (ties to the
+     * lowest index).
+     *
+     * @pre jobs() >= 2 and j < jobs().
+     */
+    Allocation withJobRemoved(size_t j) const;
+
+    /**
      * Flatten to doubles in job-major order [x(0,0), x(0,1), ..,
      * x(J-1,R-1)], normalized by each resource's unit count so the GP
      * operates on [0, 1] coordinates.

@@ -34,7 +34,7 @@ makeServer(double noise = 0.02, uint64_t seed = 5)
         std::make_unique<workloads::AnalyticModel>(), seed, noise);
 }
 
-TEST(ClitePolish, ImprovesBgPerformancePastFirstFeasible)
+TEST(ClitePolish, SlowImprovesBgPerformancePastFirstFeasible)
 {
     // The Fig. 15b claim: the score of the final configuration beats
     // the score at the moment QoS was first met.
@@ -51,7 +51,7 @@ TEST(ClitePolish, ImprovesBgPerformancePastFirstFeasible)
     EXPECT_GE(truth_final, truth_first);
 }
 
-TEST(ClitePolish, DisablingItReducesQuality)
+TEST(ClitePolish, SlowDisablingItReducesQuality)
 {
     // Averaged over seeds, the polish phase must pay for itself.
     double with_sum = 0.0, without_sum = 0.0;
@@ -70,7 +70,7 @@ TEST(ClitePolish, DisablingItReducesQuality)
     EXPECT_GE(with_sum, without_sum);
 }
 
-TEST(CliteValidation, ChosenConfigurationIsTrulyFeasible)
+TEST(CliteValidation, SlowChosenConfigurationIsTrulyFeasible)
 {
     // With sizeable measurement noise, the validation windows must
     // prevent a truly-infeasible configuration from being selected on
@@ -129,7 +129,7 @@ TEST(CliteConstraints, SixResourceAllocationsAlwaysValid)
     }
 }
 
-TEST(CliteTermination, PatienceExtendsSearch)
+TEST(CliteTermination, SlowPatienceExtendsSearch)
 {
     CliteOptions impatient;
     impatient.seed = 5;

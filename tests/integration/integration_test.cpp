@@ -86,7 +86,7 @@ TEST(Integration, SchemeOrderingOnTruthScore)
     EXPECT_GT(clite, heracles);
 }
 
-TEST(Integration, CliteWorksOnDesBackend)
+TEST(Integration, SlowCliteWorksOnDesBackend)
 {
     harness::ServerSpec spec;
     spec.jobs = {workloads::lcJob("memcached", 0.3),
@@ -100,7 +100,7 @@ TEST(Integration, CliteWorksOnDesBackend)
     EXPECT_TRUE(clite.truth.all_qos_met);
 }
 
-TEST(Integration, SixResourceServerEndToEnd)
+TEST(Integration, SlowSixResourceServerEndToEnd)
 {
     harness::ServerSpec spec;
     spec.jobs = {workloads::lcJob("xapian", 0.3),

@@ -144,6 +144,72 @@ TEST(Allocation, MaxForOutOfRangeRejected)
     EXPECT_THROW(Allocation::maxFor(3, 3, testbed()), Error);
 }
 
+TEST(Allocation, WithJobAddedPreservesShapeKnowledge)
+{
+    // The newcomer takes roughly its fair share from the richest
+    // incumbents; existing relative order is preserved and the result
+    // satisfies the Eq. 4-6 invariants.
+    Allocation a = Allocation::maxFor(0, 3, testbed());
+    Allocation b = a.withJobAdded();
+    EXPECT_EQ(b.jobs(), 4u);
+    EXPECT_TRUE(b.valid());
+    for (size_t r = 0; r < b.resources(); ++r) {
+        EXPECT_GE(b.get(3, r), 1);
+        // Units came out of the favoured job 0, not the 1-unit jobs.
+        EXPECT_EQ(b.get(1, r), a.get(1, r));
+        EXPECT_EQ(b.get(2, r), a.get(2, r));
+    }
+}
+
+TEST(Allocation, WithJobRemovedRedistributesToPoorest)
+{
+    Allocation a = Allocation::maxFor(1, 3, testbed());
+    Allocation b = a.withJobRemoved(1);
+    EXPECT_EQ(b.jobs(), 2u);
+    EXPECT_TRUE(b.valid());
+    // All of job 1's units went back to the survivors.
+    for (size_t r = 0; r < b.resources(); ++r)
+        EXPECT_EQ(b.get(0, r) + b.get(1, r), b.resourceUnits(r));
+}
+
+TEST(Allocation, WithJobRemovedKeepsRelativeOrder)
+{
+    Allocation a = Allocation::equalShare(4, testbed());
+    a.transferUnit(0, 0, 3); // make rows distinguishable
+    Allocation b = a.withJobRemoved(1);
+    EXPECT_EQ(b.jobs(), 3u);
+    EXPECT_TRUE(b.valid());
+    // Row 0 keeps its (possibly topped-up) units; old rows 2,3 slide
+    // down to 1,2 with at least their previous units.
+    for (size_t r = 0; r < b.resources(); ++r) {
+        EXPECT_GE(b.get(1, r), a.get(2, r));
+        EXPECT_GE(b.get(2, r), a.get(3, r));
+    }
+}
+
+TEST(Allocation, WithJobRemovedRejectsBadIndex)
+{
+    Allocation a = Allocation::equalShare(2, testbed());
+    EXPECT_THROW(a.withJobRemoved(2), Error);
+    Allocation single = Allocation::equalShare(1, testbed());
+    EXPECT_THROW(single.withJobRemoved(0), Error);
+}
+
+TEST(Allocation, AddRemoveRoundTripStaysValid)
+{
+    Rng rng(77);
+    Allocation a = Allocation::equalShare(3, testbed());
+    for (int step = 0; step < 30; ++step) {
+        Allocation grown = a.withJobAdded();
+        ASSERT_TRUE(grown.valid());
+        size_t victim =
+            size_t(rng.uniformInt(0, int64_t(grown.jobs()) - 1));
+        a = grown.withJobRemoved(victim);
+        ASSERT_TRUE(a.valid());
+        ASSERT_EQ(a.jobs(), 3u);
+    }
+}
+
 } // namespace
 } // namespace platform
 } // namespace clite
