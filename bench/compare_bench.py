@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and flag regressions.
+
+Usage:
+    python3 bench/compare_bench.py BASELINE.json CANDIDATE.json \
+        [--threshold 1.25] [--families acquisition,cholesky] [--strict]
+
+Matches benchmarks by name, prints a ratio table (candidate / baseline
+real time), and emits a warning for every benchmark in the watched
+families whose time regressed by more than the threshold. Warnings use
+GitHub Actions' `::warning::` syntax so they surface as annotations in
+CI without failing the job — microbenchmark numbers from shared
+runners are too noisy for a hard gate by default; pass --strict to
+turn regressions into a nonzero exit instead.
+
+Only needs the standard library (CI images have no pip step).
+"""
+
+import argparse
+import json
+import sys
+
+# Benchmark-name substrings (lowercased) watched for regressions by
+# default: the surrogate-maintenance and acquisition hot paths that
+# docs/PERF.md tracks.
+DEFAULT_FAMILIES = ["acquisition", "cholesky", "predictbatch"]
+
+
+def load_benchmarks(path):
+    """Return {name: real_time_ns} for a google-benchmark JSON file."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            continue
+        out[bench["name"]] = float(bench["real_time"]) * scale
+    return out, data.get("context", {})
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="warn when candidate/baseline exceeds this "
+                             "(default 1.25 = 25%% slower)")
+    parser.add_argument("--families", default=",".join(DEFAULT_FAMILIES),
+                        help="comma-separated name substrings to watch "
+                             "(case-insensitive)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any watched family regresses")
+    args = parser.parse_args()
+
+    base, base_ctx = load_benchmarks(args.baseline)
+    cand, cand_ctx = load_benchmarks(args.candidate)
+    families = [f.strip().lower() for f in args.families.split(",")
+                if f.strip()]
+
+    for label, ctx in (("baseline", base_ctx), ("candidate", cand_ctx)):
+        build = ctx.get("clite_build_type")
+        if build and build != "release":
+            print(f"::warning::{label} benchmark JSON came from a "
+                  f"'{build}' build of clite; ratios are unreliable")
+
+    common = sorted(set(base) & set(cand))
+    if not common:
+        print("::warning::no common benchmark names between "
+              f"{args.baseline} and {args.candidate}")
+        return 1
+
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    for name in only_base:
+        print(f"  (baseline only) {name}")
+    for name in only_cand:
+        print(f"  (candidate only) {name}")
+
+    width = max(len(n) for n in common)
+    print(f"{'benchmark':<{width}}  {'base':>12}  {'cand':>12}  ratio")
+    regressions = []
+    for name in common:
+        ratio = cand[name] / base[name] if base[name] > 0 else float("inf")
+        watched = any(f in name.lower() for f in families)
+        flag = ""
+        if watched and ratio > args.threshold:
+            regressions.append((name, ratio))
+            flag = "  <-- REGRESSION"
+        print(f"{name:<{width}}  {base[name]:>10.0f}ns  "
+              f"{cand[name]:>10.0f}ns  {ratio:5.2f}{flag}")
+
+    for name, ratio in regressions:
+        print(f"::warning::perf regression: {name} is {ratio:.2f}x the "
+              f"committed baseline (threshold {args.threshold:.2f}x)")
+    if regressions:
+        print(f"{len(regressions)} regression(s) in watched families "
+              f"({', '.join(families)})", file=sys.stderr)
+        return 1 if args.strict else 0
+    print("no regressions above "
+          f"{args.threshold:.2f}x in watched families")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

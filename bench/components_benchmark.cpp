@@ -20,6 +20,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -238,6 +239,89 @@ BM_AcquisitionRoundParallel(benchmark::State& state)
     acquisitionRound(state, true);
 }
 BENCHMARK(BM_AcquisitionRoundParallel)->Arg(16)->Arg(64)->Arg(256);
+
+// ---- Batched acquisition rounds: same 512-candidate work as the
+// serial/parallel pair above, but scored through the SoA posterior
+// engine (one kernel panel + blocked TRSM per candidate block instead
+// of 512 independent predict() calls). Batched vs RoundSerial is the
+// headline ratio of the batched engine (target >= 3x); the Parallel
+// variant fans candidate blocks out on the pool and only separates
+// from the serial-batch number when the machine has >= 2 cores.
+
+void
+acquisitionRoundBatched(benchmark::State& state, bool parallel)
+{
+    const size_t n = size_t(state.range(0)), candidates = 512;
+    gp::GaussianProcess g = fittedGp(n, 41);
+    bo::ExpectedImprovement ei(0.01);
+    Rng rng(43);
+    std::vector<linalg::Vector> cands =
+        randomInputs(candidates, kDim, rng);
+    std::vector<double> acq(candidates);
+    for (auto _ : state) {
+        if (parallel) {
+            bo::scoreCandidates(ei, g, cands, 0.6, acq.data());
+        } else {
+            for (size_t b = 0; b < candidates; b += bo::kAcquisitionBlock) {
+                size_t count = candidates - b < bo::kAcquisitionBlock
+                                   ? candidates - b
+                                   : bo::kAcquisitionBlock;
+                ei.evaluateBatch(g, cands, b, count, 0.6, acq.data() + b);
+            }
+        }
+        benchmark::DoNotOptimize(acq.data());
+    }
+}
+
+void
+BM_AcquisitionRoundBatched(benchmark::State& state)
+{
+    acquisitionRoundBatched(state, false);
+}
+BENCHMARK(BM_AcquisitionRoundBatched)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_AcquisitionRoundBatchedParallel(benchmark::State& state)
+{
+    acquisitionRoundBatched(state, true);
+}
+BENCHMARK(BM_AcquisitionRoundBatchedParallel)->Arg(16)->Arg(64)->Arg(256);
+
+// Raw posterior throughput of the batched engine vs the scalar path:
+// 512 predictions against an n-sample surrogate, per-iteration time.
+
+void
+BM_GpPredictBatch512(benchmark::State& state)
+{
+    const size_t n = size_t(state.range(0)), candidates = 512;
+    gp::GaussianProcess g = fittedGp(n, 53);
+    Rng rng(59);
+    std::vector<linalg::Vector> cands =
+        randomInputs(candidates, kDim, rng);
+    std::vector<double> means(candidates), vars(candidates);
+    for (auto _ : state) {
+        g.predictBatch(cands, 0, candidates, means.data(), vars.data());
+        benchmark::DoNotOptimize(means.data());
+    }
+}
+BENCHMARK(BM_GpPredictBatch512)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_GpPredictScalar512(benchmark::State& state)
+{
+    const size_t n = size_t(state.range(0)), candidates = 512;
+    gp::GaussianProcess g = fittedGp(n, 53);
+    Rng rng(59);
+    std::vector<linalg::Vector> cands =
+        randomInputs(candidates, kDim, rng);
+    std::vector<double> means(candidates);
+    for (auto _ : state) {
+        for (size_t c = 0; c < candidates; ++c)
+            means[c] = g.predict(cands[c]).mean;
+        benchmark::DoNotOptimize(means.data());
+    }
+}
+BENCHMARK(BM_GpPredictScalar512)->Arg(16)->Arg(64)->Arg(256);
 
 // ---- End-to-end BO decision loop at a given sample budget
 // (surrogate extension + acquisition per iteration; hyper-fitting is
@@ -461,11 +545,52 @@ BENCHMARK(BM_ProjectedGradientAcqStep)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
+namespace {
+
+/**
+ * True when this binary was compiled with assertions enabled (no
+ * NDEBUG) — timings from such a build are meaningless as baselines.
+ * Note this tracks the *repo's* build type; the `library_build_type`
+ * context google-benchmark emits describes how the preinstalled
+ * benchmark library itself was compiled and may say "debug" even for
+ * a Release build of clite.
+ */
+constexpr bool
+debugBuild()
+{
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+}
+
+/**
+ * Refuse to emit a baseline-looking JSON from a debug build: stamp
+ * ".DEBUG" into the file name (BENCH_components.json ->
+ * BENCH_components.DEBUG.json) so it can never be mistaken for, or
+ * committed as, the Release baseline.
+ */
+std::string
+stampDebugSuffix(const std::string& path)
+{
+    size_t dot = path.find_last_of('.');
+    size_t slash = path.find_last_of("/\\");
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + ".DEBUG";
+    return path.substr(0, dot) + ".DEBUG" + path.substr(dot);
+}
+
+} // namespace
+
 /**
  * BENCHMARK_MAIN plus two conveniences: --threads=N resizes the global
  * pool before anything runs, and CLITE_BENCH_JSON=<path> injects the
  * --benchmark_out flags so CI emits BENCH_components.json without
- * quoting games.
+ * quoting games. Debug builds get their JSON renamed with a .DEBUG
+ * stamp (see stampDebugSuffix) and a clite_build_type context key
+ * records the repo build type either way.
  */
 int
 main(int argc, char** argv)
@@ -482,9 +607,21 @@ main(int argc, char** argv)
             keep.emplace_back(argv[i]);
         }
     }
+    benchmark::AddCustomContext("clite_build_type",
+                                debugBuild() ? "debug" : "release");
     if (const char* path = std::getenv("CLITE_BENCH_JSON")) {
         if (*path != '\0') {
-            keep.push_back(std::string("--benchmark_out=") + path);
+            std::string out = path;
+            if (debugBuild()) {
+                out = stampDebugSuffix(out);
+                std::fprintf(stderr,
+                             "components_benchmark: built without NDEBUG; "
+                             "refusing to write %s, emitting %s instead. "
+                             "Reconfigure with -DCMAKE_BUILD_TYPE=Release "
+                             "to regenerate the baseline.\n",
+                             path, out.c_str());
+            }
+            keep.push_back("--benchmark_out=" + out);
             keep.emplace_back("--benchmark_out_format=json");
         }
     }

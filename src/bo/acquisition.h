@@ -46,9 +46,51 @@ class Acquisition
                             const linalg::Vector& x,
                             double incumbent) const = 0;
 
+    /**
+     * Batched acquisition: out[i] = evaluate(gp, xs[begin+i],
+     * incumbent) for i < count, bit-identically (the batch-vs-scalar
+     * tests pin it). The base implementation loops the scalar
+     * evaluate(); EI/PI/UCB override it to run one
+     * GaussianProcess::predictBatch per block — amortizing the
+     * triangular solves into a single blocked TRSM — and then apply
+     * the closed form per candidate in the scalar operation order.
+     */
+    virtual void evaluateBatch(const gp::GaussianProcess& gp,
+                               const std::vector<linalg::Vector>& xs,
+                               size_t begin, size_t count,
+                               double incumbent, double* out) const;
+
     /** Name for configuration/reporting. */
     virtual std::string name() const = 0;
 };
+
+/**
+ * Candidates per batched-engine block. 64 keeps the working panel of a
+ * 256-sample GP (~128 KiB) L2-resident while still amortizing the
+ * factor traffic, and gives the pool enough blocks to balance at the
+ * usual 512-candidate rounds.
+ */
+constexpr size_t kAcquisitionBlock = 64;
+
+/**
+ * Score every candidate of a round: out[i] = acq.evaluate(gp, xs[i],
+ * incumbent), computed block-wise through evaluateBatch and fanned out
+ * over the global pool one *block* (not one candidate) per task.
+ *
+ * Granularity fallback: when the round is too small to amortize pool
+ * dispatch — fewer candidates than 2× the pool's thread count, or a
+ * single-threaded pool — the blocks run inline on the caller, which
+ * benchmarked strictly faster at the n=16/64 round sizes where
+ * per-candidate fan-out used to be a wash. Results are bit-identical
+ * on every path (each block writes only its own output slots).
+ *
+ * @param out Result array of xs.size() entries.
+ * @param block Block size (candidates per task); 0 means
+ *     kAcquisitionBlock.
+ */
+void scoreCandidates(const Acquisition& acq, const gp::GaussianProcess& gp,
+                     const std::vector<linalg::Vector>& xs,
+                     double incumbent, double* out, size_t block = 0);
 
 /**
  * Expected Improvement with exploration factor ζ (paper Eq. 2).
@@ -64,6 +106,10 @@ class ExpectedImprovement : public Acquisition
 
     double evaluate(const gp::GaussianProcess& gp, const linalg::Vector& x,
                     double incumbent) const override;
+    void evaluateBatch(const gp::GaussianProcess& gp,
+                       const std::vector<linalg::Vector>& xs, size_t begin,
+                       size_t count, double incumbent,
+                       double* out) const override;
     std::string name() const override { return "ei"; }
 
     /** The exploration factor ζ. */
@@ -83,6 +129,10 @@ class ProbabilityOfImprovement : public Acquisition
 
     double evaluate(const gp::GaussianProcess& gp, const linalg::Vector& x,
                     double incumbent) const override;
+    void evaluateBatch(const gp::GaussianProcess& gp,
+                       const std::vector<linalg::Vector>& xs, size_t begin,
+                       size_t count, double incumbent,
+                       double* out) const override;
     std::string name() const override { return "pi"; }
 
   private:
@@ -99,6 +149,10 @@ class UpperConfidenceBound : public Acquisition
 
     double evaluate(const gp::GaussianProcess& gp, const linalg::Vector& x,
                     double incumbent) const override;
+    void evaluateBatch(const gp::GaussianProcess& gp,
+                       const std::vector<linalg::Vector>& xs, size_t begin,
+                       size_t count, double incumbent,
+                       double* out) const override;
     std::string name() const override { return "ucb"; }
 
   private:

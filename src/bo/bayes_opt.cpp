@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/error.h"
-#include "common/thread_pool.h"
 #include "stats/sampling.h"
 
 namespace clite {
@@ -96,17 +95,17 @@ BayesOpt::maximize(const Objective& f, Rng& rng) const
 
         // Steps 4-5: compute the acquisition, pick the next sample.
         // Candidates are drawn serially (so the RNG stream is
-        // identical to a serial run), then evaluated in parallel —
-        // each GP predict is independent and read-only. The argmax
-        // scan keeps the serial first-wins tie-break, so best_x /
-        // best_y are bit-identical to --threads=1.
+        // identical to a serial run), then scored through the batched
+        // engine — one GP posterior per candidate *block*, fanned out
+        // block-per-task on the pool (or inline when the round is too
+        // small to amortize dispatch; see bo::scoreCandidates). The
+        // argmax scan keeps the serial first-wins tie-break, so
+        // best_x / best_y are bit-identical to --threads=1.
         for (auto& cand : cands)
             for (size_t d = 0; d < dims; ++d)
                 cand[d] = rng.uniform(lo_[d], hi_[d]);
-        globalPool().parallelFor(cands.size(), [&](size_t c) {
-            acq[c] =
-                acquisition_->evaluate(surrogate, cands[c], incumbent);
-        });
+        scoreCandidates(*acquisition_, surrogate, cands, incumbent,
+                        acq.data());
         size_t best_cand = 0;
         for (size_t c = 1; c < cands.size(); ++c)
             if (acq[c] > acq[best_cand])

@@ -14,8 +14,11 @@
  * Hot-path structure: the surrogate is fit once and then extended per
  * iteration with an O(n²) Cholesky rank-append (GaussianProcess::
  * addSample) rather than refit from scratch, and the per-iteration
- * acquisition candidates are evaluated on the global thread pool —
- * candidates are drawn serially from the caller's RNG and the argmax
+ * acquisition candidates are scored through the batched posterior
+ * engine (bo::scoreCandidates): one GaussianProcess::predictBatch per
+ * candidate block, parallelized block-per-task on the global pool
+ * with an inline fallback for rounds too small to amortize dispatch.
+ * Candidates are drawn serially from the caller's RNG and the argmax
  * keeps the serial tie-break, so the result is bit-identical to a
  * single-threaded run (see common/thread_pool.h).
  */

@@ -1,0 +1,114 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace clite {
+
+double*
+ScratchArena::doubles(size_t n)
+{
+    // Round every allocation up to the alignment quantum; chunks start
+    // on a new[] boundary (16-byte) and we additionally pad the first
+    // allocation of a chunk so all pointers land on 64 bytes.
+    const size_t need = (n + kAlignDoubles - 1) / kAlignDoubles *
+                        kAlignDoubles;
+    while (active_ < chunks_.size()) {
+        Chunk& c = chunks_[active_];
+        size_t at = (c.used + kAlignDoubles - 1) / kAlignDoubles *
+                    kAlignDoubles;
+        const size_t head =
+            (reinterpret_cast<uintptr_t>(c.data.get()) / sizeof(double)) %
+            kAlignDoubles;
+        at += (kAlignDoubles - head) % kAlignDoubles;
+        if (at + need <= c.cap) {
+            c.used = at + need;
+            return c.data.get() + at;
+        }
+        ++active_; // chunk full: spill to the next (or grow below)
+    }
+    // Grow: a fresh chunk at least doubling the last one.
+    size_t cap = chunks_.empty() ? kMinChunk : chunks_.back().cap * 2;
+    cap = std::max(cap, need + kAlignDoubles);
+    Chunk c;
+    c.data = std::make_unique<double[]>(cap);
+    c.cap = cap;
+    ++grows_;
+    chunks_.push_back(std::move(c));
+    active_ = chunks_.size() - 1;
+    return doubles(n);
+}
+
+size_t
+ScratchArena::capacity() const
+{
+    size_t total = 0;
+    for (const Chunk& c : chunks_)
+        total += c.cap;
+    return total;
+}
+
+void
+ScratchArena::coalesce()
+{
+    // Called only at top level with everything released. If the round
+    // spilled into overflow chunks, replace them with one chunk big
+    // enough for the whole high-water footprint so the next round is
+    // allocation-free. (The replacement itself counts as a grow; the
+    // count stabilizes after one round.)
+    if (chunks_.size() <= 1)
+        return;
+    size_t cap = 0;
+    for (const Chunk& c : chunks_)
+        cap += c.cap;
+    chunks_.clear();
+    Chunk c;
+    c.data = std::make_unique<double[]>(cap);
+    c.cap = cap;
+    ++grows_;
+    chunks_.push_back(std::move(c));
+    active_ = 0;
+}
+
+ScratchArena::Frame::Frame(ScratchArena& arena) : arena_(arena)
+{
+    saved_chunk_ = arena_.active_;
+    saved_used_ = arena_.chunks_.empty()
+                      ? 0
+                      : arena_.chunks_[arena_.active_].used;
+    ++arena_.depth_;
+}
+
+ScratchArena::Frame::~Frame()
+{
+    // Record the footprint before popping so highWater() reflects the
+    // deepest point of the frame tree.
+    size_t live = 0;
+    for (size_t i = 0; i <= arena_.active_ && i < arena_.chunks_.size();
+         ++i)
+        live += arena_.chunks_[i].used;
+    arena_.high_water_ = std::max(arena_.high_water_, live);
+
+    for (size_t i = saved_chunk_ + 1; i < arena_.chunks_.size(); ++i)
+        arena_.chunks_[i].used = 0;
+    if (saved_chunk_ < arena_.chunks_.size())
+        arena_.chunks_[saved_chunk_].used = saved_used_;
+    arena_.active_ = std::min(saved_chunk_,
+                              arena_.chunks_.empty()
+                                  ? size_t(0)
+                                  : arena_.chunks_.size() - 1);
+    CLITE_ASSERT(arena_.depth_ > 0, "arena frame underflow");
+    --arena_.depth_;
+    if (arena_.depth_ == 0)
+        arena_.coalesce();
+}
+
+ScratchArena&
+ScratchArena::forCurrentThread()
+{
+    thread_local ScratchArena arena;
+    return arena;
+}
+
+} // namespace clite

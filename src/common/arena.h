@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Per-thread scratch arenas for allocation-free hot loops.
+ *
+ * The batched GP posterior / acquisition engine needs O(n·B) of
+ * workspace per candidate block (the cross-covariance panel, the
+ * candidate SoA pack, per-row accumulators). Allocating that from the
+ * heap on every block would put malloc on the hottest path in the
+ * repo, so each thread owns a bump-allocated arena that grows to its
+ * high-water mark once and is then reused forever: steady-state
+ * acquisition rounds, hyper-fit probes and fleet lockstep windows
+ * perform zero heap allocations (asserted by
+ * tests/common/arena_test.cpp and the round-digest test in
+ * tests/bo/acquisition_test.cpp).
+ *
+ * Usage is strictly scoped: open a Frame, take allocations, let the
+ * Frame pop them on destruction. Frames nest (a batched predict inside
+ * a batched acquisition inside a fleet window), and because the arena
+ * is thread_local the pool's determinism contract is untouched — no
+ * state is shared between workers.
+ *
+ * Growth never moves live allocations: when a request does not fit the
+ * current chunk a new, larger chunk is appended, and the next
+ * top-level reset() coalesces all chunks into one sized to the
+ * high-water mark. growCount() exposes the number of underlying heap
+ * allocations so tests can assert the steady state is allocation-free.
+ */
+
+#ifndef CLITE_COMMON_ARENA_H
+#define CLITE_COMMON_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace clite {
+
+/**
+ * Growable bump allocator handing out doubles (the only scalar the
+ * numeric hot paths need). Not thread-safe; use one per thread via
+ * forCurrentThread().
+ */
+class ScratchArena
+{
+  public:
+    ScratchArena() = default;
+
+    ScratchArena(const ScratchArena&) = delete;
+    ScratchArena& operator=(const ScratchArena&) = delete;
+
+    /**
+     * Allocate @p n doubles (uninitialized). The pointer stays valid
+     * until the enclosing Frame is destroyed; later allocations never
+     * move it. Allocations are 64-byte aligned so compilers can emit
+     * aligned vector loads over them.
+     */
+    double* doubles(size_t n);
+
+    /**
+     * RAII scope: restores the arena's allocation mark on destruction,
+     * releasing everything taken since construction. The outermost
+     * Frame additionally coalesces overflow chunks so the next round
+     * runs out of a single buffer.
+     */
+    class Frame
+    {
+      public:
+        explicit Frame(ScratchArena& arena);
+        ~Frame();
+        Frame(const Frame&) = delete;
+        Frame& operator=(const Frame&) = delete;
+
+      private:
+        ScratchArena& arena_;
+        size_t saved_chunk_;
+        size_t saved_used_;
+    };
+
+    /** Number of heap allocations performed so far (growth events). */
+    uint64_t growCount() const { return grows_; }
+
+    /** Largest total footprint (doubles) ever held live at once. */
+    size_t highWater() const { return high_water_; }
+
+    /** Total capacity currently owned (doubles). */
+    size_t capacity() const;
+
+    /** Open Frame count (0 at top level). */
+    size_t depth() const { return depth_; }
+
+    /** The calling thread's arena (lazily constructed, never freed). */
+    static ScratchArena& forCurrentThread();
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<double[]> data;
+        size_t cap = 0;
+        size_t used = 0;
+    };
+
+    /** Chunk granularity: 4096 doubles = 32 KiB. */
+    static constexpr size_t kMinChunk = 4096;
+    /** Alignment of every allocation, in doubles (64 bytes). */
+    static constexpr size_t kAlignDoubles = 8;
+
+    void coalesce();
+
+    std::vector<Chunk> chunks_;
+    size_t active_ = 0; ///< Chunk currently being bumped.
+    size_t depth_ = 0;
+    uint64_t grows_ = 0;
+    size_t high_water_ = 0;
+};
+
+} // namespace clite
+
+#endif // CLITE_COMMON_ARENA_H

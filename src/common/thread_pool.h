@@ -64,6 +64,19 @@ class ThreadPool
     void parallelFor(size_t n, const std::function<void(size_t)>& fn);
 
     /**
+     * Range-parallel loop: split [0, n) into contiguous chunks of
+     * @p grain indices (last chunk ragged) and run fn(begin, end) one
+     * chunk per claimed task. This is the coarse-granularity sibling
+     * of parallelFor for loops whose per-index work is too small to
+     * amortize a task claim — the batched acquisition rounds and the
+     * fleet's lockstep window fan-out. Chunks are claimed in ascending
+     * order and the determinism contract is per-chunk: fn must write
+     * only state owned by indices in [begin, end).
+     */
+    void parallelForBlocked(size_t n, size_t grain,
+                            const std::function<void(size_t, size_t)>& fn);
+
+    /**
      * Index-parallel map: returns {f(0), ..., f(n-1)}. The result
      * type must be default-constructible.
      */

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/arena.h"
 #include "common/error.h"
+#include "linalg/trsm.h"
 #include "opt/nelder_mead.h"
 
 namespace clite {
@@ -112,7 +114,8 @@ GaussianProcess::addSample(const linalg::Vector& x, double y)
     if (chol_->appendRow(krow, c)) {
         // Standardization shifts with the new target, so α must be
         // recomputed in full — but through the cached factor: O(n²).
-        alpha_ = chol_->solve(ys_std_);
+        alpha_ = ys_std_;
+        chol_->solveInPlace(alpha_);
     } else {
         // Nearly duplicate point: the appended pivot went non-positive.
         // Refactor from scratch so the jitter search can engage.
@@ -246,19 +249,33 @@ GaussianProcess::refit()
     const std::vector<double> inv_l2 = inverseSquaredLengthscales();
     const double diag =
         kernel_->fromScaledDistance(0.0) + noise_variance_;
-    linalg::Matrix k(n, n);
+    gram_.reshape(n, n);
     size_t pair = 0;
     for (size_t i = 0; i < n; ++i) {
-        k(i, i) = diag;
+        gram_(i, i) = diag;
         for (size_t j = 0; j < i; ++j, ++pair) {
             double v = kernel_->fromScaledDistance(
                 cachedScaledDistance(pair, inv_l2));
-            k(i, j) = v;
-            k(j, i) = v;
+            gram_(i, j) = v;
+            gram_(j, i) = v;
         }
     }
-    chol_.emplace(k);
-    alpha_ = chol_->solve(ys_std_);
+    // Refactor into the existing factor storage (allocation-free in
+    // steady state — the hyper-fit probe loop lives here). A failed
+    // factorization restores the "not fitted" invariant the emplace
+    // path used to provide before rethrowing.
+    if (chol_.has_value()) {
+        try {
+            chol_->refactor(gram_);
+        } catch (...) {
+            chol_.reset();
+            throw;
+        }
+    } else {
+        chol_.emplace(gram_);
+    }
+    alpha_ = ys_std_;
+    chol_->solveInPlace(alpha_);
 }
 
 double
@@ -300,6 +317,90 @@ GaussianProcess::predict(const linalg::Vector& x) const
     p.mean = destandardizeMean(mean_s);
     p.variance = destandardizeVar(var_s);
     return p;
+}
+
+void
+GaussianProcess::predictBatch(const std::vector<linalg::Vector>& xs,
+                              size_t begin, size_t count, double* means,
+                              double* variances) const
+{
+    CLITE_CHECK(fitted(), "predictBatch called before fit");
+    CLITE_CHECK(begin <= xs.size() && count <= xs.size() - begin,
+                "predictBatch range [" << begin << ", " << begin + count
+                                       << ") out of " << xs.size());
+    if (count == 0)
+        return;
+    const size_t n = x_.size();
+    const size_t d = kernel_->dims();
+    for (size_t c = 0; c < count; ++c)
+        CLITE_CHECK(xs[begin + c].size() == d,
+                    "predictBatch input of dim " << xs[begin + c].size()
+                                                 << ", kernel expects "
+                                                 << d);
+
+    ScratchArena& arena = ScratchArena::forCurrentThread();
+    ScratchArena::Frame frame(arena);
+
+    // Structure-of-arrays pack of the candidate block: dimension-major
+    // so the panel fill's inner loops run contiguously across
+    // candidates.
+    double* soa = arena.doubles(d * count);
+    for (size_t c = 0; c < count; ++c) {
+        const double* x = xs[begin + c].data();
+        for (size_t k = 0; k < d; ++k)
+            soa[k * count + c] = x[k];
+    }
+    // Length-scales materialized once per block — the scalar path
+    // recomputes exp(log ℓ_d) per pair; exp is deterministic, so the
+    // hoisted values divide out identically.
+    double* ls = arena.doubles(d);
+    for (size_t k = 0; k < d; ++k)
+        ls[k] = kernel_->lengthscale(k);
+
+    // Cross-covariance panel: row i holds k(cand_c, x_i) for all c.
+    double* panel = arena.doubles(n * count);
+    double* r_scratch = arena.doubles(count);
+    for (size_t i = 0; i < n; ++i)
+        kernel_->crossCovarianceRow(soa, count, x_[i].data(), ls,
+                                    r_scratch, panel + i * count);
+
+    // Posterior mean: k*ᵀα, i ascending exactly like linalg::dot.
+    double* mean_s = arena.doubles(count);
+    linalg::panelDotRows(panel, n, count, alpha_.data(), mean_s);
+
+    // One blocked TRSM replaces `count` forward substitutions.
+    linalg::solveLowerPanel(chol_->factor(), panel, count);
+
+    // Posterior variance: k(x,x) − ‖L⁻¹k*‖² per candidate. The scalar
+    // path evaluates the kernel at distance 0 for the diagonal; that
+    // is one deterministic value, hoisted.
+    double* vv = arena.doubles(count);
+    linalg::panelColumnSquaredNorms(panel, n, count, vv);
+    const double diag = kernel_->fromScaledDistance(0.0);
+    for (size_t c = 0; c < count; ++c) {
+        double var_s = diag - vv[c];
+        var_s = std::max(0.0, var_s);
+        means[c] = destandardizeMean(mean_s[c]);
+        variances[c] = destandardizeVar(var_s);
+    }
+}
+
+std::vector<Prediction>
+GaussianProcess::predictBatch(const std::vector<linalg::Vector>& xs) const
+{
+    std::vector<Prediction> out(xs.size());
+    if (xs.empty())
+        return out;
+    ScratchArena& arena = ScratchArena::forCurrentThread();
+    ScratchArena::Frame frame(arena);
+    double* means = arena.doubles(xs.size());
+    double* vars = arena.doubles(xs.size());
+    predictBatch(xs, 0, xs.size(), means, vars);
+    for (size_t i = 0; i < xs.size(); ++i) {
+        out[i].mean = means[i];
+        out[i].variance = vars[i];
+    }
+    return out;
 }
 
 double

@@ -135,6 +135,34 @@ class GaussianProcess
     Prediction predict(const linalg::Vector& x) const;
 
     /**
+     * Batched posterior: means[i] / variances[i] for the candidates
+     * xs[begin .. begin+count). One call evaluates the whole block —
+     * the cross-covariance panel is filled row by row from a
+     * structure-of-arrays pack of the block (Kernel::
+     * crossCovarianceRow), the B triangular solves collapse into one
+     * blocked panel substitution (linalg::solveLowerPanel), and the
+     * mean/variance reductions run across the panel. Every candidate's
+     * accumulation order matches the scalar path exactly, so
+     *
+     *     predictBatch(xs, b, c, m, v)  ≡  predict(xs[b+i])  ∀i
+     *
+     * bit for bit (tests/gp/gp_batch_test.cpp pins this across all
+     * kernels and ragged block sizes; the %.17g posterior golden stays
+     * byte-identical). Workspace comes from the calling thread's
+     * ScratchArena, so steady-state rounds are allocation-free, and
+     * like predict() this is safe to call concurrently.
+     *
+     * @pre fitted(); every xs[i] in range has kernel().dims() entries.
+     */
+    void predictBatch(const std::vector<linalg::Vector>& xs, size_t begin,
+                      size_t count, double* means,
+                      double* variances) const;
+
+    /** Convenience: batched posterior over all of @p xs. */
+    std::vector<Prediction>
+    predictBatch(const std::vector<linalg::Vector>& xs) const;
+
+    /**
      * Log marginal likelihood of the current data under the current
      * hyper-parameters. @pre fitted()
      */
@@ -198,6 +226,9 @@ class GaussianProcess
 
     std::optional<linalg::Cholesky> chol_;
     linalg::Vector alpha_; // K⁻¹ y (standardized)
+
+    /** Gram scratch reused across refits (hyper-fit probes). */
+    linalg::Matrix gram_;
 };
 
 } // namespace gp

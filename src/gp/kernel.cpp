@@ -77,6 +77,49 @@ Kernel::lengthscale(size_t d) const
     return std::exp(log_lengthscales_[d]);
 }
 
+std::vector<double>
+Kernel::lengthscales() const
+{
+    std::vector<double> ls(dims());
+    for (size_t d = 0; d < dims(); ++d)
+        ls[d] = std::exp(log_lengthscales_[d]);
+    return ls;
+}
+
+void
+Kernel::fromScaledDistanceBatch(const double* r, double* out,
+                                size_t count) const
+{
+    for (size_t i = 0; i < count; ++i)
+        out[i] = fromScaledDistance(r[i]);
+}
+
+void
+Kernel::crossCovarianceRow(const double* cand_soa, size_t count,
+                           const double* xi, const double* ls,
+                           double* r_scratch, double* out) const
+{
+    // Scaled distance, dimensions in ascending order and divided by
+    // the same materialized exp(log ℓ_d) the scalar path divides by —
+    // per candidate this is the exact operation sequence of
+    // scaledDistance(cand, xi).
+    for (size_t c = 0; c < count; ++c)
+        r_scratch[c] = 0.0;
+    const size_t d_count = dims();
+    for (size_t d = 0; d < d_count; ++d) {
+        const double* col = cand_soa + d * count;
+        const double xd = xi[d];
+        const double ld = ls[d];
+        for (size_t c = 0; c < count; ++c) {
+            double diff = (col[c] - xd) / ld;
+            r_scratch[c] += diff * diff;
+        }
+    }
+    for (size_t c = 0; c < count; ++c)
+        r_scratch[c] = std::sqrt(r_scratch[c]);
+    fromScaledDistanceBatch(r_scratch, out, count);
+}
+
 double
 Kernel::scaledDistance(const linalg::Vector& a, const linalg::Vector& b) const
 {
@@ -111,6 +154,20 @@ Matern52Kernel::fromScaledDistance(double r) const
     return signalVariance() * (1.0 + s + s * s / 3.0) * std::exp(-s);
 }
 
+void
+Matern52Kernel::fromScaledDistanceBatch(const double* r, double* out,
+                                        size_t count) const
+{
+    // σ_f² hoisted (exp is deterministic: the hoisted value equals
+    // what each scalar call recomputes), loop body textually matches
+    // fromScaledDistance so every element is bit-identical.
+    const double sv = signalVariance();
+    for (size_t i = 0; i < count; ++i) {
+        double s = std::sqrt(5.0) * r[i];
+        out[i] = sv * (1.0 + s + s * s / 3.0) * std::exp(-s);
+    }
+}
+
 std::unique_ptr<Kernel>
 Matern52Kernel::clone() const
 {
@@ -137,6 +194,17 @@ Matern32Kernel::fromScaledDistance(double r) const
     return signalVariance() * (1.0 + s) * std::exp(-s);
 }
 
+void
+Matern32Kernel::fromScaledDistanceBatch(const double* r, double* out,
+                                        size_t count) const
+{
+    const double sv = signalVariance();
+    for (size_t i = 0; i < count; ++i) {
+        double s = std::sqrt(3.0) * r[i];
+        out[i] = sv * (1.0 + s) * std::exp(-s);
+    }
+}
+
 std::unique_ptr<Kernel>
 Matern32Kernel::clone() const
 {
@@ -158,6 +226,15 @@ double
 RbfKernel::fromScaledDistance(double r) const
 {
     return signalVariance() * std::exp(-0.5 * r * r);
+}
+
+void
+RbfKernel::fromScaledDistanceBatch(const double* r, double* out,
+                                   size_t count) const
+{
+    const double sv = signalVariance();
+    for (size_t i = 0; i < count; ++i)
+        out[i] = sv * std::exp(-0.5 * r[i] * r[i]);
 }
 
 std::unique_ptr<Kernel>

@@ -49,6 +49,42 @@ class Kernel
      */
     virtual double fromScaledDistance(double r) const = 0;
 
+    /**
+     * Batched radial profile: out[i] = fromScaledDistance(r[i]) for
+     * i < count, bit-identical to @p count scalar calls. Overridden by
+     * every concrete kernel with a branch-free loop that hoists σ_f²
+     * out of the loop (exp is deterministic, so the hoisted value is
+     * the one each scalar call recomputes) — the inner loop of the
+     * batched posterior's cross-covariance panel.
+     */
+    virtual void fromScaledDistanceBatch(const double* r, double* out,
+                                         size_t count) const;
+
+    /**
+     * One row of the cross-covariance panel of a candidate block:
+     * out[c] = k(cand_c, xi) for every candidate of the block, where
+     * the block is stored structure-of-arrays (@p cand_soa, dim-major:
+     * dimension d occupies cand_soa[d*count .. d*count+count)). The
+     * scaled distance accumulates in ascending dimension order with a
+     * division by the same materialized length-scale the scalar path
+     * divides by, so every element is bit-identical to
+     * operator()(cand_c, xi).
+     *
+     * @param cand_soa Candidate block, SoA layout, dims() x count.
+     * @param count Candidates in the block.
+     * @param xi One training point (dims() values).
+     * @param ls Materialized per-dimension length-scales
+     *     (lengthscales() of this kernel).
+     * @param r_scratch Workspace of count doubles.
+     * @param out Covariances, count values.
+     */
+    void crossCovarianceRow(const double* cand_soa, size_t count,
+                            const double* xi, const double* ls,
+                            double* r_scratch, double* out) const;
+
+    /** All per-dimension length-scales materialized (exp applied). */
+    std::vector<double> lengthscales() const;
+
     /** Human-readable name ("matern52", ...). */
     virtual std::string name() const = 0;
 
@@ -113,6 +149,8 @@ class Matern52Kernel : public Kernel
     double operator()(const linalg::Vector& a,
                       const linalg::Vector& b) const override;
     double fromScaledDistance(double r) const override;
+    void fromScaledDistanceBatch(const double* r, double* out,
+                                 size_t count) const override;
     std::string name() const override { return "matern52"; }
     std::unique_ptr<Kernel> clone() const override;
 };
@@ -126,6 +164,8 @@ class Matern32Kernel : public Kernel
     double operator()(const linalg::Vector& a,
                       const linalg::Vector& b) const override;
     double fromScaledDistance(double r) const override;
+    void fromScaledDistanceBatch(const double* r, double* out,
+                                 size_t count) const override;
     std::string name() const override { return "matern32"; }
     std::unique_ptr<Kernel> clone() const override;
 };
@@ -139,6 +179,8 @@ class RbfKernel : public Kernel
     double operator()(const linalg::Vector& a,
                       const linalg::Vector& b) const override;
     double fromScaledDistance(double r) const override;
+    void fromScaledDistanceBatch(const double* r, double* out,
+                                 size_t count) const override;
     std::string name() const override { return "rbf"; }
     std::unique_ptr<Kernel> clone() const override;
 };

@@ -9,6 +9,12 @@ namespace linalg {
 
 Cholesky::Cholesky(const Matrix& a, double jitter, double max_jitter)
 {
+    refactor(a, jitter, max_jitter);
+}
+
+void
+Cholesky::refactor(const Matrix& a, double jitter, double max_jitter)
+{
     CLITE_CHECK(a.rows() == a.cols(),
                 "Cholesky requires a square matrix, got " << a.rows() << "x"
                                                           << a.cols());
@@ -30,7 +36,7 @@ bool
 Cholesky::tryFactor(const Matrix& a, double jitter)
 {
     const size_t n = a.rows();
-    l_ = Matrix(n, n, 0.0);
+    l_.reshape(n, n, 0.0);
     for (size_t i = 0; i < n; ++i) {
         for (size_t j = 0; j <= i; ++j) {
             double sum = a(i, j);
@@ -111,6 +117,30 @@ Vector
 Cholesky::solve(const Vector& b) const
 {
     return solveUpper(solveLower(b));
+}
+
+void
+Cholesky::solveInPlace(Vector& b) const
+{
+    const size_t n = size();
+    CLITE_CHECK(b.size() == n, "solveInPlace size mismatch: " << b.size()
+                                   << " vs " << n);
+    // Forward substitution: b[k] for k < i has already been replaced
+    // by y[k] when row i consumes it — the in-place update performs
+    // exactly the operation sequence of solveLower.
+    for (size_t i = 0; i < n; ++i) {
+        double sum = b[i];
+        for (size_t k = 0; k < i; ++k)
+            sum -= l_(i, k) * b[k];
+        b[i] = sum / l_(i, i);
+    }
+    // Backward substitution, same argument in reverse.
+    for (size_t ii = n; ii-- > 0;) {
+        double sum = b[ii];
+        for (size_t k = ii + 1; k < n; ++k)
+            sum -= l_(k, ii) * b[k];
+        b[ii] = sum / l_(ii, ii);
+    }
 }
 
 double

@@ -37,6 +37,17 @@ class Cholesky
     explicit Cholesky(const Matrix& a, double jitter = 1e-10,
                       double max_jitter = 1e-2);
 
+    /**
+     * Re-factor a new matrix into this object, with the constructor's
+     * jitter-retry semantics but reusing the factor's storage when the
+     * size is unchanged. This keeps hyper-fit probes — which refactor
+     * the Gram matrix once per Nelder-Mead step — allocation-free in
+     * steady state. Numerically identical to constructing a fresh
+     * Cholesky(a, jitter, max_jitter).
+     */
+    void refactor(const Matrix& a, double jitter = 1e-10,
+                  double max_jitter = 1e-2);
+
     /** The lower-triangular factor L. */
     const Matrix& factor() const { return l_; }
 
@@ -71,6 +82,14 @@ class Cholesky
 
     /** Solve A x = b via the two triangular solves. */
     Vector solve(const Vector& b) const;
+
+    /**
+     * Solve A x = b overwriting @p b with x — the same operation
+     * sequence as solve() (forward then backward substitution, both in
+     * place) with zero allocations, for callers that keep a persistent
+     * solution vector.
+     */
+    void solveInPlace(Vector& b) const;
 
     /** log-determinant of A: 2 Σ log L_ii. */
     double logDet() const;

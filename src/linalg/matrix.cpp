@@ -53,6 +53,14 @@ Matrix::operator()(size_t r, size_t c) const
     return data_[r * cols_ + c];
 }
 
+void
+Matrix::reshape(size_t rows, size_t cols, double fill)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill); // keeps capacity when sufficient
+}
+
 Vector
 Matrix::row(size_t r) const
 {

@@ -90,6 +90,16 @@ class Matrix
     /** Add s to every diagonal element (jitter / ridge). @pre square */
     void addDiagonal(double s);
 
+    /**
+     * Re-shape to rows x cols with every element set to @p fill,
+     * reusing the existing storage when capacity allows. This is the
+     * allocation-free path for scratch matrices rebuilt every
+     * hyper-fit probe (the GP's Gram matrix and the Cholesky factor):
+     * after the first probe at a given size, later probes touch no
+     * heap.
+     */
+    void reshape(size_t rows, size_t cols, double fill = 0.0);
+
     /** Maximum absolute element (infinity-ish norm for tests). */
     double maxAbs() const;
 

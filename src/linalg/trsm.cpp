@@ -1,0 +1,101 @@
+#include "linalg/trsm.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace clite {
+namespace linalg {
+
+namespace {
+
+/**
+ * Row-block size of the blocked substitution. A k-tile of Y
+ * (kRowBlock rows × up-to-64 columns of doubles) is ~24 KiB — it stays
+ * L1-resident while every row of the current i-tile consumes it, which
+ * is where the blocking wins over the naive two-loop version once n
+ * outgrows the cache.
+ */
+constexpr size_t kRowBlock = 48;
+
+/** y_i ← y_i − L(i,k)·y_k over one contiguous row pair. */
+inline void
+subtractScaledRow(double* __restrict yi, const double* __restrict yk,
+                  double lik, size_t ncols)
+{
+    for (size_t c = 0; c < ncols; ++c)
+        yi[c] -= lik * yk[c];
+}
+
+} // namespace
+
+void
+solveLowerPanel(const Matrix& l, double* panel, size_t ncols)
+{
+    const size_t n = l.rows();
+    CLITE_CHECK(l.rows() == l.cols(),
+                "solveLowerPanel needs a square factor, got "
+                    << l.rows() << "x" << l.cols());
+    if (n == 0 || ncols == 0)
+        return;
+    const double* lp = l.data().data();
+
+    for (size_t i0 = 0; i0 < n; i0 += kRowBlock) {
+        const size_t i1 = std::min(i0 + kRowBlock, n);
+
+        // GEMM-style update: panel[i0:i1] −= L[i0:i1, k-tile]·Y[k-tile]
+        // for every finished k-tile, ascending — each column sees its
+        // subtractions in exactly the scalar order.
+        for (size_t k0 = 0; k0 < i0; k0 += kRowBlock) {
+            const size_t k1 = std::min(k0 + kRowBlock, i0);
+            for (size_t i = i0; i < i1; ++i) {
+                const double* lrow = lp + i * n;
+                double* yi = panel + i * ncols;
+                for (size_t k = k0; k < k1; ++k)
+                    subtractScaledRow(yi, panel + k * ncols, lrow[k],
+                                      ncols);
+            }
+        }
+
+        // Diagonal tile: forward substitution within the block.
+        for (size_t i = i0; i < i1; ++i) {
+            const double* lrow = lp + i * n;
+            double* yi = panel + i * ncols;
+            for (size_t k = i0; k < i; ++k)
+                subtractScaledRow(yi, panel + k * ncols, lrow[k], ncols);
+            const double lii = lrow[i];
+            for (size_t c = 0; c < ncols; ++c)
+                yi[c] = yi[c] / lii;
+        }
+    }
+}
+
+void
+panelDotRows(const double* panel, size_t n, size_t ncols,
+             const double* alpha, double* out)
+{
+    for (size_t c = 0; c < ncols; ++c)
+        out[c] = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double* row = panel + i * ncols;
+        const double a = alpha[i];
+        for (size_t c = 0; c < ncols; ++c)
+            out[c] += row[c] * a;
+    }
+}
+
+void
+panelColumnSquaredNorms(const double* panel, size_t n, size_t ncols,
+                        double* out)
+{
+    for (size_t c = 0; c < ncols; ++c)
+        out[c] = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double* row = panel + i * ncols;
+        for (size_t c = 0; c < ncols; ++c)
+            out[c] += row[c] * row[c];
+    }
+}
+
+} // namespace linalg
+} // namespace clite

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Blocked triangular panel solves (TRSM-style) for the batched GP
+ * posterior engine.
+ *
+ * The scalar posterior path runs one forward substitution
+ * (Cholesky::solveLower) per query — B independent O(n²) solves that
+ * each stream the whole factor L through the cache and pay an
+ * out-of-line, bounds-checked element access per multiply. The panel
+ * solver here processes all B right-hand sides of a candidate block at
+ * once: L is walked a row at a time (raw row pointers, streamed once
+ * per block instead of once per candidate) and the inner loop runs
+ * contiguously across the B columns of the panel, which the compiler
+ * auto-vectorizes.
+ *
+ * Bit-exactness contract: for every column c the arithmetic performed
+ * on that column is the exact operation sequence of the scalar
+ * recurrence
+ *
+ *     y[i] = (b[i] − Σ_{k<i} L(i,k)·y[k]) / L(i,i),   k ascending,
+ *
+ * only the loop nesting differs (k blocks ascending, k ascending
+ * within a block, one subtraction at a time into the same
+ * accumulator). Columns never mix, so the panel result equals B
+ * independent solveLower calls to the last ULP — the property the
+ * %.17g GP-posterior golden and the batch-vs-scalar tests pin.
+ */
+
+#ifndef CLITE_LINALG_TRSM_H
+#define CLITE_LINALG_TRSM_H
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+
+namespace clite {
+namespace linalg {
+
+/**
+ * In-place blocked forward substitution with multiple right-hand
+ * sides: overwrite @p panel (row-major, n rows × @p ncols columns,
+ * row i contiguous) with Y where L·Y = panel, treating each column as
+ * an independent system solved in the exact scalar operation order.
+ *
+ * @param l Lower-triangular factor (n × n); only the lower triangle
+ *     including the diagonal is read.
+ * @param panel n × ncols right-hand sides, overwritten with Y.
+ * @param ncols Number of columns (candidates) in the panel.
+ */
+void solveLowerPanel(const Matrix& l, double* panel, size_t ncols);
+
+/**
+ * Fused panel products for the posterior: given the cross-covariance
+ * panel K* (n rows × ncols, row-major, column c = candidate c) and α,
+ * write out[c] = Σ_i K*(i,c)·α[i] with the i-ascending accumulation
+ * order of linalg::dot — bit-identical to per-candidate dot(k*_c, α).
+ */
+void panelDotRows(const double* panel, size_t n, size_t ncols,
+                  const double* alpha, double* out);
+
+/**
+ * Column-wise squared norms of an n × ncols row-major panel:
+ * out[c] = Σ_i panel(i,c)², i ascending — bit-identical to
+ * per-candidate dot(v_c, v_c).
+ */
+void panelColumnSquaredNorms(const double* panel, size_t n, size_t ncols,
+                             double* out);
+
+} // namespace linalg
+} // namespace clite
+
+#endif // CLITE_LINALG_TRSM_H

@@ -5,10 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "bo/acquisition.h"
+#include "common/arena.h"
 #include "common/error.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
 #include "stats/distributions.h"
 
 namespace clite {
@@ -90,6 +95,126 @@ TEST(UpperConfidenceBound, EqualsMeanPlusKappaSigma)
     gp::Prediction p = gp.predict(x);
     EXPECT_NEAR(ucb.evaluate(gp, x, 0.0), p.mean + 2.0 * p.stddev(),
                 1e-12);
+}
+
+::testing::AssertionResult
+bitEqual(double a, double b)
+{
+    if (std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b))
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << a << " != " << b << " (bit patterns differ)";
+}
+
+gp::GaussianProcess
+fittedGp3d(size_t n)
+{
+    Rng rng(512);
+    gp::GaussianProcess gp(std::make_unique<gp::Matern52Kernel>(3, 0.6,
+                                                                1.0),
+                           1e-6);
+    std::vector<linalg::Vector> x(n, linalg::Vector(3));
+    std::vector<double> y;
+    for (auto& xi : x) {
+        for (double& v : xi)
+            v = rng.uniform(-1.0, 1.0);
+        y.push_back(std::sin(3.0 * xi[0]) + 0.5 * xi[1] - xi[2] * xi[2]);
+    }
+    gp.fit(x, y);
+    return gp;
+}
+
+std::vector<linalg::Vector>
+candidates3d(size_t count, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<linalg::Vector> cands(count, linalg::Vector(3));
+    for (auto& c : cands)
+        for (double& v : c)
+            v = rng.uniform(-1.5, 1.5);
+    return cands;
+}
+
+TEST(AcquisitionBatch, BatchBitIdenticalToScalarForAllFunctions)
+{
+    gp::GaussianProcess gp = fittedGp3d(30);
+    std::vector<linalg::Vector> cands = candidates3d(97, 77);
+    const double incumbent = 0.9;
+    for (const char* name : {"ei", "pi", "ucb"}) {
+        auto acq = makeAcquisition(name, name == std::string("ucb") ? 2.0
+                                                                    : 0.01);
+        std::vector<double> batch(cands.size(), 0.0);
+        acq->evaluateBatch(gp, cands, 0, cands.size(), incumbent,
+                           batch.data());
+        for (size_t i = 0; i < cands.size(); ++i)
+            EXPECT_TRUE(bitEqual(batch[i],
+                                 acq->evaluate(gp, cands[i], incumbent)))
+                << name << " candidate " << i;
+    }
+}
+
+TEST(AcquisitionBatch, ScoreCandidatesSerialVsParallelBitIdentical)
+{
+    gp::GaussianProcess gp = fittedGp3d(25);
+    std::vector<linalg::Vector> cands = candidates3d(300, 99);
+    ExpectedImprovement ei(0.01);
+
+    setGlobalThreadCount(1);
+    std::vector<double> serial(cands.size(), 0.0);
+    scoreCandidates(ei, gp, cands, 0.9, serial.data());
+
+    setGlobalThreadCount(4);
+    std::vector<double> parallel(cands.size(), 0.0);
+    scoreCandidates(ei, gp, cands, 0.9, parallel.data());
+    setGlobalThreadCount(ThreadPool::defaultThreadCount());
+
+    for (size_t i = 0; i < cands.size(); ++i)
+        EXPECT_TRUE(bitEqual(serial[i], parallel[i])) << "candidate " << i;
+}
+
+TEST(AcquisitionBatch, SmallRoundsFallBackWithIdenticalResults)
+{
+    // Below 2x the thread count scoreCandidates must not fan out; the
+    // observable contract is that scores still match the direct batch
+    // evaluation bit-for-bit for sizes around the block boundary.
+    gp::GaussianProcess gp = fittedGp3d(20);
+    ExpectedImprovement ei(0.01);
+    for (size_t count : {size_t(1), size_t(3), size_t(63), size_t(65)}) {
+        std::vector<linalg::Vector> cands = candidates3d(count, 40 + count);
+        std::vector<double> scored(count, 0.0), direct(count, 0.0);
+        scoreCandidates(ei, gp, cands, 0.5, scored.data());
+        ei.evaluateBatch(gp, cands, 0, count, 0.5, direct.data());
+        for (size_t i = 0; i < count; ++i)
+            EXPECT_TRUE(bitEqual(scored[i], direct[i]))
+                << "count=" << count << " i=" << i;
+    }
+}
+
+TEST(AcquisitionBatch, SecondIdenticalRoundIsAllocationFreeWithSameDigest)
+{
+    gp::GaussianProcess gp = fittedGp3d(30);
+    std::vector<linalg::Vector> cands = candidates3d(256, 123);
+    ExpectedImprovement ei(0.01);
+
+    auto round = [&] {
+        std::vector<double> out(cands.size(), 0.0);
+        ei.evaluateBatch(gp, cands, 0, cands.size(), 0.9, out.data());
+        uint64_t digest = 1469598103934665603ull; // FNV-1a over the bits
+        for (double v : out) {
+            digest ^= std::bit_cast<uint64_t>(v);
+            digest *= 1099511628211ull;
+        }
+        return digest;
+    };
+
+    uint64_t first = round();
+    round(); // let the arena coalesce into its steady-state chunk
+    ScratchArena& arena = ScratchArena::forCurrentThread();
+    size_t grows = arena.growCount();
+    uint64_t again = round();
+    EXPECT_EQ(arena.growCount(), grows)
+        << "steady-state acquisition round touched the heap";
+    EXPECT_EQ(first, again);
 }
 
 TEST(AcquisitionFactory, NamesAndValidation)

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Bit-equality tests for the batched posterior engine. The contract
+ * (gp/gaussian_process.h): for every kernel family, batch size, and
+ * ragged tail, predictBatch must return exactly the doubles the
+ * scalar predict() path returns — not "close", identical to the last
+ * ULP — because the %.17g golden traces and the serial-vs-parallel
+ * determinism suite pin the scalar numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gp/gaussian_process.h"
+
+namespace clite {
+namespace gp {
+namespace {
+
+::testing::AssertionResult
+bitEqual(double a, double b)
+{
+    if (std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b))
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << a << " != " << b << " (bit patterns differ)";
+}
+
+/** Noisy additive objective used to generate training targets. */
+double
+objective(const linalg::Vector& x)
+{
+    double v = 0.0;
+    for (size_t d = 0; d < x.size(); ++d)
+        v += std::sin(3.0 * x[d] + double(d)) + 0.1 * x[d] * x[d];
+    return v;
+}
+
+std::vector<linalg::Vector>
+randomPoints(size_t count, size_t dims, Rng& rng)
+{
+    std::vector<linalg::Vector> pts(count, linalg::Vector(dims));
+    for (auto& p : pts)
+        for (double& v : p)
+            v = rng.uniform(-2.0, 2.0);
+    return pts;
+}
+
+GaussianProcess
+makeFittedGp(const std::string& kernel_name, size_t dims, size_t n,
+             bool ard, Rng& rng)
+{
+    auto kernel = makeKernel(kernel_name, dims, 0.7, 1.3);
+    if (ard) {
+        std::vector<double> p;
+        p.push_back(std::log(1.3));
+        for (size_t d = 0; d < dims; ++d)
+            p.push_back(std::log(0.4 + 0.3 * double(d)));
+        kernel->setLogParams(p);
+    } else {
+        kernel->setIsotropic(true);
+    }
+    GaussianProcess gp(std::move(kernel), 1e-6);
+    std::vector<linalg::Vector> x = randomPoints(n, dims, rng);
+    std::vector<double> y;
+    for (const auto& xi : x)
+        y.push_back(objective(xi));
+    gp.fit(x, y);
+    return gp;
+}
+
+void
+expectBatchMatchesScalar(const GaussianProcess& gp,
+                         const std::vector<linalg::Vector>& cands)
+{
+    std::vector<Prediction> batch = gp.predictBatch(cands);
+    ASSERT_EQ(batch.size(), cands.size());
+    for (size_t i = 0; i < cands.size(); ++i) {
+        Prediction scalar = gp.predict(cands[i]);
+        EXPECT_TRUE(bitEqual(batch[i].mean, scalar.mean))
+            << "mean, candidate " << i;
+        EXPECT_TRUE(bitEqual(batch[i].variance, scalar.variance))
+            << "variance, candidate " << i;
+    }
+}
+
+class PredictBatchKernels : public ::testing::TestWithParam<const char*>
+{
+};
+
+TEST_P(PredictBatchKernels, BitIdenticalAcrossBatchSizes)
+{
+    // Batch sizes from the issue: 1, 7, 64, 256 — 7 and 256 exercise
+    // the ragged tail against the internal block size.
+    Rng rng(901);
+    GaussianProcess gp = makeFittedGp(GetParam(), 3, 40, /*ard=*/false, rng);
+    for (size_t count : {size_t(1), size_t(7), size_t(64), size_t(256)}) {
+        std::vector<linalg::Vector> cands = randomPoints(count, 3, rng);
+        expectBatchMatchesScalar(gp, cands);
+    }
+}
+
+TEST_P(PredictBatchKernels, BitIdenticalWithArdLengthscales)
+{
+    Rng rng(902);
+    GaussianProcess gp = makeFittedGp(GetParam(), 4, 33, /*ard=*/true, rng);
+    expectBatchMatchesScalar(gp, randomPoints(71, 4, rng));
+}
+
+TEST_P(PredictBatchKernels, BitIdenticalAfterIncrementalAppend)
+{
+    // addSample takes the rank-append Cholesky path; the batch solve
+    // must agree with scalar predictions against that factor too.
+    Rng rng(903);
+    GaussianProcess gp = makeFittedGp(GetParam(), 2, 20, /*ard=*/false, rng);
+    for (int i = 0; i < 5; ++i) {
+        linalg::Vector x = randomPoints(1, 2, rng)[0];
+        gp.addSample(x, objective(x));
+    }
+    expectBatchMatchesScalar(gp, randomPoints(50, 2, rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, PredictBatchKernels,
+                         ::testing::Values("matern52", "matern32", "rbf"),
+                         [](const auto& info) {
+                             return std::string(info.param);
+                         });
+
+TEST(PredictBatch, SubrangeMatchesFullEvaluation)
+{
+    Rng rng(904);
+    GaussianProcess gp = makeFittedGp("matern52", 3, 25, false, rng);
+    std::vector<linalg::Vector> cands = randomPoints(90, 3, rng);
+
+    std::vector<double> means(90, 0.0), vars(90, 0.0);
+    // Evaluate in uneven chunks through the (begin, count) interface.
+    size_t begin = 0;
+    for (size_t chunk : {size_t(13), size_t(64), size_t(13)}) {
+        gp.predictBatch(cands, begin, chunk, means.data() + begin,
+                        vars.data() + begin);
+        begin += chunk;
+    }
+    ASSERT_EQ(begin, cands.size());
+
+    for (size_t i = 0; i < cands.size(); ++i) {
+        Prediction scalar = gp.predict(cands[i]);
+        EXPECT_TRUE(bitEqual(means[i], scalar.mean)) << i;
+        EXPECT_TRUE(bitEqual(vars[i], scalar.variance)) << i;
+    }
+}
+
+TEST(PredictBatch, SingleTrainingPoint)
+{
+    Rng rng(905);
+    GaussianProcess gp = makeFittedGp("rbf", 2, 1, false, rng);
+    expectBatchMatchesScalar(gp, randomPoints(9, 2, rng));
+}
+
+TEST(PredictBatch, ZeroCountIsANoop)
+{
+    Rng rng(906);
+    GaussianProcess gp = makeFittedGp("matern32", 2, 8, false, rng);
+    std::vector<linalg::Vector> cands = randomPoints(4, 2, rng);
+    gp.predictBatch(cands, 2, 0, nullptr, nullptr);
+}
+
+} // namespace
+} // namespace gp
+} // namespace clite

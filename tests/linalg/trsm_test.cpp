@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the blocked triangular panel solver (linalg/trsm.h) and
+ * the allocation-free Cholesky entry points it rides with. The load-
+ * bearing property is bit-exactness: the panel solve must equal B
+ * independent Cholesky::solveLower calls to the last ULP, including
+ * sizes that straddle the internal row-block boundary and ragged
+ * column counts — this is what lets the batched GP posterior keep the
+ * %.17g golden byte-identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "linalg/cholesky.h"
+#include "linalg/trsm.h"
+
+namespace clite {
+namespace linalg {
+namespace {
+
+/** Exact bit equality (EXPECT_EQ would conflate +0/-0 and fail NaN). */
+::testing::AssertionResult
+bitEqual(double a, double b)
+{
+    if (std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b))
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << a << " != " << b << " (bit patterns differ)";
+}
+
+Matrix
+randomSpd(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix b(n, n);
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < n; ++c)
+            b(r, c) = rng.uniform(-1.0, 1.0);
+    Matrix a = b * b.transposed();
+    a.addDiagonal(double(n) * 0.1);
+    return a;
+}
+
+TEST(SolveLowerPanel, BitIdenticalToPerColumnSolves)
+{
+    // Sizes on both sides of the 48-row internal block, with ragged
+    // tails; column counts spanning one candidate to a full block.
+    for (size_t n : {size_t(1), size_t(5), size_t(47), size_t(48),
+                     size_t(49), size_t(100), size_t(147)}) {
+        Cholesky chol(randomSpd(n, 11 + n));
+        for (size_t ncols : {size_t(1), size_t(7), size_t(64)}) {
+            Rng rng(3 * n + ncols);
+            // Column-major logical systems laid out row-major n×ncols.
+            std::vector<double> panel(n * ncols);
+            for (double& v : panel)
+                v = rng.uniform(-2.0, 2.0);
+            std::vector<Vector> rhs(ncols, Vector(n));
+            for (size_t c = 0; c < ncols; ++c)
+                for (size_t i = 0; i < n; ++i)
+                    rhs[c][i] = panel[i * ncols + c];
+
+            solveLowerPanel(chol.factor(), panel.data(), ncols);
+
+            for (size_t c = 0; c < ncols; ++c) {
+                Vector y = chol.solveLower(rhs[c]);
+                for (size_t i = 0; i < n; ++i)
+                    EXPECT_TRUE(bitEqual(panel[i * ncols + c], y[i]))
+                        << "n=" << n << " ncols=" << ncols << " col=" << c
+                        << " row=" << i;
+            }
+        }
+    }
+}
+
+TEST(SolveLowerPanel, EmptyPanelIsANoop)
+{
+    Cholesky chol(randomSpd(4, 5));
+    solveLowerPanel(chol.factor(), nullptr, 0);
+}
+
+TEST(PanelReductions, MatchDotProducts)
+{
+    const size_t n = 53, ncols = 9;
+    Rng rng(77);
+    std::vector<double> panel(n * ncols);
+    for (double& v : panel)
+        v = rng.uniform(-1.0, 1.0);
+    Vector alpha(n);
+    for (double& v : alpha)
+        v = rng.uniform(-1.0, 1.0);
+
+    std::vector<double> dots(ncols), norms(ncols);
+    panelDotRows(panel.data(), n, ncols, alpha.data(), dots.data());
+    panelColumnSquaredNorms(panel.data(), n, ncols, norms.data());
+
+    for (size_t c = 0; c < ncols; ++c) {
+        Vector col(n);
+        for (size_t i = 0; i < n; ++i)
+            col[i] = panel[i * ncols + c];
+        EXPECT_TRUE(bitEqual(dots[c], dot(col, alpha))) << "col " << c;
+        EXPECT_TRUE(bitEqual(norms[c], dot(col, col))) << "col " << c;
+    }
+}
+
+TEST(CholeskySolveInPlace, MatchesSolve)
+{
+    for (size_t n : {size_t(1), size_t(8), size_t(33)}) {
+        Cholesky chol(randomSpd(n, 200 + n));
+        Rng rng(n);
+        Vector b(n);
+        for (double& v : b)
+            v = rng.uniform(-1.0, 1.0);
+        Vector expect = chol.solve(b);
+        Vector inplace = b;
+        chol.solveInPlace(inplace);
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_TRUE(bitEqual(inplace[i], expect[i])) << "i=" << i;
+    }
+}
+
+TEST(CholeskyRefactor, MatchesFreshFactorizationAndReusesStorage)
+{
+    Matrix a1 = randomSpd(24, 31);
+    Matrix a2 = randomSpd(24, 32);
+    Cholesky fresh(a2);
+    Cholesky reused(a1);
+    const double* storage_before = reused.factor().data().data();
+    reused.refactor(a2);
+    EXPECT_EQ(reused.factor().data().data(), storage_before)
+        << "same-size refactor should reuse the factor's storage";
+    for (size_t i = 0; i < 24; ++i)
+        for (size_t j = 0; j <= i; ++j)
+            EXPECT_TRUE(bitEqual(reused.factor()(i, j),
+                                 fresh.factor()(i, j)))
+                << "(" << i << "," << j << ")";
+    EXPECT_EQ(reused.appliedJitter(), fresh.appliedJitter());
+}
+
+TEST(CholeskyRefactor, CanChangeSize)
+{
+    Cholesky chol(randomSpd(8, 41));
+    chol.refactor(randomSpd(20, 42));
+    EXPECT_EQ(chol.size(), 20u);
+    Cholesky fresh(randomSpd(20, 42));
+    for (size_t i = 0; i < 20; ++i)
+        EXPECT_TRUE(bitEqual(chol.factor()(i, i), fresh.factor()(i, i)));
+}
+
+} // namespace
+} // namespace linalg
+} // namespace clite
