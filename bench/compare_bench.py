@@ -1,9 +1,17 @@
 #!/usr/bin/env python3
-"""Compare two google-benchmark JSON files and flag regressions.
+"""Compare two benchmark JSON files and flag regressions.
 
 Usage:
     python3 bench/compare_bench.py BASELINE.json CANDIDATE.json \
         [--threshold 1.25] [--families acquisition,cholesky] [--strict]
+    python3 bench/compare_bench.py --mode warmstart \
+        BENCH_warmstart.json NEW_warmstart.json [--strict]
+
+The default mode compares google-benchmark output. `--mode warmstart`
+compares two bench/warm_start emissions (BENCH_warmstart.json)
+instead: it checks that warm starts still converge no slower than the
+committed baseline and that the exact-hit improvement over cold stays
+above the floor the warm-start design promises (30% fewer windows).
 
 Matches benchmarks by name, prints a ratio table (candidate / baseline
 real time), and emits a warning for every benchmark in the watched
@@ -42,6 +50,47 @@ def load_benchmarks(path):
     return out, data.get("context", {})
 
 
+# Minimum acceptable exact-hit improvement over cold (fraction of
+# windows saved); matches the warm-start design target in docs/STORE.md.
+WARMSTART_IMPROVEMENT_FLOOR = 0.30
+
+
+def compare_warmstart(args):
+    """Diff two bench/warm_start JSON files (BENCH_warmstart.json)."""
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.candidate) as f:
+        cand = json.load(f)
+    problems = []
+
+    print(f"{'metric':<24}  {'base':>10}  {'cand':>10}")
+    for key in ("cold_windows_mean", "exact_windows_mean",
+                "similar_windows_mean", "exact_improvement",
+                "similar_improvement"):
+        b = base.get("overall", {}).get(key)
+        c = cand.get("overall", {}).get(key)
+        print(f"{key:<24}  {b!s:>10}  {c!s:>10}")
+
+    improvement = cand.get("overall", {}).get("exact_improvement", 0.0)
+    if improvement < WARMSTART_IMPROVEMENT_FLOOR:
+        problems.append(
+            f"exact-hit improvement {improvement:.2f} fell below the "
+            f"{WARMSTART_IMPROVEMENT_FLOOR:.2f} floor")
+    base_exact = base.get("overall", {}).get("exact_windows_mean")
+    cand_exact = cand.get("overall", {}).get("exact_windows_mean")
+    if base_exact and cand_exact and cand_exact > base_exact * args.threshold:
+        problems.append(
+            f"exact-hit windows regressed: {cand_exact} vs committed "
+            f"{base_exact} (threshold {args.threshold:.2f}x)")
+
+    for p in problems:
+        print(f"::warning::warm-start regression: {p}")
+    if problems:
+        return 1 if args.strict else 0
+    print("warm-start convergence matches the committed baseline")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -52,9 +101,16 @@ def main():
     parser.add_argument("--families", default=",".join(DEFAULT_FAMILIES),
                         help="comma-separated name substrings to watch "
                              "(case-insensitive)")
+    parser.add_argument("--mode", choices=["benchmark", "warmstart"],
+                        default="benchmark",
+                        help="input format: google-benchmark JSON "
+                             "(default) or bench/warm_start JSON")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when any watched family regresses")
     args = parser.parse_args()
+
+    if args.mode == "warmstart":
+        return compare_warmstart(args)
 
     base, base_ctx = load_benchmarks(args.baseline)
     cand, cand_ctx = load_benchmarks(args.candidate)

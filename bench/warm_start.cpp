@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Warm-start sweep: windows-to-all-QoS-met for a cold controller vs
+ * one seeded from the profile store — an exact-hit prior (the same
+ * mix learned before) and a similar-mix prior (the same jobs at
+ * drifted load levels) — across several loaded mixes and seeds.
+ *
+ * One search sample is one observation window on the real system
+ * (paper Sec. 4: "each sample takes one 2-second window"), so
+ * "windows to all-QoS-met" is firstFeasibleSample()+1 of the initial
+ * search: how long the node runs with at least one LC job violating
+ * QoS before the controller first lands on a partition that meets
+ * every target. The mixes are loaded enough that the equal-share
+ * bootstrap point misses QoS — a cold start must actually search.
+ *
+ * Everything underneath is deterministic (seeded noise, seeded BO,
+ * thread-count-invariant pool), so the emitted JSON is byte-stable
+ * across machines: `--json=PATH` writes BENCH_warmstart.json, which
+ * is committed and diffed in CI (bench/compare_bench.py --mode
+ * warmstart). Regenerate after an intended behaviour change with:
+ *
+ *     ./bench/warm_start --json=BENCH_warmstart.json
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/monitor.h"
+#include "store/profile_store.h"
+#include "workloads/catalog.h"
+#include "workloads/perf_model.h"
+
+using namespace clite;
+
+namespace {
+
+struct Mix
+{
+    const char* label;
+    double load0; ///< First LC job's load.
+    double load1; ///< Second LC job's load.
+};
+
+// Loaded two-LC-plus-BG mixes: heavy enough that the equal share
+// violates at least one QoS target, light enough to be feasible.
+const Mix kMixes[] = {
+    {"img-dnn+memcached+fluidanimate", 0.60, 0.70},
+    {"xapian+memcached+canneal", 0.70, 0.70},
+    {"img-dnn+xapian+canneal", 0.90, 0.50},
+};
+
+constexpr int kSeeds = 5;
+
+std::vector<workloads::JobSpec>
+makeJobs(const Mix& mix, double load_shift = 0.0)
+{
+    std::string lc0 = mix.label;
+    std::string rest = lc0.substr(lc0.find('+') + 1);
+    lc0 = lc0.substr(0, lc0.find('+'));
+    std::string lc1 = rest.substr(0, rest.find('+'));
+    std::string bg = rest.substr(rest.find('+') + 1);
+    return {
+        workloads::lcJob(lc0, mix.load0 + load_shift),
+        workloads::lcJob(lc1, mix.load1 - load_shift),
+        workloads::bgJob(bg),
+    };
+}
+
+platform::SimulatedServer
+makeServer(const Mix& mix, uint64_t seed, double load_shift = 0.0)
+{
+    return platform::SimulatedServer(
+        platform::ServerConfig::xeonSilver4114(), makeJobs(mix, load_shift),
+        std::make_unique<workloads::AnalyticModel>(), seed, 0.02);
+}
+
+core::CliteOptions
+cliteOptions(uint64_t seed)
+{
+    core::CliteOptions o;
+    o.seed = seed;
+    return o;
+}
+
+struct RunStats
+{
+    double windows_sum = 0.0; ///< Windows to first all-QoS-met sample.
+    double samples_sum = 0.0; ///< Total search samples spent.
+    int feasible = 0;         ///< Runs that found a feasible partition.
+    int runs = 0;
+
+    void add(const core::ControllerResult& r)
+    {
+        int first = r.firstFeasibleSample();
+        // A run that never met QoS burned its whole budget violating.
+        windows_sum += first >= 0 ? first + 1 : r.samples;
+        samples_sum += r.samples;
+        feasible += r.feasible ? 1 : 0;
+        ++runs;
+    }
+    double windowsMean() const { return runs ? windows_sum / runs : 0.0; }
+    double samplesMean() const { return runs ? samples_sum / runs : 0.0; }
+};
+
+struct MixResult
+{
+    std::string label;
+    RunStats cold, exact, similar;
+};
+
+MixResult
+runMix(const Mix& mix)
+{
+    MixResult out;
+    out.label = mix.label;
+    for (int s = 0; s < kSeeds; ++s) {
+        const uint64_t noise_seed = 100 + uint64_t(s);
+        const uint64_t bo_seed = 200 + uint64_t(s);
+
+        // Cold: no store.
+        {
+            auto server = makeServer(mix, noise_seed);
+            core::OnlineManager manager(server, cliteOptions(bo_seed));
+            out.cold.add(manager.initialize());
+        }
+
+        // Exact hit: a prior life of the SAME mix (different seeds)
+        // taught the store; the measured run restores from it.
+        {
+            store::ProfileStore prior;
+            auto teacher = makeServer(mix, noise_seed + 1000);
+            core::OnlineManager teach(teacher, cliteOptions(bo_seed + 1000),
+                                      {}, &prior);
+            teach.initialize();
+            teach.tick(); // settle one window so the phase is Steady
+
+            auto server = makeServer(mix, noise_seed);
+            core::OnlineManager manager(server, cliteOptions(bo_seed), {},
+                                        &prior);
+            out.exact.add(manager.initialize());
+            if (std::string(manager.warmSource()) != "exact")
+                std::cerr << "warning: expected exact hit for "
+                          << mix.label << " seed " << s << ", got "
+                          << manager.warmSource() << "\n";
+        }
+
+        // Similar mix: the prior was learned at drifted (lighter)
+        // load levels, so only the nearest-mix lookup fires.
+        {
+            store::ProfileStore prior;
+            auto teacher = makeServer(mix, noise_seed + 2000, -0.05);
+            core::OnlineManager teach(teacher, cliteOptions(bo_seed + 2000),
+                                      {}, &prior);
+            teach.initialize();
+            teach.tick();
+
+            auto server = makeServer(mix, noise_seed);
+            core::OnlineManager manager(server, cliteOptions(bo_seed), {},
+                                        &prior);
+            out.similar.add(manager.initialize());
+            if (std::string(manager.warmSource()) != "similar")
+                std::cerr << "warning: expected similar hit for "
+                          << mix.label << " seed " << s << ", got "
+                          << manager.warmSource() << "\n";
+        }
+    }
+    return out;
+}
+
+std::string
+g(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+void
+writeJson(const std::vector<MixResult>& results, const std::string& path)
+{
+    RunStats cold, exact, similar;
+    for (const MixResult& r : results) {
+        cold.windows_sum += r.cold.windows_sum;
+        cold.samples_sum += r.cold.samples_sum;
+        cold.runs += r.cold.runs;
+        exact.windows_sum += r.exact.windows_sum;
+        exact.samples_sum += r.exact.samples_sum;
+        exact.runs += r.exact.runs;
+        similar.windows_sum += r.similar.windows_sum;
+        similar.samples_sum += r.similar.samples_sum;
+        similar.runs += r.similar.runs;
+    }
+    const double exact_improvement =
+        1.0 - exact.windowsMean() / cold.windowsMean();
+    const double similar_improvement =
+        1.0 - similar.windowsMean() / cold.windowsMean();
+
+    std::ofstream out(path, std::ios::trunc);
+    if (!out.good()) {
+        std::cerr << "cannot write " << path << "\n";
+        return;
+    }
+    out << "{\n  \"bench\": \"warm_start\",\n";
+    out << "  \"windows_metric\": \"first all-QoS-met search sample + 1 "
+           "(search budget on miss)\",\n";
+    out << "  \"seeds_per_mix\": " << kSeeds << ",\n  \"mixes\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const MixResult& r = results[i];
+        out << "    {\"mix\": \"" << r.label << "\",\n"
+            << "     \"cold_windows_mean\": " << g(r.cold.windowsMean())
+            << ", \"exact_windows_mean\": " << g(r.exact.windowsMean())
+            << ", \"similar_windows_mean\": " << g(r.similar.windowsMean())
+            << ",\n     \"cold_samples_mean\": " << g(r.cold.samplesMean())
+            << ", \"exact_samples_mean\": " << g(r.exact.samplesMean())
+            << ", \"similar_samples_mean\": " << g(r.similar.samplesMean())
+            << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"overall\": {\n";
+    out << "    \"cold_windows_mean\": " << g(cold.windowsMean()) << ",\n";
+    out << "    \"exact_windows_mean\": " << g(exact.windowsMean())
+        << ",\n";
+    out << "    \"similar_windows_mean\": " << g(similar.windowsMean())
+        << ",\n";
+    out << "    \"exact_improvement\": " << g(exact_improvement) << ",\n";
+    out << "    \"similar_improvement\": " << g(similar_improvement)
+        << "\n  }\n}\n";
+    std::cout << "[json written to " << path << "]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::applyThreadFlag(argc, argv);
+    std::string json_path;
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            json_path = argv[i] + 7;
+
+    std::vector<MixResult> results;
+    for (const Mix& mix : kMixes)
+        results.push_back(runMix(mix));
+
+    std::printf("%-34s %14s %14s %14s\n", "mix (windows to all-QoS-met)",
+                "cold", "exact-hit", "similar-mix");
+    RunStats cold, exact, similar;
+    for (const MixResult& r : results) {
+        std::printf("%-34s %14.2f %14.2f %14.2f\n", r.label.c_str(),
+                    r.cold.windowsMean(), r.exact.windowsMean(),
+                    r.similar.windowsMean());
+        cold.windows_sum += r.cold.windows_sum;
+        cold.runs += r.cold.runs;
+        exact.windows_sum += r.exact.windows_sum;
+        exact.runs += r.exact.runs;
+        similar.windows_sum += r.similar.windows_sum;
+        similar.runs += r.similar.runs;
+    }
+    std::printf("%-34s %14.2f %14.2f %14.2f\n", "overall",
+                cold.windowsMean(), exact.windowsMean(),
+                similar.windowsMean());
+    std::printf("exact-hit improvement: %.1f%%   similar-mix: %.1f%%\n",
+                100.0 * (1.0 - exact.windowsMean() / cold.windowsMean()),
+                100.0 * (1.0 - similar.windowsMean() / cold.windowsMean()));
+
+    if (!json_path.empty())
+        writeJson(results, json_path);
+    return 0;
+}

@@ -166,8 +166,18 @@ Fleet::hostJob(uint64_t id, size_t n)
             std::move(model), nodeSeed(n), options_.noise_sigma);
         core::CliteOptions clite_options = options_.clite;
         clite_options.seed = SplitMix64(nodeSeed(n)).next();
+        core::MonitorOptions monitor_options = options_.monitor;
+        store::ProfileStore* store = nullptr;
+        if (options_.shared_store) {
+            // Nodes READ the shared store from the pool (phase B);
+            // writes happen only in the fleet's serial phase C, so
+            // auto-checkpointing from pool threads is disabled.
+            store = &store_;
+            monitor_options.auto_checkpoint = false;
+        }
         node.manager = std::make_unique<core::OnlineManager>(
-            *node.server, std::move(clite_options), options_.monitor);
+            *node.server, std::move(clite_options), monitor_options,
+            store);
         node.initialized = false;
     } else {
         node.server->addJob(job.spec);
@@ -304,6 +314,15 @@ Fleet::tick()
             snaps.push_back(snapshot(n));
         scheduler_.recordWindow(snaps);
     }
+
+    // Checkpoint collection (serial, node-index order): the only
+    // writer of the shared store. Runs before rescheduling so the
+    // mixes this window learned — including the evicting node's — are
+    // available to whichever node a re-placed job lands on.
+    if (options_.shared_store)
+        for (Node& node : nodes_)
+            if (node.initialized && node.server != nullptr)
+                store_.put(node.manager->makeCheckpoint());
 
     // Rescheduling: act on the per-node infeasibility signal. A node
     // whose search this window proved an LC job cannot meet QoS there

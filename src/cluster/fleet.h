@@ -72,6 +72,15 @@ struct FleetOptions
     PlacementOptions placement;
     /** Evictions a job may suffer before it is parked. */
     int max_moves = 3;
+    /**
+     * Share one warm-start profile store across all nodes: every
+     * node's search seeds from fleet-wide prior knowledge of its job
+     * mix (an evicted job's destination node warm-starts from the
+     * checkpoints its mix accumulated anywhere in the fleet). Store
+     * writes happen only in the serial aggregation phase in node-index
+     * order, so determinism across thread counts is preserved.
+     */
+    bool shared_store = true;
 };
 
 /** Where a job currently is. */
@@ -186,6 +195,10 @@ class Fleet
     /** The placement engine (for tests / introspection). */
     const ClusterScheduler& scheduler() const { return scheduler_; }
 
+    /** The fleet-wide warm-start store (inert when !shared_store). */
+    const store::ProfileStore& profileStore() const { return store_; }
+    store::ProfileStore& profileStore() { return store_; }
+
     /**
      * Deterministic fingerprint of the full fleet state: per-node job
      * placements, programmed allocations and ground-truth scores plus
@@ -235,6 +248,7 @@ class Fleet
     size_t node_capacity_ = 0; ///< Max jobs per node (unit budget).
 
     ClusterScheduler scheduler_;
+    store::ProfileStore store_; ///< Fleet-shared warm-start priors.
     std::vector<Node> nodes_;
     std::vector<FleetJob> jobs_;
     std::deque<uint64_t> queue_; ///< Pending ids, FIFO.

@@ -119,6 +119,13 @@ CliteController::run(platform::SimulatedServer& server)
 }
 
 ControllerResult
+CliteController::runWarm(platform::SimulatedServer& server,
+                         const WarmStart& warm)
+{
+    return search(server, nullptr, &warm);
+}
+
+ControllerResult
 CliteController::reoptimize(platform::SimulatedServer& server,
                             const platform::Allocation& incumbent)
 {
@@ -126,8 +133,17 @@ CliteController::reoptimize(platform::SimulatedServer& server,
 }
 
 ControllerResult
+CliteController::reoptimizeWarm(platform::SimulatedServer& server,
+                                const platform::Allocation& incumbent,
+                                const WarmStart& warm)
+{
+    return search(server, &incumbent, &warm);
+}
+
+ControllerResult
 CliteController::search(platform::SimulatedServer& server,
-                        const platform::Allocation* incumbent)
+                        const platform::Allocation* incumbent,
+                        const WarmStart* warm)
 {
     const platform::ServerConfig& config = server.config();
     const size_t njobs = server.jobCount();
@@ -167,14 +183,42 @@ CliteController::search(platform::SimulatedServer& server,
         return idx;
     };
 
+    // Warm-start priors must match the search space exactly; the
+    // store-side conversion (store/warm_start.h) already filters by
+    // signature, so a mismatch here is a programming error.
+    if (warm != nullptr) {
+        auto check_shape = [&](const platform::Allocation& a) {
+            CLITE_CHECK(a.jobs() == njobs && a.resources() == nres,
+                        "warm-start configuration shape "
+                            << a.jobs() << "x" << a.resources()
+                            << " does not match the server's " << njobs
+                            << "x" << nres);
+        };
+        if (warm->incumbent.has_value())
+            check_shape(*warm->incumbent);
+        for (const platform::Allocation& a : warm->configs)
+            check_shape(a);
+    }
+
     // ---- Bootstrap (Sec. 4, "Selecting Bootstrapping Configuration
-    // Samples"): equal division + per-job maximum-allocation extrema.
+    // Samples"): equal division + per-job maximum-allocation extrema,
+    // preceded by any warm-start priors (the prior run's incumbent is
+    // the strongest single guess, then its best configurations). When
+    // the prior proved this exact mix feasible, the extrema — whose
+    // only purpose is the infeasibility test — are skipped, which is
+    // where warm starts save most of their observation windows.
     std::vector<size_t> extremum_sample_of_job(njobs, size_t(-1));
     if (options_.informed_bootstrap) {
+        if (warm != nullptr && warm->incumbent.has_value())
+            evaluate_unique(*warm->incumbent);
         if (incumbent != nullptr)
             evaluate_unique(*incumbent);
+        if (warm != nullptr)
+            for (const platform::Allocation& a : warm->configs)
+                evaluate_unique(a);
         evaluate_unique(platform::Allocation::equalShare(njobs, config));
-        for (size_t j = 0; j < njobs; ++j) {
+        const bool skip_extrema = warm != nullptr && warm->trusted_feasible;
+        for (size_t j = 0; j < njobs && !skip_extrema; ++j) {
             platform::Allocation ext =
                 platform::Allocation::maxFor(j, njobs, config);
             if (evaluate_unique(ext))
@@ -399,6 +443,15 @@ CliteController::search(platform::SimulatedServer& server,
         auto acq_objective = [&](const std::vector<double>& x) {
             return acquisition->evaluate(surrogate, x, incumbent_score);
         };
+        // The 2d finite-difference probe points of each PG gradient go
+        // through the batched posterior in one predictBatch call;
+        // evaluateBatch is bit-identical to evaluate per point, so the
+        // controller trace is unchanged.
+        auto acq_batch = [&](const std::vector<std::vector<double>>& pts,
+                             double* out) {
+            acquisition->evaluateBatch(surrogate, pts, 0, pts.size(),
+                                       incumbent_score, out);
+        };
 
         // Dead columns are held at the actually-programmed partition
         // in every start (no block covers them, so the optimizer
@@ -448,8 +501,8 @@ CliteController::search(platform::SimulatedServer& server,
             starts.push_back(std::move(x));
         }
 
-        opt::PgResult acq = optimizer.maximizeMultiStart(acq_objective,
-                                                         starts);
+        opt::PgResult acq =
+            optimizer.maximizeMultiStart(acq_objective, acq_batch, starts);
 
         // ---- Termination on expected-improvement drop: the EI curve
         // must stay below the (job-count-scaled) threshold for a few

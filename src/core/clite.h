@@ -125,6 +125,38 @@ struct CliteOptions
 };
 
 /**
+ * Prior knowledge about a job mix, extracted from the warm-start
+ * profile store (store/warm_start.h), that seeds the bootstrap with
+ * evaluated configurations from an earlier run of the same (or a
+ * similar) mix instead of cold equal-division-only starts.
+ */
+struct WarmStart
+{
+    /**
+     * Prior evaluated configurations, best first; each is re-measured
+     * fresh during bootstrap (prior SCORES are never trusted — loads,
+     * noise seeds and co-runners may differ; only the locations carry
+     * over).
+     */
+    std::vector<platform::Allocation> configs;
+    /** The prior run's incumbent, tried before everything else. */
+    std::optional<platform::Allocation> incumbent;
+    /**
+     * The prior run of this EXACT mix converged with all QoS met: the
+     * per-job maximum-allocation extrema (whose only purpose is the
+     * infeasibility test) are skipped, saving one bootstrap window
+     * per job. Never set for similar-mix (load-drifted) priors.
+     */
+    bool trusted_feasible = false;
+
+    /** True when there is nothing to seed with. */
+    bool empty() const
+    {
+        return configs.empty() && !incumbent.has_value();
+    }
+};
+
+/**
  * The CLITE policy.
  */
 class CliteController : public Controller
@@ -137,6 +169,13 @@ class CliteController : public Controller
     ControllerResult run(platform::SimulatedServer& server) override;
 
     /**
+     * run() seeded with prior-mix knowledge. With an empty WarmStart
+     * this is bit-identical to run().
+     */
+    ControllerResult runWarm(platform::SimulatedServer& server,
+                             const WarmStart& warm);
+
+    /**
      * Re-invoke the search after a load or mix change (Fig. 16),
      * seeding the bootstrap with @p incumbent so adaptation starts
      * from the previously best configuration.
@@ -144,12 +183,23 @@ class CliteController : public Controller
     ControllerResult reoptimize(platform::SimulatedServer& server,
                                 const platform::Allocation& incumbent);
 
+    /**
+     * reoptimize() additionally seeded with prior-mix knowledge (the
+     * cluster path: an evicted job's destination node warm-starts
+     * from what the fleet store knows about its new mix). With an
+     * empty WarmStart this is bit-identical to reoptimize().
+     */
+    ControllerResult reoptimizeWarm(platform::SimulatedServer& server,
+                                    const platform::Allocation& incumbent,
+                                    const WarmStart& warm);
+
     /** The options in effect. */
     const CliteOptions& options() const { return options_; }
 
   private:
     ControllerResult search(platform::SimulatedServer& server,
-                            const platform::Allocation* incumbent);
+                            const platform::Allocation* incumbent,
+                            const WarmStart* warm = nullptr);
 
     CliteOptions options_;
 };

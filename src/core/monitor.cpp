@@ -10,8 +10,10 @@ namespace core {
 
 OnlineManager::OnlineManager(platform::SimulatedServer& server,
                              CliteOptions clite_options,
-                             MonitorOptions options)
-    : server_(server), clite_(std::move(clite_options)), options_(options)
+                             MonitorOptions options,
+                             store::ProfileStore* store)
+    : server_(server), clite_(std::move(clite_options)), options_(options),
+      store_(store)
 {
     CLITE_CHECK(options_.violation_patience >= 1,
                 "violation patience must be >= 1");
@@ -27,10 +29,73 @@ OnlineManager::OnlineManager(platform::SimulatedServer& server,
 const ControllerResult&
 OnlineManager::initialize()
 {
-    last_result_ = clite_.run(server_);
+    WarmStart warm = lookupWarmStart();
+    last_result_ =
+        warm.empty() ? clite_.run(server_) : clite_.runWarm(server_, warm);
     adoptResult();
     captureReference();
+    checkpoint();
     return *last_result_;
+}
+
+WarmStart
+OnlineManager::lookupWarmStart()
+{
+    warm_source_ = "cold";
+    if (store_ == nullptr)
+        return {};
+    const store::MixSignature sig = store::MixSignature::of(server_);
+    if (std::optional<store::Snapshot> snap = store_->find(sig)) {
+        WarmStart warm = store::warmStartFromSnapshot(
+            *snap, server_, options_.warm_start, /*exact=*/true);
+        if (!warm.empty()) {
+            warm_source_ = "exact";
+            CLITE_LOG_INFO("warm start (exact) from mix "
+                           << sig.describe());
+            return warm;
+        }
+    }
+    for (const store::Neighbor& n : store_->nearest(sig, 1)) {
+        if (n.distance > options_.warm_start.max_distance)
+            continue;
+        WarmStart warm = store::warmStartFromSnapshot(
+            n.snapshot, server_, options_.warm_start, /*exact=*/false);
+        if (!warm.empty()) {
+            warm_source_ = "similar";
+            CLITE_LOG_INFO("warm start (similar, distance " << n.distance
+                                                            << ") for mix "
+                                                            << sig.describe());
+            return warm;
+        }
+    }
+    return {};
+}
+
+store::Snapshot
+OnlineManager::makeCheckpoint() const
+{
+    CLITE_CHECK(last_result_.has_value() && incumbent_.has_value(),
+                "OnlineManager::makeCheckpoint() called before "
+                "initialize(); run initialize() first");
+    store::ControllerPhase phase = store::ControllerPhase::Search;
+    if (last_result_->best.has_value()) {
+        const bool demoted = !(*incumbent_ == *last_result_->best);
+        phase = demoted ? store::ControllerPhase::Degraded
+                        : store::ControllerPhase::Steady;
+    }
+    return store::captureSnapshot(
+        server_, *last_result_, *incumbent_, phase, last_window_qos_met_,
+        uint64_t(windows_), size_t(options_.checkpoint_max_samples));
+}
+
+void
+OnlineManager::checkpoint()
+{
+    if (store_ == nullptr || !options_.auto_checkpoint)
+        return;
+    if (!last_result_.has_value() || !incumbent_.has_value())
+        return;
+    store_->put(makeCheckpoint());
 }
 
 void
@@ -108,10 +173,22 @@ OnlineManager::reoptimize(const std::string& reason, bool mix_changed)
                      server_.jobCount() >= 1)
                 seed = incumbent_->withJobRemoved(*removed_job_);
         }
-        last_result_ = seed.has_value()
-                           ? clite_.reoptimize(server_, *seed)
-                           : clite_.run(server_);
+        // The store may already know the NEW mix (a recurring
+        // co-location): its prior configurations join the adapted
+        // incumbent in the bootstrap.
+        WarmStart warm = lookupWarmStart();
+        if (seed.has_value())
+            last_result_ = warm.empty()
+                               ? clite_.reoptimize(server_, *seed)
+                               : clite_.reoptimizeWarm(server_, *seed, warm);
+        else
+            last_result_ = warm.empty() ? clite_.run(server_)
+                                        : clite_.runWarm(server_, warm);
     } else {
+        // Violation/drift re-optimization stays warm-free beyond the
+        // incumbent seed: the stored prior described an operating
+        // point that just proved wrong, and trusting it here could
+        // skip the infeasibility probes exactly when they matter.
         last_result_ = clite_.reoptimize(server_, *incumbent_);
     }
     adoptResult();
@@ -233,8 +310,11 @@ OnlineManager::tick()
         }
     }
 
-    if (out.reoptimized)
+    if (out.reoptimized) {
+        last_window_qos_met_ = sb.all_qos_met;
+        checkpoint();
         return out;
+    }
 
     if (faults) {
         // Quarantine faulted windows: lost/stale telemetry or a down
@@ -250,8 +330,12 @@ OnlineManager::tick()
             if (down)
                 fault_window = true;
         if (fault_window) {
+            // Quarantined telemetry describes the fault, not the
+            // partition — last_window_qos_met_ keeps its pre-fault
+            // value so a glitch cannot poison the checkpoint.
             out.faulted = true;
             ++faulted_windows_;
+            checkpoint();
             return out;
         }
         // Only a window whose incumbent was verified programmed may
@@ -286,10 +370,12 @@ OnlineManager::tick()
         out.reoptimized = true;
         out.reason = "load-drift";
     }
+    last_window_qos_met_ = sb.all_qos_met;
     if (out.reoptimized) {
         reoptimize(out.reason, false);
         out.search_samples = last_result_->samples;
     }
+    checkpoint();
     return out;
 }
 

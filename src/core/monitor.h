@@ -40,6 +40,8 @@
 #include <vector>
 
 #include "core/clite.h"
+#include "store/profile_store.h"
+#include "store/warm_start.h"
 
 namespace clite {
 namespace core {
@@ -65,6 +67,18 @@ struct MonitorOptions
     int apply_fail_patience = 3;
     /** Watchdog: re-apply attempts per window on apply failure. */
     int apply_retries = 2;
+    /** Warm-start extraction knobs (profile store attached only). */
+    store::WarmStartOptions warm_start;
+    /**
+     * Checkpoint to the attached store after every window and search
+     * (checkpoint-on-window). The fleet turns this off and pulls
+     * checkpoints itself in its serial aggregation phase so that
+     * store writes happen in deterministic node order rather than
+     * from pool threads.
+     */
+    bool auto_checkpoint = true;
+    /** Sample cap per checkpoint snapshot. */
+    int checkpoint_max_samples = 64;
 };
 
 /**
@@ -77,10 +91,19 @@ class OnlineManager
      * @param server The co-location server (not owned; must outlive).
      * @param clite_options Options for the wrapped CLITE controller.
      * @param options Monitoring knobs.
+     * @param store Optional warm-start profile store (not owned; must
+     *     outlive). With a store attached, initialize() restores prior
+     *     knowledge of the mix (exact signature hit, else the nearest
+     *     similar mix within warm_start.max_distance) and the manager
+     *     checkpoints its learned state back — which is also the
+     *     crash-recovery path: a controller rebuilt on the same
+     *     server with the same store resumes from the last
+     *     checkpoint instead of re-learning from scratch.
      */
     OnlineManager(platform::SimulatedServer& server,
                   CliteOptions clite_options = {},
-                  MonitorOptions options = {});
+                  MonitorOptions options = {},
+                  store::ProfileStore* store = nullptr);
 
     /**
      * Run the initial optimization. Must be called before tick().
@@ -170,7 +193,33 @@ class OnlineManager
      */
     const ControllerResult& lastResult() const;
 
+    /**
+     * Where the initial search's seed came from: "cold" (no store or
+     * no usable prior), "exact" (same-mix snapshot), or "similar"
+     * (nearest-mix snapshot within the distance bound).
+     */
+    const char* warmSource() const { return warm_source_; }
+
+    /**
+     * Snapshot of the current learned state (the checkpoint the
+     * manager would write). Exposed so the fleet can collect
+     * checkpoints in its serial phase in deterministic node order.
+     * @pre initialize() has been called.
+     */
+    store::Snapshot makeCheckpoint() const;
+
+    /** The attached profile store (nullptr when none). */
+    store::ProfileStore* profileStore() const { return store_; }
+
   private:
+    /** put(makeCheckpoint()) when a store is attached (auto mode). */
+    void checkpoint();
+
+    /**
+     * Look up the store for the server's current mix and build a
+     * WarmStart (empty when nothing usable is stored).
+     */
+    WarmStart lookupWarmStart();
     /** Record the per-LC-job reference rates of the incumbent. */
     void captureReference();
 
@@ -192,6 +241,9 @@ class OnlineManager
     platform::SimulatedServer& server_;
     CliteController clite_;
     MonitorOptions options_;
+    store::ProfileStore* store_ = nullptr;
+    const char* warm_source_ = "cold";
+    bool last_window_qos_met_ = false;
 
     std::optional<ControllerResult> last_result_;
     std::optional<platform::Allocation> incumbent_;

@@ -369,7 +369,8 @@ GaussianProcess::predictBatch(const std::vector<linalg::Vector>& xs,
     linalg::panelDotRows(panel, n, count, alpha_.data(), mean_s);
 
     // One blocked TRSM replaces `count` forward substitutions.
-    linalg::solveLowerPanel(chol_->factor(), panel, count);
+    linalg::solveLowerPanel(chol_->lowerData(), chol_->stride(),
+                            chol_->size(), panel, count);
 
     // Posterior variance: k(x,x) − ‖L⁻¹k*‖² per candidate. The scalar
     // path evaluates the kernel at distance 0 for the diagonal; that

@@ -1,5 +1,6 @@
 #include "linalg/cholesky.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
@@ -32,24 +33,46 @@ Cholesky::refactor(const Matrix& a, double jitter, double max_jitter)
                 << max_jitter);
 }
 
+void
+Cholesky::ensureCapacity(size_t n)
+{
+    if (cap_ >= n)
+        return;
+    const size_t cap = std::max(n, 2 * cap_);
+    std::vector<double> grown(cap * cap, 0.0);
+    // Repack the existing rows onto the wider stride (lower triangle
+    // only — nothing above the diagonal is ever read).
+    for (size_t i = 0; i < n_; ++i)
+        std::copy(data_.begin() + i * cap_, data_.begin() + i * cap_ + i + 1,
+                  grown.begin() + i * cap);
+    data_.swap(grown);
+    cap_ = cap;
+}
+
 bool
 Cholesky::tryFactor(const Matrix& a, double jitter)
 {
     const size_t n = a.rows();
-    l_.reshape(n, n, 0.0);
+    ensureCapacity(n);
+    n_ = n;
+    l_fresh_ = false;
+    double* L = data_.data();
+    const size_t ld = cap_;
     for (size_t i = 0; i < n; ++i) {
+        double* li = L + i * ld;
         for (size_t j = 0; j <= i; ++j) {
+            const double* lj = L + j * ld;
             double sum = a(i, j);
             if (i == j)
                 sum += jitter;
             for (size_t k = 0; k < j; ++k)
-                sum -= l_(i, k) * l_(j, k);
+                sum -= li[k] * lj[k];
             if (i == j) {
                 if (sum <= 0.0 || !std::isfinite(sum))
                     return false;
-                l_(i, i) = std::sqrt(sum);
+                li[i] = std::sqrt(sum);
             } else {
-                l_(i, j) = sum / l_(j, j);
+                li[j] = sum / lj[j];
             }
         }
     }
@@ -59,7 +82,7 @@ Cholesky::tryFactor(const Matrix& a, double jitter)
 bool
 Cholesky::appendRow(const Vector& b, double c)
 {
-    const size_t n = size();
+    const size_t n = n_;
     CLITE_CHECK(b.size() == n,
                 "appendRow expects " << n << " covariances, got "
                                      << b.size());
@@ -70,29 +93,44 @@ Cholesky::appendRow(const Vector& b, double c)
     if (pivot <= 0.0 || !std::isfinite(pivot))
         return false;
 
-    Matrix grown(n + 1, n + 1, 0.0);
-    for (size_t i = 0; i < n; ++i)
-        for (size_t j = 0; j <= i; ++j)
-            grown(i, j) = l_(i, j);
-    for (size_t j = 0; j < n; ++j)
-        grown(n, j) = l12[j];
-    grown(n, n) = std::sqrt(pivot);
-    l_ = std::move(grown);
+    ensureCapacity(n + 1);
+    double* row = data_.data() + n * cap_;
+    std::copy(l12.begin(), l12.end(), row);
+    row[n] = std::sqrt(pivot);
+    ++n_;
+    l_fresh_ = false;
     return true;
+}
+
+const Matrix&
+Cholesky::factor() const
+{
+    if (!l_fresh_) {
+        l_.reshape(n_, n_, 0.0);
+        for (size_t i = 0; i < n_; ++i) {
+            const double* src = data_.data() + i * cap_;
+            for (size_t j = 0; j <= i; ++j)
+                l_(i, j) = src[j];
+        }
+        l_fresh_ = true;
+    }
+    return l_;
 }
 
 Vector
 Cholesky::solveLower(const Vector& b) const
 {
-    const size_t n = size();
+    const size_t n = n_;
     CLITE_CHECK(b.size() == n, "solveLower size mismatch: " << b.size()
                                    << " vs " << n);
+    const double* L = data_.data();
     Vector y(n);
     for (size_t i = 0; i < n; ++i) {
+        const double* li = L + i * cap_;
         double sum = b[i];
         for (size_t k = 0; k < i; ++k)
-            sum -= l_(i, k) * y[k];
-        y[i] = sum / l_(i, i);
+            sum -= li[k] * y[k];
+        y[i] = sum / li[i];
     }
     return y;
 }
@@ -100,15 +138,16 @@ Cholesky::solveLower(const Vector& b) const
 Vector
 Cholesky::solveUpper(const Vector& b) const
 {
-    const size_t n = size();
+    const size_t n = n_;
     CLITE_CHECK(b.size() == n, "solveUpper size mismatch: " << b.size()
                                    << " vs " << n);
+    const double* L = data_.data();
     Vector x(n);
     for (size_t ii = n; ii-- > 0;) {
         double sum = b[ii];
         for (size_t k = ii + 1; k < n; ++k)
-            sum -= l_(k, ii) * x[k];
-        x[ii] = sum / l_(ii, ii);
+            sum -= L[k * cap_ + ii] * x[k];
+        x[ii] = sum / L[ii * cap_ + ii];
     }
     return x;
 }
@@ -122,24 +161,26 @@ Cholesky::solve(const Vector& b) const
 void
 Cholesky::solveInPlace(Vector& b) const
 {
-    const size_t n = size();
+    const size_t n = n_;
     CLITE_CHECK(b.size() == n, "solveInPlace size mismatch: " << b.size()
                                    << " vs " << n);
+    const double* L = data_.data();
     // Forward substitution: b[k] for k < i has already been replaced
     // by y[k] when row i consumes it — the in-place update performs
     // exactly the operation sequence of solveLower.
     for (size_t i = 0; i < n; ++i) {
+        const double* li = L + i * cap_;
         double sum = b[i];
         for (size_t k = 0; k < i; ++k)
-            sum -= l_(i, k) * b[k];
-        b[i] = sum / l_(i, i);
+            sum -= li[k] * b[k];
+        b[i] = sum / li[i];
     }
     // Backward substitution, same argument in reverse.
     for (size_t ii = n; ii-- > 0;) {
         double sum = b[ii];
         for (size_t k = ii + 1; k < n; ++k)
-            sum -= l_(k, ii) * b[k];
-        b[ii] = sum / l_(ii, ii);
+            sum -= L[k * cap_ + ii] * b[k];
+        b[ii] = sum / L[ii * cap_ + ii];
     }
 }
 
@@ -147,8 +188,8 @@ double
 Cholesky::logDet() const
 {
     double acc = 0.0;
-    for (size_t i = 0; i < size(); ++i)
-        acc += std::log(l_(i, i));
+    for (size_t i = 0; i < n_; ++i)
+        acc += std::log(data_[i * cap_ + i]);
     return 2.0 * acc;
 }
 

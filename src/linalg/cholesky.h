@@ -8,10 +8,18 @@
  * factorization retries with growing diagonal jitter so that nearly
  * singular kernel matrices (duplicate sample points) remain usable, as
  * is standard practice in GP implementations.
+ *
+ * Storage: the factor lives in a strided buffer whose leading
+ * dimension is the capacity, not the logical size, so appendRow can
+ * write the new row in place and grow by capacity doubling — one
+ * append is O(n²) arithmetic with an amortized-O(1) allocation cost
+ * instead of a fresh (n+1)×(n+1) copy every call.
  */
 
 #ifndef CLITE_LINALG_CHOLESKY_H
 #define CLITE_LINALG_CHOLESKY_H
+
+#include <vector>
 
 #include "linalg/matrix.h"
 
@@ -40,28 +48,49 @@ class Cholesky
     /**
      * Re-factor a new matrix into this object, with the constructor's
      * jitter-retry semantics but reusing the factor's storage when the
-     * size is unchanged. This keeps hyper-fit probes — which refactor
-     * the Gram matrix once per Nelder-Mead step — allocation-free in
-     * steady state. Numerically identical to constructing a fresh
-     * Cholesky(a, jitter, max_jitter).
+     * size fits the current capacity. This keeps hyper-fit probes —
+     * which refactor the Gram matrix once per Nelder-Mead step —
+     * allocation-free in steady state. Numerically identical to
+     * constructing a fresh Cholesky(a, jitter, max_jitter).
      */
     void refactor(const Matrix& a, double jitter = 1e-10,
                   double max_jitter = 1e-2);
 
-    /** The lower-triangular factor L. */
-    const Matrix& factor() const { return l_; }
+    /**
+     * The lower-triangular factor L as a dense n×n matrix (zeros above
+     * the diagonal). Materialized lazily from the strided buffer into a
+     * cache that is reused across calls, so repeated reads at the same
+     * size allocate nothing and keep a stable storage pointer. Not safe
+     * to call concurrently with the first post-mutation read; the
+     * concurrent hot paths (predict/predictBatch) read the strided
+     * buffer directly via lowerData()/stride().
+     */
+    const Matrix& factor() const;
+
+    /**
+     * Raw strided factor storage: element (i, j) of L lives at
+     * lowerData()[i * stride() + j]. Only the lower triangle (j <= i,
+     * i < size()) is meaningful; cells above the diagonal are
+     * unspecified. This is the zero-copy view the blocked panel solves
+     * consume.
+     */
+    const double* lowerData() const { return data_.data(); }
+
+    /** Leading dimension (row stride) of lowerData(). */
+    size_t stride() const { return cap_; }
 
     /**
      * Rank-append: extend the factor of A to the factor of
      *
      *   A' = [[A, b], [bᵀ, c]]
      *
-     * in O(n²) (one forward substitution plus a copy-grow of L)
-     * instead of the O(n³) full refactorization. The jitter that was
-     * applied when A was factored is added to c so the extended factor
-     * matches what a from-scratch factorization of A' + jitter·I
-     * produces, row for row — Cholesky computes row i from rows < i
-     * only, so appending never perturbs the existing rows.
+     * in O(n²) (one forward substitution plus one in-place row write;
+     * capacity doubles amortized) instead of the O(n³) full
+     * refactorization. The jitter that was applied when A was factored
+     * is added to c so the extended factor matches what a from-scratch
+     * factorization of A' + jitter·I produces, row for row — Cholesky
+     * computes row i from rows < i only, so appending never perturbs
+     * the existing rows.
      *
      * @param b Covariances of the new point against the existing n.
      * @param c Diagonal entry (self-covariance) of the new point.
@@ -95,13 +124,20 @@ class Cholesky
     double logDet() const;
 
     /** Matrix size n (A is n x n). */
-    size_t size() const { return l_.rows(); }
+    size_t size() const { return n_; }
 
   private:
     /** Attempt the factorization; returns false on a non-positive pivot. */
     bool tryFactor(const Matrix& a, double jitter);
 
-    Matrix l_;
+    /** Grow the strided buffer to hold an n×n factor (doubling). */
+    void ensureCapacity(size_t n);
+
+    std::vector<double> data_; ///< strided factor, leading dim cap_
+    size_t n_ = 0;             ///< logical factor size
+    size_t cap_ = 0;           ///< leading dimension / row capacity
+    mutable Matrix l_;         ///< dense cache behind factor()
+    mutable bool l_fresh_ = false;
     double applied_jitter_ = 0.0;
 };
 

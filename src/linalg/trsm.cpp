@@ -32,13 +32,20 @@ subtractScaledRow(double* __restrict yi, const double* __restrict yk,
 void
 solveLowerPanel(const Matrix& l, double* panel, size_t ncols)
 {
-    const size_t n = l.rows();
     CLITE_CHECK(l.rows() == l.cols(),
                 "solveLowerPanel needs a square factor, got "
                     << l.rows() << "x" << l.cols());
+    solveLowerPanel(l.data().data(), l.cols(), l.rows(), panel, ncols);
+}
+
+void
+solveLowerPanel(const double* lp, size_t ldl, size_t n, double* panel,
+                size_t ncols)
+{
+    CLITE_CHECK(ldl >= n, "solveLowerPanel stride " << ldl
+                              << " smaller than size " << n);
     if (n == 0 || ncols == 0)
         return;
-    const double* lp = l.data().data();
 
     for (size_t i0 = 0; i0 < n; i0 += kRowBlock) {
         const size_t i1 = std::min(i0 + kRowBlock, n);
@@ -49,7 +56,7 @@ solveLowerPanel(const Matrix& l, double* panel, size_t ncols)
         for (size_t k0 = 0; k0 < i0; k0 += kRowBlock) {
             const size_t k1 = std::min(k0 + kRowBlock, i0);
             for (size_t i = i0; i < i1; ++i) {
-                const double* lrow = lp + i * n;
+                const double* lrow = lp + i * ldl;
                 double* yi = panel + i * ncols;
                 for (size_t k = k0; k < k1; ++k)
                     subtractScaledRow(yi, panel + k * ncols, lrow[k],
@@ -59,7 +66,7 @@ solveLowerPanel(const Matrix& l, double* panel, size_t ncols)
 
         // Diagonal tile: forward substitution within the block.
         for (size_t i = i0; i < i1; ++i) {
-            const double* lrow = lp + i * n;
+            const double* lrow = lp + i * ldl;
             double* yi = panel + i * ncols;
             for (size_t k = i0; k < i; ++k)
                 subtractScaledRow(yi, panel + k * ncols, lrow[k], ncols);

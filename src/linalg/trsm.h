@@ -50,6 +50,17 @@ namespace linalg {
 void solveLowerPanel(const Matrix& l, double* panel, size_t ncols);
 
 /**
+ * Strided overload: @p l points at row-major factor storage with
+ * leading dimension @p ldl >= @p n (only the lower triangle including
+ * the diagonal is read). This is the zero-copy entry point for
+ * Cholesky::lowerData()/stride(), whose buffer keeps spare capacity
+ * for in-place appends; arithmetic is identical to the Matrix
+ * overload, which forwards here with ldl == n.
+ */
+void solveLowerPanel(const double* l, size_t ldl, size_t n, double* panel,
+                     size_t ncols);
+
+/**
  * Fused panel products for the posterior: given the cross-covariance
  * panel K* (n rows × ncols, row-major, column c = candidate c) and α,
  * write out[c] = Σ_i K*(i,c)·α[i] with the i-ascending accumulation

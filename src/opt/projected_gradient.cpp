@@ -49,12 +49,40 @@ ProjectedGradientOptimizer::project(const std::vector<double>& y) const
 
 std::vector<double>
 ProjectedGradientOptimizer::gradient(const Objective& f,
+                                     const BatchObjective* fb,
                                      const std::vector<double>& x,
                                      int* evals) const
 {
     std::vector<double> g(dimension_, 0.0);
-    std::vector<double> xp = x;
     const double h = options_.fd_step;
+
+    if (fb != nullptr) {
+        // Gather every x ± h probe of this gradient and score them in
+        // one batched call. Each probe vector holds exactly the values
+        // the scalar path would pass to f, and the batch objective is
+        // value-identical to f per the BatchObjective contract, so
+        // g is bit-identical to the scalar branch below.
+        std::vector<std::vector<double>> probes;
+        std::vector<size_t> probe_idx;
+        for (const auto& b : blocks_) {
+            for (size_t idx : b.indices) {
+                probes.push_back(x);
+                probes.back()[idx] = x[idx] + h;
+                probes.push_back(x);
+                probes.back()[idx] = x[idx] - h;
+                probe_idx.push_back(idx);
+            }
+        }
+        std::vector<double> vals(probes.size(), 0.0);
+        if (!probes.empty())
+            (*fb)(probes, vals.data());
+        for (size_t t = 0; t < probe_idx.size(); ++t)
+            g[probe_idx[t]] = (vals[2 * t] - vals[2 * t + 1]) / (2.0 * h);
+        *evals += int(probes.size());
+        return g;
+    }
+
+    std::vector<double> xp = x;
     for (const auto& b : blocks_) {
         for (size_t idx : b.indices) {
             double orig = xp[idx];
@@ -74,6 +102,14 @@ PgResult
 ProjectedGradientOptimizer::maximize(const Objective& f,
                                      const std::vector<double>& x0) const
 {
+    return maximize(f, BatchObjective(), x0);
+}
+
+PgResult
+ProjectedGradientOptimizer::maximize(const Objective& f,
+                                     const BatchObjective& fb,
+                                     const std::vector<double>& x0) const
+{
     PgResult result;
     std::vector<double> x = project(x0);
     double fx = f(x);
@@ -81,7 +117,8 @@ ProjectedGradientOptimizer::maximize(const Objective& f,
 
     for (int iter = 0; iter < options_.max_iters; ++iter) {
         result.iterations = iter + 1;
-        std::vector<double> g = gradient(f, x, &result.evaluations);
+        std::vector<double> g =
+            gradient(f, fb ? &fb : nullptr, x, &result.evaluations);
 
         // Backtracking along the projected arc: x(t) = P(x + t g).
         double step = options_.initial_step;
@@ -115,11 +152,19 @@ ProjectedGradientOptimizer::maximizeMultiStart(
     const Objective& f,
     const std::vector<std::vector<double>>& starts) const
 {
+    return maximizeMultiStart(f, BatchObjective(), starts);
+}
+
+PgResult
+ProjectedGradientOptimizer::maximizeMultiStart(
+    const Objective& f, const BatchObjective& fb,
+    const std::vector<std::vector<double>>& starts) const
+{
     CLITE_CHECK(!starts.empty(), "maximizeMultiStart needs >= 1 start");
     PgResult best;
     bool first = true;
     for (const auto& s : starts) {
-        PgResult r = maximize(f, s);
+        PgResult r = maximize(f, fb, s);
         if (first || r.value > best.value) {
             int evals = (first ? 0 : best.evaluations) + r.evaluations;
             int iters = (first ? 0 : best.iterations) + r.iterations;

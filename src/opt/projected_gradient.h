@@ -63,6 +63,17 @@ class ProjectedGradientOptimizer
     using Objective = std::function<double(const std::vector<double>&)>;
 
     /**
+     * Batched objective: write f(points[i]) into out[i] for every
+     * point. Must be value-identical to the scalar Objective on each
+     * point — the solver mixes the two (batched finite-difference
+     * probes, scalar line-search trials) and the bit-exact trace
+     * contract only holds when they agree to the last ULP, as the
+     * acquisition evaluateBatch/evaluate pair does.
+     */
+    using BatchObjective = std::function<void(
+        const std::vector<std::vector<double>>&, double*)>;
+
+    /**
      * @param blocks Disjoint blocks covering (a subset of) the
      *     coordinates; coordinates not covered by any block are held
      *     fixed at their initial value.
@@ -85,6 +96,16 @@ class ProjectedGradientOptimizer
                       const std::vector<double>& x0) const;
 
     /**
+     * As maximize(f, x0), but the 2d finite-difference probe points of
+     * each gradient are evaluated through @p fb in one call instead of
+     * 2d scalar calls — for objectives with a batched fast path (the
+     * GP acquisition via predictBatch). Results are bit-identical to
+     * the scalar overload whenever fb matches f value-for-value.
+     */
+    PgResult maximize(const Objective& f, const BatchObjective& fb,
+                      const std::vector<double>& x0) const;
+
+    /**
      * Multi-start wrapper: run maximize() from each start and keep the
      * best result.
      * @pre starts is non-empty.
@@ -93,9 +114,18 @@ class ProjectedGradientOptimizer
         const Objective& f,
         const std::vector<std::vector<double>>& starts) const;
 
+    /** Multi-start with batched gradient probes (see maximize overload). */
+    PgResult maximizeMultiStart(
+        const Objective& f, const BatchObjective& fb,
+        const std::vector<std::vector<double>>& starts) const;
+
   private:
-    /** Central-difference gradient restricted to block coordinates. */
+    /**
+     * Central-difference gradient restricted to block coordinates;
+     * probes go through @p fb when non-null, else through @p f.
+     */
     std::vector<double> gradient(const Objective& f,
+                                 const BatchObjective* fb,
                                  const std::vector<double>& x,
                                  int* evals) const;
 

@@ -1,0 +1,153 @@
+#include "store/profile_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "common/log.h"
+
+namespace clite {
+namespace store {
+
+void
+ProfileStore::put(Snapshot snap)
+{
+    const uint64_t key = snap.signature().hash();
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[key] = std::move(snap); // last writer wins
+}
+
+std::optional<Snapshot>
+ProfileStore::find(const MixSignature& sig) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(sig.hash());
+    if (it == entries_.end())
+        return std::nullopt;
+    // Hash collisions are astronomically unlikely but cheap to rule
+    // out: the stored signature must structurally match the query.
+    if (!(it->second.signature() == sig))
+        return std::nullopt;
+    return it->second;
+}
+
+std::vector<Neighbor>
+ProfileStore::nearest(const MixSignature& sig, size_t k) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<double, uint64_t>> ranked;
+    for (const auto& [hash, snap] : entries_) {
+        double d = MixSignature::distance(sig, snap.signature());
+        if (d < std::numeric_limits<double>::infinity())
+            ranked.emplace_back(d, hash);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    std::vector<Neighbor> out;
+    for (size_t i = 0; i < ranked.size() && i < k; ++i) {
+        Neighbor n;
+        n.snapshot = entries_.at(ranked[i].second);
+        n.distance = ranked[i].first;
+        out.push_back(std::move(n));
+    }
+    return out;
+}
+
+size_t
+ProfileStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+void
+ProfileStore::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    corrupt_rejected_ = 0;
+}
+
+uint64_t
+ProfileStore::corruptRejected() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return corrupt_rejected_;
+}
+
+std::optional<Snapshot>
+ProfileStore::loadFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof())
+        return std::nullopt;
+    return decode(bytes);
+}
+
+bool
+ProfileStore::saveFile(const std::string& path, const Snapshot& snap)
+{
+    std::vector<uint8_t> bytes = encode(snap);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              std::streamsize(bytes.size()));
+    return out.good();
+}
+
+size_t
+ProfileStore::loadDir(const std::string& dir)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        return 0;
+    std::vector<std::string> paths;
+    for (const auto& entry : fs::directory_iterator(dir, ec))
+        if (entry.is_regular_file() && entry.path().extension() == ".snap")
+            paths.push_back(entry.path().string());
+    std::sort(paths.begin(), paths.end());
+    size_t loaded = 0;
+    for (const std::string& path : paths) {
+        std::optional<Snapshot> snap = loadFile(path);
+        if (!snap.has_value()) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++corrupt_rejected_;
+            CLITE_LOG_INFO("profile store: skipping corrupt snapshot "
+                           << path);
+            continue;
+        }
+        put(std::move(*snap));
+        ++loaded;
+    }
+    return loaded;
+}
+
+size_t
+ProfileStore::saveDir(const std::string& dir) const
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    std::map<uint64_t, Snapshot> copy;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        copy = entries_;
+    }
+    size_t written = 0;
+    for (const auto& [hash, snap] : copy) {
+        const std::string path =
+            (fs::path(dir) / (snap.signature().key() + ".snap")).string();
+        if (saveFile(path, snap))
+            ++written;
+    }
+    return written;
+}
+
+} // namespace store
+} // namespace clite

@@ -1,0 +1,207 @@
+#include "store/signature.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <tuple>
+
+#include "common/error.h"
+#include "platform/server.h"
+
+namespace clite {
+namespace store {
+
+namespace {
+
+/**
+ * Load levels are hashed at micro-unit quantization: two mixes whose
+ * loads differ below 1e-6 are the same mix (float round-trip jitter
+ * must not split a recurring mix into distinct store keys), while any
+ * real drift lands on the similarity path instead.
+ */
+int64_t
+quantize(double v)
+{
+    return llround(v * 1e6);
+}
+
+/** Canonical sort key: everything but the load, then the load. */
+std::tuple<std::string, bool, int64_t, int64_t>
+jobKey(const SignatureJob& j)
+{
+    return {j.name, j.is_lc, quantize(j.qos_p95_ms),
+            quantize(j.load_fraction)};
+}
+
+class Fnv1a
+{
+  public:
+    void bytes(const void* data, size_t size)
+    {
+        const uint8_t* p = static_cast<const uint8_t*>(data);
+        for (size_t i = 0; i < size; ++i) {
+            h_ ^= p[i];
+            h_ *= 0x100000001B3ull;
+        }
+    }
+    void u64(uint64_t v)
+    {
+        uint8_t b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = uint8_t(v >> (8 * i));
+        bytes(b, 8);
+    }
+    void i64(int64_t v) { u64(uint64_t(v)); }
+    void str(const std::string& s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+    uint64_t value() const { return h_; }
+
+  private:
+    uint64_t h_ = 0xCBF29CE484222325ull;
+};
+
+} // namespace
+
+void
+MixSignature::canonicalize()
+{
+    std::sort(jobs_.begin(), jobs_.end(),
+              [](const SignatureJob& a, const SignatureJob& b) {
+                  return jobKey(a) < jobKey(b);
+              });
+    Fnv1a h;
+    h.u64(knob_kinds_.size());
+    for (size_t r = 0; r < knob_kinds_.size(); ++r) {
+        h.u64(knob_kinds_[r]);
+        h.i64(knob_units_[r]);
+    }
+    h.u64(jobs_.size());
+    for (const SignatureJob& j : jobs_) {
+        h.str(j.name);
+        h.u64(j.is_lc ? 1 : 0);
+        h.i64(quantize(j.qos_p95_ms));
+        h.i64(quantize(j.load_fraction));
+    }
+    hash_ = h.value();
+}
+
+MixSignature
+MixSignature::of(const platform::ServerConfig& config,
+                 const std::vector<workloads::JobSpec>& jobs)
+{
+    MixSignature sig;
+    for (size_t r = 0; r < config.resourceCount(); ++r) {
+        sig.knob_kinds_.push_back(uint8_t(config.resource(r).kind));
+        sig.knob_units_.push_back(config.resource(r).units);
+    }
+    for (const workloads::JobSpec& spec : jobs) {
+        SignatureJob j;
+        j.name = spec.profile.name;
+        j.is_lc = spec.isLatencyCritical();
+        j.qos_p95_ms = j.is_lc ? spec.profile.qos_p95_ms : 0.0;
+        j.load_fraction = j.is_lc ? spec.load_fraction : 0.0;
+        sig.jobs_.push_back(std::move(j));
+    }
+    sig.canonicalize();
+    return sig;
+}
+
+MixSignature
+MixSignature::of(const platform::SimulatedServer& server)
+{
+    std::vector<workloads::JobSpec> jobs;
+    for (size_t j = 0; j < server.jobCount(); ++j)
+        jobs.push_back(server.job(j));
+    return of(server.config(), jobs);
+}
+
+MixSignature
+MixSignature::of(const std::vector<uint8_t>& knob_kinds,
+                 const std::vector<int>& knob_units,
+                 const std::vector<SignatureJob>& jobs)
+{
+    CLITE_CHECK(knob_kinds.size() == knob_units.size(),
+                "signature knob kind/unit shapes differ: "
+                    << knob_kinds.size() << " vs " << knob_units.size());
+    MixSignature sig;
+    sig.knob_kinds_ = knob_kinds;
+    sig.knob_units_ = knob_units;
+    sig.jobs_ = jobs;
+    sig.canonicalize();
+    return sig;
+}
+
+std::string
+MixSignature::key() const
+{
+    char buf[17];
+    snprintf(buf, sizeof buf, "%016llx",
+             static_cast<unsigned long long>(hash_));
+    return buf;
+}
+
+std::string
+MixSignature::describe() const
+{
+    std::ostringstream os;
+    os << key() << " [";
+    for (size_t i = 0; i < jobs_.size(); ++i) {
+        if (i > 0)
+            os << " + ";
+        os << jobs_[i].name;
+        if (jobs_[i].is_lc)
+            os << "@" << jobs_[i].load_fraction;
+    }
+    os << "] knobs";
+    for (size_t r = 0; r < knob_units_.size(); ++r)
+        os << " " << knob_units_[r];
+    return os.str();
+}
+
+double
+MixSignature::distance(const MixSignature& a, const MixSignature& b)
+{
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    if (a.knob_kinds_ != b.knob_kinds_ || a.knob_units_ != b.knob_units_)
+        return inf;
+    if (a.jobs_.size() != b.jobs_.size())
+        return inf;
+    // Jobs are canonically sorted with the load as the last key, so
+    // position-wise pairing is the minimum-cost matching of equal-name
+    // groups and any structural mismatch shows up position-wise.
+    double d = 0.0;
+    for (size_t i = 0; i < a.jobs_.size(); ++i) {
+        const SignatureJob& ja = a.jobs_[i];
+        const SignatureJob& jb = b.jobs_[i];
+        if (ja.name != jb.name || ja.is_lc != jb.is_lc ||
+            quantize(ja.qos_p95_ms) != quantize(jb.qos_p95_ms))
+            return inf;
+        d += std::fabs(ja.load_fraction - jb.load_fraction);
+    }
+    return d;
+}
+
+bool
+MixSignature::operator==(const MixSignature& other) const
+{
+    if (hash_ != other.hash_ || knob_kinds_ != other.knob_kinds_ ||
+        knob_units_ != other.knob_units_ ||
+        jobs_.size() != other.jobs_.size())
+        return false;
+    for (size_t i = 0; i < jobs_.size(); ++i) {
+        const SignatureJob& a = jobs_[i];
+        const SignatureJob& b = other.jobs_[i];
+        if (jobKey(a) != jobKey(b))
+            return false;
+    }
+    return true;
+}
+
+} // namespace store
+} // namespace clite

@@ -1,0 +1,348 @@
+#include "store/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace clite {
+namespace store {
+
+namespace {
+
+// Sanity ceilings rejected at decode: corrupt length fields must not
+// drive multi-gigabyte allocations before the CRC is even checked.
+constexpr uint32_t kMaxJobs = 64;
+constexpr uint32_t kMaxKnobs = 32;
+constexpr uint32_t kMaxSamples = 65536;
+constexpr uint32_t kMaxNameLen = 256;
+constexpr uint32_t kMaxPayload = 1u << 26; // 64 MiB
+
+class Writer
+{
+  public:
+    void u8(uint8_t v) { out_.push_back(v); }
+    void u16(uint16_t v)
+    {
+        for (int i = 0; i < 2; ++i)
+            out_.push_back(uint8_t(v >> (8 * i)));
+    }
+    void u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            out_.push_back(uint8_t(v >> (8 * i)));
+    }
+    void u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            out_.push_back(uint8_t(v >> (8 * i)));
+    }
+    void i32(int32_t v) { u32(uint32_t(v)); }
+    void f64(double v)
+    {
+        uint64_t bits;
+        static_assert(sizeof bits == sizeof v);
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+    void str(const std::string& s)
+    {
+        u16(uint16_t(s.size()));
+        out_.insert(out_.end(), s.begin(), s.end());
+    }
+    std::vector<uint8_t> take() { return std::move(out_); }
+
+  private:
+    std::vector<uint8_t> out_;
+};
+
+/** Bounds-checked little-endian reader; every get reports success. */
+class Reader
+{
+  public:
+    Reader(const uint8_t* data, size_t size) : p_(data), n_(size) {}
+
+    bool u8(uint8_t* v)
+    {
+        if (pos_ + 1 > n_)
+            return false;
+        *v = p_[pos_++];
+        return true;
+    }
+    bool u16(uint16_t* v)
+    {
+        if (pos_ + 2 > n_)
+            return false;
+        *v = uint16_t(p_[pos_]) | uint16_t(p_[pos_ + 1]) << 8;
+        pos_ += 2;
+        return true;
+    }
+    bool u32(uint32_t* v)
+    {
+        if (pos_ + 4 > n_)
+            return false;
+        *v = 0;
+        for (int i = 0; i < 4; ++i)
+            *v |= uint32_t(p_[pos_ + i]) << (8 * i);
+        pos_ += 4;
+        return true;
+    }
+    bool u64(uint64_t* v)
+    {
+        if (pos_ + 8 > n_)
+            return false;
+        *v = 0;
+        for (int i = 0; i < 8; ++i)
+            *v |= uint64_t(p_[pos_ + i]) << (8 * i);
+        pos_ += 8;
+        return true;
+    }
+    bool i32(int32_t* v)
+    {
+        uint32_t u;
+        if (!u32(&u))
+            return false;
+        *v = int32_t(u);
+        return true;
+    }
+    bool f64(double* v)
+    {
+        uint64_t bits;
+        if (!u64(&bits))
+            return false;
+        std::memcpy(v, &bits, sizeof bits);
+        return true;
+    }
+    bool str(std::string* s, uint32_t max_len)
+    {
+        uint16_t len;
+        if (!u16(&len) || len > max_len || pos_ + len > n_)
+            return false;
+        s->assign(reinterpret_cast<const char*>(p_ + pos_), len);
+        pos_ += len;
+        return true;
+    }
+    bool done() const { return pos_ == n_; }
+
+  private:
+    const uint8_t* p_;
+    size_t n_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+uint32_t
+crc32(const uint8_t* data, size_t size)
+{
+    static const auto table = [] {
+        std::vector<uint32_t> t(256);
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    uint32_t c = 0xFFFFFFFFu;
+    for (size_t i = 0; i < size; ++i)
+        c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+MixSignature
+Snapshot::signature() const
+{
+    std::vector<int> units(knob_units.begin(), knob_units.end());
+    return MixSignature::of(knob_kinds, units, jobs);
+}
+
+std::vector<uint8_t>
+encode(const Snapshot& snap)
+{
+    Writer payload;
+    payload.u32(uint32_t(snap.jobs.size()));
+    for (const SignatureJob& j : snap.jobs) {
+        payload.str(j.name);
+        payload.u8(j.is_lc ? 1 : 0);
+        payload.f64(j.qos_p95_ms);
+        payload.f64(j.load_fraction);
+    }
+    payload.u32(uint32_t(snap.knob_kinds.size()));
+    for (size_t r = 0; r < snap.knob_kinds.size(); ++r) {
+        payload.u8(snap.knob_kinds[r]);
+        payload.i32(snap.knob_units[r]);
+    }
+    payload.u32(uint32_t(snap.samples.size()));
+    for (const SnapshotSample& s : snap.samples) {
+        for (int32_t c : s.cells)
+            payload.i32(c);
+        payload.f64(s.score);
+        payload.u8(s.all_qos_met ? 1 : 0);
+    }
+    payload.u8(snap.incumbent.empty() ? 0 : 1);
+    for (int32_t c : snap.incumbent)
+        payload.i32(c);
+    payload.u8(uint8_t(snap.phase));
+    payload.u8(snap.incumbent_qos_met ? 1 : 0);
+    payload.u64(snap.windows);
+
+    std::vector<uint8_t> body = payload.take();
+    Writer out;
+    out.u32(kSnapshotMagic);
+    out.u32(kSnapshotVersion);
+    out.u32(uint32_t(body.size()));
+    std::vector<uint8_t> result = out.take();
+    result.insert(result.end(), body.begin(), body.end());
+    Writer tail;
+    tail.u32(crc32(body.data(), body.size()));
+    std::vector<uint8_t> crc = tail.take();
+    result.insert(result.end(), crc.begin(), crc.end());
+    return result;
+}
+
+std::optional<Snapshot>
+decode(const uint8_t* data, size_t size)
+{
+    if (data == nullptr)
+        return std::nullopt;
+    Reader header(data, size);
+    uint32_t magic, version, payload_size;
+    if (!header.u32(&magic) || !header.u32(&version) ||
+        !header.u32(&payload_size))
+        return std::nullopt;
+    if (magic != kSnapshotMagic || version != kSnapshotVersion ||
+        payload_size > kMaxPayload)
+        return std::nullopt;
+    if (size != 12 + size_t(payload_size) + 4)
+        return std::nullopt;
+    const uint8_t* body = data + 12;
+    Reader tail(data + 12 + payload_size, 4);
+    uint32_t stored_crc;
+    if (!tail.u32(&stored_crc) || stored_crc != crc32(body, payload_size))
+        return std::nullopt;
+
+    Reader r(body, payload_size);
+    Snapshot snap;
+    uint32_t njobs;
+    if (!r.u32(&njobs) || njobs == 0 || njobs > kMaxJobs)
+        return std::nullopt;
+    snap.jobs.resize(njobs);
+    for (SignatureJob& j : snap.jobs) {
+        uint8_t lc;
+        if (!r.str(&j.name, kMaxNameLen) || !r.u8(&lc) ||
+            !r.f64(&j.qos_p95_ms) || !r.f64(&j.load_fraction) || lc > 1)
+            return std::nullopt;
+        j.is_lc = lc == 1;
+    }
+    uint32_t nknobs;
+    if (!r.u32(&nknobs) || nknobs == 0 || nknobs > kMaxKnobs)
+        return std::nullopt;
+    snap.knob_kinds.resize(nknobs);
+    snap.knob_units.resize(nknobs);
+    for (uint32_t k = 0; k < nknobs; ++k) {
+        if (!r.u8(&snap.knob_kinds[k]) || !r.i32(&snap.knob_units[k]) ||
+            snap.knob_units[k] < 1)
+            return std::nullopt;
+    }
+    const size_t ncells = size_t(njobs) * nknobs;
+    uint32_t nsamples;
+    if (!r.u32(&nsamples) || nsamples > kMaxSamples)
+        return std::nullopt;
+    snap.samples.resize(nsamples);
+    for (SnapshotSample& s : snap.samples) {
+        s.cells.resize(ncells);
+        for (int32_t& c : s.cells)
+            if (!r.i32(&c) || c < 1)
+                return std::nullopt;
+        uint8_t qos;
+        if (!r.f64(&s.score) || !r.u8(&qos) || qos > 1)
+            return std::nullopt;
+        s.all_qos_met = qos == 1;
+    }
+    uint8_t has_incumbent;
+    if (!r.u8(&has_incumbent) || has_incumbent > 1)
+        return std::nullopt;
+    if (has_incumbent) {
+        snap.incumbent.resize(ncells);
+        for (int32_t& c : snap.incumbent)
+            if (!r.i32(&c) || c < 1)
+                return std::nullopt;
+    }
+    uint8_t phase, qos_met;
+    if (!r.u8(&phase) || phase > uint8_t(ControllerPhase::Degraded) ||
+        !r.u8(&qos_met) || qos_met > 1 || !r.u64(&snap.windows))
+        return std::nullopt;
+    snap.phase = ControllerPhase(phase);
+    snap.incumbent_qos_met = qos_met == 1;
+    if (!r.done())
+        return std::nullopt; // trailing garbage inside the payload
+    return snap;
+}
+
+std::optional<Snapshot>
+decode(const std::vector<uint8_t>& bytes)
+{
+    return decode(bytes.data(), bytes.size());
+}
+
+namespace {
+
+std::string
+g17(double v)
+{
+    char buf[64];
+    snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+void
+dumpCells(std::ostringstream& os, const std::vector<int32_t>& cells)
+{
+    os << "[";
+    for (size_t i = 0; i < cells.size(); ++i)
+        os << (i ? "," : "") << cells[i];
+    os << "]";
+}
+
+} // namespace
+
+std::string
+toJson(const Snapshot& snap)
+{
+    std::ostringstream os;
+    os << "{\n  \"version\": " << kSnapshotVersion << ",\n";
+    os << "  \"signature\": \"" << snap.signature().key() << "\",\n";
+    os << "  \"jobs\": [\n";
+    for (size_t j = 0; j < snap.jobs.size(); ++j) {
+        const SignatureJob& job = snap.jobs[j];
+        os << "    {\"name\": \"" << job.name << "\", \"is_lc\": "
+           << (job.is_lc ? "true" : "false") << ", \"qos_p95_ms\": "
+           << g17(job.qos_p95_ms) << ", \"load_fraction\": "
+           << g17(job.load_fraction) << "}"
+           << (j + 1 < snap.jobs.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"knobs\": [";
+    for (size_t r = 0; r < snap.knob_units.size(); ++r)
+        os << (r ? "," : "") << "{\"kind\": " << int(snap.knob_kinds[r])
+           << ", \"units\": " << snap.knob_units[r] << "}";
+    os << "],\n  \"samples\": [\n";
+    for (size_t s = 0; s < snap.samples.size(); ++s) {
+        os << "    {\"cells\": ";
+        dumpCells(os, snap.samples[s].cells);
+        os << ", \"score\": " << g17(snap.samples[s].score)
+           << ", \"all_qos_met\": "
+           << (snap.samples[s].all_qos_met ? "true" : "false") << "}"
+           << (s + 1 < snap.samples.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"incumbent\": ";
+    dumpCells(os, snap.incumbent);
+    os << ",\n  \"phase\": " << int(snap.phase)
+       << ",\n  \"incumbent_qos_met\": "
+       << (snap.incumbent_qos_met ? "true" : "false")
+       << ",\n  \"windows\": " << snap.windows << "\n}\n";
+    return os.str();
+}
+
+} // namespace store
+} // namespace clite

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Versioned, CRC-checked binary snapshots of learned controller state.
+ *
+ * A Snapshot is the repo's first durable artifact: everything a CLITE
+ * controller learned about one job mix — the GP training set
+ * (evaluated configurations with their Eq. 3 scores and QoS
+ * outcomes), the incumbent allocation, and the controller phase — in
+ * a form another node or a restarted controller can warm-start from.
+ *
+ * Wire format (all integers little-endian):
+ *
+ *     u32 magic   "CLSP"
+ *     u32 version (kSnapshotVersion)
+ *     u32 payload_size
+ *     u8  payload[payload_size]
+ *     u32 crc32(payload)   — IEEE 802.3 polynomial
+ *
+ * Payload layout (version 1):
+ *
+ *     u32 njobs; njobs × { u16 name_len; u8 name[]; u8 is_lc;
+ *                          f64 qos_p95_ms; f64 load_fraction }
+ *     u32 nknobs; nknobs × { u8 kind; i32 units }
+ *     u32 nsamples; nsamples × { (njobs·nknobs) × i32 cells;
+ *                                f64 score; u8 all_qos_met }
+ *     u8  has_incumbent; [ (njobs·nknobs) × i32 cells ]
+ *     u8  phase; u8 incumbent_qos_met; u64 windows
+ *
+ * Jobs are stored in SERVER order (so cells map to server job
+ * indices); the canonical signature is recomputed from the
+ * descriptors on demand, which keeps the two definitions incapable of
+ * drifting apart.
+ *
+ * Robustness contract: decode() never throws and never returns a
+ * partially-filled snapshot. Any corruption — truncation, bit flips
+ * (caught by the CRC), an unknown version, an oversized count, an
+ * out-of-range enum — yields std::nullopt, which every consumer
+ * treats as "no prior knowledge" (clean cold start). Doubles are
+ * round-tripped bit-exactly (IEEE-754 bit patterns), so a snapshot
+ * re-encoded on another node hashes identically.
+ */
+
+#ifndef CLITE_STORE_SNAPSHOT_H
+#define CLITE_STORE_SNAPSHOT_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/signature.h"
+
+namespace clite {
+namespace store {
+
+/** Snapshot format version written by encode(). */
+constexpr uint32_t kSnapshotVersion = 1;
+
+/** Magic bytes "CLSP" as a little-endian u32. */
+constexpr uint32_t kSnapshotMagic = 0x50534C43u;
+
+/** Where the controller was in its lifecycle when checkpointed. */
+enum class ControllerPhase : uint8_t {
+    Search = 0,  ///< Still searching (or search found nothing usable).
+    Steady = 1,  ///< Converged; monitoring the incumbent.
+    Degraded = 2,///< Watchdog demoted the incumbent to a fallback.
+};
+
+/** One evaluated configuration of the GP training set. */
+struct SnapshotSample
+{
+    std::vector<int32_t> cells; ///< Allocation, job-major (njobs·nknobs).
+    double score = 0.0;         ///< Eq. 3 score observed.
+    bool all_qos_met = false;   ///< QoS outcome of the window.
+};
+
+/** Serialized controller state for one job mix. */
+struct Snapshot
+{
+    std::vector<SignatureJob> jobs;  ///< Server-order job descriptors.
+    std::vector<uint8_t> knob_kinds; ///< Per-resource kinds.
+    std::vector<int32_t> knob_units; ///< Per-resource unit counts.
+    std::vector<SnapshotSample> samples; ///< GP training set.
+    std::vector<int32_t> incumbent;  ///< Incumbent cells (empty: none).
+    ControllerPhase phase = ControllerPhase::Search;
+    bool incumbent_qos_met = false;  ///< Last window met all QoS?
+    uint64_t windows = 0;            ///< Windows observed on this mix.
+
+    /** Canonical signature recomputed from the descriptors. */
+    MixSignature signature() const;
+};
+
+/** IEEE CRC-32 (the zlib/PNG polynomial). */
+uint32_t crc32(const uint8_t* data, size_t size);
+
+/** Serialize to the wire format above. */
+std::vector<uint8_t> encode(const Snapshot& snap);
+
+/**
+ * Parse a snapshot; std::nullopt on ANY corruption (see the
+ * robustness contract in the file header). Never throws.
+ */
+std::optional<Snapshot> decode(const uint8_t* data, size_t size);
+
+/** Convenience overload. */
+std::optional<Snapshot> decode(const std::vector<uint8_t>& bytes);
+
+/** Human-readable JSON debug dump (not a parse format). */
+std::string toJson(const Snapshot& snap);
+
+} // namespace store
+} // namespace clite
+
+#endif // CLITE_STORE_SNAPSHOT_H

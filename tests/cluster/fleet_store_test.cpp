@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Fleet-wide warm-start store tests: nodes seed their searches from
+ * fleet-shared priors, the store only grows from the serial phase (so
+ * its content is thread-count invariant), and turning sharing off
+ * leaves the store inert.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/fleet.h"
+#include "common/thread_pool.h"
+#include "workloads/catalog.h"
+#include "workloads/perf_model.h"
+
+namespace clite {
+namespace cluster {
+namespace {
+
+FleetOptions
+fastOptions(int nodes, uint64_t seed = 1)
+{
+    FleetOptions options;
+    options.nodes = nodes;
+    options.seed = seed;
+    options.clite.max_iterations = 8;
+    options.clite.acquisition_starts = 2;
+    return options;
+}
+
+TEST(FleetStore, SharedStoreAccumulatesNodeCheckpoints)
+{
+    Fleet fleet(fastOptions(2));
+    fleet.admit(workloads::lcJob("memcached", 0.2));
+    fleet.admit(workloads::lcJob("img-dnn", 0.3));
+    fleet.tick();
+    // Two occupied nodes (or one hosting both mixes): every initialized
+    // node checkpointed its mix this window.
+    EXPECT_GE(fleet.profileStore().size(), 1u);
+    size_t after_one = fleet.profileStore().size();
+    fleet.tick();
+    EXPECT_GE(fleet.profileStore().size(), after_one);
+}
+
+TEST(FleetStore, SharingOffKeepsTheStoreEmpty)
+{
+    FleetOptions options = fastOptions(2);
+    options.shared_store = false;
+    Fleet fleet(options);
+    fleet.admit(workloads::lcJob("memcached", 0.2));
+    fleet.tick();
+    EXPECT_EQ(fleet.profileStore().size(), 0u);
+    ASSERT_NE(fleet.nodeManager(0), nullptr);
+    EXPECT_EQ(fleet.nodeManager(0)->profileStore(), nullptr);
+}
+
+TEST(FleetStore, NodeWarmStartsFromPreSeededStore)
+{
+    Fleet fleet(fastOptions(1));
+
+    // Teach the fleet store the mix with a standalone controller on
+    // the same server configuration (what another fleet — or an
+    // earlier life of this one — would have checkpointed).
+    std::vector<workloads::JobSpec> jobs = {
+        workloads::lcJob("memcached", 0.2)};
+    platform::SimulatedServer teacher(
+        platform::ServerConfig::xeonSilver4114(), jobs,
+        std::make_unique<workloads::AnalyticModel>(), 42, 0.02);
+    core::CliteOptions clite;
+    clite.max_iterations = 8;
+    clite.acquisition_starts = 2;
+    core::OnlineManager teach_mgr(teacher, clite, {},
+                                  &fleet.profileStore());
+    teach_mgr.initialize();
+    ASSERT_EQ(fleet.profileStore().size(), 1u);
+
+    // The same mix arriving in the fleet warm-starts its node.
+    fleet.admit(workloads::lcJob("memcached", 0.2));
+    fleet.tick();
+    ASSERT_NE(fleet.nodeManager(0), nullptr);
+    EXPECT_EQ(std::string(fleet.nodeManager(0)->warmSource()), "exact");
+}
+
+/** Dump a store to a directory and collect filename → bytes. */
+std::map<std::string, std::string>
+storeFiles(const store::ProfileStore& store, const std::string& dir)
+{
+    std::filesystem::remove_all(dir);
+    store.saveDir(dir);
+    std::map<std::string, std::string> files;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        std::ifstream in(entry.path(), std::ios::binary);
+        files[entry.path().filename().string()] =
+            std::string(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>());
+    }
+    std::filesystem::remove_all(dir);
+    return files;
+}
+
+TEST(FleetStore, SlowStoreContentIsThreadCountInvariant)
+{
+    // Same churny scenario at 1 and 8 workers: because pool threads
+    // only READ the store and all writes happen serially in node-index
+    // order, the stored snapshots must be byte-identical.
+    auto run = [](int threads) {
+        setGlobalThreadCount(threads);
+        Fleet fleet(fastOptions(4, 3));
+        const std::vector<std::string>& lc = workloads::lcWorkloadNames();
+        const std::vector<std::string>& bg = workloads::bgWorkloadNames();
+        for (int w = 0; w < 5; ++w) {
+            size_t k = size_t(3 + w);
+            fleet.admit(
+                workloads::lcJob(lc[k % lc.size()], w == 3 ? 1.0 : 0.3));
+            fleet.admit(workloads::bgJob(bg[k % bg.size()]));
+            fleet.tick();
+        }
+        return storeFiles(fleet.profileStore(),
+                          testing::TempDir() + "clite_fleet_store_" +
+                              std::to_string(threads));
+    };
+    std::map<std::string, std::string> serial = run(1);
+    std::map<std::string, std::string> parallel = run(8);
+    setGlobalThreadCount(ThreadPool::defaultThreadCount());
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial.size(), parallel.size());
+    EXPECT_TRUE(serial == parallel)
+        << "fleet store content diverged between serial and parallel";
+}
+
+} // namespace
+} // namespace cluster
+} // namespace clite

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * ProfileStore tests: exact and k-nearest lookup determinism,
+ * last-writer-wins replacement, and directory persistence with
+ * corrupt files skipped (never fatal).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "store/profile_store.h"
+
+namespace clite {
+namespace store {
+namespace {
+
+/** A synthetic single-LC-job snapshot at @p load on a 2-knob space. */
+Snapshot
+makeSnapshot(double load, uint64_t windows = 1)
+{
+    Snapshot s;
+    s.jobs = {{"memcached", true, 1.5, load}};
+    s.knob_kinds = {0, 1};
+    s.knob_units = {10, 11};
+    s.incumbent = {5, 6};
+    s.phase = ControllerPhase::Steady;
+    s.incumbent_qos_met = true;
+    s.windows = windows;
+    return s;
+}
+
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("clite_store_test_" + std::to_string(::getpid())))
+                    .string();
+        std::filesystem::remove_all(path_);
+    }
+    ~TempDir() { std::filesystem::remove_all(path_); }
+    const std::string& path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(ProfileStore, FindReturnsExactHitOnly)
+{
+    ProfileStore store;
+    Snapshot a = makeSnapshot(0.3);
+    store.put(a);
+    EXPECT_EQ(store.size(), 1u);
+
+    EXPECT_TRUE(store.find(a.signature()).has_value());
+    EXPECT_FALSE(store.find(makeSnapshot(0.4).signature()).has_value());
+}
+
+TEST(ProfileStore, PutReplacesTheSameMix)
+{
+    ProfileStore store;
+    store.put(makeSnapshot(0.3, 1));
+    store.put(makeSnapshot(0.3, 99));
+    EXPECT_EQ(store.size(), 1u);
+    std::optional<Snapshot> got = store.find(makeSnapshot(0.3).signature());
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->windows, 99u);
+}
+
+TEST(ProfileStore, NearestRanksByDistanceAndSkipsForeignMixes)
+{
+    ProfileStore store;
+    store.put(makeSnapshot(0.30));
+    store.put(makeSnapshot(0.50));
+    store.put(makeSnapshot(0.90));
+    Snapshot foreign;
+    foreign.jobs = {{"xapian", true, 8.0, 0.4}};
+    foreign.knob_kinds = {0, 1};
+    foreign.knob_units = {10, 11};
+    store.put(foreign);
+
+    MixSignature query = makeSnapshot(0.45).signature();
+    std::vector<Neighbor> near = store.nearest(query, 10);
+    ASSERT_EQ(near.size(), 3u) << "foreign mix must not be a neighbor";
+    EXPECT_NEAR(near[0].distance, 0.05, 1e-12);
+    EXPECT_NEAR(near[1].distance, 0.15, 1e-12);
+    EXPECT_NEAR(near[2].distance, 0.45, 1e-12);
+    EXPECT_EQ(near[0].snapshot.jobs[0].load_fraction, 0.50);
+
+    // k truncates after ranking.
+    EXPECT_EQ(store.nearest(query, 1).size(), 1u);
+    EXPECT_NEAR(store.nearest(query, 1)[0].distance, 0.05, 1e-12);
+
+    // An exact hit ranks first at distance 0.
+    store.put(makeSnapshot(0.45));
+    EXPECT_EQ(store.nearest(query, 1)[0].distance, 0.0);
+}
+
+TEST(ProfileStore, SaveAndLoadDirectoryRoundTrips)
+{
+    TempDir dir;
+    ProfileStore store;
+    store.put(makeSnapshot(0.3, 5));
+    store.put(makeSnapshot(0.6, 6));
+    EXPECT_EQ(store.saveDir(dir.path()), 2u);
+
+    ProfileStore loaded;
+    EXPECT_EQ(loaded.loadDir(dir.path()), 2u);
+    EXPECT_EQ(loaded.size(), 2u);
+    std::optional<Snapshot> got =
+        loaded.find(makeSnapshot(0.3).signature());
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->windows, 5u);
+    EXPECT_EQ(loaded.corruptRejected(), 0u);
+}
+
+TEST(ProfileStore, CorruptFilesAreSkippedAndCounted)
+{
+    TempDir dir;
+    ProfileStore store;
+    store.put(makeSnapshot(0.3, 5));
+    ASSERT_EQ(store.saveDir(dir.path()), 1u);
+
+    // One truncated copy, one garbage file alongside the good one.
+    {
+        std::ifstream in(dir.path() + "/" +
+                             makeSnapshot(0.3).signature().key() + ".snap",
+                         std::ios::binary);
+        std::vector<char> bytes{std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>()};
+        std::ofstream trunc(dir.path() + "/0000000000000001.snap",
+                            std::ios::binary);
+        trunc.write(bytes.data(), std::streamsize(bytes.size() / 2));
+        std::ofstream junk(dir.path() + "/0000000000000002.snap",
+                           std::ios::binary);
+        junk << "not a snapshot";
+    }
+
+    ProfileStore loaded;
+    EXPECT_EQ(loaded.loadDir(dir.path()), 1u);
+    EXPECT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded.corruptRejected(), 2u);
+}
+
+TEST(ProfileStore, MissingDirectoryLoadsNothing)
+{
+    ProfileStore store;
+    EXPECT_EQ(store.loadDir("/nonexistent/clite/store/dir"), 0u);
+    EXPECT_EQ(store.size(), 0u);
+}
+
+} // namespace
+} // namespace store
+} // namespace clite

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Job-mix signature tests: order independence, structural sensitivity,
+ * the distance metric, and stable key formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "platform/server.h"
+#include "store/signature.h"
+#include "workloads/catalog.h"
+#include "workloads/perf_model.h"
+
+namespace clite {
+namespace store {
+namespace {
+
+std::vector<workloads::JobSpec>
+mixA()
+{
+    return {
+        workloads::lcJob("img-dnn", 0.3),
+        workloads::lcJob("memcached", 0.2),
+        workloads::bgJob("fluidanimate"),
+    };
+}
+
+TEST(MixSignature, JobOrderDoesNotMatter)
+{
+    platform::ServerConfig config = platform::ServerConfig::xeonSilver4114();
+    std::vector<workloads::JobSpec> jobs = mixA();
+    MixSignature a = MixSignature::of(config, jobs);
+    std::reverse(jobs.begin(), jobs.end());
+    MixSignature b = MixSignature::of(config, jobs);
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(a.key(), b.key());
+    EXPECT_EQ(MixSignature::distance(a, b), 0.0);
+}
+
+TEST(MixSignature, ServerAndConfigPathsAgree)
+{
+    platform::ServerConfig config = platform::ServerConfig::xeonSilver4114();
+    std::vector<workloads::JobSpec> jobs = mixA();
+    platform::SimulatedServer server(
+        config, jobs, std::make_unique<workloads::AnalyticModel>(), 7, 0.0);
+    EXPECT_TRUE(MixSignature::of(server) == MixSignature::of(config, jobs));
+}
+
+TEST(MixSignature, EveryDescriptorFieldChangesTheHash)
+{
+    platform::ServerConfig config = platform::ServerConfig::xeonSilver4114();
+    MixSignature base = MixSignature::of(config, mixA());
+
+    std::vector<workloads::JobSpec> other = mixA();
+    other[0] = workloads::lcJob("xapian", 0.3); // name
+    EXPECT_NE(base.hash(), MixSignature::of(config, other).hash());
+
+    other = mixA();
+    other[0].load_fraction = 0.31; // load level
+    EXPECT_NE(base.hash(), MixSignature::of(config, other).hash());
+
+    other = mixA();
+    other[0].profile.qos_p95_ms *= 2.0; // QoS target
+    EXPECT_NE(base.hash(), MixSignature::of(config, other).hash());
+
+    // Knob space: the 6-resource config is a different signature even
+    // for the identical job multiset.
+    platform::ServerConfig all6 =
+        platform::ServerConfig::xeonSilver4114AllResources();
+    EXPECT_NE(base.hash(), MixSignature::of(all6, mixA()).hash());
+}
+
+TEST(MixSignature, DistanceSumsLoadDeltasOverCanonicalPairing)
+{
+    platform::ServerConfig config = platform::ServerConfig::xeonSilver4114();
+    MixSignature a = MixSignature::of(config, mixA());
+
+    std::vector<workloads::JobSpec> drifted = mixA();
+    drifted[0].load_fraction = 0.4; // +0.1
+    drifted[1].load_fraction = 0.15; // -0.05
+    MixSignature b = MixSignature::of(config, drifted);
+    EXPECT_NEAR(MixSignature::distance(a, b), 0.15, 1e-12);
+    EXPECT_NEAR(MixSignature::distance(b, a), 0.15, 1e-12);
+}
+
+TEST(MixSignature, StructuralMismatchIsInfinitelyFar)
+{
+    platform::ServerConfig config = platform::ServerConfig::xeonSilver4114();
+    MixSignature a = MixSignature::of(config, mixA());
+    const double inf = std::numeric_limits<double>::infinity();
+
+    std::vector<workloads::JobSpec> other = mixA();
+    other[0] = workloads::lcJob("xapian", 0.3);
+    EXPECT_EQ(MixSignature::distance(a, MixSignature::of(config, other)),
+              inf);
+
+    other = mixA();
+    other.push_back(workloads::bgJob("canneal"));
+    EXPECT_EQ(MixSignature::distance(a, MixSignature::of(config, other)),
+              inf);
+
+    platform::ServerConfig all6 =
+        platform::ServerConfig::xeonSilver4114AllResources();
+    EXPECT_EQ(MixSignature::distance(a, MixSignature::of(all6, mixA())),
+              inf);
+}
+
+TEST(MixSignature, KeyIsFixedWidthHex)
+{
+    platform::ServerConfig config = platform::ServerConfig::xeonSilver4114();
+    MixSignature a = MixSignature::of(config, mixA());
+    EXPECT_EQ(a.key().size(), 16u);
+    EXPECT_EQ(a.key().find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+    EXPECT_FALSE(a.describe().empty());
+}
+
+} // namespace
+} // namespace store
+} // namespace clite

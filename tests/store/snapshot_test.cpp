@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Snapshot wire-format tests: bit-exact round trips, the JSON debug
+ * dump, the committed-golden format-compatibility check, and the
+ * robustness fuzz suite — every truncation, every single-bit flip, a
+ * version bump and a zero-length buffer must all yield std::nullopt
+ * (clean cold start), never a crash or a partial decode. The fuzz
+ * tests run under the ASan/UBSan CI job, so an out-of-bounds read in
+ * the decoder fails loudly there.
+ *
+ * Regenerating the golden after an INTENDED format change (bump
+ * kSnapshotVersion first):
+ *
+ *     CLITE_REGEN_GOLDEN=1 ./tests/test_store
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "store/snapshot.h"
+
+#ifndef CLITE_STORE_GOLDEN_DIR
+#error "CLITE_STORE_GOLDEN_DIR must point at tests/store/golden"
+#endif
+
+namespace clite {
+namespace store {
+namespace {
+
+/** A fully-populated snapshot with awkward values (negatives, NaN-free
+ *  extremes, empty-name-adjacent strings) to exercise the format. */
+Snapshot
+makeSnapshot()
+{
+    Snapshot s;
+    s.jobs = {
+        {"memcached", true, 1.5, 0.35},
+        {"img-dnn", true, 3.0, 0.6},
+        {"fluidanimate", false, 0.0, 0.0},
+    };
+    s.knob_kinds = {0, 1, 2};
+    s.knob_units = {10, 11, 2};
+    SnapshotSample a;
+    a.cells = {4, 4, 1, 3, 4, 1, 3, 3, 1};
+    a.score = 1.2345678901234567;
+    a.all_qos_met = true;
+    SnapshotSample b;
+    b.cells = {8, 2, 1, 1, 8, 1, 1, 1, 1};
+    b.score = -0.25;
+    b.all_qos_met = false;
+    s.samples = {a, b};
+    s.incumbent = {4, 4, 1, 3, 4, 1, 3, 3, 1};
+    s.phase = ControllerPhase::Steady;
+    s.incumbent_qos_met = true;
+    s.windows = 12345678901ull;
+    return s;
+}
+
+void
+expectEqual(const Snapshot& a, const Snapshot& b)
+{
+    ASSERT_EQ(a.jobs.size(), b.jobs.size());
+    for (size_t j = 0; j < a.jobs.size(); ++j) {
+        EXPECT_EQ(a.jobs[j].name, b.jobs[j].name);
+        EXPECT_EQ(a.jobs[j].is_lc, b.jobs[j].is_lc);
+        EXPECT_EQ(a.jobs[j].qos_p95_ms, b.jobs[j].qos_p95_ms);
+        EXPECT_EQ(a.jobs[j].load_fraction, b.jobs[j].load_fraction);
+    }
+    EXPECT_EQ(a.knob_kinds, b.knob_kinds);
+    EXPECT_EQ(a.knob_units, b.knob_units);
+    ASSERT_EQ(a.samples.size(), b.samples.size());
+    for (size_t i = 0; i < a.samples.size(); ++i) {
+        EXPECT_EQ(a.samples[i].cells, b.samples[i].cells);
+        EXPECT_EQ(a.samples[i].score, b.samples[i].score);
+        EXPECT_EQ(a.samples[i].all_qos_met, b.samples[i].all_qos_met);
+    }
+    EXPECT_EQ(a.incumbent, b.incumbent);
+    EXPECT_EQ(a.phase, b.phase);
+    EXPECT_EQ(a.incumbent_qos_met, b.incumbent_qos_met);
+    EXPECT_EQ(a.windows, b.windows);
+    EXPECT_EQ(a.signature().hash(), b.signature().hash());
+}
+
+TEST(Snapshot, RoundTripIsBitExact)
+{
+    Snapshot s = makeSnapshot();
+    std::vector<uint8_t> bytes = encode(s);
+    std::optional<Snapshot> back = decode(bytes);
+    ASSERT_TRUE(back.has_value());
+    expectEqual(s, *back);
+    // Re-encoding the decoded snapshot reproduces the bytes exactly —
+    // the format has one canonical encoding per snapshot.
+    EXPECT_EQ(encode(*back), bytes);
+}
+
+TEST(Snapshot, MinimalSnapshotRoundTrips)
+{
+    Snapshot s;
+    s.jobs = {{"memcached", true, 1.5, 0.1}};
+    s.knob_kinds = {0};
+    s.knob_units = {10};
+    std::vector<uint8_t> bytes = encode(s);
+    std::optional<Snapshot> back = decode(bytes);
+    ASSERT_TRUE(back.has_value());
+    expectEqual(s, *back);
+}
+
+TEST(Snapshot, JsonDumpMentionsTheInterestingFields)
+{
+    std::string json = toJson(makeSnapshot());
+    EXPECT_NE(json.find("memcached"), std::string::npos);
+    EXPECT_NE(json.find("signature"), std::string::npos);
+    EXPECT_NE(json.find("samples"), std::string::npos);
+    EXPECT_NE(json.find("incumbent"), std::string::npos);
+}
+
+TEST(Snapshot, ZeroLengthAndGarbageAreRejected)
+{
+    EXPECT_FALSE(decode(nullptr, 0).has_value());
+    std::vector<uint8_t> junk(3, 0xAB);
+    EXPECT_FALSE(decode(junk).has_value());
+    junk.assign(64, 0x00);
+    EXPECT_FALSE(decode(junk).has_value());
+}
+
+TEST(Snapshot, EveryTruncationIsRejected)
+{
+    std::vector<uint8_t> bytes = encode(makeSnapshot());
+    for (size_t len = 0; len < bytes.size(); ++len)
+        ASSERT_FALSE(decode(bytes.data(), len).has_value())
+            << "truncation to " << len << " of " << bytes.size()
+            << " bytes decoded";
+}
+
+TEST(Snapshot, EverySingleBitFlipIsRejected)
+{
+    std::vector<uint8_t> bytes = encode(makeSnapshot());
+    for (size_t byte = 0; byte < bytes.size(); ++byte)
+        for (int bit = 0; bit < 8; ++bit) {
+            std::vector<uint8_t> flipped = bytes;
+            flipped[byte] ^= uint8_t(1u << bit);
+            ASSERT_FALSE(decode(flipped).has_value())
+                << "flip of byte " << byte << " bit " << bit << " decoded";
+        }
+}
+
+TEST(Snapshot, UnknownVersionIsRejected)
+{
+    std::vector<uint8_t> bytes = encode(makeSnapshot());
+    // Bytes 4..7 are the little-endian version field.
+    bytes[4] = uint8_t(kSnapshotVersion + 1);
+    EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Snapshot, TrailingGarbageIsRejected)
+{
+    std::vector<uint8_t> bytes = encode(makeSnapshot());
+    bytes.push_back(0x00);
+    EXPECT_FALSE(decode(bytes).has_value());
+}
+
+// The committed golden pins the wire format: a decoder or encoder
+// change that silently breaks compatibility with snapshots written by
+// earlier builds fails here, not in production restores.
+TEST(Snapshot, CommittedGoldenStillDecodes)
+{
+    const std::string path =
+        std::string(CLITE_STORE_GOLDEN_DIR) + "/snapshot_v1.snap";
+    Snapshot expected = makeSnapshot();
+    std::vector<uint8_t> bytes = encode(expected);
+
+    if (std::getenv("CLITE_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out.write(reinterpret_cast<const char*>(bytes.data()),
+                  std::streamsize(bytes.size()));
+        ASSERT_TRUE(out.good());
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing golden " << path
+                           << " (regenerate with CLITE_REGEN_GOLDEN=1)";
+    std::vector<uint8_t> golden{std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>()};
+    // Byte-identical: today's encoder writes exactly the committed
+    // format...
+    EXPECT_EQ(golden, bytes);
+    // ...and today's decoder reads the committed bytes back losslessly.
+    std::optional<Snapshot> back = decode(golden);
+    ASSERT_TRUE(back.has_value());
+    expectEqual(expected, *back);
+}
+
+} // namespace
+} // namespace store
+} // namespace clite
