@@ -6,12 +6,18 @@ Usage:
         [--threshold 1.25] [--families acquisition,cholesky] [--strict]
     python3 bench/compare_bench.py --mode warmstart \
         BENCH_warmstart.json NEW_warmstart.json [--strict]
+    python3 bench/compare_bench.py --mode fleet \
+        FLEET_scaling.json NEW_fleet.json [--strict]
 
 The default mode compares google-benchmark output. `--mode warmstart`
 compares two bench/warm_start emissions (BENCH_warmstart.json)
 instead: it checks that warm starts still converge no slower than the
 committed baseline and that the exact-hit improvement over cold stays
 above the floor the warm-start design promises (30% fewer windows).
+`--mode fleet` compares two bench/fleet_scaling emissions
+(FLEET_scaling.json): points are matched by (mode, nodes) across both
+fleet engines, final QoS-met fraction must not regress, and ms/window
+must stay within the threshold ratio.
 
 Matches benchmarks by name, prints a ratio table (candidate / baseline
 real time), and emits a warning for every benchmark in the watched
@@ -91,6 +97,74 @@ def compare_warmstart(args):
     return 0
 
 
+# Absolute QoS-met-fraction drop (candidate vs baseline, per point)
+# tolerated before a fleet point is flagged: placement is seeded but a
+# changed controller legitimately shifts a window or two.
+FLEET_QOS_TOLERANCE = 0.02
+
+
+def compare_fleet(args):
+    """Diff two bench/fleet_scaling JSON files (FLEET_scaling.json)."""
+    def load_points(path):
+        with open(path) as f:
+            data = json.load(f)
+        return {(p.get("mode", "lockstep"), p["nodes"]): p
+                for p in data.get("points", [])}
+
+    base = load_points(args.baseline)
+    cand = load_points(args.candidate)
+    common = sorted(set(base) & set(cand))
+    if not common:
+        print("::warning::no common (mode, nodes) fleet points between "
+              f"{args.baseline} and {args.candidate}")
+        return 1
+    for key in sorted(set(base) - set(cand)):
+        print(f"  (baseline only) {key[0]}@{key[1]} nodes")
+    for key in sorted(set(cand) - set(base)):
+        print(f"  (candidate only) {key[0]}@{key[1]} nodes")
+
+    problems = []
+    print(f"{'point':<16}  {'qos base':>9}  {'qos cand':>9}  "
+          f"{'ms base':>9}  {'ms cand':>9}  ratio")
+    for key in common:
+        b, c = base[key], cand[key]
+        label = f"{key[0]}@{key[1]}"
+        qos_b = b.get("qos_met_final", 0.0)
+        qos_c = c.get("qos_met_final", 0.0)
+        ms_b = b.get("ms_per_window", 0.0)
+        ms_c = c.get("ms_per_window", 0.0)
+        ratio = ms_c / ms_b if ms_b > 0 else float("inf")
+        flag = ""
+        if qos_c < qos_b - FLEET_QOS_TOLERANCE:
+            problems.append(
+                f"{label}: final QoS-met fell {qos_b:.3f} -> {qos_c:.3f}")
+            flag = "  <-- QOS"
+        if ratio > args.threshold:
+            problems.append(
+                f"{label}: ms/window is {ratio:.2f}x the baseline "
+                f"(threshold {args.threshold:.2f}x)")
+            flag += "  <-- TIME"
+        print(f"{label:<16}  {qos_b:>9.3f}  {qos_c:>9.3f}  "
+              f"{ms_b:>9.2f}  {ms_c:>9.2f}  {ratio:5.2f}{flag}")
+
+    # The async engine's robustness counters must show the chaos was
+    # absorbed, not absent: the sweep injects worker churn, so a
+    # candidate with zero retries is not running the chaos it claims.
+    async_points = [cand[k] for k in cand if k[0] == "async"]
+    if async_points and not any(p.get("tasks_retried", 0) > 0
+                                for p in async_points):
+        problems.append("async sweep shows zero retries: fault "
+                        "injection looks disabled")
+
+    for p in problems:
+        print(f"::warning::fleet regression: {p}")
+    if problems:
+        return 1 if args.strict else 0
+    print("fleet scaling matches the committed baseline "
+          f"({len(common)} points)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -101,16 +175,20 @@ def main():
     parser.add_argument("--families", default=",".join(DEFAULT_FAMILIES),
                         help="comma-separated name substrings to watch "
                              "(case-insensitive)")
-    parser.add_argument("--mode", choices=["benchmark", "warmstart"],
+    parser.add_argument("--mode",
+                        choices=["benchmark", "warmstart", "fleet"],
                         default="benchmark",
                         help="input format: google-benchmark JSON "
-                             "(default) or bench/warm_start JSON")
+                             "(default), bench/warm_start JSON, or "
+                             "bench/fleet_scaling JSON")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when any watched family regresses")
     args = parser.parse_args()
 
     if args.mode == "warmstart":
         return compare_warmstart(args)
+    if args.mode == "fleet":
+        return compare_fleet(args)
 
     base, base_ctx = load_benchmarks(args.baseline)
     cand, cand_ctx = load_benchmarks(args.candidate)

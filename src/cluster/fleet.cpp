@@ -137,17 +137,36 @@ Fleet::snapshot(size_t n) const
 }
 
 bool
-Fleet::tryPlace(uint64_t id, int exclude)
+Fleet::tryPlace(uint64_t id, int exclude, const std::vector<char>* avoid)
 {
     std::vector<NodeSnapshot> snaps;
     snaps.reserve(nodes_.size());
-    for (size_t n = 0; n < nodes_.size(); ++n)
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+        if (avoid != nullptr && n < avoid->size() && (*avoid)[n])
+            continue; // quarantined nodes never bid
         snaps.push_back(snapshot(n));
+    }
     int n = scheduler_.place(jobs_[size_t(id) - 1].spec, snaps, exclude);
     if (n < 0)
         return false;
     hostJob(id, size_t(n));
     return true;
+}
+
+int
+Fleet::placeQueued(const std::vector<char>* avoid)
+{
+    int placed = 0;
+    size_t pending = queue_.size();
+    for (size_t i = 0; i < pending; ++i) {
+        uint64_t id = queue_.front();
+        queue_.pop_front();
+        if (tryPlace(id, -1, avoid))
+            ++placed;
+        else
+            queue_.push_back(id);
+    }
+    return placed;
 }
 
 void
@@ -247,6 +266,51 @@ Fleet::stepNode(size_t n)
     node.truth_qos = sb.all_qos_met;
 }
 
+void
+Fleet::rescheduleNode(size_t n, FleetWindow& w,
+                      const std::vector<char>* avoid)
+{
+    Node& node = nodes_[n];
+    if (!node.searched || node.server == nullptr)
+        return;
+    const core::ControllerResult& r = node.manager->lastResult();
+    if (!r.infeasible_detected || r.infeasible_jobs.empty())
+        return;
+    // Descending index order keeps the remaining reported indices
+    // valid as rows shift down.
+    std::vector<size_t> evict = r.infeasible_jobs;
+    std::sort(evict.begin(), evict.end(), std::greater<size_t>());
+    for (size_t idx : evict) {
+        if (idx >= node.job_ids.size())
+            continue;
+        uint64_t id = node.job_ids[idx];
+        FleetJob& job = jobs_[size_t(id) - 1];
+        bool alone = node.job_ids.size() == 1;
+        unhostJob(n, idx);
+        ++evictions_;
+        ++w.evicted;
+        ++job.moves;
+        job.state = JobState::Pending;
+        job.node = -1;
+        if (alone || job.moves > options_.max_moves) {
+            // Infeasible with the whole machine to itself — no node
+            // can serve it — or it has ping-ponged past the move
+            // budget. Park it (still tracked, reported unplaceable)
+            // instead of thrashing the fleet.
+            job.state = JobState::Parked;
+            ++w.parked;
+            CLITE_LOG_WARN("fleet: parking job "
+                           << id << " (" << job.spec.label() << "): "
+                           << (alone ? "infeasible even alone"
+                                     : "move budget exhausted"));
+        } else if (tryPlace(id, int(n), avoid)) {
+            ++w.rescheduled;
+        } else {
+            queue_.push_back(id);
+        }
+    }
+}
+
 FleetWindow
 Fleet::tick()
 {
@@ -254,17 +318,8 @@ Fleet::tick()
     w.window = ++windows_;
 
     // Phase A (serial): place queued jobs — new arrivals and evicted
-    // jobs a previous window could not re-place. One pass over the
-    // queue; a job that fits nowhere goes back to the tail.
-    size_t pending = queue_.size();
-    for (size_t i = 0; i < pending; ++i) {
-        uint64_t id = queue_.front();
-        queue_.pop_front();
-        if (tryPlace(id, -1))
-            ++w.placed;
-        else
-            queue_.push_back(id);
-    }
+    // jobs a previous window could not re-place.
+    w.placed = placeQueued();
 
     // Phase B (parallel): every node runs its observation window.
     // stepNode(n) touches only node n's state, so the fan-out meets
@@ -326,47 +381,9 @@ Fleet::tick()
 
     // Rescheduling: act on the per-node infeasibility signal. A node
     // whose search this window proved an LC job cannot meet QoS there
-    // evicts it; descending index order keeps the remaining reported
-    // indices valid as rows shift down.
-    for (size_t n = 0; n < nodes_.size(); ++n) {
-        Node& node = nodes_[n];
-        if (!node.searched || node.server == nullptr)
-            continue;
-        const core::ControllerResult& r = node.manager->lastResult();
-        if (!r.infeasible_detected || r.infeasible_jobs.empty())
-            continue;
-        std::vector<size_t> evict = r.infeasible_jobs;
-        std::sort(evict.begin(), evict.end(), std::greater<size_t>());
-        for (size_t idx : evict) {
-            if (idx >= node.job_ids.size())
-                continue;
-            uint64_t id = node.job_ids[idx];
-            FleetJob& job = jobs_[size_t(id) - 1];
-            bool alone = node.job_ids.size() == 1;
-            unhostJob(n, idx);
-            ++evictions_;
-            ++w.evicted;
-            ++job.moves;
-            job.state = JobState::Pending;
-            job.node = -1;
-            if (alone || job.moves > options_.max_moves) {
-                // Infeasible with the whole machine to itself — no
-                // node can serve it — or it has ping-ponged past the
-                // move budget. Park it (still tracked, reported
-                // unplaceable) instead of thrashing the fleet.
-                job.state = JobState::Parked;
-                ++w.parked;
-                CLITE_LOG_WARN("fleet: parking job "
-                               << id << " (" << job.spec.label() << "): "
-                               << (alone ? "infeasible even alone"
-                                         : "move budget exhausted"));
-            } else if (tryPlace(id, int(n))) {
-                ++w.rescheduled;
-            } else {
-                queue_.push_back(id);
-            }
-        }
-    }
+    // evicts it.
+    for (size_t n = 0; n < nodes_.size(); ++n)
+        rescheduleNode(n, w);
 
     w.pending = int(queue_.size());
     for (const FleetJob& job : jobs_)

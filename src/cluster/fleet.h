@@ -51,6 +51,8 @@
 namespace clite {
 namespace cluster {
 
+class AsyncFleetEngine;
+
 /** Fleet construction and behaviour knobs. */
 struct FleetOptions
 {
@@ -209,6 +211,12 @@ class Fleet
     std::string digest() const;
 
   private:
+    // The async manager-worker engine drives the same node substrate
+    // (hostJob/unhostJob/stepNode/placeQueued/rescheduleNode) through
+    // its own per-node commit pipeline instead of tick()'s lockstep
+    // phases.
+    friend class AsyncFleetEngine;
+
     struct Node
     {
         std::unique_ptr<platform::SimulatedServer> server;
@@ -231,8 +239,20 @@ class Fleet
     /** Snapshot of node @p n for the scheduler. */
     NodeSnapshot snapshot(size_t n) const;
 
-    /** Place job @p id if possible. @return True when placed. */
-    bool tryPlace(uint64_t id, int exclude);
+    /**
+     * Place job @p id if possible. @return True when placed.
+     * @param avoid Optional per-node mask; true entries are not
+     *     candidates (the async engine's quarantine filter).
+     */
+    bool tryPlace(uint64_t id, int exclude,
+                  const std::vector<char>* avoid = nullptr);
+
+    /**
+     * One admission pass over the queue (phase A): every pending job
+     * gets one placement attempt; a job that fits nowhere returns to
+     * the tail. @return Jobs placed.
+     */
+    int placeQueued(const std::vector<char>* avoid = nullptr);
 
     /** Put @p id onto node @p n (creates the node when empty). */
     void hostJob(uint64_t id, size_t n);
@@ -242,6 +262,15 @@ class Fleet
 
     /** Run node @p n's window (phase B; called from the pool). */
     void stepNode(size_t n);
+
+    /**
+     * Act on node @p n's infeasibility signal (the per-node slice of
+     * phase C): evict the reported jobs, re-place or park them,
+     * accumulating counters into @p w. No-op unless the node searched
+     * this window and reported infeasible jobs.
+     */
+    void rescheduleNode(size_t n, FleetWindow& w,
+                        const std::vector<char>* avoid = nullptr);
 
     FleetOptions options_;
     platform::ServerConfig config_;

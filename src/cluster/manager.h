@@ -1,0 +1,317 @@
+/**
+ * @file
+ * The async manager-worker fleet engine.
+ *
+ * Fleet::tick() advances every node in a lockstep window behind a
+ * global barrier: one slow or dead participant stalls the whole
+ * cluster, and FLEET_scaling.json shows the cost growing
+ * super-linearly with node count. AsyncFleetEngine replaces the
+ * barrier with the manager-worker architecture of cctools Work Queue:
+ *
+ *  - The **manager** (this class) owns the job registry, the
+ *    ClusterScheduler, and a TaskQueue of serialized per-node window
+ *    tasks. It reacts to completions one at a time — nodes advance
+ *    independently; node 3 can be on window 12 while node 7, stuck
+ *    behind a straggling worker, is still on window 5.
+ *  - **Workers** (WorkerPool slots) pull tasks and run each node's
+ *    observe→fit→acquire step, streaming results back as completion
+ *    events.
+ *
+ * Failure handling is first-class:
+ *
+ *  - **Lost-worker recovery.** Every dispatched task carries a lease.
+ *    A worker that dies mid-task (injected via platform/faults'
+ *    WorkerLoss) never completes it; when the lease expires the
+ *    manager resubmits the task, up to max_retries attempts. The job
+ *    registry is untouched by any worker death — zero job loss under
+ *    churn is a property test, not a hope.
+ *  - **Straggler hedging.** A task still running hedge_delay after
+ *    dispatch is speculatively re-executed on an idle worker;
+ *    whichever attempt finishes first commits the window and the
+ *    loser is cancelled (first-result-wins).
+ *  - **Node quarantine + graceful degradation.** A node whose windows
+ *    fail repeatedly (task failures or exhausted retries) is
+ *    quarantined — the fleet-granularity analogue of the telemetry
+ *    quarantine inside OnlineManager — and its jobs are rescheduled
+ *    through the existing eviction path. When workers get scarce
+ *    (alive fraction below degrade_below) the manager degrades to
+ *    serving the QoS-critical nodes first: queued windows of BG-only
+ *    nodes are shed (counted, never silently) instead of stalling the
+ *    critical ones.
+ *
+ * Determinism: the engine is a discrete-event simulation over virtual
+ * time. Task durations, worker deaths and task failures are pure
+ * counter-keyed hashes of the seed; events are ordered by (time,
+ * sequence number); and the real CPU work of each window runs on the
+ * deterministic global thread pool with per-node state isolation. A
+ * run is therefore bit-reproducible given (options, seed, worker
+ * count) at ANY CLITE_THREADS setting, and the lockstep mode —
+ * byte-identical to before — remains available for the determinism
+ * goldens.
+ */
+
+#ifndef CLITE_CLUSTER_MANAGER_H
+#define CLITE_CLUSTER_MANAGER_H
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "cluster/fleet.h"
+#include "cluster/task_queue.h"
+#include "cluster/worker.h"
+#include "platform/faults.h"
+#include "stats/summary.h"
+
+namespace clite {
+namespace cluster {
+
+/** Engine knobs. Durations are in units of the mean task cost. */
+struct AsyncOptions
+{
+    /** Worker slots. */
+    int workers = 4;
+    /** Mean virtual duration of one window task. */
+    double task_cost = 1.0;
+    /** Uniform relative duration jitter (0.25 = ±25%). */
+    double task_jitter = 0.25;
+    /** P(a task is a straggler), per assignment. */
+    double straggler_prob = 0.02;
+    /** Duration multiplier of a straggler. */
+    double straggler_factor = 8.0;
+    /** Task lease, in task_cost units; expiry triggers resubmission. */
+    double lease = 6.0;
+    /** Resubmissions allowed per window after losses/failures. */
+    int max_retries = 3;
+    /** Speculatively re-execute tasks still running after this. */
+    bool hedging = true;
+    /** Hedge trigger, in task_cost units. */
+    double hedge_delay = 3.0;
+    /** Consecutive failed windows before a node is quarantined. */
+    int quarantine_failures = 2;
+    /** Degrade to critical-only when alive/total falls below this. */
+    double degrade_below = 0.5;
+    /** Down time of a probabilistically lost worker, in task_cost
+     *  units (scripted deaths are permanent); <= 0 = never rejoins. */
+    double worker_down_time = 10.0;
+    /** Worker-loss / task-failure schedule (other kinds ignored). */
+    platform::FaultPlan faults;
+    /** Seed of the fault decisions and duration jitter. */
+    uint64_t fault_seed = 0xF1EE7ull;
+};
+
+/**
+ * Per-fleet robustness counters. The satellite telemetry an operator
+ * watches: how often the retry, hedge, quarantine and degradation
+ * paths actually fired.
+ */
+struct FleetMetrics
+{
+    uint64_t tasks_dispatched = 0; ///< Assignments handed to workers.
+    uint64_t tasks_committed = 0;  ///< Windows advanced by a result.
+    uint64_t tasks_retried = 0;    ///< Resubmissions after loss/failure.
+    uint64_t task_failures = 0;    ///< Attempts that failed at the node.
+    uint64_t lease_expiries = 0;   ///< Leases that ran out.
+    uint64_t workers_lost = 0;     ///< Worker deaths observed.
+    uint64_t workers_rejoined = 0; ///< Elastic rejoins after a loss.
+    uint64_t hedges_launched = 0;  ///< Speculative duplicates started.
+    uint64_t hedges_won = 0;       ///< Windows committed by a hedge.
+    uint64_t hedges_cancelled = 0; ///< Hedges beaten by their original.
+    uint64_t stale_results = 0;    ///< Completions after the window closed.
+    uint64_t windows_failed = 0;   ///< Windows that exhausted retries.
+    uint64_t windows_dropped = 0;  ///< Windows shed under degradation.
+    uint64_t nodes_quarantined = 0;///< Nodes removed from service.
+    uint64_t degraded_dispatches = 0; ///< Dispatch rounds run degraded.
+    bool stalled = false;          ///< Run ended with zero capacity.
+};
+
+/**
+ * The async manager-worker engine over a Fleet.
+ *
+ * The engine drives the same node substrate as Fleet::tick() — the
+ * two modes share placement, eviction, the warm-start store and the
+ * job registry — but never calls tick(); lockstep behaviour (and its
+ * goldens) are untouched. Use one or the other on a given Fleet, not
+ * both interleaved.
+ */
+class AsyncFleetEngine
+{
+  public:
+    /**
+     * @param fleet The fleet to drive (not owned; must outlive).
+     * @param options Engine knobs (validated).
+     */
+    explicit AsyncFleetEngine(Fleet& fleet, AsyncOptions options = {});
+
+    /**
+     * Drive every serviceable node through @p epochs more observation
+     * windows. Queued jobs are placed at the start and at every
+     * commit; nodes occupied mid-run join the cadence with whatever
+     * window budget they have left. Returns when every window is
+     * committed, failed, or shed.
+     */
+    const FleetMetrics& run(int epochs);
+
+    /** The robustness counters so far. */
+    const FleetMetrics& metrics() const { return metrics_; }
+
+    /** The options in effect. */
+    const AsyncOptions& options() const { return options_; }
+
+    /** Virtual time elapsed. */
+    double virtualTime() const { return now_; }
+
+    /** Is node @p n quarantined? */
+    bool quarantined(size_t n) const;
+
+    /** Nodes currently quarantined. */
+    size_t quarantinedCount() const;
+
+    /** Worker slots not dead. */
+    int aliveWorkers() const { return workers_.aliveCount(); }
+
+    /** The worker pool (for tests / introspection). */
+    const WorkerPool& workers() const { return workers_; }
+
+    /** Windows committed for node @p n over the engine's lifetime. */
+    uint64_t windowsCommitted(size_t n) const;
+
+    /**
+     * Ground-truth fraction of placed LC jobs meeting QoS, from each
+     * node's last committed window (1 when none are placed).
+     */
+    double qosMetFraction() const;
+
+    /** Ground-truth mean BG normalized perf, same source (0 if none). */
+    double meanBgPerf() const;
+
+    /** Per-commit QoS-met fraction history (for bench aggregation). */
+    const stats::RunningStats& qosHistory() const { return qos_history_; }
+
+    /** The fault injector (for tests: injected event log). */
+    const platform::FaultInjector& faults() const { return faults_; }
+
+  private:
+    /** One attempt's authoritative record. */
+    struct TaskRec
+    {
+        WindowTask task;
+        TaskState state = TaskState::Queued;
+        int worker = -1;
+        bool doomed = false;  ///< Assigned worker dies during it.
+        bool failing = false; ///< Completes but fails at the node.
+        bool hedged = false;  ///< A hedge was launched for it.
+        uint64_t assignment = 0; ///< Global assignment index (fault key).
+        double dispatched_at = 0.0;
+    };
+
+    /** Engine-side per-node control state. */
+    struct NodeCtl
+    {
+        uint64_t epoch = 0;        ///< Next window number to serialize.
+        uint64_t committed = 0;    ///< Windows committed so far.
+        int remaining = 0;         ///< Windows left this run.
+        bool in_flight = false;    ///< Current window queued/running.
+        bool executed = false;     ///< Current window's step has run.
+        int attempts_started = 0;  ///< Attempts of the current window.
+        int failure_streak = 0;    ///< Consecutive failed windows.
+        bool quarantined = false;
+        /** A Replenish event is pending (window-cadence pacing). */
+        bool replenish_scheduled = false;
+        std::vector<uint64_t> live; ///< Commit-eligible attempt ids.
+    };
+
+    /** A scheduled engine event. */
+    struct Event
+    {
+        double time = 0.0;
+        uint64_t seq = 0; ///< Tie-break: schedule order.
+        enum Kind { Complete, Lease, Hedge, Rejoin, Replenish } kind;
+        uint64_t task = 0; ///< Task id (Complete/Lease/Hedge).
+        int worker = -1;   ///< Worker (Rejoin).
+        size_t node = 0;   ///< Node (Replenish).
+
+        bool operator>(const Event& o) const
+        {
+            return time != o.time ? time > o.time : seq > o.seq;
+        }
+    };
+
+    /** Uniform [0,1) hash of (seed, stream, counter). */
+    double hash01(uint64_t stream, uint64_t counter) const;
+
+    /** Virtual duration of assignment @p assignment. */
+    double sampleDuration(uint64_t assignment) const;
+
+    void schedule(double time, Event event);
+
+    /** Is the pool scarce enough for critical-only dispatch? */
+    bool degraded() const;
+
+    /** Serialize node @p n's next window into the queue. */
+    void enqueueTask(size_t n);
+
+    /** Re-enqueue pending windows of idle serviceable nodes. */
+    void activateNodes();
+
+    /** Fill idle workers from the queue; execute new steps. */
+    void dispatch();
+
+    /** A task's result arrived (or its scripted failure did). */
+    void onComplete(uint64_t id);
+
+    /** A task's lease ran out: reclaim (dead worker) or back up. */
+    void onLease(uint64_t id);
+
+    /** A task is straggling: speculatively duplicate it. */
+    void onHedge(uint64_t id);
+
+    /** A transiently lost worker comes back. */
+    void onRejoin(int worker);
+
+    /** Window-cadence pacing tick of a shed node. */
+    void onReplenish(size_t node);
+
+    /** Schedule @p rec's killed worker to rejoin, unless permanent. */
+    void maybeRejoin(const TaskRec& rec);
+
+    /** Launch a retry attempt, or fail the window when out of budget. */
+    void retryOrFail(TaskRec& rec);
+
+    /** A window ran out of attempts (or was shed): consume it. */
+    void consumeWindow(size_t n, bool failed);
+
+    /** Deliver @p rec's result: advance the node, learn, reschedule. */
+    void commit(TaskRec& rec);
+
+    /** Evict everything from node @p n and bar it from service. */
+    void quarantineNode(size_t n);
+
+    /** Remove @p id from its node's live-attempt list. */
+    void dropLive(size_t n, uint64_t id);
+
+    Fleet& fleet_;
+    AsyncOptions options_;
+    platform::FaultInjector faults_;
+    WorkerPool workers_;
+    TaskQueue queue_;
+
+    std::map<uint64_t, TaskRec> tasks_;
+    std::vector<NodeCtl> nodes_;
+    std::vector<char> quarantine_; ///< Placement mask (1 = barred).
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events_;
+
+    FleetMetrics metrics_;
+    stats::RunningStats qos_history_;
+    double now_ = 0.0;
+    uint64_t next_task_id_ = 0;
+    uint64_t next_seq_ = 0;
+    uint64_t assignments_ = 0;
+};
+
+} // namespace cluster
+} // namespace clite
+
+#endif // CLITE_CLUSTER_MANAGER_H

@@ -132,8 +132,14 @@ void
 ClusterScheduler::recordWindow(const std::vector<NodeSnapshot>& nodes)
 {
     for (const NodeSnapshot& s : nodes)
-        if (s.job_count > 0)
-            model_.observe(s);
+        recordNode(s);
+}
+
+void
+ClusterScheduler::recordNode(const NodeSnapshot& node)
+{
+    if (node.job_count > 0)
+        model_.observe(node);
 }
 
 int

@@ -165,6 +165,14 @@ class ClusterScheduler
     /** Feed one fleet window's snapshots to the headroom surrogates. */
     void recordWindow(const std::vector<NodeSnapshot>& nodes);
 
+    /**
+     * Feed a single node's window to its headroom surrogate — the
+     * async engine's per-commit sibling of recordWindow (nodes advance
+     * independently, so whole-fleet snapshots never exist at once).
+     * Empty nodes are ignored, as in recordWindow.
+     */
+    void recordNode(const NodeSnapshot& node);
+
     /** The headroom surrogate bank (for tests / introspection). */
     const HeadroomModel& model() const { return model_; }
 

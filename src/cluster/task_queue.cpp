@@ -1,0 +1,68 @@
+#include "cluster/task_queue.h"
+
+namespace clite {
+namespace cluster {
+
+const char*
+taskStateName(TaskState state)
+{
+    switch (state) {
+      case TaskState::Queued:
+        return "queued";
+      case TaskState::Running:
+        return "running";
+      case TaskState::Committed:
+        return "committed";
+      case TaskState::Superseded:
+        return "superseded";
+      case TaskState::Lost:
+        return "lost";
+      case TaskState::Failed:
+        return "failed";
+      case TaskState::Dropped:
+        return "dropped";
+    }
+    return "unknown";
+}
+
+void
+TaskQueue::push(const WindowTask& task)
+{
+    (task.critical ? critical_ : normal_).push_back(task.id);
+}
+
+void
+TaskQueue::pushFront(const WindowTask& task)
+{
+    (task.critical ? critical_ : normal_).push_front(task.id);
+}
+
+std::optional<uint64_t>
+TaskQueue::pop(bool critical_only,
+               const std::function<bool(uint64_t)>& alive)
+{
+    while (!critical_.empty()) {
+        uint64_t id = critical_.front();
+        critical_.pop_front();
+        if (alive(id))
+            return id;
+    }
+    while (!critical_only && !normal_.empty()) {
+        uint64_t id = normal_.front();
+        normal_.pop_front();
+        if (alive(id))
+            return id;
+    }
+    return std::nullopt;
+}
+
+std::vector<uint64_t>
+TaskQueue::dropNormal()
+{
+    std::vector<uint64_t> out(normal_.begin(), normal_.end());
+    normal_.clear();
+    return out;
+}
+
+} // namespace cluster
+} // namespace clite

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The manager's queue of serialized per-node window tasks.
+ *
+ * Following the Work Queue shape (cctools): the manager serializes
+ * each node's next observation window into a WindowTask; workers pull
+ * tasks and stream results back; the queue itself is a passive,
+ * deterministic container — all policy (leases, retries, hedging,
+ * degradation) lives in the engine.
+ *
+ * Ordering: a two-class FIFO. Tasks for QoS-critical nodes (hosting
+ * at least one latency-critical job) form the priority class; under
+ * graceful degradation the engine dispatches only that class.
+ * Retries and hedges enter at the front of their class — they are
+ * late already. Every operation is a pure function of the call
+ * sequence, so two runs that make identical calls see identical pop
+ * orders (the engine's reproducibility rests on this).
+ *
+ * Tasks are referenced by id; the engine owns the authoritative task
+ * records. A task cancelled after enqueue (e.g. its window was
+ * committed by a sibling attempt) is lazily skipped at pop time via
+ * the engine-supplied liveness check.
+ */
+
+#ifndef CLITE_CLUSTER_TASK_QUEUE_H
+#define CLITE_CLUSTER_TASK_QUEUE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace clite {
+namespace cluster {
+
+/** Where a window task is in its lifecycle (engine bookkeeping). */
+enum class TaskState {
+    Queued,    ///< Waiting in the TaskQueue.
+    Running,   ///< Assigned to a worker, lease active.
+    Committed, ///< Result delivered; the window advanced.
+    Superseded,///< A sibling attempt committed first (hedge loser, late straggler).
+    Lost,      ///< The assigned worker died; the lease reclaimed it.
+    Failed,    ///< Completed unsuccessfully at the node.
+    Dropped,   ///< Shed under graceful degradation (never dispatched).
+};
+
+/** Printable state name ("queued", "running", ...). */
+const char* taskStateName(TaskState state);
+
+/** One serialized per-node observation-window task. */
+struct WindowTask
+{
+    uint64_t id = 0;      ///< Engine-wide unique task id.
+    size_t node = 0;      ///< Node whose window this runs.
+    uint64_t epoch = 0;   ///< Node-local window number (0-based).
+    int attempt = 0;      ///< 0 = original; >0 = retry after a loss.
+    bool hedge = false;   ///< Speculative duplicate of a slow task.
+    /** Node hosted >= 1 LC job at enqueue (priority class). */
+    bool critical = false;
+};
+
+/**
+ * Two-class FIFO of pending task ids.
+ */
+class TaskQueue
+{
+  public:
+    /** Append @p task to the tail of its class. */
+    void push(const WindowTask& task);
+
+    /** Insert @p task at the front of its class (retries, hedges). */
+    void pushFront(const WindowTask& task);
+
+    /**
+     * Pop the next dispatchable task id. Critical-class tasks always
+     * dispatch before normal ones; with @p critical_only (graceful
+     * degradation) normal tasks are left queued. Tasks for which
+     * @p alive returns false are discarded silently (lazily cancelled).
+     * @return The task id, or nullopt when nothing is dispatchable.
+     */
+    std::optional<uint64_t>
+    pop(bool critical_only,
+        const std::function<bool(uint64_t)>& alive);
+
+    /**
+     * Remove every queued normal-class task (graceful degradation
+     * sheds the non-critical backlog rather than stalling it).
+     * @return The removed ids, in queue order.
+     */
+    std::vector<uint64_t> dropNormal();
+
+    /** Queued tasks in the critical class. */
+    size_t criticalSize() const { return critical_.size(); }
+
+    /** Queued tasks in the normal class. */
+    size_t normalSize() const { return normal_.size(); }
+
+    /** Total queued tasks (including lazily cancelled ones). */
+    size_t size() const { return critical_.size() + normal_.size(); }
+
+    bool empty() const { return critical_.empty() && normal_.empty(); }
+
+  private:
+    std::deque<uint64_t> critical_;
+    std::deque<uint64_t> normal_;
+};
+
+} // namespace cluster
+} // namespace clite
+
+#endif // CLITE_CLUSTER_TASK_QUEUE_H

@@ -1,0 +1,104 @@
+#include "cluster/worker.h"
+
+#include "common/error.h"
+
+namespace clite {
+namespace cluster {
+
+const char*
+workerStateName(WorkerState state)
+{
+    switch (state) {
+      case WorkerState::Idle:
+        return "idle";
+      case WorkerState::Busy:
+        return "busy";
+      case WorkerState::Dead:
+        return "dead";
+    }
+    return "unknown";
+}
+
+WorkerPool::WorkerPool(int workers)
+    : workers_(size_t(workers < 1 ? 1 : workers))
+{
+}
+
+int
+WorkerPool::aliveCount() const
+{
+    int n = 0;
+    for (const Worker& w : workers_)
+        if (w.state != WorkerState::Dead)
+            ++n;
+    return n;
+}
+
+int
+WorkerPool::idleCount() const
+{
+    int n = 0;
+    for (const Worker& w : workers_)
+        if (w.state == WorkerState::Idle)
+            ++n;
+    return n;
+}
+
+int
+WorkerPool::findIdle() const
+{
+    for (size_t w = 0; w < workers_.size(); ++w)
+        if (workers_[w].state == WorkerState::Idle)
+            return int(w);
+    return -1;
+}
+
+void
+WorkerPool::assign(int w, uint64_t task)
+{
+    Worker& worker = workers_.at(size_t(w));
+    CLITE_CHECK(worker.state == WorkerState::Idle,
+                "worker " << w << " is " << workerStateName(worker.state)
+                          << ", cannot assign task " << task);
+    worker.state = WorkerState::Busy;
+    worker.current_task = task;
+    ++worker.assignments;
+}
+
+void
+WorkerPool::release(int w)
+{
+    Worker& worker = workers_.at(size_t(w));
+    if (worker.state != WorkerState::Busy)
+        return; // already dead (killed mid-task) — nothing to release
+    worker.state = WorkerState::Idle;
+    worker.current_task = 0;
+}
+
+void
+WorkerPool::kill(int w)
+{
+    Worker& worker = workers_.at(size_t(w));
+    worker.state = WorkerState::Dead;
+    worker.current_task = 0;
+    ++worker.losses;
+}
+
+void
+WorkerPool::revive(int w)
+{
+    Worker& worker = workers_.at(size_t(w));
+    if (worker.state == WorkerState::Dead) {
+        worker.state = WorkerState::Idle;
+        worker.current_task = 0;
+    }
+}
+
+const Worker&
+WorkerPool::worker(int w) const
+{
+    return workers_.at(size_t(w));
+}
+
+} // namespace cluster
+} // namespace clite

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The engine's worker pool: execution slots with a lifecycle.
+ *
+ * Workers here are *scheduling entities*, not OS threads: each models
+ * one execution slot of the manager-worker fleet (a remote worker
+ * process in the Work Queue analogy). The engine assigns window tasks
+ * to idle workers, charges each assignment a virtual duration, and —
+ * via the fault plan — kills workers mid-task: a dead worker's task
+ * never completes, its lease expires, and the manager resubmits it.
+ * Probabilistically lost workers rejoin after a configured down time
+ * (elastic pool); scripted deaths are permanent.
+ *
+ * The actual CPU work of a window (the node's observe→fit→acquire
+ * step) is executed on the process-global deterministic thread pool
+ * at dispatch time; WorkerPool only decides who is busy, who is dead,
+ * and when. Everything is a pure function of the assignment sequence,
+ * which is what makes chaos runs seed-reproducible.
+ */
+
+#ifndef CLITE_CLUSTER_WORKER_H
+#define CLITE_CLUSTER_WORKER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace clite {
+namespace cluster {
+
+/** A worker slot's lifecycle state. */
+enum class WorkerState {
+    Idle, ///< Ready for an assignment.
+    Busy, ///< Holding a task (lease running).
+    Dead, ///< Lost; tasks it held are resubmitted on lease expiry.
+};
+
+/** Printable state name ("idle", "busy", "dead"). */
+const char* workerStateName(WorkerState state);
+
+/** One execution slot. */
+struct Worker
+{
+    WorkerState state = WorkerState::Idle;
+    uint64_t current_task = 0; ///< Task held (valid while Busy).
+    uint64_t assignments = 0;  ///< Tasks ever assigned to this slot.
+    uint64_t losses = 0;       ///< Times this slot died.
+};
+
+/**
+ * Fixed-capacity pool of worker slots.
+ */
+class WorkerPool
+{
+  public:
+    /** @param workers Slot count (>= 1; values < 1 are clamped). */
+    explicit WorkerPool(int workers);
+
+    /** Total slots. */
+    int size() const { return int(workers_.size()); }
+
+    /** Slots not Dead. */
+    int aliveCount() const;
+
+    /** Slots currently Idle. */
+    int idleCount() const;
+
+    /** Lowest-index idle slot, or -1 when none. */
+    int findIdle() const;
+
+    /** Assign @p task to idle slot @p w (Idle -> Busy). */
+    void assign(int w, uint64_t task);
+
+    /** Release slot @p w after its task resolved (Busy -> Idle). */
+    void release(int w);
+
+    /** Kill slot @p w (-> Dead); its held task is forfeited. */
+    void kill(int w);
+
+    /** Revive a dead slot (Dead -> Idle). */
+    void revive(int w);
+
+    /** Slot @p w's record. */
+    const Worker& worker(int w) const;
+
+  private:
+    std::vector<Worker> workers_;
+};
+
+} // namespace cluster
+} // namespace clite
+
+#endif // CLITE_CLUSTER_WORKER_H

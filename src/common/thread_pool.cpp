@@ -153,6 +153,13 @@ ThreadPool::parallelForBlocked(size_t n, size_t grain,
     parallelFor(nblocks, run_block);
 }
 
+void
+ThreadPool::parallelForIndices(const std::vector<size_t>& indices,
+                               const std::function<void(size_t)>& fn)
+{
+    parallelFor(indices.size(), [&](size_t i) { fn(indices[i]); });
+}
+
 int
 ThreadPool::defaultThreadCount()
 {

@@ -77,6 +77,17 @@ class ThreadPool
                             const std::function<void(size_t, size_t)>& fn);
 
     /**
+     * Sparse sibling of parallelFor: run fn(indices[0]) ...
+     * fn(indices[k-1]) for an arbitrary index set. The async fleet
+     * engine uses this to fan out the node steps of one dispatch
+     * round — a scattered subset of the node array. Same determinism
+     * contract, per element: fn(i) writes only state owned by i
+     * (indices must therefore be distinct).
+     */
+    void parallelForIndices(const std::vector<size_t>& indices,
+                            const std::function<void(size_t)>& fn);
+
+    /**
      * Index-parallel map: returns {f(0), ..., f(n-1)}. The result
      * type must be default-constructible.
      */

@@ -22,6 +22,10 @@ faultKindName(FaultKind kind)
         return "knob-loss";
       case FaultKind::JobCrash:
         return "job-crash";
+      case FaultKind::WorkerLoss:
+        return "worker-loss";
+      case FaultKind::TaskFailure:
+        return "task-failure";
     }
     return "unknown";
 }
@@ -31,7 +35,9 @@ FaultPlan::any() const
 {
     return dropout_prob > 0.0 || freeze_prob > 0.0 || spike_prob > 0.0 ||
            apply_fail_prob > 0.0 || crash_prob > 0.0 ||
-           !knob_losses.empty() || !crashes.empty();
+           !knob_losses.empty() || !crashes.empty() ||
+           worker_loss_prob > 0.0 || task_fail_prob > 0.0 ||
+           !worker_deaths.empty() || !node_breaks.empty();
 }
 
 void
@@ -46,6 +52,8 @@ FaultPlan::validate() const
     check_prob(spike_prob, "spike_prob");
     check_prob(apply_fail_prob, "apply_fail_prob");
     check_prob(crash_prob, "crash_prob");
+    check_prob(worker_loss_prob, "worker_loss_prob");
+    check_prob(task_fail_prob, "task_fail_prob");
     CLITE_CHECK(spike_factor >= 1.0,
                 "spike_factor must be >= 1, got " << spike_factor);
     CLITE_CHECK(crash_down_windows >= 1,
@@ -134,6 +142,40 @@ FaultInjector::jobDown(uint64_t window, size_t job) const
                 return true;
     }
     return false;
+}
+
+bool
+FaultInjector::workerLost(uint64_t assignment, size_t worker) const
+{
+    if (workerDeathScripted(assignment, worker))
+        return true;
+    return plan_.worker_loss_prob > 0.0 &&
+           hash01(FaultKind::WorkerLoss, assignment, worker + 1) <
+               plan_.worker_loss_prob;
+}
+
+bool
+FaultInjector::workerDeathScripted(uint64_t assignment, size_t worker) const
+{
+    for (const auto& d : plan_.worker_deaths)
+        if (d.worker == worker && assignment >= d.at_assignment)
+            return true;
+    return false;
+}
+
+bool
+FaultInjector::taskFails(size_t node, uint64_t epoch, int attempt) const
+{
+    for (const auto& b : plan_.node_breaks)
+        if (b.node == node && epoch >= b.after_epoch)
+            return true;
+    // Keying by (epoch, node, attempt) lets a retry of the same
+    // window succeed where the first attempt failed — transient node
+    // trouble, the common case.
+    return plan_.task_fail_prob > 0.0 &&
+           hash01(FaultKind::TaskFailure,
+                  epoch * 1000003ull + uint64_t(attempt),
+                  node + 1) < plan_.task_fail_prob;
 }
 
 void

@@ -41,6 +41,8 @@ enum class FaultKind
     ApplyFailure,       ///< One apply() transiently fails to program.
     KnobLoss,           ///< A resource knob dies for the rest of the run.
     JobCrash,           ///< A job crashes and restarts windows later.
+    WorkerLoss,         ///< A fleet worker dies mid-task (engine level).
+    TaskFailure,        ///< A dispatched window task fails at its node.
 };
 
 /** Printable name of a fault kind ("apply-failure", ...). */
@@ -87,6 +89,35 @@ struct FaultPlan
         int down_windows = 3;   ///< Windows the job stays down.
     };
     std::vector<JobCrash> crashes;
+
+    // ----- Fleet-engine fault kinds (cluster::AsyncFleetEngine) -----
+    // The kinds above hit one server's telemetry and knobs; these two
+    // hit the manager-worker layer that drives many servers: a worker
+    // can die while holding a window task (the task's lease expires
+    // and the manager resubmits it), and a task can fail at its node
+    // (bad telemetry, a wedged agent) without the worker dying.
+
+    /** P(the assigned worker dies during a task), per assignment. */
+    double worker_loss_prob = 0.0;
+    /** P(a dispatched window task fails at its node), per attempt. */
+    double task_fail_prob = 0.0;
+
+    /** Scripted permanent worker death. */
+    struct WorkerDeath
+    {
+        /** The worker dies on its first assignment index >= this. */
+        uint64_t at_assignment = 0;
+        size_t worker = 0; ///< Which worker.
+    };
+    std::vector<WorkerDeath> worker_deaths;
+
+    /** Scripted node breakage: every window task fails from then on. */
+    struct NodeBreak
+    {
+        size_t node = 0;          ///< Broken node.
+        uint64_t after_epoch = 0; ///< Tasks with epoch >= this fail.
+    };
+    std::vector<NodeBreak> node_breaks;
 
     /** True when the plan can inject at least one fault. */
     bool any() const;
@@ -145,6 +176,28 @@ class FaultInjector
      * ones of plan().crash_down_windows duration.
      */
     bool jobDown(uint64_t window, size_t job) const;
+
+    /**
+     * Does worker @p worker die while holding assignment
+     * @p assignment? Combines the probabilistic worker_loss_prob with
+     * the scripted deaths.
+     */
+    bool workerLost(uint64_t assignment, size_t worker) const;
+
+    /**
+     * Is worker @p worker's death at @p assignment scripted (and
+     * therefore permanent — it never rejoins)? Probabilistic losses
+     * are transient: the engine revives the worker after its
+     * configured down time.
+     */
+    bool workerDeathScripted(uint64_t assignment, size_t worker) const;
+
+    /**
+     * Does attempt @p attempt of node @p node's window task for epoch
+     * @p epoch fail at the node? Combines task_fail_prob with the
+     * scripted node breaks.
+     */
+    bool taskFails(size_t node, uint64_t epoch, int attempt) const;
 
     /** Record an injected fault (called by the server). */
     void record(FaultKind kind, uint64_t index, size_t subject = 0);

@@ -10,12 +10,47 @@
 namespace clite {
 namespace store {
 
+ProfileStore::ProfileStore(ProfileStoreOptions options)
+    : options_(options)
+{
+}
+
 void
 ProfileStore::put(Snapshot snap)
 {
     const uint64_t key = snap.signature().hash();
     std::lock_guard<std::mutex> lock(mu_);
-    entries_[key] = std::move(snap); // last writer wins
+    Entry& e = entries_[key];
+    e.snap = std::move(snap); // last writer wins
+    e.last_put = ++put_clock_; // refresh = re-put; reads never touch this
+    if (options_.max_entries > 0 &&
+        entries_.size() > options_.max_entries) {
+        // Evict the least-recently-put entry. The ordered map breaks
+        // last_put ties (impossible with a monotone clock, but cheap
+        // insurance) by lowest hash, keeping eviction deterministic.
+        auto victim = entries_.begin();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it)
+            if (it->second.last_put < victim->second.last_put)
+                victim = it;
+        entries_.erase(victim);
+        ++evictions_;
+    }
+}
+
+Snapshot
+ProfileStore::serve(const Entry& entry) const
+{
+    Snapshot snap = entry.snap;
+    if (options_.trust_staleness > 0 &&
+        snap.phase == ControllerPhase::Steady &&
+        put_clock_ - entry.last_put > options_.trust_staleness) {
+        // Stale trust decay: the mix may have shifted since this was
+        // learned, so serve it as "still searching" — its samples and
+        // incumbent seed the bootstrap, but trusted_feasible (which
+        // would skip the infeasibility extrema) is no longer granted.
+        snap.phase = ControllerPhase::Search;
+    }
+    return snap;
 }
 
 std::optional<Snapshot>
@@ -27,9 +62,9 @@ ProfileStore::find(const MixSignature& sig) const
         return std::nullopt;
     // Hash collisions are astronomically unlikely but cheap to rule
     // out: the stored signature must structurally match the query.
-    if (!(it->second.signature() == sig))
+    if (!(it->second.snap.signature() == sig))
         return std::nullopt;
-    return it->second;
+    return serve(it->second);
 }
 
 std::vector<Neighbor>
@@ -37,8 +72,8 @@ ProfileStore::nearest(const MixSignature& sig, size_t k) const
 {
     std::lock_guard<std::mutex> lock(mu_);
     std::vector<std::pair<double, uint64_t>> ranked;
-    for (const auto& [hash, snap] : entries_) {
-        double d = MixSignature::distance(sig, snap.signature());
+    for (const auto& [hash, entry] : entries_) {
+        double d = MixSignature::distance(sig, entry.snap.signature());
         if (d < std::numeric_limits<double>::infinity())
             ranked.emplace_back(d, hash);
     }
@@ -46,7 +81,7 @@ ProfileStore::nearest(const MixSignature& sig, size_t k) const
     std::vector<Neighbor> out;
     for (size_t i = 0; i < ranked.size() && i < k; ++i) {
         Neighbor n;
-        n.snapshot = entries_.at(ranked[i].second);
+        n.snapshot = serve(entries_.at(ranked[i].second));
         n.distance = ranked[i].first;
         out.push_back(std::move(n));
     }
@@ -66,6 +101,8 @@ ProfileStore::clear()
     std::lock_guard<std::mutex> lock(mu_);
     entries_.clear();
     corrupt_rejected_ = 0;
+    evictions_ = 0;
+    put_clock_ = 0;
 }
 
 uint64_t
@@ -73,6 +110,13 @@ ProfileStore::corruptRejected() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return corrupt_rejected_;
+}
+
+uint64_t
+ProfileStore::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
 }
 
 std::optional<Snapshot>
@@ -134,16 +178,17 @@ ProfileStore::saveDir(const std::string& dir) const
     namespace fs = std::filesystem;
     std::error_code ec;
     fs::create_directories(dir, ec);
-    std::map<uint64_t, Snapshot> copy;
+    std::map<uint64_t, Entry> copy;
     {
         std::lock_guard<std::mutex> lock(mu_);
         copy = entries_;
     }
     size_t written = 0;
-    for (const auto& [hash, snap] : copy) {
+    for (const auto& [hash, entry] : copy) {
         const std::string path =
-            (fs::path(dir) / (snap.signature().key() + ".snap")).string();
-        if (saveFile(path, snap))
+            (fs::path(dir) / (entry.snap.signature().key() + ".snap"))
+                .string();
+        if (saveFile(path, entry.snap))
             ++written;
     }
     return written;

@@ -22,6 +22,17 @@
  * "<hex-signature>.snap" file per entry. Corrupt files are skipped
  * (and counted), never fatal — losing a snapshot only costs the warm
  * start it would have provided.
+ *
+ * Lifecycle (fleet-month runs see far more mixes than are worth
+ * keeping): an optional entry cap evicts the least-recently-PUT entry
+ * — recency advances on writes only, never on reads, so concurrent
+ * lookups from pool threads cannot perturb the eviction order and
+ * serial-vs-parallel determinism is preserved. An optional staleness
+ * bound decays trust: an entry not refreshed for more than
+ * trust_staleness puts is served with its Steady phase demoted to
+ * Search, so warmStartFromSnapshot() no longer grants it
+ * trusted_feasible (the full infeasibility bootstrap runs again) while
+ * its configurations still seed the search.
  */
 
 #ifndef CLITE_STORE_PROFILE_STORE_H
@@ -46,6 +57,22 @@ struct Neighbor
     double distance = 0.0; ///< Signature distance to the query.
 };
 
+/** Store lifecycle knobs. */
+struct ProfileStoreOptions
+{
+    /**
+     * Entry cap; inserting past it evicts the least-recently-put
+     * entry (ties: lowest signature hash). 0 = unbounded (the
+     * pre-lifecycle behaviour).
+     */
+    size_t max_entries = 0;
+    /**
+     * Puts after which an unrefreshed entry's Steady phase is served
+     * demoted to Search (decaying trusted_feasible). 0 = never decay.
+     */
+    uint64_t trust_staleness = 0;
+};
+
 /**
  * In-memory snapshot store with optional directory persistence.
  */
@@ -53,6 +80,7 @@ class ProfileStore
 {
   public:
     ProfileStore() = default;
+    explicit ProfileStore(ProfileStoreOptions options);
 
     // The mutex makes the store non-copyable; share by pointer.
     ProfileStore(const ProfileStore&) = delete;
@@ -81,6 +109,12 @@ class ProfileStore
     /** Corrupt snapshot files skipped by loadDir() so far. */
     uint64_t corruptRejected() const;
 
+    /** Entries evicted by the LRU cap so far. */
+    uint64_t evictions() const;
+
+    /** The lifecycle options in effect. */
+    const ProfileStoreOptions& options() const { return options_; }
+
     /**
      * Load every "*.snap" file under @p dir (sorted by filename for
      * determinism). Corrupt or unreadable files are skipped and
@@ -103,9 +137,22 @@ class ProfileStore
     static bool saveFile(const std::string& path, const Snapshot& snap);
 
   private:
+    /** One stored snapshot plus its write-recency stamp. */
+    struct Entry
+    {
+        Snapshot snap;
+        uint64_t last_put = 0; ///< put_clock_ value of the last put().
+    };
+
+    /** Apply the staleness decay to a copy being served (mu_ held). */
+    Snapshot serve(const Entry& entry) const;
+
+    ProfileStoreOptions options_;
     mutable std::mutex mu_;
-    std::map<uint64_t, Snapshot> entries_; ///< keyed by signature hash
+    std::map<uint64_t, Entry> entries_; ///< keyed by signature hash
+    uint64_t put_clock_ = 0;
     uint64_t corrupt_rejected_ = 0;
+    uint64_t evictions_ = 0;
 };
 
 } // namespace store

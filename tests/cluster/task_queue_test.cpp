@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the engine's passive pieces: the two-class TaskQueue
+ * (priority ordering, lazy cancellation, degradation shedding) and the
+ * WorkerPool slot lifecycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/task_queue.h"
+#include "cluster/worker.h"
+#include "common/error.h"
+
+namespace clite {
+namespace cluster {
+namespace {
+
+WindowTask
+task(uint64_t id, bool critical, bool hedge = false)
+{
+    WindowTask t;
+    t.id = id;
+    t.critical = critical;
+    t.hedge = hedge;
+    return t;
+}
+
+const std::function<bool(uint64_t)> all_alive = [](uint64_t) {
+    return true;
+};
+
+TEST(TaskQueue, CriticalClassDispatchesFirst)
+{
+    TaskQueue q;
+    q.push(task(1, false));
+    q.push(task(2, true));
+    q.push(task(3, false));
+    q.push(task(4, true));
+    EXPECT_EQ(q.criticalSize(), 2u);
+    EXPECT_EQ(q.normalSize(), 2u);
+
+    EXPECT_EQ(q.pop(false, all_alive), 2u);
+    EXPECT_EQ(q.pop(false, all_alive), 4u);
+    EXPECT_EQ(q.pop(false, all_alive), 1u);
+    EXPECT_EQ(q.pop(false, all_alive), 3u);
+    EXPECT_FALSE(q.pop(false, all_alive).has_value());
+}
+
+TEST(TaskQueue, CriticalOnlyLeavesNormalBacklogQueued)
+{
+    TaskQueue q;
+    q.push(task(1, false));
+    q.push(task(2, true));
+    EXPECT_EQ(q.pop(true, all_alive), 2u);
+    EXPECT_FALSE(q.pop(true, all_alive).has_value());
+    EXPECT_EQ(q.normalSize(), 1u); // still there for better times
+    EXPECT_EQ(q.pop(false, all_alive), 1u);
+}
+
+TEST(TaskQueue, PushFrontJumpsItsClass)
+{
+    TaskQueue q;
+    q.push(task(1, true));
+    q.pushFront(task(2, true)); // a retry is late already
+    q.push(task(3, false));
+    q.pushFront(task(4, false));
+    EXPECT_EQ(q.pop(false, all_alive), 2u);
+    EXPECT_EQ(q.pop(false, all_alive), 1u);
+    EXPECT_EQ(q.pop(false, all_alive), 4u);
+    EXPECT_EQ(q.pop(false, all_alive), 3u);
+}
+
+TEST(TaskQueue, LazilyCancelledTasksAreSkipped)
+{
+    TaskQueue q;
+    q.push(task(1, true));
+    q.push(task(2, true));
+    q.push(task(3, true));
+    const auto alive = [](uint64_t id) { return id != 1 && id != 2; };
+    EXPECT_EQ(q.pop(false, alive), 3u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(TaskQueue, DropNormalShedsOnlyTheNormalClass)
+{
+    TaskQueue q;
+    q.push(task(1, false));
+    q.push(task(2, true));
+    q.push(task(3, false));
+    std::vector<uint64_t> shed = q.dropNormal();
+    EXPECT_EQ(shed, (std::vector<uint64_t>{1, 3}));
+    EXPECT_EQ(q.normalSize(), 0u);
+    EXPECT_EQ(q.pop(false, all_alive), 2u);
+}
+
+TEST(TaskStateNames, AllDistinct)
+{
+    std::set<std::string> names;
+    for (TaskState s :
+         {TaskState::Queued, TaskState::Running, TaskState::Committed,
+          TaskState::Superseded, TaskState::Lost, TaskState::Failed,
+          TaskState::Dropped})
+        names.insert(taskStateName(s));
+    EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(WorkerPool, AssignReleaseLifecycle)
+{
+    WorkerPool pool(3);
+    EXPECT_EQ(pool.size(), 3);
+    EXPECT_EQ(pool.aliveCount(), 3);
+    EXPECT_EQ(pool.idleCount(), 3);
+
+    int w = pool.findIdle();
+    EXPECT_EQ(w, 0);
+    pool.assign(w, 42);
+    EXPECT_EQ(pool.worker(w).state, WorkerState::Busy);
+    EXPECT_EQ(pool.worker(w).current_task, 42u);
+    EXPECT_EQ(pool.findIdle(), 1);
+    EXPECT_EQ(pool.idleCount(), 2);
+
+    pool.release(w);
+    EXPECT_EQ(pool.worker(w).state, WorkerState::Idle);
+    EXPECT_EQ(pool.worker(w).assignments, 1u);
+}
+
+TEST(WorkerPool, DoubleAssignIsAnError)
+{
+    WorkerPool pool(1);
+    pool.assign(0, 1);
+    EXPECT_THROW(pool.assign(0, 2), Error);
+}
+
+TEST(WorkerPool, KillAndReviveCycle)
+{
+    WorkerPool pool(2);
+    pool.assign(0, 7);
+    pool.kill(0); // died holding task 7
+    EXPECT_EQ(pool.worker(0).state, WorkerState::Dead);
+    EXPECT_EQ(pool.aliveCount(), 1);
+    EXPECT_EQ(pool.worker(0).losses, 1u);
+
+    // Releasing a dead worker's forfeited task is a safe no-op.
+    pool.release(0);
+    EXPECT_EQ(pool.worker(0).state, WorkerState::Dead);
+
+    pool.revive(0);
+    EXPECT_EQ(pool.worker(0).state, WorkerState::Idle);
+    EXPECT_EQ(pool.aliveCount(), 2);
+
+    // Reviving an alive worker is a no-op.
+    pool.assign(0, 8);
+    pool.revive(0);
+    EXPECT_EQ(pool.worker(0).state, WorkerState::Busy);
+}
+
+TEST(WorkerPool, ClampsNonPositiveSizes)
+{
+    WorkerPool pool(0);
+    EXPECT_EQ(pool.size(), 1);
+}
+
+} // namespace
+} // namespace cluster
+} // namespace clite

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <stdexcept>
@@ -129,6 +130,25 @@ TEST(ThreadPool, GlobalPoolOverride)
     EXPECT_EQ(globalPool().threadCount(), 3);
     setGlobalThreadCount(1);
     EXPECT_EQ(globalPool().threadCount(), 1);
+}
+
+TEST(ThreadPool, IndicesVariantCoversExactlyTheGivenSet)
+{
+    // The sparse fan-out used by the async fleet engine: a scattered
+    // subset of distinct indices, each visited exactly once, results
+    // written only to index-owned slots.
+    ThreadPool pool(4);
+    std::vector<size_t> indices = {7, 1, 12, 3, 9};
+    std::vector<int> hits(16, 0);
+    pool.parallelForIndices(indices,
+                            [&](size_t i) { hits[i] += 1; });
+    for (size_t i = 0; i < hits.size(); ++i) {
+        bool expected = std::find(indices.begin(), indices.end(), i) !=
+                        indices.end();
+        EXPECT_EQ(hits[i], expected ? 1 : 0) << "index " << i;
+    }
+    // Empty set is a no-op, not an error.
+    pool.parallelForIndices({}, [&](size_t i) { hits.at(i) += 100; });
 }
 
 } // namespace

@@ -170,6 +170,88 @@ TEST(FaultKindNames, AllDistinct)
                  faultKindName(FaultKind::KnobLoss));
 }
 
+// --- Fleet-engine fault kinds --------------------------------------
+
+TEST(FaultInjector, WorkerLossProbabilisticAndOrderIndependent)
+{
+    FaultPlan plan;
+    plan.worker_loss_prob = 0.25;
+    FaultInjector inj(plan, 11);
+    int lost = 0;
+    const int n = 4000;
+    for (uint64_t a = 0; a < n; ++a)
+        lost += inj.workerLost(a, a % 4) ? 1 : 0;
+    EXPECT_NEAR(double(lost) / n, 0.25, 0.05);
+    // Pure counter-keyed decisions: re-asking (a retry inspecting the
+    // world it failed in) sees the same answer.
+    for (uint64_t a = 0; a < 50; ++a)
+        EXPECT_EQ(inj.workerLost(a, 1), inj.workerLost(a, 1));
+    // Probabilistic losses are transient, never scripted-permanent.
+    for (uint64_t a = 0; a < 50; ++a)
+        EXPECT_FALSE(inj.workerDeathScripted(a, 1));
+}
+
+TEST(FaultInjector, ScriptedWorkerDeathIsPermanent)
+{
+    FaultPlan plan;
+    FaultPlan::WorkerDeath death;
+    death.at_assignment = 10;
+    death.worker = 2;
+    plan.worker_deaths.push_back(death);
+    EXPECT_TRUE(plan.any());
+    FaultInjector inj(plan, 7);
+    for (uint64_t a = 0; a < 30; ++a) {
+        EXPECT_EQ(inj.workerLost(a, 2), a >= 10) << "assignment " << a;
+        EXPECT_EQ(inj.workerDeathScripted(a, 2), a >= 10);
+        EXPECT_FALSE(inj.workerLost(a, 1)) << "assignment " << a;
+    }
+}
+
+TEST(FaultInjector, TaskFailureProbabilisticPerAttempt)
+{
+    FaultPlan plan;
+    plan.task_fail_prob = 0.2;
+    FaultInjector inj(plan, 13);
+    int failed = 0;
+    const int n = 4000;
+    for (uint64_t e = 0; e < n; ++e)
+        failed += inj.taskFails(e % 8, e, 0) ? 1 : 0;
+    EXPECT_NEAR(double(failed) / n, 0.2, 0.05);
+    // A retry is a fresh attempt with its own fate — otherwise a
+    // transient failure would be sticky and retries pointless.
+    bool differs = false;
+    for (uint64_t e = 0; e < 200 && !differs; ++e)
+        differs = inj.taskFails(0, e, 0) != inj.taskFails(0, e, 1);
+    EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjector, ScriptedNodeBreakFailsEveryAttempt)
+{
+    FaultPlan plan;
+    FaultPlan::NodeBreak broke;
+    broke.node = 3;
+    broke.after_epoch = 5;
+    plan.node_breaks.push_back(broke);
+    EXPECT_TRUE(plan.any());
+    FaultInjector inj(plan, 9);
+    for (uint64_t e = 0; e < 10; ++e)
+        for (int attempt = 0; attempt < 3; ++attempt) {
+            EXPECT_EQ(inj.taskFails(3, e, attempt), e >= 5)
+                << "epoch " << e << " attempt " << attempt;
+            EXPECT_FALSE(inj.taskFails(2, e, attempt));
+        }
+}
+
+TEST(FaultInjector, EnginePlanValidation)
+{
+    FaultPlan plan;
+    plan.worker_loss_prob = 1.2;
+    EXPECT_THROW(FaultInjector{plan}, Error);
+    plan = FaultPlan{};
+    plan.task_fail_prob = -0.5;
+    EXPECT_THROW(FaultInjector{plan}, Error);
+}
+
 // --- Server-level fault semantics ----------------------------------
 
 TEST(ServerFaults, NoInjectorMeansFaultsDisabled)

@@ -156,6 +156,106 @@ TEST(ProfileStore, MissingDirectoryLoadsNothing)
     EXPECT_EQ(store.size(), 0u);
 }
 
+// --- Lifecycle: LRU cap and staleness decay ------------------------
+
+TEST(ProfileStore, CapEvictsLeastRecentlyPut)
+{
+    ProfileStoreOptions options;
+    options.max_entries = 2;
+    ProfileStore store(options);
+    Snapshot a = makeSnapshot(0.2);
+    Snapshot b = makeSnapshot(0.3);
+    Snapshot c = makeSnapshot(0.4);
+    store.put(a);
+    store.put(b);
+    store.put(c); // cap 2: the oldest put (a) must go
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_EQ(store.evictions(), 1u);
+    EXPECT_FALSE(store.find(a.signature()).has_value());
+    EXPECT_TRUE(store.find(b.signature()).has_value());
+    EXPECT_TRUE(store.find(c.signature()).has_value());
+}
+
+TEST(ProfileStore, RePutRefreshesRecency)
+{
+    ProfileStoreOptions options;
+    options.max_entries = 2;
+    ProfileStore store(options);
+    Snapshot a = makeSnapshot(0.2);
+    Snapshot b = makeSnapshot(0.3);
+    store.put(a);
+    store.put(b);
+    store.put(a); // refresh: b is now the coldest
+    store.put(makeSnapshot(0.4));
+    EXPECT_TRUE(store.find(a.signature()).has_value());
+    EXPECT_FALSE(store.find(b.signature()).has_value());
+}
+
+TEST(ProfileStore, ReadsDoNotRefreshRecency)
+{
+    // LRU on writes only: a read must not promote an entry, or the
+    // parallel-phase reads of the fleet would make eviction order (and
+    // therefore warm-start state) depend on thread scheduling.
+    ProfileStoreOptions options;
+    options.max_entries = 2;
+    ProfileStore store(options);
+    Snapshot a = makeSnapshot(0.2);
+    Snapshot b = makeSnapshot(0.3);
+    store.put(a);
+    store.put(b);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(store.find(a.signature()).has_value());
+    store.put(makeSnapshot(0.4)); // a is still the coldest
+    EXPECT_FALSE(store.find(a.signature()).has_value());
+    EXPECT_TRUE(store.find(b.signature()).has_value());
+}
+
+TEST(ProfileStore, StalenessDemotesTrustedSteadyToSearch)
+{
+    ProfileStoreOptions options;
+    options.trust_staleness = 2;
+    ProfileStore store(options);
+    Snapshot a = makeSnapshot(0.2);
+    ASSERT_EQ(a.phase, ControllerPhase::Steady);
+    store.put(a);
+    // One write later the entry is within its trust horizon.
+    store.put(makeSnapshot(0.3));
+    EXPECT_EQ(store.find(a.signature())->phase, ControllerPhase::Steady);
+    // Two more writes push it past the horizon: served demoted, so
+    // warm starts keep the samples but lose trusted_feasible.
+    store.put(makeSnapshot(0.4));
+    store.put(makeSnapshot(0.5));
+    EXPECT_EQ(store.find(a.signature())->phase, ControllerPhase::Search);
+    // The stored entry itself is untouched: a re-put restores trust.
+    store.put(a);
+    EXPECT_EQ(store.find(a.signature())->phase, ControllerPhase::Steady);
+}
+
+TEST(ProfileStore, ZeroOptionsPreserveLegacyBehavior)
+{
+    ProfileStore store; // max_entries = 0, trust_staleness = 0
+    Snapshot a = makeSnapshot(0.2);
+    store.put(a);
+    for (double load : {0.3, 0.4, 0.5, 0.6, 0.7})
+        store.put(makeSnapshot(load));
+    EXPECT_EQ(store.size(), 6u);
+    EXPECT_EQ(store.evictions(), 0u);
+    EXPECT_EQ(store.find(a.signature())->phase, ControllerPhase::Steady);
+}
+
+TEST(ProfileStore, ClearResetsLifecycleCounters)
+{
+    ProfileStoreOptions options;
+    options.max_entries = 1;
+    ProfileStore store(options);
+    store.put(makeSnapshot(0.2));
+    store.put(makeSnapshot(0.3));
+    EXPECT_EQ(store.evictions(), 1u);
+    store.clear();
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_EQ(store.evictions(), 0u);
+}
+
 } // namespace
 } // namespace store
 } // namespace clite
