@@ -9,7 +9,14 @@ Usage:
     python3 bench/compare_bench.py --mode fleet \
         FLEET_scaling.json NEW_fleet.json [--strict]
 
-The default mode compares google-benchmark output. `--mode warmstart`
+The default mode compares google-benchmark output. `--mode components`
+is the same comparison hardened for the committed component baseline
+(BENCH_components.json): the observation-window hot paths
+(hyper-parameter probe, DES measure) join the watched families, and a
+candidate produced by a non-Release build — a ".DEBUG"-stamped file
+name or a `clite_build_type` context other than "release" — fails the
+run outright instead of warning, so a debug JSON can never slip in as
+the baseline. `--mode warmstart`
 compares two bench/warm_start emissions (BENCH_warmstart.json)
 instead: it checks that warm starts still converge no slower than the
 committed baseline and that the exact-hit improvement over cold stays
@@ -38,6 +45,11 @@ import sys
 # default: the surrogate-maintenance and acquisition hot paths that
 # docs/PERF.md tracks.
 DEFAULT_FAMILIES = ["acquisition", "cholesky", "predictbatch"]
+
+# Additional families `--mode components` watches: the observation-
+# window pipeline (GP hyper-fit probes and the DES measurement).
+COMPONENT_FAMILIES = DEFAULT_FAMILIES + ["hyperparameterprobe",
+                                         "desmodelmeasure"]
 
 
 def load_benchmarks(path):
@@ -176,10 +188,14 @@ def main():
                         help="comma-separated name substrings to watch "
                              "(case-insensitive)")
     parser.add_argument("--mode",
-                        choices=["benchmark", "warmstart", "fleet"],
+                        choices=["benchmark", "components", "warmstart",
+                                 "fleet"],
                         default="benchmark",
                         help="input format: google-benchmark JSON "
-                             "(default), bench/warm_start JSON, or "
+                             "(default; 'components' adds the "
+                             "observation-window families and makes a "
+                             "non-Release candidate a hard error), "
+                             "bench/warm_start JSON, or "
                              "bench/fleet_scaling JSON")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when any watched family regresses")
@@ -189,14 +205,29 @@ def main():
         return compare_warmstart(args)
     if args.mode == "fleet":
         return compare_fleet(args)
+    if (args.mode == "components"
+            and args.families == ",".join(DEFAULT_FAMILIES)):
+        args.families = ",".join(COMPONENT_FAMILIES)
 
     base, base_ctx = load_benchmarks(args.baseline)
     cand, cand_ctx = load_benchmarks(args.candidate)
     families = [f.strip().lower() for f in args.families.split(",")
                 if f.strip()]
 
-    for label, ctx in (("baseline", base_ctx), ("candidate", cand_ctx)):
+    for label, ctx, path in (("baseline", base_ctx, args.baseline),
+                             ("candidate", cand_ctx, args.candidate)):
         build = ctx.get("clite_build_type")
+        debug_named = ".DEBUG" in path
+        if args.mode == "components" and (debug_named or
+                                          (build and build != "release")):
+            # A debug-stamped or debug-built JSON can never serve as
+            # (or be compared against) the committed component
+            # baseline: fail loudly, --strict or not.
+            print(f"::error::{label} {path} is not a Release "
+                  f"components baseline (clite_build_type="
+                  f"{build or 'missing'}"
+                  f"{', .DEBUG-stamped name' if debug_named else ''})")
+            return 1
         if build and build != "release":
             print(f"::warning::{label} benchmark JSON came from a "
                   f"'{build}' build of clite; ratios are unreliable")

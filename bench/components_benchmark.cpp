@@ -198,6 +198,7 @@ BM_GpHyperparameterProbe(benchmark::State& state)
 BENCHMARK(BM_GpHyperparameterProbe)
     ->Arg(16)
     ->Arg(64)
+    ->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
 // ---- Acquisition rounds: one BO iteration's worth of candidate
@@ -439,6 +440,29 @@ BM_DesModelMeasure(benchmark::State& state)
             model.measure(job, units, config, rng).p95_ms);
 }
 BENCHMARK(BM_DesModelMeasure);
+
+/**
+ * Same observation window under the coarse event budget (2000
+ * measured requests per LC window — the accuracy/latency trade
+ * documented in docs/MODEL.md and pinned by
+ * tests/sim/queueing_budget_test.cpp). At this job's arrival rate the
+ * budget barely binds, so the value should track BM_DesModelMeasure;
+ * a widening gap means the budgeted code path drifted from the fast
+ * path, a shrinking measurement means the budget started binding.
+ */
+void
+BM_DesModelMeasureCoarse(benchmark::State& state)
+{
+    platform::ServerConfig config = platform::ServerConfig::xeonSilver4114();
+    workloads::JobSpec job = workloads::lcJob("img-dnn", 0.4);
+    workloads::QueueingSimModel model(0.5, 2.0, 2000);
+    Rng rng(11);
+    std::vector<int> units = {4, 5, 3};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            model.measure(job, units, config, rng).p95_ms);
+}
+BENCHMARK(BM_DesModelMeasureCoarse);
 
 void
 BM_ScoreEvaluation(benchmark::State& state)

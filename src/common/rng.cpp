@@ -6,17 +6,6 @@
 
 namespace clite {
 
-namespace {
-
-/** Left-rotate for xoshiro. */
-inline uint64_t
-rotl(uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-} // namespace
-
 uint64_t
 SplitMix64::next()
 {
@@ -33,22 +22,6 @@ Rng::Rng(uint64_t seed)
         s = sm.next();
 }
 
-uint64_t
-Rng::next()
-{
-    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
-    const uint64_t t = state_[1] << 17;
-
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-
-    return result;
-}
-
 Rng
 Rng::split(uint64_t tag)
 {
@@ -56,13 +29,6 @@ Rng::split(uint64_t tag)
     // from different parent states) are decorrelated.
     uint64_t seed = next() ^ (tag * 0xD1B54A32D192ED03ull + 1);
     return Rng(seed);
-}
-
-double
-Rng::uniform()
-{
-    // 53 high bits -> double in [0, 1).
-    return double(next() >> 11) * 0x1.0p-53;
 }
 
 double
@@ -88,46 +54,6 @@ Rng::uniformInt(int64_t lo, int64_t hi)
         v = next();
     } while (v >= limit);
     return lo + int64_t(v % span);
-}
-
-double
-Rng::normal()
-{
-    if (has_cached_normal_) {
-        has_cached_normal_ = false;
-        return cached_normal_;
-    }
-    // Box-Muller; u1 in (0,1] so the log is finite.
-    double u1 = 1.0 - uniform();
-    double u2 = uniform();
-    double r = std::sqrt(-2.0 * std::log(u1));
-    double theta = 2.0 * M_PI * u2;
-    cached_normal_ = r * std::sin(theta);
-    has_cached_normal_ = true;
-    return r * std::cos(theta);
-}
-
-double
-Rng::normal(double mean, double stddev)
-{
-    return mean + stddev * normal();
-}
-
-double
-Rng::logNormalMean(double mean, double sigma)
-{
-    CLITE_CHECK(mean > 0.0, "log-normal mean must be positive, got " << mean);
-    // E[exp(N(mu, sigma^2))] = exp(mu + sigma^2/2) == mean.
-    double mu = std::log(mean) - 0.5 * sigma * sigma;
-    return std::exp(normal(mu, sigma));
-}
-
-double
-Rng::exponential(double rate)
-{
-    CLITE_CHECK(rate > 0.0, "exponential rate must be positive, got "
-                                << rate);
-    return -std::log(1.0 - uniform()) / rate;
 }
 
 bool

@@ -13,10 +13,13 @@
 #define CLITE_COMMON_RNG_H
 
 #include <array>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
+
+#include "common/error.h"
 
 namespace clite {
 
@@ -117,10 +120,93 @@ class Rng
     }
 
   private:
+    /** Left-rotate for xoshiro. */
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::array<uint64_t, 4> state_;
     double cached_normal_ = 0.0;
     bool has_cached_normal_ = false;
 };
+
+// The sampling hot path — raw draws and the distributions the
+// discrete-event simulator draws per request — is defined inline so
+// callers in other translation units pay no call or spill overhead.
+// The expressions are exactly the former out-of-line bodies, so every
+// stream is bit-identical to what it was.
+
+inline uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+inline double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return double(next() >> 11) * 0x1.0p-53;
+}
+
+inline double
+Rng::normal()
+{
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box-Muller; u1 in (0,1] so the log is finite.
+    double u1 = 1.0 - uniform();
+    double u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    // One sincos() call instead of separate sin/cos: glibc evaluates
+    // both through the same argument reduction and polynomial kernels,
+    // so the pair is bit-identical to std::sin(theta)/std::cos(theta)
+    // (pinned over the Box-Muller domain by tests/common/rng_test.cpp)
+    // while sharing the reduction work between the two draws.
+    double s, c;
+    ::sincos(theta, &s, &c);
+    cached_normal_ = r * s;
+    has_cached_normal_ = true;
+    return r * c;
+}
+
+inline double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+inline double
+Rng::logNormalMean(double mean, double sigma)
+{
+    CLITE_CHECK(mean > 0.0, "log-normal mean must be positive, got " << mean);
+    // E[exp(N(mu, sigma^2))] = exp(mu + sigma^2/2) == mean.
+    double mu = std::log(mean) - 0.5 * sigma * sigma;
+    return std::exp(normal(mu, sigma));
+}
+
+inline double
+Rng::exponential(double rate)
+{
+    CLITE_CHECK(rate > 0.0, "exponential rate must be positive, got "
+                                << rate);
+    return -std::log(1.0 - uniform()) / rate;
+}
 
 } // namespace clite
 

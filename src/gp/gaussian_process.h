@@ -224,6 +224,19 @@ class GaussianProcess
     std::vector<double> pair_sqdist_;
     std::vector<double> pair_sqdiff_;
 
+    /**
+     * Lazily-built dimension-major transpose of pair_sqdiff_ (entry
+     * [k * npairs + pair]), consumed by refit()'s distance pass: the
+     * per-pair accumulation there runs k-ascending across contiguous
+     * columns, which is the exact summation order of
+     * cachedScaledDistance — same values, but vectorizable across
+     * pairs instead of chained through one pair's twelve adds.
+     * Invalidated whenever the pair caches change; rebuilt on the next
+     * refit() that needs it (the addSample path never does).
+     */
+    mutable std::vector<double> pair_sqdiff_t_;
+    mutable bool sqdiff_t_valid_ = false;
+
     std::optional<linalg::Cholesky> chol_;
     linalg::Vector alpha_; // K⁻¹ y (standardized)
 

@@ -58,22 +58,50 @@ Cholesky::tryFactor(const Matrix& a, double jitter)
     l_fresh_ = false;
     double* L = data_.data();
     const size_t ld = cap_;
-    for (size_t i = 0; i < n; ++i) {
-        double* li = L + i * ld;
-        for (size_t j = 0; j <= i; ++j) {
-            const double* lj = L + j * ld;
+    // Left-looking, column by column: finish the pivot of column j,
+    // then fill its subdiagonal four rows at a time with independent
+    // accumulator chains. Every element's dot product still runs over
+    // k in ascending order as a single chain, exactly like the classic
+    // row-major loop, so each L entry is bit-identical to that loop —
+    // interleaving whole chains only buys instruction-level
+    // parallelism, it never reassociates one sum.
+    for (size_t j = 0; j < n; ++j) {
+        const double* lj = L + j * ld;
+        double diag = a(j, j) + jitter;
+        for (size_t k = 0; k < j; ++k)
+            diag -= lj[k] * lj[k];
+        if (diag <= 0.0 || !std::isfinite(diag))
+            return false;
+        const double pivot = std::sqrt(diag);
+        L[j * ld + j] = pivot;
+        size_t i = j + 1;
+        for (; i + 4 <= n; i += 4) {
+            const double* l0 = L + (i + 0) * ld;
+            const double* l1 = L + (i + 1) * ld;
+            const double* l2 = L + (i + 2) * ld;
+            const double* l3 = L + (i + 3) * ld;
+            double s0 = a(i + 0, j);
+            double s1 = a(i + 1, j);
+            double s2 = a(i + 2, j);
+            double s3 = a(i + 3, j);
+            for (size_t k = 0; k < j; ++k) {
+                const double ljk = lj[k];
+                s0 -= l0[k] * ljk;
+                s1 -= l1[k] * ljk;
+                s2 -= l2[k] * ljk;
+                s3 -= l3[k] * ljk;
+            }
+            L[(i + 0) * ld + j] = s0 / pivot;
+            L[(i + 1) * ld + j] = s1 / pivot;
+            L[(i + 2) * ld + j] = s2 / pivot;
+            L[(i + 3) * ld + j] = s3 / pivot;
+        }
+        for (; i < n; ++i) {
+            const double* li = L + i * ld;
             double sum = a(i, j);
-            if (i == j)
-                sum += jitter;
             for (size_t k = 0; k < j; ++k)
                 sum -= li[k] * lj[k];
-            if (i == j) {
-                if (sum <= 0.0 || !std::isfinite(sum))
-                    return false;
-                li[i] = std::sqrt(sum);
-            } else {
-                li[j] = sum / lj[j];
-            }
+            L[i * ld + j] = sum / pivot;
         }
     }
     return true;

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace clite {
 namespace opt {
@@ -33,6 +34,7 @@ nelderMeadMinimize(
         values[i] = f(simplex[i]);
         ++result.evaluations;
     }
+    result.f0 = values[0]; // vertex 0 is x0 itself
 
     std::vector<size_t> order(n + 1);
     for (int iter = 0; iter < options.max_iters; ++iter) {
@@ -123,6 +125,28 @@ nelderMeadMinimize(
     result.x = simplex[best];
     result.value = values[best];
     return result;
+}
+
+std::vector<NmResult>
+nelderMeadMultiStart(
+    const std::function<
+        std::function<double(const std::vector<double>&)>(size_t)>&
+        make_objective,
+    const std::vector<std::vector<double>>& starts, NmOptions options,
+    ThreadPool* pool)
+{
+    std::vector<NmResult> results(starts.size());
+    auto run = [&](size_t i) {
+        auto objective = make_objective(i);
+        results[i] = nelderMeadMinimize(objective, starts[i], options);
+    };
+    if (pool != nullptr) {
+        pool->parallelFor(starts.size(), run);
+    } else {
+        for (size_t i = 0; i < starts.size(); ++i)
+            run(i);
+    }
+    return results;
 }
 
 } // namespace opt

@@ -22,19 +22,71 @@ Simulator::scheduleAt(SimTime when, Callback fn)
 {
     CLITE_CHECK(when >= now_, "cannot schedule at " << when
                                   << ", clock is already at " << now_);
-    queue_.push(Event{when, next_seq_++, std::move(fn)});
+    uint32_t slot;
+    if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+        slots_[slot] = std::move(fn);
+    } else {
+        slot = uint32_t(slots_.size());
+        slots_.push_back(std::move(fn));
+    }
+    heap_.push_back(HeapEntry{when, next_seq_++, slot});
+    siftUp(heap_.size() - 1);
+}
+
+void
+Simulator::siftUp(size_t pos)
+{
+    HeapEntry e = heap_[pos];
+    while (pos > 0) {
+        size_t parent = (pos - 1) / 2;
+        if (!before(e, heap_[parent]))
+            break;
+        heap_[pos] = heap_[parent];
+        pos = parent;
+    }
+    heap_[pos] = e;
+}
+
+void
+Simulator::siftDown(size_t pos)
+{
+    const size_t n = heap_.size();
+    HeapEntry e = heap_[pos];
+    for (;;) {
+        size_t child = 2 * pos + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && before(heap_[child + 1], heap_[child]))
+            ++child;
+        if (!before(heap_[child], e))
+            break;
+        heap_[pos] = heap_[child];
+        pos = child;
+    }
+    heap_[pos] = e;
 }
 
 SimTime
 Simulator::runUntil(SimTime until)
 {
-    while (!queue_.empty() && queue_.top().time <= until) {
-        // Copy out before pop: the callback may schedule new events.
-        Event ev = queue_.top();
-        queue_.pop();
-        now_ = ev.time;
+    while (!heap_.empty() && heap_[0].time <= until) {
+        const HeapEntry top = heap_[0];
+        // Pop: move the last entry to the root and sift it down.
+        heap_[0] = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty())
+            siftDown(0);
+        // Move the callback out of its slot and recycle the slot
+        // before invoking, so a callback that schedules new events
+        // (the common case) reuses warm storage immediately.
+        Callback fn = std::move(slots_[top.slot]);
+        slots_[top.slot] = nullptr;
+        free_slots_.push_back(top.slot);
+        now_ = top.time;
         ++processed_;
-        ev.fn();
+        fn();
     }
     if (std::isfinite(until))
         now_ = std::max(now_, until);
@@ -50,8 +102,35 @@ Simulator::runToCompletion()
 void
 Simulator::clearPending()
 {
-    while (!queue_.empty())
-        queue_.pop();
+    for (const HeapEntry& e : heap_) {
+        slots_[e.slot] = nullptr;
+        free_slots_.push_back(e.slot);
+    }
+    heap_.clear();
+}
+
+void
+Simulator::clear()
+{
+    clearPending();
+    now_ = 0.0;
+    next_seq_ = 0;
+    processed_ = 0;
+}
+
+void
+Simulator::reserve(size_t events)
+{
+    heap_.reserve(events);
+    free_slots_.reserve(events);
+    if (slots_.size() < events) {
+        // Materialize the slab up front (empty std::functions) so the
+        // free list can hand out warm slots without growth.
+        size_t old = slots_.size();
+        slots_.resize(events);
+        for (size_t s = events; s-- > old;)
+            free_slots_.push_back(uint32_t(s));
+    }
 }
 
 } // namespace sim

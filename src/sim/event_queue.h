@@ -7,6 +7,18 @@
  * The queueing stations in sim/queueing.h are built on this, and it is
  * the substrate that stands in for "running the system for the two
  * second observation period" on the paper's physical testbed.
+ *
+ * Storage layout: the pending set is a binary min-heap of POD entries
+ * (time, seq, slot) over a slab of callback slots recycled through a
+ * free list. Heap sift operations therefore move 24-byte PODs instead
+ * of std::function objects, and neither the heap nor the slab ever
+ * shrinks — a simulator reused across measurement windows (clear() +
+ * reserve()) reaches a steady state with zero allocations per window.
+ * The pop order is exactly the (time, seq) order of the previous
+ * std::priority_queue implementation; seq is unique per event, so the
+ * order is total and independent of the container
+ * (tests/sim/event_queue_test.cpp pins this against a reference
+ * priority queue across random schedules).
  */
 
 #ifndef CLITE_SIM_EVENT_QUEUE_H
@@ -14,7 +26,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace clite {
@@ -38,7 +49,7 @@ class Simulator
     uint64_t eventsProcessed() const { return processed_; }
 
     /** Number of events currently pending. */
-    size_t pendingEvents() const { return queue_.size(); }
+    size_t pendingEvents() const { return heap_.size(); }
 
     /**
      * Schedule @p fn to run @p delay seconds from now.
@@ -66,25 +77,53 @@ class Simulator
     /** Drop all pending events (clock is unchanged). */
     void clearPending();
 
+    /**
+     * Reset to a freshly constructed simulator — clock at 0, no
+     * pending events, counters zeroed — while keeping the heap and
+     * callback-slab capacity. This is the reuse hook for drivers that
+     * run many simulations back to back (QueueingSimModel's
+     * observation windows): clear() + reserve() once, then every
+     * subsequent window schedules into recycled storage.
+     */
+    void clear();
+
+    /**
+     * Pre-size the heap and the callback slab for @p events
+     * simultaneously pending events. Never shrinks.
+     */
+    void reserve(size_t events);
+
   private:
-    struct Event
+    /**
+     * One pending event. The callback lives in slots_[slot]; the heap
+     * only shuffles these PODs. Order: (time, seq) ascending, seq
+     * being the schedule sequence number (FIFO tie-break).
+     */
+    struct HeapEntry
     {
         SimTime time;
-        uint64_t seq; // FIFO tie-break
-        Callback fn;
-    };
-    struct Later
-    {
-        bool
-        operator()(const Event& a, const Event& b) const
-        {
-            if (a.time != b.time)
-                return a.time > b.time;
-            return a.seq > b.seq;
-        }
+        uint64_t seq;
+        uint32_t slot;
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    /** True when @p a must be processed before @p b. */
+    static bool
+    before(const HeapEntry& a, const HeapEntry& b)
+    {
+        if (a.time != b.time)
+            return a.time < b.time;
+        return a.seq < b.seq;
+    }
+
+    /** Move heap_[pos] up to its place. */
+    void siftUp(size_t pos);
+
+    /** Move heap_[pos] down to its place. */
+    void siftDown(size_t pos);
+
+    std::vector<HeapEntry> heap_;      ///< binary min-heap of pending events
+    std::vector<Callback> slots_;      ///< callback slab indexed by slot
+    std::vector<uint32_t> free_slots_; ///< recycled slab indices
     SimTime now_ = 0.0;
     uint64_t next_seq_ = 0;
     uint64_t processed_ = 0;

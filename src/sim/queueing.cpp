@@ -1,8 +1,13 @@
 #include "sim/queueing.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
 #include <utility>
 
 #include "common/error.h"
+#include <limits>
+
 #include "stats/summary.h"
 
 namespace clite {
@@ -71,14 +76,346 @@ QueueingStation::onDeparture(SimTime arrival_time)
     }
 }
 
+namespace {
+
+/**
+ * The order statistic sorted(v)[k], by selection instead of a full
+ * sort. @p frontier is the number of leading positions already fixed
+ * at their sorted values by earlier calls; ranks must be requested in
+ * non-decreasing order so each nth_element runs on the tail partition
+ * the previous one left behind (any rank below the frontier was itself
+ * requested before, so v[k] already holds the exact order statistic).
+ */
+double
+orderStat(std::vector<double>& v, size_t k, size_t& frontier)
+{
+    if (k >= frontier) {
+        std::nth_element(v.begin() + ptrdiff_t(frontier),
+                         v.begin() + ptrdiff_t(k), v.end());
+        frontier = k + 1;
+    }
+    return v[k];
+}
+
+/**
+ * stats::percentileSorted(sorted(v), q) without sorting v: the order
+ * statistics it reads are selected exactly (nth_element places the
+ * same element a sort would) and the interpolation arithmetic below is
+ * the same expression, so the value is bit-identical. Quantiles must
+ * be requested in ascending order (see orderStat).
+ */
+double
+selectPercentile(std::vector<double>& v, double q, size_t& frontier)
+{
+    const size_t n = v.size();
+    double pos = q * double(n - 1);
+    size_t lo = size_t(pos);
+    size_t hi = std::min(lo + 1, n - 1);
+    double frac = pos - double(lo);
+    double vlo = orderStat(v, lo, frontier);
+    double vhi = orderStat(v, hi, frontier);
+    return vlo * (1.0 - frac) + vhi * frac;
+}
+
+/**
+ * Window summary shared by both measureStation implementations: mean
+ * through RunningStats in recording order, percentiles through rank
+ * selection on one scratch copy — bit-identical to three separate
+ * stats::percentile calls (selection places the exact elements a full
+ * sort would at the ranks the interpolation reads; pinned against
+ * stats::percentile by tests/sim/queueing_fast_test.cpp).
+ */
+TailMeasurement
+summarizeWindow(const std::vector<double>& rt, double window,
+                std::vector<double>& sort_buf)
+{
+    TailMeasurement out;
+    out.completed = rt.size();
+    out.throughput = double(rt.size()) / window;
+    if (!rt.empty()) {
+        // Four-way unrolled summation for the mean: the field is
+        // diagnostic (nothing downstream consumes it bit-for-bit), and
+        // independent accumulators break the serial dependency chain a
+        // streaming update would force through every sample.
+        const size_t n = rt.size();
+        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+        size_t i = 0;
+        for (; i + 4 <= n; i += 4) {
+            s0 += rt[i];
+            s1 += rt[i + 1];
+            s2 += rt[i + 2];
+            s3 += rt[i + 3];
+        }
+        for (; i < n; ++i)
+            s0 += rt[i];
+        out.mean = ((s0 + s1) + (s2 + s3)) / double(n);
+        sort_buf.assign(rt.begin(), rt.end());
+        size_t frontier = 0;
+        out.p50 = selectPercentile(sort_buf, 0.50, frontier);
+        out.p95 = selectPercentile(sort_buf, 0.95, frontier);
+        out.p99 = selectPercentile(sort_buf, 0.99, frontier);
+    }
+    return out;
+}
+
+/** An in-service request: departure event plus its arrival stamp. */
+struct Departure
+{
+    SimTime time;
+    uint64_t seq;
+    SimTime arrival;
+};
+
+/** Event order of the generic simulator: (time, seq) ascending. */
+inline bool
+departsBefore(const Departure& a, const Departure& b)
+{
+    if (a.time != b.time)
+        return a.time < b.time;
+    return a.seq < b.seq;
+}
+
+/**
+ * Per-thread buffers of the fast path, reused across calls: a
+ * QueueingSimModel window in steady state touches only this warm
+ * storage.
+ */
+struct StationScratch
+{
+    std::vector<Departure> in_service; ///< unsorted, size <= c
+    size_t min_idx = 0;                ///< index of the next departure
+    std::vector<SimTime> waiting;      ///< FIFO ring (head index below)
+    size_t waiting_head = 0;
+    std::vector<double> response;
+    std::vector<double> sort_buf;
+};
+
+thread_local StationScratch t_scratch;
+
+/** Head-of-queue sentinel when no departure is pending: any finite
+    arrival time sorts before it, so the loop needs no empty check. */
+constexpr double kNoDeparture = std::numeric_limits<double>::infinity();
+
+/**
+ * The in-service set is an unsorted array with a tracked minimum: at
+ * <= c entries a push costs one comparison and a pop one linear
+ * rescan, beating a binary heap's sift moves at station sizes. The
+ * minimum's (time, seq) is mirrored into caller-held locals so the
+ * hot loop compares against registers, not memory. The (time, seq)
+ * minimum is unique (seq never repeats), so any structure that pops
+ * the exact minimum replays the generic simulator's event order — the
+ * choice of structure cannot affect bit-identity.
+ */
+inline void
+pushService(StationScratch& s, const Departure& d, double& head_time,
+            uint64_t& head_seq)
+{
+    if (d.time < head_time || (d.time == head_time && d.seq < head_seq)) {
+        s.min_idx = s.in_service.size();
+        head_time = d.time;
+        head_seq = d.seq;
+    }
+    s.in_service.push_back(d);
+}
+
+/** Remove the tracked minimum and rescan for the next one. */
+inline void
+popService(StationScratch& s, double& head_time, uint64_t& head_seq)
+{
+    s.in_service[s.min_idx] = s.in_service.back();
+    s.in_service.pop_back();
+    if (s.in_service.empty()) {
+        s.min_idx = 0;
+        head_time = kNoDeparture;
+        return;
+    }
+    size_t best = 0;
+    for (size_t i = 1; i < s.in_service.size(); ++i)
+        if (departsBefore(s.in_service[i], s.in_service[best]))
+            best = i;
+    s.min_idx = best;
+    head_time = s.in_service[best].time;
+    head_seq = s.in_service[best].seq;
+}
+
+/**
+ * Service samplers the event loop is specialized on (one instantiation
+ * per distribution hoists the per-draw dispatch and the constant parts
+ * of each draw out of the loop).
+ *
+ * LogNormalService inlines Rng::logNormalMean with mu precomputed:
+ * logNormalMean(mean, sigma) computes mu = log(mean) - sigma^2/2 from
+ * the same operands on every call and returns exp(normal(mu, sigma))
+ * = exp(mu + sigma * normal()), so the hoisted form draws the same
+ * stream and returns the same bits. ExponentialService hoists the
+ * identical-every-call 1/mean rate the same way.
+ */
+struct LogNormalService
+{
+    double mu;
+    double sigma;
+    double operator()(Rng& rng) const
+    {
+        return std::exp(mu + sigma * rng.normal());
+    }
+};
+
+struct ExponentialService
+{
+    double rate;
+    double operator()(Rng& rng) const { return rng.exponential(rate); }
+};
+
+struct FixedService
+{
+    double service;
+    double operator()(Rng&) const { return service; }
+};
+
+/**
+ * The specialized M/G/c event loop. Exactly one arrival event is ever
+ * pending (the renewal process schedules its successor first), so the
+ * generic event queue collapses to one (time, seq) pair plus the <= c
+ * entry in-service set. Sequence numbers are assigned in the same
+ * order the generic path calls schedule(), and the next event is
+ * chosen by the same (time, seq) order, so the RNG draw order — and
+ * therefore every response time — is bit-identical to
+ * measureStationReference.
+ */
+template <typename Sampler>
+TailMeasurement
+runStationLoop(int servers, double arrival_rate, double warmup, double span,
+               Sampler sample, Rng& rng)
+{
+    StationScratch& scratch = t_scratch;
+    const double end = warmup + span;
+    uint64_t next_seq = 0;
+    double next_arrival = rng.exponential(arrival_rate);
+    uint64_t arrival_seq = next_seq++;
+    double head_time = kNoDeparture;
+    uint64_t head_seq = 0;
+    int busy = 0;
+    size_t queued = 0;
+
+    for (;;) {
+        const bool arrival_first =
+            next_arrival < head_time ||
+            (next_arrival == head_time && arrival_seq < head_seq);
+        if (arrival_first) {
+            const double now = next_arrival;
+            if (now > end)
+                break;
+            // Renewal: draw the next arrival before anything else.
+            next_arrival = now + rng.exponential(arrival_rate);
+            arrival_seq = next_seq++;
+            if (busy < servers) {
+                ++busy;
+                double service = sample(rng);
+                CLITE_ASSERT(service >= 0.0,
+                             "negative service time sampled");
+                pushService(scratch,
+                            Departure{now + service, next_seq++, now},
+                            head_time, head_seq);
+            } else {
+                scratch.waiting.push_back(now);
+                ++queued;
+            }
+        } else {
+            // The mirrored head (time, seq) is the pending minimum, so
+            // only the arrival stamp needs a memory load.
+            const double now = head_time;
+            if (now > end)
+                break;
+            const double dep_arrival =
+                scratch.in_service[scratch.min_idx].arrival;
+            popService(scratch, head_time, head_seq);
+            --busy;
+            // The reference clears warm-up responses at t == warmup,
+            // so only strictly later departures are measured.
+            if (now > warmup)
+                scratch.response.push_back(now - dep_arrival);
+            if (queued > 0) {
+                --queued;
+                const double arrived =
+                    scratch.waiting[scratch.waiting_head++];
+                if (scratch.waiting_head == scratch.waiting.size()) {
+                    scratch.waiting.clear();
+                    scratch.waiting_head = 0;
+                }
+                ++busy;
+                double service = sample(rng);
+                CLITE_ASSERT(service >= 0.0,
+                             "negative service time sampled");
+                pushService(scratch,
+                            Departure{now + service, next_seq++, arrived},
+                            head_time, head_seq);
+            }
+        }
+    }
+    return summarizeWindow(scratch.response, span, scratch.sort_buf);
+}
+
+} // namespace
+
+double
+effectiveWindow(double window, double arrival_rate, uint64_t event_budget)
+{
+    if (event_budget == 0 || arrival_rate <= 0.0)
+        return window;
+    uint64_t budget = std::max(event_budget, kMinEventBudget);
+    return std::min(window, double(budget) / arrival_rate);
+}
+
 TailMeasurement
 measureStation(int servers, double arrival_rate, double mean_service,
-               double service_sigma, double warmup, double window, Rng& rng)
+               double service_sigma, double warmup, double window, Rng& rng,
+               uint64_t event_budget)
+{
+    CLITE_CHECK(servers >= 1, "station needs >= 1 server, got " << servers);
+    CLITE_CHECK(arrival_rate >= 0.0, "arrival rate must be >= 0");
+    CLITE_CHECK(mean_service > 0.0, "mean service time must be > 0");
+    CLITE_CHECK(window > 0.0, "measurement window must be > 0");
+
+    const double span = effectiveWindow(window, arrival_rate, event_budget);
+    StationScratch& scratch = t_scratch;
+    scratch.in_service.clear();
+    scratch.min_idx = 0;
+    scratch.waiting.clear();
+    scratch.waiting_head = 0;
+    scratch.response.clear();
+
+    if (arrival_rate <= 0.0)
+        return summarizeWindow(scratch.response, span, scratch.sort_buf);
+
+    if (service_sigma > 0.0) {
+        // Hoisted logNormalMean(mean, sigma): see LogNormalService.
+        const double mu = std::log(mean_service) -
+                          0.5 * service_sigma * service_sigma;
+        return runStationLoop(servers, arrival_rate, warmup, span,
+                              LogNormalService{mu, service_sigma}, rng);
+    }
+    if (service_sigma < 0.0)
+        return runStationLoop(servers, arrival_rate, warmup, span,
+                              ExponentialService{1.0 / mean_service}, rng);
+    return runStationLoop(servers, arrival_rate, warmup, span,
+                          FixedService{mean_service}, rng);
+}
+
+TailMeasurement
+measureStationReference(int servers, double arrival_rate, double mean_service,
+                        double service_sigma, double warmup, double window,
+                        Rng& rng, uint64_t event_budget)
 {
     CLITE_CHECK(mean_service > 0.0, "mean service time must be > 0");
     CLITE_CHECK(window > 0.0, "measurement window must be > 0");
 
-    Simulator simulator;
+    const double span = effectiveWindow(window, arrival_rate, event_budget);
+    // Pooled-simulator reuse: clear() resets to a fresh clock but keeps
+    // the heap and callback-slab capacity, so repeated measurements on
+    // one thread stop re-growing the event storage from zero.
+    thread_local Simulator simulator;
+    simulator.clear();
+    simulator.reserve(size_t(servers) + 2);
     QueueingStation::ServiceSampler sampler;
     if (service_sigma > 0.0) {
         sampler = [mean_service, service_sigma](Rng& r) {
@@ -97,22 +434,10 @@ measureStation(int servers, double arrival_rate, double mean_service,
     station.start();
     simulator.runUntil(warmup);
     station.resetMeasurements();
-    simulator.runUntil(warmup + window);
+    simulator.runUntil(warmup + span);
 
-    TailMeasurement out;
-    const auto& rt = station.responseTimes();
-    out.completed = rt.size();
-    out.throughput = double(rt.size()) / window;
-    if (!rt.empty()) {
-        stats::RunningStats rs;
-        for (double t : rt)
-            rs.add(t);
-        out.mean = rs.mean();
-        out.p50 = stats::percentile(rt, 0.50);
-        out.p95 = stats::percentile(rt, 0.95);
-        out.p99 = stats::percentile(rt, 0.99);
-    }
-    return out;
+    std::vector<double> sort_buf;
+    return summarizeWindow(station.responseTimes(), span, sort_buf);
 }
 
 } // namespace sim

@@ -9,11 +9,27 @@
  * (queueing + service) are recorded so the harness can report the p95
  * tail latency over an observation window, exactly the quantity CLITE's
  * score function consumes.
+ *
+ * Two drivers produce the windowed measurement:
+ *
+ *  - measureStation() — the production path. A specialized M/G/c loop
+ *    that tracks the one pending arrival and the <= c in-service
+ *    departures directly (no generic event queue, no std::function
+ *    samplers) and reuses thread-local buffers across calls, so a
+ *    QueueingSimModel window allocates nothing in steady state. Its
+ *    event processing order and RNG draw order replicate the generic
+ *    simulator exactly, so every field of the result is bit-identical
+ *    to measureStationReference (pinned per seed by
+ *    tests/sim/queueing_fast_test.cpp).
+ *  - measureStationReference() — the same measurement through
+ *    QueueingStation on the generic Simulator: the readable oracle the
+ *    fast path is verified against.
  */
 
 #ifndef CLITE_SIM_QUEUEING_H
 #define CLITE_SIM_QUEUEING_H
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <vector>
@@ -98,6 +114,25 @@ struct TailMeasurement
 };
 
 /**
+ * Smallest request budget effectiveWindow() will honor: below this the
+ * percentile estimates are all noise, so tighter budgets are clamped.
+ */
+constexpr uint64_t kMinEventBudget = 64;
+
+/**
+ * Measured window implied by an event budget: the span of
+ * min(window, budget / λ) seconds (budget clamped to kMinEventBudget)
+ * that keeps the expected number of measured requests at or under
+ * @p event_budget. 0 means unlimited — the full window. A budgeted
+ * measurement is bit-identical to an unbudgeted measurement over this
+ * shorter window, so it is an unbiased estimate whose sampling error
+ * shrinks as the budget grows (accuracy contract in docs/MODEL.md;
+ * tolerance pinned by tests/sim/queueing_budget_test.cpp).
+ */
+double effectiveWindow(double window, double arrival_rate,
+                       uint64_t event_budget);
+
+/**
  * Convenience driver: simulate an M/G/c station with log-normal service
  * times for @p warmup + @p window seconds and summarize the measured
  * window (the paper's two-second observation period).
@@ -111,10 +146,26 @@ struct TailMeasurement
  * @param warmup Transient to discard (seconds).
  * @param window Measured window (seconds).
  * @param rng Randomness.
+ * @param event_budget Cap on the expected number of measured requests;
+ *     0 (the default) measures the full window. See effectiveWindow().
  */
 TailMeasurement measureStation(int servers, double arrival_rate,
                                double mean_service, double service_sigma,
-                               double warmup, double window, Rng& rng);
+                               double warmup, double window, Rng& rng,
+                               uint64_t event_budget = 0);
+
+/**
+ * Reference implementation of measureStation through QueueingStation
+ * on the generic (pooled-heap) Simulator — same parameters, same
+ * result, bit for bit. Kept as the oracle for the fast path's
+ * determinism tests and for readers who want the measurement spelled
+ * out in simulation primitives.
+ */
+TailMeasurement measureStationReference(int servers, double arrival_rate,
+                                        double mean_service,
+                                        double service_sigma, double warmup,
+                                        double window, Rng& rng,
+                                        uint64_t event_budget = 0);
 
 } // namespace sim
 } // namespace clite

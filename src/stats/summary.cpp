@@ -64,15 +64,21 @@ RunningStats::merge(const RunningStats& other)
 double
 percentile(std::vector<double> samples, double q)
 {
-    CLITE_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0,1], got " << q);
-    if (samples.empty())
-        return std::numeric_limits<double>::quiet_NaN();
     std::sort(samples.begin(), samples.end());
-    double pos = q * double(samples.size() - 1);
+    return percentileSorted(samples, q);
+}
+
+double
+percentileSorted(const std::vector<double>& sorted, double q)
+{
+    CLITE_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0,1], got " << q);
+    if (sorted.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    double pos = q * double(sorted.size() - 1);
     size_t lo = static_cast<size_t>(pos);
-    size_t hi = std::min(lo + 1, samples.size() - 1);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
     double frac = pos - double(lo);
-    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
 ConfidenceInterval

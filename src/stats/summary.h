@@ -74,6 +74,18 @@ class RunningStats
 double percentile(std::vector<double> samples, double q);
 
 /**
+ * percentile() for a sample that is already sorted ascending — the
+ * multi-quantile fast path: sort once, interpolate many times. For a
+ * sorted input this is bit-identical to percentile() (same
+ * interpolation code; percentile() delegates here after sorting).
+ *
+ * @param sorted Observations in ascending order.
+ * @param q Quantile in [0, 1].
+ * @return The q-quantile; NaN for an empty sample.
+ */
+double percentileSorted(const std::vector<double>& sorted, double q);
+
+/**
  * Geometric mean of strictly positive values.
  *
  * @param values Values; each must be > 0.

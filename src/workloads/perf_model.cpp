@@ -208,8 +208,9 @@ AnalyticModel::measure(const JobSpec& job, const std::vector<int>& units,
     return m;
 }
 
-QueueingSimModel::QueueingSimModel(double warmup_s, double window_s)
-    : warmup_s_(warmup_s), window_s_(window_s)
+QueueingSimModel::QueueingSimModel(double warmup_s, double window_s,
+                                   uint64_t event_budget)
+    : warmup_s_(warmup_s), window_s_(window_s), event_budget_(event_budget)
 {
     CLITE_CHECK(warmup_s_ >= 0.0, "warmup must be >= 0");
     CLITE_CHECK(window_s_ > 0.0, "window must be > 0");
@@ -253,7 +254,7 @@ QueueingSimModel::measure(const JobSpec& job, const std::vector<int>& units,
             : -1.0; // exponential service (matches the analytic M/M/c)
     sim::TailMeasurement tm = sim::measureStation(
         cost.cores, lambda, cost.service_ms / 1000.0, sigma, warmup_s_,
-        window_s_, rng);
+        window_s_, rng, event_budget_);
     m.p95_ms = tm.p95 * 1000.0;
     m.mean_ms = tm.mean * 1000.0;
     m.throughput = tm.throughput;

@@ -36,6 +36,7 @@
 #ifndef CLITE_WORKLOADS_PERF_MODEL_H
 #define CLITE_WORKLOADS_PERF_MODEL_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -144,17 +145,30 @@ class QueueingSimModel : public PerformanceModel
      * @param warmup_s Transient discarded before measuring.
      * @param window_s Measured window (the paper's observation period
      *     is two seconds).
+     * @param event_budget Cap on the expected number of measured
+     *     requests per LC window; 0 (the default) simulates the full
+     *     window. A positive budget shortens the measured span to
+     *     min(window, budget / λ) — an unbiased but noisier estimate
+     *     whose accuracy contract is documented in docs/MODEL.md and
+     *     pinned by tests/sim/queueing_budget_test.cpp. The default
+     *     stays unlimited so fine-budget results (and every golden
+     *     that depends on them) are unchanged.
      */
-    explicit QueueingSimModel(double warmup_s = 1.0, double window_s = 2.0);
+    explicit QueueingSimModel(double warmup_s = 1.0, double window_s = 2.0,
+                              uint64_t event_budget = 0);
 
     JobMeasurement measure(const JobSpec& job, const std::vector<int>& units,
                            const platform::ServerConfig& config,
                            Rng& rng) const override;
     std::string name() const override { return "des"; }
 
+    /** The per-window measured-request cap (0 = unlimited). */
+    uint64_t eventBudget() const { return event_budget_; }
+
   private:
     double warmup_s_;
     double window_s_;
+    uint64_t event_budget_;
 };
 
 } // namespace workloads

@@ -5,9 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <queue>
 #include <vector>
 
 #include "common/error.h"
+#include "common/rng.h"
 #include "sim/event_queue.h"
 
 namespace clite {
@@ -99,6 +103,98 @@ TEST(Simulator, ClearPendingDropsEventsKeepsClock)
     EXPECT_EQ(fired, 1);
     EXPECT_DOUBLE_EQ(s.now(), 1.0);
     EXPECT_EQ(s.pendingEvents(), 0u);
+}
+
+TEST(Simulator, ClearKeepsCapacityResetsState)
+{
+    Simulator s;
+    s.reserve(64);
+    int fired = 0;
+    s.schedule(2.0, [&] { ++fired; });
+    s.runToCompletion();
+    s.clear();
+    EXPECT_DOUBLE_EQ(s.now(), 0.0);
+    EXPECT_EQ(s.eventsProcessed(), 0u);
+    EXPECT_EQ(s.pendingEvents(), 0u);
+    s.schedule(0.5, [&] { ++fired; });
+    s.runToCompletion();
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(s.now(), 0.5);
+}
+
+/**
+ * The pooled slab/heap pop order must be exactly the (time, seq) order
+ * of the std::priority_queue implementation it replaced. Random
+ * schedules — with deliberate duplicate times to exercise the FIFO
+ * tie-break, and events scheduled from inside callbacks to exercise
+ * mid-run heap growth — are replayed against a reference priority
+ * queue over the same (time, seq) keys.
+ */
+TEST(Simulator, PopOrderMatchesReferencePriorityQueue)
+{
+    struct Key
+    {
+        double time;
+        uint64_t seq;
+        int id;
+    };
+    struct After
+    {
+        // priority_queue is a max-heap; invert the (time, seq) order.
+        bool operator()(const Key& a, const Key& b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+        Rng rng(seed);
+        Simulator s;
+        std::priority_queue<Key, std::vector<Key>, After> ref;
+        std::vector<int> sim_order;
+        uint64_t seq = 0;
+        int next_id = 0;
+
+        // A quarter of the delays are drawn from a coarse grid so many
+        // events collide at the same timestamp.
+        auto draw_delay = [&] {
+            if (rng.uniform() < 0.25)
+                return 0.125 * double(rng.uniformInt(0, 7));
+            return rng.uniform();
+        };
+
+        // Initial batch, plus one chaining event that keeps scheduling
+        // followers mid-run (heap grows while draining).
+        std::function<void(int)> chain = [&](int remaining) {
+            if (remaining <= 0)
+                return;
+            const double delay = draw_delay();
+            const int id = next_id++;
+            ref.push({s.now() + delay, seq++, id});
+            s.schedule(delay, [&, id, remaining] {
+                sim_order.push_back(id);
+                chain(remaining - 1);
+            });
+        };
+        for (int i = 0; i < 200; ++i) {
+            const double delay = draw_delay();
+            const int id = next_id++;
+            ref.push({delay, seq++, id});
+            s.schedule(delay, [&, id] { sim_order.push_back(id); });
+        }
+        chain(50);
+        s.runToCompletion();
+
+        std::vector<int> ref_order;
+        while (!ref.empty()) {
+            ref_order.push_back(ref.top().id);
+            ref.pop();
+        }
+        ASSERT_EQ(sim_order.size(), ref_order.size()) << "seed " << seed;
+        EXPECT_EQ(sim_order, ref_order) << "seed " << seed;
+    }
 }
 
 } // namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Determinism contract of the specialized measurement loop:
+ * measureStation (the production fast path, no generic event queue)
+ * must reproduce measureStationReference (QueueingStation on the
+ * pooled-heap Simulator) bit for bit — same event order, same RNG draw
+ * order, same summary — across seeds, service distributions, and event
+ * budgets. sim/queueing.h names this file as the pin for that
+ * contract, and for the percentile selection matching a full-sort
+ * stats::percentile.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/queueing.h"
+#include "stats/summary.h"
+
+namespace clite {
+namespace sim {
+namespace {
+
+/** Bitwise equality for doubles (NaN-safe, distinguishes -0.0). */
+bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+void
+expectIdentical(const TailMeasurement& fast, const TailMeasurement& ref,
+                uint64_t seed, double sigma)
+{
+    EXPECT_TRUE(sameBits(fast.p50, ref.p50))
+        << "p50 seed " << seed << " sigma " << sigma;
+    EXPECT_TRUE(sameBits(fast.p95, ref.p95))
+        << "p95 seed " << seed << " sigma " << sigma;
+    EXPECT_TRUE(sameBits(fast.p99, ref.p99))
+        << "p99 seed " << seed << " sigma " << sigma;
+    EXPECT_TRUE(sameBits(fast.mean, ref.mean))
+        << "mean seed " << seed << " sigma " << sigma;
+    EXPECT_TRUE(sameBits(fast.throughput, ref.throughput))
+        << "throughput seed " << seed << " sigma " << sigma;
+    EXPECT_EQ(fast.completed, ref.completed)
+        << "completed seed " << seed << " sigma " << sigma;
+}
+
+/**
+ * Ten seeds, three service distributions (log-normal, deterministic,
+ * exponential): every summary field bit-identical between the fast
+ * loop and the simulator-based reference.
+ */
+TEST(QueueingFastPath, BitIdenticalToReferenceAcrossSeeds)
+{
+    const double sigmas[] = {0.5, 0.0, -1.0};
+    for (double sigma : sigmas) {
+        for (uint64_t seed = 1; seed <= 10; ++seed) {
+            Rng rng_fast(seed);
+            Rng rng_ref(seed);
+            TailMeasurement fast = measureStation(
+                3, 180.0, 0.012, sigma, 0.5, 1.5, rng_fast);
+            TailMeasurement ref = measureStationReference(
+                3, 180.0, 0.012, sigma, 0.5, 1.5, rng_ref);
+            expectIdentical(fast, ref, seed, sigma);
+            // The RNG streams must also end in the same state: any
+            // skipped or extra draw desynchronizes later windows even
+            // if this one happened to agree.
+            EXPECT_EQ(rng_fast.uniform(), rng_ref.uniform())
+                << "rng state seed " << seed << " sigma " << sigma;
+        }
+    }
+}
+
+/** The identity holds under an event budget (shortened window) too. */
+TEST(QueueingFastPath, BitIdenticalToReferenceUnderBudget)
+{
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        Rng rng_fast(seed);
+        Rng rng_ref(seed);
+        TailMeasurement fast = measureStation(2, 300.0, 0.005, 0.5, 0.5,
+                                              2.0, rng_fast, 128);
+        TailMeasurement ref = measureStationReference(
+            2, 300.0, 0.005, 0.5, 0.5, 2.0, rng_ref, 128);
+        expectIdentical(fast, ref, seed, 0.5);
+    }
+}
+
+/**
+ * The rank-selected percentiles the fast loop reports are exactly the
+ * full-sort stats::percentile values — pinned through the reference
+ * path, whose QueueingStation exposes the raw response times.
+ */
+TEST(QueueingFastPath, SelectedPercentilesMatchFullSort)
+{
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        const int servers = 3;
+        const double lambda = 180.0, mean_service = 0.012, sigma = 0.5;
+        const double warmup = 0.5, window = 1.5;
+
+        Rng rng_fast(seed);
+        TailMeasurement fast = measureStation(
+            servers, lambda, mean_service, sigma, warmup, window, rng_fast);
+
+        // Re-run the same measurement through the raw station to
+        // harvest the measured window's response times.
+        Rng rng_raw(seed);
+        Simulator sim;
+        QueueingStation st(
+            sim, servers, lambda,
+            [&](Rng& r) { return r.logNormalMean(mean_service, sigma); },
+            rng_raw);
+        st.start();
+        sim.runUntil(warmup);
+        st.resetMeasurements();
+        sim.runUntil(warmup + window);
+        std::vector<double> responses = st.responseTimes();
+        ASSERT_EQ(responses.size(), fast.completed);
+
+        EXPECT_TRUE(sameBits(fast.p50, stats::percentile(responses, 0.50)));
+        EXPECT_TRUE(sameBits(fast.p95, stats::percentile(responses, 0.95)));
+        EXPECT_TRUE(sameBits(fast.p99, stats::percentile(responses, 0.99)));
+    }
+}
+
+} // namespace
+} // namespace sim
+} // namespace clite
