@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Budget sweep: QoS-violating sample-seconds to reach the baseline's
+ * final score, EI-threshold controller vs the budget-bounded one
+ * (bo/budget.h: finite window-second budget, cost-normalized
+ * acquisition, lookahead cutoff, mid-window early-abort).
+ *
+ * Every search sample costs real observation-window time at degraded
+ * service; samples whose window was not a clean all-QoS-met
+ * measurement are time some LC job spent violating its target. The
+ * headline metric charges each run the violating sample-seconds it
+ * accumulated up to the point its best usable sample first reached
+ * the baseline's final score (less a small tolerance) — "how much
+ * QoS damage did reaching this quality cost". The budgeted
+ * controller aborts clearly-violating windows a quarter of the way
+ * in and steers probes by EI-per-expected-cost, so it should reach
+ * the same quality for >= 30% fewer violating seconds (the gate
+ * bench/compare_bench.py --mode budget enforces), while its final
+ * ground-truth score stays within tolerance of the baseline's.
+ *
+ * Everything underneath is deterministic (seeded noise, seeded BO,
+ * thread-count-invariant pool), so the emitted JSON is byte-stable
+ * across machines: `--json=PATH` writes BENCH_budget.json, which is
+ * committed and diffed in CI. Regenerate after an intended behaviour
+ * change with:
+ *
+ *     ./bench/budget_sweep --json=BENCH_budget.json
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/clite.h"
+#include "core/score.h"
+#include "workloads/catalog.h"
+#include "workloads/perf_model.h"
+
+using namespace clite;
+
+namespace {
+
+struct Mix
+{
+    const char* label;
+    double load0; ///< First LC job's load.
+    double load1; ///< Second LC job's load.
+};
+
+// The warm-start sweep's loaded two-LC-plus-BG mixes: heavy enough
+// that the equal-share bootstrap point violates at least one QoS
+// target (so the search actually spends violating windows), light
+// enough to be feasible.
+const Mix kMixes[] = {
+    {"img-dnn+memcached+fluidanimate", 0.60, 0.70},
+    {"xapian+memcached+canneal", 0.70, 0.70},
+    {"img-dnn+xapian+canneal", 0.90, 0.50},
+};
+
+constexpr int kSeeds = 5;
+
+/** Window-second budget handed to the budgeted arm (30 windows). */
+constexpr double kBudgetSeconds = 80.0;
+
+/** "Same final score" tolerance on the Eq. 3 scale. */
+constexpr double kScoreTolerance = 0.005;
+
+std::vector<workloads::JobSpec>
+makeJobs(const Mix& mix)
+{
+    std::string lc0 = mix.label;
+    std::string rest = lc0.substr(lc0.find('+') + 1);
+    lc0 = lc0.substr(0, lc0.find('+'));
+    std::string lc1 = rest.substr(0, rest.find('+'));
+    std::string bg = rest.substr(rest.find('+') + 1);
+    return {
+        workloads::lcJob(lc0, mix.load0),
+        workloads::lcJob(lc1, mix.load1),
+        workloads::bgJob(bg),
+    };
+}
+
+platform::SimulatedServer
+makeServer(const Mix& mix, uint64_t seed)
+{
+    return platform::SimulatedServer(
+        platform::ServerConfig::xeonSilver4114(), makeJobs(mix),
+        std::make_unique<workloads::AnalyticModel>(), seed, 0.02);
+}
+
+/**
+ * Violating sample-seconds accumulated until the run's best usable
+ * sample first reaches @p target (the whole run's violating cost when
+ * it never does; @p reached reports which).
+ */
+double
+violatingSecondsToTarget(const core::ControllerResult& r, double target,
+                         bool* reached)
+{
+    double vio = 0.0;
+    for (const auto& rec : r.trace) {
+        if (!(rec.usable() && rec.all_qos_met))
+            vio += rec.cost_seconds;
+        if (rec.usable() && rec.score >= target) {
+            if (reached != nullptr)
+                *reached = true;
+            return vio;
+        }
+    }
+    if (reached != nullptr)
+        *reached = false;
+    return vio;
+}
+
+/** Ground-truth (noise-free) score of the run's final incumbent. */
+double
+truthScore(platform::SimulatedServer& server,
+           const core::ControllerResult& r)
+{
+    if (!r.best.has_value())
+        return 0.0;
+    return core::scoreObservations(server.observeNoiseless(*r.best)).score;
+}
+
+struct ArmStats
+{
+    double violating_sum = 0.0; ///< Violating seconds to target.
+    double charged_sum = 0.0;   ///< Total window-seconds spent.
+    double truth_sum = 0.0;     ///< Ground-truth final score.
+    double samples_sum = 0.0;   ///< Samples per run.
+    int aborted = 0;            ///< Early-aborted windows.
+    int reached = 0;            ///< Runs that reached the target.
+    int runs = 0;
+
+    double violatingMean() const
+    {
+        return runs ? violating_sum / runs : 0.0;
+    }
+    double truthMean() const { return runs ? truth_sum / runs : 0.0; }
+    double chargedMean() const { return runs ? charged_sum / runs : 0.0; }
+    double samplesMean() const { return runs ? samples_sum / runs : 0.0; }
+};
+
+struct MixResult
+{
+    std::string label;
+    ArmStats baseline, budget;
+};
+
+MixResult
+runMix(const Mix& mix)
+{
+    MixResult out;
+    out.label = mix.label;
+    for (int s = 0; s < kSeeds; ++s) {
+        const uint64_t noise_seed = 100 + uint64_t(s);
+        const uint64_t bo_seed = 200 + uint64_t(s);
+
+        // EI-threshold baseline: default (inert) budget.
+        core::CliteOptions base_opts;
+        base_opts.seed = bo_seed;
+        auto base_server = makeServer(mix, noise_seed);
+        core::CliteController base_ctl(base_opts);
+        core::ControllerResult base = base_ctl.run(base_server);
+
+        // Both arms chase the baseline's own final quality.
+        const double target = base.best_score - kScoreTolerance;
+        bool reached = false;
+        out.baseline.violating_sum +=
+            violatingSecondsToTarget(base, target, &reached);
+        out.baseline.reached += reached ? 1 : 0;
+        out.baseline.charged_sum += base.chargedSeconds();
+        out.baseline.truth_sum += truthScore(base_server, base);
+        out.baseline.samples_sum += base.samples;
+        ++out.baseline.runs;
+
+        // Budget-bounded arm: same seeds, fresh identical server.
+        core::CliteOptions bud_opts;
+        bud_opts.seed = bo_seed;
+        bud_opts.budget.budget_seconds = kBudgetSeconds;
+        auto bud_server = makeServer(mix, noise_seed);
+        core::CliteController bud_ctl(bud_opts);
+        core::ControllerResult bud = bud_ctl.run(bud_server);
+
+        out.budget.violating_sum +=
+            violatingSecondsToTarget(bud, target, &reached);
+        out.budget.reached += reached ? 1 : 0;
+        out.budget.charged_sum += bud.chargedSeconds();
+        out.budget.truth_sum += truthScore(bud_server, bud);
+        out.budget.samples_sum += bud.samples;
+        for (const auto& rec : bud.trace)
+            if (rec.status == core::SampleStatus::Aborted)
+                ++out.budget.aborted;
+        ++out.budget.runs;
+    }
+    return out;
+}
+
+std::string
+g(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+void
+writeJson(const std::vector<MixResult>& results, const std::string& path)
+{
+    ArmStats baseline, budget;
+    for (const MixResult& r : results) {
+        baseline.violating_sum += r.baseline.violating_sum;
+        baseline.charged_sum += r.baseline.charged_sum;
+        baseline.truth_sum += r.baseline.truth_sum;
+        baseline.reached += r.baseline.reached;
+        baseline.runs += r.baseline.runs;
+        budget.violating_sum += r.budget.violating_sum;
+        budget.charged_sum += r.budget.charged_sum;
+        budget.truth_sum += r.budget.truth_sum;
+        budget.aborted += r.budget.aborted;
+        budget.reached += r.budget.reached;
+        budget.runs += r.budget.runs;
+    }
+    const double reduction =
+        1.0 - budget.violatingMean() / baseline.violatingMean();
+    const double score_gap = baseline.truthMean() - budget.truthMean();
+
+    std::ofstream out(path, std::ios::trunc);
+    if (!out.good()) {
+        std::cerr << "cannot write " << path << "\n";
+        return;
+    }
+    out << "{\n  \"bench\": \"budget_sweep\",\n";
+    out << "  \"metric\": \"QoS-violating sample-seconds to reach the "
+           "baseline's final score\",\n";
+    out << "  \"budget_seconds\": " << g(kBudgetSeconds) << ",\n";
+    out << "  \"seeds_per_mix\": " << kSeeds << ",\n  \"mixes\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const MixResult& r = results[i];
+        const double mix_reduction =
+            1.0 - r.budget.violatingMean() / r.baseline.violatingMean();
+        out << "    {\"mix\": \"" << r.label << "\",\n"
+            << "     \"baseline_violating_mean\": "
+            << g(r.baseline.violatingMean())
+            << ", \"budget_violating_mean\": "
+            << g(r.budget.violatingMean())
+            << ", \"reduction\": " << g(mix_reduction) << ",\n"
+            << "     \"baseline_truth_mean\": "
+            << g(r.baseline.truthMean())
+            << ", \"budget_truth_mean\": " << g(r.budget.truthMean())
+            << ", \"budget_aborted_windows\": " << r.budget.aborted
+            << ", \"budget_reached\": " << r.budget.reached
+            << ", \"runs\": " << r.budget.runs << "}"
+            << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"overall\": {\n";
+    out << "    \"baseline_violating_mean\": "
+        << g(baseline.violatingMean()) << ",\n";
+    out << "    \"budget_violating_mean\": " << g(budget.violatingMean())
+        << ",\n";
+    out << "    \"reduction\": " << g(reduction) << ",\n";
+    out << "    \"baseline_truth_mean\": " << g(baseline.truthMean())
+        << ",\n";
+    out << "    \"budget_truth_mean\": " << g(budget.truthMean()) << ",\n";
+    out << "    \"score_gap\": " << g(score_gap) << ",\n";
+    out << "    \"baseline_charged_mean\": " << g(baseline.chargedMean())
+        << ",\n";
+    out << "    \"budget_charged_mean\": " << g(budget.chargedMean())
+        << ",\n";
+    out << "    \"budget_aborted_windows\": " << budget.aborted << "\n";
+    out << "  }\n}\n";
+    std::cout << "[json written to " << path << "]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::applyThreadFlag(argc, argv);
+    std::string json_path;
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            json_path = argv[i] + 7;
+
+    std::vector<MixResult> results;
+    for (const Mix& mix : kMixes)
+        results.push_back(runMix(mix));
+
+    std::printf("%-34s %12s %12s %10s %10s\n",
+                "mix (violating s to base score)", "baseline", "budgeted",
+                "reduction", "truth gap");
+    ArmStats baseline, budget;
+    for (const MixResult& r : results) {
+        std::printf("%-34s %12.1f %12.1f %9.1f%% %10.4f\n",
+                    r.label.c_str(), r.baseline.violatingMean(),
+                    r.budget.violatingMean(),
+                    100.0 * (1.0 - r.budget.violatingMean() /
+                                       r.baseline.violatingMean()),
+                    r.baseline.truthMean() - r.budget.truthMean());
+        baseline.violating_sum += r.baseline.violating_sum;
+        baseline.truth_sum += r.baseline.truth_sum;
+        baseline.runs += r.baseline.runs;
+        budget.violating_sum += r.budget.violating_sum;
+        budget.truth_sum += r.budget.truth_sum;
+        budget.aborted += r.budget.aborted;
+        budget.runs += r.budget.runs;
+    }
+    std::printf("%-34s %12.1f %12.1f %9.1f%% %10.4f\n", "overall",
+                baseline.violatingMean(), budget.violatingMean(),
+                100.0 * (1.0 - budget.violatingMean() /
+                                   baseline.violatingMean()),
+                baseline.truthMean() - budget.truthMean());
+    std::printf("early-aborted windows (budgeted): %d\n", budget.aborted);
+
+    if (!json_path.empty())
+        writeJson(results, json_path);
+    return 0;
+}

@@ -24,7 +24,12 @@ above the floor the warm-start design promises (30% fewer windows).
 `--mode fleet` compares two bench/fleet_scaling emissions
 (FLEET_scaling.json): points are matched by (mode, nodes) across both
 fleet engines, final QoS-met fraction must not regress, and ms/window
-must stay within the threshold ratio.
+must stay within the threshold ratio. `--mode budget` compares two
+bench/budget_sweep emissions (BENCH_budget.json): the budgeted
+controller must keep reducing QoS-violating sample-seconds by at
+least the design floor (30% vs the EI-threshold baseline) and its
+final ground-truth score must stay within tolerance of the
+baseline's.
 
 Matches benchmarks by name, prints a ratio table (candidate / baseline
 real time), and emits a warning for every benchmark in the watched
@@ -109,6 +114,63 @@ def compare_warmstart(args):
     return 0
 
 
+# Minimum acceptable reduction in QoS-violating sample-seconds of the
+# budgeted arm over the EI-threshold baseline (fraction); matches the
+# budget-policy design target in docs/BUDGET.md.
+BUDGET_REDUCTION_FLOOR = 0.30
+
+# Largest tolerated final ground-truth score deficit of the budgeted
+# arm vs the baseline (Eq. 3 scale): "reached the same final score".
+BUDGET_SCORE_GAP_TOLERANCE = 0.02
+
+
+def compare_budget(args):
+    """Diff two bench/budget_sweep JSON files (BENCH_budget.json)."""
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.candidate) as f:
+        cand = json.load(f)
+    problems = []
+
+    print(f"{'metric':<26}  {'base':>10}  {'cand':>10}")
+    for key in ("baseline_violating_mean", "budget_violating_mean",
+                "reduction", "score_gap", "budget_aborted_windows"):
+        b = base.get("overall", {}).get(key)
+        c = cand.get("overall", {}).get(key)
+        print(f"{key:<26}  {b!s:>10}  {c!s:>10}")
+
+    overall = cand.get("overall", {})
+    reduction = overall.get("reduction", 0.0)
+    if reduction < BUDGET_REDUCTION_FLOOR:
+        problems.append(
+            f"violating-seconds reduction {reduction:.2f} fell below "
+            f"the {BUDGET_REDUCTION_FLOOR:.2f} floor")
+    score_gap = overall.get("score_gap", 0.0)
+    if score_gap > BUDGET_SCORE_GAP_TOLERANCE:
+        problems.append(
+            f"budgeted final score trails the baseline by "
+            f"{score_gap:.4f} (> {BUDGET_SCORE_GAP_TOLERANCE} "
+            f"tolerance): not reaching the same final score")
+    base_vio = base.get("overall", {}).get("budget_violating_mean")
+    cand_vio = overall.get("budget_violating_mean")
+    if base_vio and cand_vio and cand_vio > base_vio * args.threshold:
+        problems.append(
+            f"budgeted violating seconds regressed: {cand_vio} vs "
+            f"committed {base_vio} (threshold {args.threshold:.2f}x)")
+    # The sweep must exercise the early-abort machinery it claims to
+    # measure: zero aborted windows means the feature is dark.
+    if overall.get("budget_aborted_windows", 0) <= 0:
+        problems.append("budgeted sweep aborted zero windows: "
+                        "early-abort looks disabled")
+
+    for p in problems:
+        print(f"::warning::budget regression: {p}")
+    if problems:
+        return 1 if args.strict else 0
+    print("budget-bounded search matches the committed baseline")
+    return 0
+
+
 # Absolute QoS-met-fraction drop (candidate vs baseline, per point)
 # tolerated before a fleet point is flagged: placement is seeded but a
 # changed controller legitimately shifts a window or two.
@@ -189,14 +251,15 @@ def main():
                              "(case-insensitive)")
     parser.add_argument("--mode",
                         choices=["benchmark", "components", "warmstart",
-                                 "fleet"],
+                                 "fleet", "budget"],
                         default="benchmark",
                         help="input format: google-benchmark JSON "
                              "(default; 'components' adds the "
                              "observation-window families and makes a "
                              "non-Release candidate a hard error), "
-                             "bench/warm_start JSON, or "
-                             "bench/fleet_scaling JSON")
+                             "bench/warm_start JSON, "
+                             "bench/fleet_scaling JSON, or "
+                             "bench/budget_sweep JSON")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when any watched family regresses")
     args = parser.parse_args()
@@ -205,6 +268,8 @@ def main():
         return compare_warmstart(args)
     if args.mode == "fleet":
         return compare_fleet(args)
+    if args.mode == "budget":
+        return compare_budget(args)
     if (args.mode == "components"
             and args.families == ",".join(DEFAULT_FAMILIES)):
         args.families = ",".join(COMPONENT_FAMILIES)

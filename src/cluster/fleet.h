@@ -68,6 +68,14 @@ struct FleetOptions
     uint64_t seed = 1;
     /** Per-node CLITE knobs (budgets; seed is overridden per node). */
     core::CliteOptions clite;
+    /**
+     * Per-node search budget in window-seconds (bo/budget.h),
+     * overriding clite.budget.budget_seconds on every node when > 0:
+     * each node's searches are budget-bounded with cost-normalized
+     * acquisition and mid-window early-abort. 0 (the default) leaves
+     * clite.budget untouched — unlimited unless set there explicitly.
+     */
+    double node_budget_seconds = 0.0;
     /** Per-node monitoring knobs. */
     core::MonitorOptions monitor;
     /** Placement knobs. */

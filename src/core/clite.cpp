@@ -159,12 +159,83 @@ CliteController::search(platform::SimulatedServer& server,
     // bit-identical to the non-resilient search.
     const bool resilient = options_.resilient && server.faultsEnabled();
 
+    // Budget-bounded search (bo/budget.h): inert unless a finite
+    // positive budget is configured, so the unbudgeted search stays
+    // bit-identical to the EI-threshold baseline. Early-abort engages
+    // only after the bootstrap — the per-job maximum-allocation
+    // extrema double as the infeasibility test, and an aborted
+    // (quarantined) extremum could not prove anything.
+    bo::BudgetPolicy budget(options_.budget);
+    const double window_s = options_.budget.window_seconds;
+    const bool budgeted = budget.active();
+    bool budget_stopped = false;
+    bool allow_abort = false;
+
+    // Budgeted evaluation with mid-window early-abort: apply, peek at
+    // the partial counters a fraction into the window, and cancel the
+    // window — charging exactly the elapsed cost — when the partial
+    // tail already proves it clearly infeasible. Aborted samples are
+    // quarantined like any fault: never fed to the GP, never eligible
+    // to win.
+    auto evaluate_budgeted =
+        [&](const platform::Allocation& alloc) -> SampleRecord {
+        server.apply(alloc);
+        int retries = 0;
+        double backoff_ms = 0.0;
+        while (resilient && !server.lastApplyOk() &&
+               retries < options_.apply_retries) {
+            backoff_ms += options_.retry_backoff_ms * double(1 << retries);
+            ++retries;
+            server.apply(alloc);
+        }
+        if (server.lastApplyOk() && options_.budget.early_abort &&
+            allow_abort) {
+            const double f = options_.budget.abort_check_fraction;
+            std::vector<platform::JobObservation> partial =
+                server.observePartialWindow(f);
+            std::vector<bo::PartialTailSample> tails;
+            tails.reserve(partial.size());
+            for (const platform::JobObservation& ob : partial) {
+                bo::PartialTailSample t;
+                t.p95_ms = ob.p95_ms;
+                t.target_ms = ob.qos_target_ms;
+                t.is_lc = ob.is_lc;
+                t.valid = ob.valid && !ob.stale;
+                t.fraction = ob.window_fraction;
+                tails.push_back(t);
+            }
+            if (bo::BudgetPolicy::shouldAbort(tails, options_.budget)) {
+                ScoreBreakdown sb = scoreObservations(partial);
+                SampleRecord rec(alloc, sb.score, false,
+                                 std::move(partial));
+                rec.status = SampleStatus::Aborted;
+                rec.apply_retries = retries;
+                rec.backoff_ms = backoff_ms;
+                rec.cost_seconds = f * window_s;
+                budget.chargeAborted(f);
+                return rec;
+            }
+        }
+        SampleRecord rec =
+            recordFromObservations(server, alloc, server.observe());
+        rec.apply_retries = retries;
+        rec.backoff_ms = backoff_ms;
+        rec.cost_seconds = window_s;
+        budget.chargeWindow(rec.usable() && rec.all_qos_met);
+        return rec;
+    };
+
     auto evaluate_raw = [&](const platform::Allocation& alloc) {
-        return resilient
-                   ? evaluateSampleResilient(server, alloc,
-                                             options_.apply_retries,
-                                             options_.retry_backoff_ms)
-                   : evaluateSample(server, alloc);
+        if (budgeted)
+            return evaluate_budgeted(alloc);
+        SampleRecord rec =
+            resilient ? evaluateSampleResilient(server, alloc,
+                                                options_.apply_retries,
+                                                options_.retry_backoff_ms)
+                      : evaluateSample(server, alloc);
+        // Every transient-apply retry re-ran the full window.
+        rec.cost_seconds = window_s * double(1 + rec.apply_retries);
+        return rec;
     };
     auto evaluate_unique = [&](const platform::Allocation& alloc) -> bool {
         if (!seen.insert(alloc.key()).second)
@@ -173,12 +244,28 @@ CliteController::search(platform::SimulatedServer& server,
         return true;
     };
     // Indices of quarantine-free samples — the only ones that may
-    // feed the surrogate or win the search.
+    // win the search (or serve as the incumbent).
     auto usable_indices = [&]() {
         std::vector<size_t> idx;
         idx.reserve(trace.size());
         for (size_t i = 0; i < trace.size(); ++i)
             if (trace[i].usable())
+                idx.push_back(i);
+        return idx;
+    };
+    // Surrogate training set: usable samples plus early-aborted ones.
+    // An aborted window's partial reading is real telemetry that
+    // PROVES a QoS violation (mode-1 score), so feeding it keeps the
+    // acquisition away from the violating region instead of paying
+    // for the same abort again; faulted telemetry stays excluded.
+    // Unbudgeted traces contain no Aborted records, so this set is
+    // identical to usable_indices() there.
+    auto surrogate_indices = [&]() {
+        std::vector<size_t> idx;
+        idx.reserve(trace.size());
+        for (size_t i = 0; i < trace.size(); ++i)
+            if (trace[i].usable() ||
+                trace[i].status == SampleStatus::Aborted)
                 idx.push_back(i);
         return idx;
     };
@@ -272,6 +359,10 @@ CliteController::search(platform::SimulatedServer& server,
         return finalizeResult(server, std::move(trace), infeasible,
                               std::move(infeasible_jobs));
 
+    // The bootstrap (and its infeasibility evidence) is complete;
+    // probe windows from here on may be cancelled mid-measurement.
+    allow_abort = true;
+
     // ---- BO loop (Algorithm 1 specialized to the partition lattice).
     std::unique_ptr<gp::Kernel> kernel =
         gp::makeKernel(options_.kernel, dim, 0.3);
@@ -293,6 +384,15 @@ CliteController::search(platform::SimulatedServer& server,
     size_t dead_count = 0;
 
     for (int iter = 0; iter < options_.max_iterations; ++iter) {
+        // Budget gate: a probe costs up to one full window; starting
+        // one the residual budget cannot pay for would overrun it.
+        if (budgeted && !budget.canAffordWindow()) {
+            CLITE_LOG_DEBUG("budget exhausted at iteration "
+                            << iter << ": " << budget.charged() << "s of "
+                            << budget.budget() << "s charged");
+            budget_stopped = true;
+            break;
+        }
         if (resilient) {
             bool grew = false;
             for (size_t r : server.deadResources())
@@ -340,10 +440,11 @@ CliteController::search(platform::SimulatedServer& server,
         std::vector<size_t> usable = usable_indices();
         if (usable.empty())
             break;
+        std::vector<size_t> train = surrogate_indices();
         std::vector<linalg::Vector> xs;
         std::vector<double> ys;
-        xs.reserve(usable.size());
-        for (size_t i : usable) {
+        xs.reserve(train.size());
+        for (size_t i : train) {
             xs.push_back(trace[i].alloc.flattenNormalized());
             ys.push_back(trace[i].score);
         }
@@ -440,8 +541,31 @@ CliteController::search(platform::SimulatedServer& server,
         pg.fd_step = 0.02;
         opt::ProjectedGradientOptimizer optimizer(blocks, dim, pg);
 
+        // Cost-aware acquisition (budgeted runs only): feasibility-
+        // weighted EI per expected window cost, EI·(1−p)/E[cost]. The
+        // violation probability at a candidate is the posterior mass
+        // below the mode-1/mode-2 score boundary (0.5): probable
+        // violators are cheap (their window aborts early) but an
+        // aborted sample can never win, so their expected useful
+        // improvement carries the (1−p) weight — without it the
+        // normalization would chase the violating region precisely
+        // because probing it is cheap.
+        const bool normalize_cost =
+            budgeted && options_.budget.cost_normalized;
+        auto violate_prob = [](double mean, double variance) {
+            const double sigma = std::sqrt(std::max(0.0, variance));
+            if (sigma <= 0.0)
+                return mean < 0.5 ? 1.0 : 0.0;
+            return 0.5 *
+                   std::erfc((mean - 0.5) / (sigma * std::sqrt(2.0)));
+        };
         auto acq_objective = [&](const std::vector<double>& x) {
-            return acquisition->evaluate(surrogate, x, incumbent_score);
+            double v = acquisition->evaluate(surrogate, x, incumbent_score);
+            if (!normalize_cost)
+                return v;
+            gp::Prediction p = surrogate.predict(x);
+            return budget.costAwareAcquisition(
+                v, violate_prob(p.mean, p.variance));
         };
         // The 2d finite-difference probe points of each PG gradient go
         // through the batched posterior in one predictBatch call;
@@ -451,6 +575,13 @@ CliteController::search(platform::SimulatedServer& server,
                              double* out) {
             acquisition->evaluateBatch(surrogate, pts, 0, pts.size(),
                                        incumbent_score, out);
+            if (!normalize_cost)
+                return;
+            for (size_t i = 0; i < pts.size(); ++i) {
+                gp::Prediction p = surrogate.predict(pts[i]);
+                out[i] = budget.costAwareAcquisition(
+                    out[i], violate_prob(p.mean, p.variance));
+            }
         };
 
         // Dead columns are held at the actually-programmed partition
@@ -504,6 +635,29 @@ CliteController::search(platform::SimulatedServer& server,
         opt::PgResult acq =
             optimizer.maximizeMultiStart(acq_objective, acq_batch, starts);
 
+        // Under cost-normalization acq.value is in useful-improvement-
+        // per-second units (EI·(1−p)/E[cost]), and its maximizer is
+        // not the raw-EI maximizer. Since E[cost] ≤ W, acq.value * W
+        // upper-bounds the maximum expected USEFUL improvement
+        // EI·(1−p) — the improvement a probe can actually deliver, an
+        // aborted window never winning. Driving the EI-drop
+        // termination and the lookahead with that bound keeps both
+        // conservative: neither can fire before the achievable
+        // improvement has actually dropped.
+        const double max_ei =
+            normalize_cost ? acq.value * window_s : acq.value;
+
+        // Lookahead cutoff: with n affordable windows left, even the
+        // optimistic total improvement n·maxEI no longer matters.
+        if (budgeted && budget.lookaheadExhausted(max_ei)) {
+            CLITE_LOG_DEBUG("budget lookahead cutoff at iteration "
+                            << iter << ": max EI " << max_ei << " with "
+                            << budget.remaining()
+                            << "s remaining cannot beat the incumbent");
+            budget_stopped = true;
+            break;
+        }
+
         // ---- Termination on expected-improvement drop: the EI curve
         // must stay below the (job-count-scaled) threshold for a few
         // consecutive iterations after a minimum search depth. While
@@ -517,11 +671,11 @@ CliteController::search(platform::SimulatedServer& server,
             any_feasible =
                 any_feasible || (rec.usable() && rec.all_qos_met);
         below_threshold_streak =
-            acq.value < threshold ? below_threshold_streak + 1 : 0;
+            max_ei < threshold ? below_threshold_streak + 1 : 0;
         if (any_feasible && iter >= options_.min_iterations &&
             below_threshold_streak >= options_.termination_patience) {
             CLITE_LOG_DEBUG("terminating at iteration "
-                            << iter << ": EI " << acq.value
+                            << iter << ": EI " << max_ei
                             << " below threshold " << threshold << " for "
                             << below_threshold_streak << " iterations");
             break;
@@ -573,13 +727,18 @@ CliteController::search(platform::SimulatedServer& server,
         for (size_t r : server.deadResources())
             polish_dead[r] = 1;
     for (int it = 0; it < options_.polish_iterations; ++it) {
+        if (budgeted && !budget.canAffordWindow()) {
+            budget_stopped = true;
+            break;
+        }
         std::vector<size_t> usable = usable_indices();
         if (usable.empty())
             break;
+        std::vector<size_t> train = surrogate_indices();
         std::vector<linalg::Vector> xs;
         std::vector<double> ys;
-        xs.reserve(usable.size());
-        for (size_t i : usable) {
+        xs.reserve(train.size());
+        for (size_t i : train) {
             xs.push_back(trace[i].alloc.flattenNormalized());
             ys.push_back(trace[i].score);
         }
@@ -708,15 +867,26 @@ CliteController::search(platform::SimulatedServer& server,
             const int max_attempts = options_.validation_windows * 2 + 2;
             while (windows < options_.validation_windows &&
                    attempts < max_attempts) {
+                if (budgeted && !budget.canAffordWindow()) {
+                    budget_stopped = true;
+                    break;
+                }
                 ++attempts;
                 std::vector<platform::JobObservation> obs =
                     server.observe();
                 bool faulted = false;
                 for (const auto& ob : obs)
                     faulted = faulted || !ob.valid || ob.stale;
-                if (faulted)
-                    continue; // wasted window, re-measure
+                if (faulted) {
+                    // Wasted window, re-measure. Still paid for — and
+                    // faulted telemetry cannot certify QoS.
+                    budget.chargeWindow(false);
+                    rec.cost_seconds += window_s;
+                    continue;
+                }
                 ScoreBreakdown sb = scoreObservations(obs);
+                budget.chargeWindow(sb.all_qos_met);
+                rec.cost_seconds += window_s;
                 scores.push_back(sb.score);
                 if (sb.all_qos_met)
                     ++met_votes;
@@ -741,22 +911,31 @@ CliteController::search(platform::SimulatedServer& server,
             double score_sum = rec.score;
             bool met = rec.all_qos_met;
             server.apply(rec.alloc);
+            int done = 0;
             for (int w = 0; w < options_.validation_windows; ++w) {
+                if (budgeted && !budget.canAffordWindow()) {
+                    budget_stopped = true;
+                    break;
+                }
                 std::vector<platform::JobObservation> obs =
                     server.observe();
                 ScoreBreakdown sb = scoreObservations(obs);
+                budget.chargeWindow(sb.all_qos_met);
+                rec.cost_seconds += window_s;
                 score_sum += sb.score;
                 met = met && sb.all_qos_met;
+                ++done;
             }
-            rec.score = score_sum /
-                        double(options_.validation_windows + 1);
+            rec.score = score_sum / double(done + 1);
             rec.all_qos_met = met;
             if (!met)
                 rec.score = std::min(rec.score, 0.5);
         }
     }
 
-    return finalizeResult(server, std::move(trace), false);
+    ControllerResult result = finalizeResult(server, std::move(trace), false);
+    result.budget_exhausted = budget_stopped;
+    return result;
 }
 
 } // namespace core

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "bo/budget.h"
 #include "common/rng.h"
 #include "core/controller.h"
 
@@ -122,6 +123,15 @@ struct CliteOptions
     int apply_retries = 3;
     /** Base of the exponential retry back-off (modeled ms). */
     double retry_backoff_ms = 8.0;
+    /**
+     * Cost-aware, budget-bounded search (bo/budget.h). With the
+     * default unlimited budget the policy is inert and the search is
+     * bit-identical to the EI-threshold baseline; a finite positive
+     * budget_seconds enables budget accounting, cost-normalized
+     * acquisition, the lookahead cutoff, and mid-window early-abort
+     * of clearly infeasible probe windows.
+     */
+    bo::BudgetOptions budget;
 };
 
 /**

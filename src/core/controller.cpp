@@ -19,6 +19,8 @@ sampleStatusName(SampleStatus status)
         return "stale";
       case SampleStatus::Crashed:
         return "crashed";
+      case SampleStatus::Aborted:
+        return "aborted";
     }
     return "unknown";
 }
@@ -44,11 +46,30 @@ ControllerResult::wastedSamples() const
     return wasted;
 }
 
-SampleRecord
-evaluateSample(platform::SimulatedServer& server,
-               const platform::Allocation& alloc)
+double
+ControllerResult::chargedSeconds() const
 {
-    std::vector<platform::JobObservation> obs = server.evaluate(alloc);
+    double total = 0.0;
+    for (const auto& rec : trace)
+        total += rec.cost_seconds;
+    return total;
+}
+
+double
+ControllerResult::violatingSampleSeconds() const
+{
+    double total = 0.0;
+    for (const auto& rec : trace)
+        if (!(rec.usable() && rec.all_qos_met))
+            total += rec.cost_seconds;
+    return total;
+}
+
+SampleRecord
+recordFromObservations(const platform::SimulatedServer& server,
+                       const platform::Allocation& alloc,
+                       std::vector<platform::JobObservation> obs)
+{
     ScoreBreakdown sb = scoreObservations(obs);
     SampleRecord rec(alloc, sb.score, sb.all_qos_met, std::move(obs));
     if (!server.lastApplyOk()) {
@@ -70,6 +91,14 @@ evaluateSample(platform::SimulatedServer& server,
         }
     }
     return rec;
+}
+
+SampleRecord
+evaluateSample(platform::SimulatedServer& server,
+               const platform::Allocation& alloc)
+{
+    std::vector<platform::JobObservation> obs = server.evaluate(alloc);
+    return recordFromObservations(server, alloc, std::move(obs));
 }
 
 SampleRecord

@@ -40,6 +40,17 @@ enum class SampleStatus
     Dropout,     ///< Measurement lost for the window.
     Stale,       ///< Frozen counters: telemetry repeats a past window.
     Crashed,     ///< A job was down during the window.
+    /**
+     * Window cancelled mid-measurement by the budget layer's
+     * early-abort: the partial counters already proved it clearly
+     * infeasible (bo/budget.h). The recorded observations are the
+     * partial readings — real (if noisier) telemetry proving a
+     * mode-1 score, so the budgeted search feeds them to its
+     * surrogate to stay away from the violating region — but an
+     * aborted sample can never win the search, and it is charged
+     * only its elapsed cost.
+     */
+    Aborted,
 };
 
 /** Printable name of a sample status ("ok", "apply-failed", ...). */
@@ -55,6 +66,14 @@ struct SampleRecord
     SampleStatus status = SampleStatus::Ok; ///< Fault state (see above).
     int apply_retries = 0;       ///< Extra apply attempts consumed.
     double backoff_ms = 0.0;     ///< Modeled retry back-off time.
+    /**
+     * Observation-window seconds this sample cost the system: the
+     * full window length for a completed window (0 until the
+     * controller stamps it), exactly the elapsed fraction for an
+     * early-aborted one. Violating samples' costs are the
+     * QoS-violating sample-seconds the budget bench gates on.
+     */
+    double cost_seconds = 0.0;
 
     SampleRecord(platform::Allocation a, double s, bool met,
                  std::vector<platform::JobObservation> obs)
@@ -83,6 +102,12 @@ struct ControllerResult
     std::vector<size_t> infeasible_jobs;
     int samples = 0;             ///< Configurations evaluated.
     std::vector<SampleRecord> trace; ///< Every sample in order.
+    /**
+     * The budget layer stopped the search (budget exhausted or the
+     * lookahead proved no remaining probe could matter). Always false
+     * for unbudgeted runs.
+     */
+    bool budget_exhausted = false;
 
     /**
      * Index into trace of the first usable sample meeting all QoS
@@ -96,6 +121,17 @@ struct ControllerResult
      * apply retries (Fig. 15-style overhead under adverse conditions).
      */
     int wastedSamples() const;
+
+    /** Total window-seconds charged across the trace. */
+    double chargedSeconds() const;
+
+    /**
+     * Window-seconds spent while some LC job violated QoS: every
+     * sample that is not a clean all-QoS-met window contributes its
+     * cost (quarantined/aborted telemetry never certifies QoS). The
+     * budget sweep's headline metric.
+     */
+    double violatingSampleSeconds() const;
 };
 
 /**
@@ -126,6 +162,19 @@ class Controller
  */
 SampleRecord evaluateSample(platform::SimulatedServer& server,
                             const platform::Allocation& alloc);
+
+/**
+ * Build a SampleRecord from already-collected observations: score
+ * them, then derive the SampleStatus from the server's online signals
+ * exactly as evaluateSample() does (evaluateSample is this applied to
+ * a fresh evaluate()). Lets callers that split apply/observe — the
+ * budget layer's early-abort path peeks mid-window between the two —
+ * share the status contract.
+ */
+SampleRecord recordFromObservations(
+    const platform::SimulatedServer& server,
+    const platform::Allocation& alloc,
+    std::vector<platform::JobObservation> obs);
 
 /**
  * evaluateSample() with bounded retry on transient apply failure:

@@ -283,6 +283,54 @@ OnlineManager::tick()
     if (!out.reoptimized && faults)
         incumbent_verified = watchdog(out);
 
+    // Mid-window early-abort (budgeted controllers only): peek at the
+    // partial counters and cancel a window whose tail already proves
+    // a clear QoS violation instead of paying for the rest of it. The
+    // abort only fires on clean telemetry — a dropped, stale, or
+    // crashed partial falls through to the full window so the fault
+    // quarantine (and crash bookkeeping) below handles it. An aborted
+    // window advances the violation streak like any violating window,
+    // but NEVER updates last_window_qos_met_: a partial reading must
+    // not poison the checkpointed incumbent QoS state.
+    const bo::BudgetOptions& bopts = clite_.options().budget;
+    if (!out.reoptimized && bopts.enabled() && bopts.early_abort) {
+        std::vector<platform::JobObservation> partial =
+            server_.observePartialWindow(bopts.abort_check_fraction);
+        bool clean = true;
+        for (const auto& ob : partial)
+            if (!ob.valid || ob.stale || ob.crashed)
+                clean = false;
+        std::vector<bo::PartialTailSample> tails;
+        if (clean) {
+            tails.reserve(partial.size());
+            for (const auto& ob : partial) {
+                bo::PartialTailSample t;
+                t.p95_ms = ob.p95_ms;
+                t.target_ms = ob.qos_target_ms;
+                t.is_lc = ob.is_lc;
+                t.valid = ob.valid;
+                t.fraction = ob.window_fraction;
+                tails.push_back(t);
+            }
+        }
+        if (clean && bo::BudgetPolicy::shouldAbort(tails, bopts)) {
+            ScoreBreakdown psb = scoreObservations(partial);
+            out.aborted = true;
+            out.all_qos_met = false;
+            out.score = psb.score;
+            ++aborted_windows_;
+            ++violation_streak_;
+            if (violation_streak_ >= options_.violation_patience) {
+                out.reoptimized = true;
+                out.reason = "qos-violation";
+                reoptimize(out.reason, false);
+                out.search_samples = last_result_->samples;
+            }
+            checkpoint();
+            return out;
+        }
+    }
+
     std::vector<platform::JobObservation> obs = server_.observe();
     ScoreBreakdown sb = scoreObservations(obs);
     out.all_qos_met = sb.all_qos_met;

@@ -130,6 +130,16 @@ class OnlineManager
         bool faulted = false;
         /** The watchdog fell back to a degraded configuration. */
         bool fallback = false;
+        /**
+         * The window was cancelled mid-measurement by the budget
+         * layer's early-abort: the partial tail already proved a
+         * clear QoS violation, so the violation streak advanced
+         * without paying for the rest of the window. The score/QoS
+         * fields describe the partial reading; the checkpointed
+         * incumbent QoS state keeps its pre-abort value (a partial
+         * window must not poison the snapshot).
+         */
+        bool aborted = false;
     };
 
     /**
@@ -179,6 +189,9 @@ class OnlineManager
 
     /** Number of quarantined (faulted) windows so far. */
     int faultedWindows() const { return faulted_windows_; }
+
+    /** Number of monitoring windows early-aborted so far. */
+    int abortedWindows() const { return aborted_windows_; }
 
     /** Current consecutive QoS-violating window count (for tests). */
     int violationStreak() const { return violation_streak_; }
@@ -259,6 +272,7 @@ class OnlineManager
     int windows_ = 0;
     int fallbacks_ = 0;
     int faulted_windows_ = 0;
+    int aborted_windows_ = 0;
 };
 
 } // namespace core

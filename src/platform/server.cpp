@@ -1,6 +1,7 @@
 #include "platform/server.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.h"
 #include "common/log.h"
@@ -283,6 +284,78 @@ SimulatedServer::observe()
         return out;
     }
     last_window_ = out;
+    return out;
+}
+
+std::vector<JobObservation>
+SimulatedServer::observePartialWindow(double fraction)
+{
+    CLITE_CHECK(current_ != nullptr,
+                "observePartialWindow() before any apply()");
+    CLITE_CHECK(fraction > 0.0 && fraction <= 1.0,
+                "window fraction must be in (0,1], got " << fraction);
+    ++partial_observe_count_;
+
+    // Derived stream: a hash of the window index, the programmed
+    // allocation, and the peek count keeps the peek deterministic
+    // while leaving the full-window noise/model streams untouched —
+    // a search that never aborts stays bit-identical to one that
+    // never peeked.
+    uint64_t h = 1469598103934665603ull ^ (observe_count_ * 0x9E3779B97F4A7C15ull);
+    for (char c : current_->key())
+        h = (h ^ uint64_t(uint8_t(c))) * 1099511628211ull;
+    h ^= partial_observe_count_ * 0xD1B54A32D192ED03ull;
+    Rng peek_rng(h);
+
+    // Fewer queries observed so far -> noisier percentile estimate.
+    const double partial_sigma = noise_sigma_ / std::sqrt(fraction);
+
+    std::vector<JobObservation> out;
+    out.reserve(jobs_.size());
+    for (size_t j = 0; j < jobs_.size(); ++j) {
+        std::vector<int> units(config_.resourceCount());
+        for (size_t r = 0; r < config_.resourceCount(); ++r)
+            units[r] = current_->get(j, r);
+        workloads::JobMeasurement m =
+            model_->measure(jobs_[j], units, config_, peek_rng);
+
+        double noise = noise_sigma_ > 0.0
+                           ? peek_rng.logNormalMean(1.0, partial_sigma)
+                           : 1.0;
+
+        JobObservation ob;
+        ob.job_name = jobs_[j].profile.name;
+        ob.is_lc = jobs_[j].isLatencyCritical();
+        ob.load_fraction = jobs_[j].load_fraction;
+        ob.window_fraction = fraction;
+        if (ob.is_lc) {
+            ob.p95_ms = m.p95_ms * noise;
+            ob.qos_target_ms = jobs_[j].profile.qos_p95_ms;
+            ob.throughput = m.throughput;
+            ob.iso_p95_ms = isolationBaseline(j).p95_ms;
+        } else {
+            ob.throughput = m.throughput * noise;
+            ob.iso_throughput = isolationBaseline(j).throughput;
+        }
+        out.push_back(std::move(ob));
+    }
+    if (!faultsEnabled())
+        return out;
+
+    // Read-only view of this window's fault state: lost telemetry is
+    // visible at the peek (valid=false) but nothing is recorded —
+    // the full observe() owns the window's fault accounting.
+    const uint64_t window = observe_count_;
+    if (faults_->windowDropout(window))
+        for (auto& ob : out)
+            ob.valid = false;
+    for (size_t j = 0; j < out.size(); ++j)
+        if (faults_->jobDown(window, j)) {
+            out[j].crashed = true;
+            out[j].throughput = 0.0;
+            if (out[j].is_lc)
+                out[j].p95_ms = 1e9;
+        }
     return out;
 }
 

@@ -67,6 +67,13 @@ struct JobObservation
      * beyond any target. Detectable online — the process is gone.
      */
     bool crashed = false;
+    /**
+     * Elapsed fraction of the observation window this reading covers.
+     * 1 for a full window (observe()); < 1 for a mid-window peek at
+     * the partial counters (observePartialWindow()), whose percentiles
+     * are computed from proportionally fewer queries and are noisier.
+     */
+    double window_fraction = 1.0;
 
     /** True when the job is BG or its p95 is within target. */
     bool qosMet() const;
@@ -169,6 +176,31 @@ class SimulatedServer
      */
     std::vector<JobObservation> observe();
 
+    /**
+     * Peek at the partial counters @p fraction of the way into the
+     * CURRENT observation window — the real platform's perf counters
+     * expose tail latency continuously, so a controller can decide
+     * mid-window whether the window is worth finishing (the budget
+     * layer's early-abort, bo/budget.h).
+     *
+     * The peek is side-effect-free with respect to the full-window
+     * streams: it advances neither observe_count_ nor the noise/model
+     * RNGs (its randomness derives from a hash of the window index
+     * and allocation), so a run that never aborts is bit-identical to
+     * one that never peeked. Partial percentiles come from
+     * proportionally fewer queries, so measurement noise is inflated
+     * by 1/sqrt(fraction); each returned observation carries
+     * window_fraction = fraction. Under fault injection a window
+     * whose telemetry is dropped reports valid = false (read-only:
+     * no fault is recorded against the window).
+     *
+     * @param fraction Elapsed fraction of the window, in (0, 1].
+     */
+    std::vector<JobObservation> observePartialWindow(double fraction);
+
+    /** Number of mid-window partial peeks so far. */
+    uint64_t partialObserveCount() const { return partial_observe_count_; }
+
     /** apply() followed by observe(). */
     std::vector<JobObservation> evaluate(const Allocation& alloc);
 
@@ -257,6 +289,7 @@ class SimulatedServer
 
     uint64_t apply_count_ = 0;
     uint64_t observe_count_ = 0;
+    uint64_t partial_observe_count_ = 0;
     double apply_latency_ms_ = 0.0;
 };
 

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Fuzz layer for the mid-window early-abort predicate
+ * (BudgetPolicy::shouldAbort). The predicate sits between raw
+ * platform counters and a decision to throw away a paid-for window,
+ * so it gets the adversarial treatment: randomized partial-counter
+ * streams full of NaN/∞/zero-load/negative garbage must never crash
+ * it (the suite runs under ASan/UBSan in CI) or extract an abort
+ * without a legitimate witness, and — the safety contract — no
+ * window that would have ended feasible may ever be aborted, both
+ * synthetically (partials anywhere inside the kMaxPartialOvershoot
+ * envelope) and in deterministic replay against the real platform's
+ * partial-window model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "bo/budget.h"
+#include "common/rng.h"
+#include "core/score.h"
+#include "platform/server.h"
+#include "stats/sampling.h"
+#include "workloads/catalog.h"
+#include "workloads/perf_model.h"
+
+namespace clite {
+namespace bo {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/**
+ * Draw a hostile value: garbage often enough to stress every guard,
+ * clean often enough that genuine aborts still occur.
+ */
+double
+hostile(Rng& rng, double lo, double hi)
+{
+    switch (rng.uniformInt(0, 7)) {
+    case 0:
+        return kNan;
+    case 1:
+        return kInf;
+    case 2:
+        return -kInf;
+    case 3:
+        return -rng.uniform(0.0, 100.0);
+    case 4:
+        return 0.0;
+    default:
+        return rng.uniform(lo, hi);
+    }
+}
+
+BudgetOptions
+randomOptions(Rng& rng)
+{
+    BudgetOptions o;
+    o.budget_seconds = rng.uniform(1.0, 100.0);
+    o.abort_margin = kMaxPartialOvershoot + rng.uniform(0.0, 2.0);
+    o.abort_check_fraction = rng.uniform(0.05, 0.95);
+    o.abort_min_fraction = rng.uniform(0.0, 0.5);
+    o.early_abort = rng.uniform() < 0.9;
+    return o;
+}
+
+TEST(BudgetFuzz, ShouldAbortSurvivesHostileStreamsAndNeedsAWitness)
+{
+    // 2000 randomized streams of up to 8 samples, most fields drawn
+    // from a garbage-heavy distribution. The predicate must return a
+    // decision (no crash, no UB) and every `true` must be justified
+    // by a clean witness sample: valid LC, finite positive latency
+    // and target, trustworthy fraction, and a genuine margin breach.
+    Rng rng(2024);
+    int aborts = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+        const BudgetOptions o = randomOptions(rng);
+        std::vector<PartialTailSample> stream(
+            size_t(rng.uniformInt(0, 8)));
+        for (PartialTailSample& s : stream) {
+            s.p95_ms = hostile(rng, 0.1, 50.0);
+            s.target_ms = hostile(rng, 0.5, 20.0);
+            s.fraction = hostile(rng, 0.0, 1.0);
+            s.is_lc = rng.uniform() < 0.7;
+            s.valid = rng.uniform() < 0.8;
+        }
+        const bool abort = BudgetPolicy::shouldAbort(stream, o);
+        if (!abort)
+            continue;
+        ++aborts;
+        EXPECT_TRUE(o.early_abort) << "trial " << trial;
+        bool witness = false;
+        for (const PartialTailSample& s : stream) {
+            if (s.is_lc && s.valid && std::isfinite(s.p95_ms) &&
+                s.p95_ms > 0.0 && std::isfinite(s.target_ms) &&
+                s.target_ms > 0.0 && std::isfinite(s.fraction) &&
+                s.fraction >= o.abort_min_fraction &&
+                s.p95_ms > s.target_ms * o.abort_margin)
+                witness = true;
+        }
+        EXPECT_TRUE(witness) << "abort without witness, trial " << trial;
+    }
+    // The fuzz distribution must actually exercise both branches.
+    EXPECT_GT(aborts, 20);
+}
+
+TEST(BudgetFuzz, AllViolatingCleanStreamAborts)
+{
+    // The all-violating extreme: every sample is a clean LC reading
+    // far past the margin — the predicate must fire.
+    BudgetOptions o;
+    o.budget_seconds = 10.0;
+    std::vector<PartialTailSample> stream(3);
+    for (PartialTailSample& s : stream) {
+        s.p95_ms = 50.0;
+        s.target_ms = 5.0;
+        s.fraction = 0.25;
+    }
+    EXPECT_TRUE(BudgetPolicy::shouldAbort(stream, o));
+    // ... but not with early_abort off, and not on BG-only streams.
+    o.early_abort = false;
+    EXPECT_FALSE(BudgetPolicy::shouldAbort(stream, o));
+    o.early_abort = true;
+    for (PartialTailSample& s : stream)
+        s.is_lc = false;
+    EXPECT_FALSE(BudgetPolicy::shouldAbort(stream, o));
+    EXPECT_FALSE(BudgetPolicy::shouldAbort({}, o));
+}
+
+TEST(BudgetFuzz, NeverAbortsInsideThePartialOvershootEnvelope)
+{
+    // Safety property, synthetic form: a window that ENDS feasible
+    // (full-window p95 <= target) whose partial reading lies anywhere
+    // inside the kMaxPartialOvershoot envelope can never be aborted,
+    // for any legal margin — the constructor-enforced
+    // abort_margin >= kMaxPartialOvershoot makes the predicate's
+    // threshold unreachable from inside the envelope.
+    Rng rng(77);
+    for (int trial = 0; trial < 5000; ++trial) {
+        BudgetOptions o;
+        o.budget_seconds = rng.uniform(1.0, 50.0);
+        o.abort_margin = kMaxPartialOvershoot + rng.uniform(0.0, 3.0);
+        o.abort_min_fraction = rng.uniform(0.0, 0.3);
+        std::vector<PartialTailSample> stream(
+            size_t(rng.uniformInt(1, 6)));
+        for (PartialTailSample& s : stream) {
+            const double target = rng.uniform(1.0, 20.0);
+            const double full_p95 = target * rng.uniform(0.0, 1.0);
+            s.target_ms = target;
+            s.p95_ms =
+                full_p95 * rng.uniform(0.5, kMaxPartialOvershoot);
+            s.fraction = rng.uniform(0.0, 1.0);
+        }
+        EXPECT_FALSE(BudgetPolicy::shouldAbort(stream, o))
+            << "aborted a feasible window, trial " << trial;
+    }
+}
+
+TEST(BudgetFuzz, NeverAbortsWindowsThatEndFeasibleInReplay)
+{
+    // Safety property against the REAL partial-window model: sample
+    // random valid allocations, peek mid-window exactly as the
+    // budgeted controller does, then let the same window run to
+    // completion. Whenever the full window ends with every QoS met,
+    // the peek must not have aborted it. (Deterministic replay: the
+    // peek is side-effect-free, so the full observation is the very
+    // window the predicate judged.)
+    platform::SimulatedServer server(
+        platform::ServerConfig::xeonSilver4114(),
+        {workloads::lcJob("img-dnn", 0.5), workloads::lcJob("xapian", 0.4),
+         workloads::bgJob("canneal")},
+        std::make_unique<workloads::AnalyticModel>(), 9, 0.02);
+    const platform::ServerConfig& config = server.config();
+    BudgetOptions o;
+    o.budget_seconds = 100.0;
+
+    Rng rng(41);
+    int feasible_windows = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        // Random valid allocation: every resource column is a random
+        // composition with every job getting at least one unit.
+        platform::Allocation alloc(server.jobCount(), config);
+        for (size_t r = 0; r < config.resources().size(); ++r) {
+            std::vector<int> parts = stats::sampleComposition(
+                config.resource(r).units, int(server.jobCount()), rng, 1);
+            for (size_t j = 0; j < server.jobCount(); ++j)
+                alloc.set(j, r, parts[j]);
+        }
+        server.apply(alloc);
+
+        std::vector<platform::JobObservation> partial =
+            server.observePartialWindow(o.abort_check_fraction);
+        std::vector<PartialTailSample> tails;
+        for (const auto& ob : partial) {
+            PartialTailSample t;
+            t.p95_ms = ob.p95_ms;
+            t.target_ms = ob.qos_target_ms;
+            t.is_lc = ob.is_lc;
+            t.valid = ob.valid && !ob.stale;
+            t.fraction = ob.window_fraction;
+            tails.push_back(t);
+        }
+        const bool aborted = BudgetPolicy::shouldAbort(tails, o);
+
+        core::ScoreBreakdown sb =
+            core::scoreObservations(server.observe());
+        if (sb.all_qos_met) {
+            ++feasible_windows;
+            EXPECT_FALSE(aborted)
+                << "aborted a window that ended feasible, trial "
+                << trial;
+        }
+    }
+    // The sweep must contain real feasible windows or the property is
+    // vacuous.
+    EXPECT_GT(feasible_windows, 10);
+}
+
+} // namespace
+} // namespace bo
+} // namespace clite

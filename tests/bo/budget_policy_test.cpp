@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Property tests for the budget-bounded search policy (bo/budget.h):
+ * the accounting invariants (monotone charging that can never exceed
+ * the configured budget, aborted windows charged exactly their
+ * elapsed cost), the acquisition transform, the lookahead cutoff,
+ * and — the load-bearing guarantee — that an unlimited budget
+ * reproduces the EI-threshold controller's stopping decisions
+ * bit-for-bit, keeping every unbudgeted golden byte-identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "bo/budget.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/clite.h"
+#include "platform/server.h"
+#include "workloads/catalog.h"
+#include "workloads/perf_model.h"
+
+namespace clite {
+namespace bo {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+BudgetOptions
+activeOptions(double budget = 20.0)
+{
+    BudgetOptions o;
+    o.budget_seconds = budget;
+    return o;
+}
+
+// ---- Accounting invariants -------------------------------------------
+
+TEST(BudgetPolicy, ChargedIsMonotoneAndNeverExceedsBudget)
+{
+    // Property: under ANY random charge sequence — full windows,
+    // aborted fractions (including garbage fractions), far past the
+    // point of exhaustion — charged() never decreases and never
+    // exceeds the configured budget.
+    Rng rng(17);
+    for (int trial = 0; trial < 50; ++trial) {
+        BudgetOptions o = activeOptions(rng.uniform(0.5, 30.0));
+        BudgetPolicy p(o);
+        double prev = p.charged();
+        for (int step = 0; step < 64; ++step) {
+            switch (rng.uniformInt(0, 3)) {
+            case 0:
+                p.chargeWindow(/*qos_met=*/true);
+                break;
+            case 1:
+                p.chargeWindow(/*qos_met=*/false);
+                break;
+            case 2:
+                p.chargeAborted(rng.uniform(0.0, 1.0));
+                break;
+            default:
+                // Hostile fractions must charge garbage-free.
+                p.chargeAborted(step % 2 ? kNan : -3.0);
+                break;
+            }
+            EXPECT_GE(p.charged(), prev);
+            EXPECT_LE(p.charged(), p.budget());
+            EXPECT_GE(p.remaining(), 0.0);
+            EXPECT_NEAR(p.remaining(), p.budget() - p.charged(), 1e-12);
+            EXPECT_LE(p.violatingSeconds(), p.charged() + 1e-12);
+            prev = p.charged();
+        }
+        // Saturation: after enough windows the budget is exactly used.
+        EXPECT_DOUBLE_EQ(p.charged(), p.budget());
+        EXPECT_FALSE(p.canAffordWindow());
+    }
+}
+
+TEST(BudgetPolicy, AbortedWindowChargesExactlyElapsedCost)
+{
+    BudgetOptions o = activeOptions(100.0);
+    Rng rng(5);
+    for (int i = 0; i < 32; ++i) {
+        BudgetPolicy p(o);
+        const double f = rng.uniform(0.0, 1.0);
+        p.chargeAborted(f);
+        EXPECT_DOUBLE_EQ(p.charged(), f * o.window_seconds);
+        // Aborted windows are by definition QoS-violating time.
+        EXPECT_DOUBLE_EQ(p.violatingSeconds(), f * o.window_seconds);
+        EXPECT_EQ(p.abortedWindows(), 1);
+    }
+}
+
+TEST(BudgetPolicy, FullWindowChargesWindowSecondsAndTracksViolation)
+{
+    BudgetPolicy p(activeOptions(10.0));
+    p.chargeWindow(/*qos_met=*/true);
+    EXPECT_DOUBLE_EQ(p.charged(), 2.0);
+    EXPECT_DOUBLE_EQ(p.violatingSeconds(), 0.0);
+    p.chargeWindow(/*qos_met=*/false);
+    EXPECT_DOUBLE_EQ(p.charged(), 4.0);
+    EXPECT_DOUBLE_EQ(p.violatingSeconds(), 2.0);
+}
+
+TEST(BudgetPolicy, InertWhenBudgetUnlimited)
+{
+    for (double b : {0.0, -1.0, kInf, kNan}) {
+        BudgetOptions o;
+        o.budget_seconds = b;
+        EXPECT_FALSE(o.enabled()) << "budget=" << b;
+        BudgetPolicy p(o);
+        EXPECT_FALSE(p.active());
+        EXPECT_TRUE(p.canAffordWindow());
+        EXPECT_EQ(p.budget(), kInf);
+        EXPECT_EQ(p.remaining(), kInf);
+        // The acquisition transform must be the identity: the inert
+        // policy may not perturb the EI-threshold search in any way.
+        EXPECT_DOUBLE_EQ(p.normalize(0.37, 1.5), 0.37);
+        EXPECT_DOUBLE_EQ(p.costAwareAcquisition(0.37, 0.9), 0.37);
+        EXPECT_FALSE(p.lookaheadExhausted(0.0));
+        // Charging still accumulates (for accounting) but unlimited.
+        p.chargeWindow(false);
+        EXPECT_DOUBLE_EQ(p.charged(), o.window_seconds);
+        EXPECT_TRUE(p.canAffordWindow());
+    }
+}
+
+TEST(BudgetPolicy, ConstructorRejectsUnsafeKnobs)
+{
+    BudgetOptions o;
+    o.abort_margin = kMaxPartialOvershoot - 0.01; // could kill feasible
+    EXPECT_THROW(BudgetPolicy{o}, Error);
+    o = {};
+    o.window_seconds = 0.0;
+    EXPECT_THROW(BudgetPolicy{o}, Error);
+    o = {};
+    o.abort_check_fraction = 1.0;
+    EXPECT_THROW(BudgetPolicy{o}, Error);
+    o = {};
+    o.lookahead_min_gain = -1.0;
+    EXPECT_THROW(BudgetPolicy{o}, Error);
+}
+
+// ---- Acquisition transform -------------------------------------------
+
+TEST(BudgetPolicy, ExpectedWindowCostInterpolatesAbortSavings)
+{
+    BudgetOptions o = activeOptions();
+    BudgetPolicy p(o);
+    const double w = o.window_seconds;
+    EXPECT_DOUBLE_EQ(p.expectedWindowCost(0.0), w);
+    EXPECT_DOUBLE_EQ(p.expectedWindowCost(1.0),
+                     o.abort_check_fraction * w);
+    // Monotone decreasing in the violation probability; clamped and
+    // NaN-safe.
+    EXPECT_GT(p.expectedWindowCost(0.2), p.expectedWindowCost(0.8));
+    EXPECT_DOUBLE_EQ(p.expectedWindowCost(kNan), w);
+    EXPECT_DOUBLE_EQ(p.expectedWindowCost(7.0), p.expectedWindowCost(1.0));
+
+    // Without early-abort no window ever ends early: cost is flat.
+    BudgetOptions no_abort = activeOptions();
+    no_abort.early_abort = false;
+    BudgetPolicy q(no_abort);
+    EXPECT_DOUBLE_EQ(q.expectedWindowCost(0.0), w);
+    EXPECT_DOUBLE_EQ(q.expectedWindowCost(1.0), w);
+}
+
+TEST(BudgetPolicy, CostAwareAcquisitionPenalizesLikelyViolators)
+{
+    // The feasibility weight must dominate the cost discount: a
+    // candidate that is MORE likely to violate must always score
+    // LOWER, never higher because its window aborts cheaply. (This is
+    // the property whose absence steered probes into the violating
+    // region.)
+    BudgetPolicy p(activeOptions());
+    const double ei = 0.42;
+    double prev = p.costAwareAcquisition(ei, 0.0);
+    EXPECT_DOUBLE_EQ(prev, ei / p.options().window_seconds);
+    for (double pv = 0.1; pv <= 1.0 + 1e-9; pv += 0.1) {
+        const double cur = p.costAwareAcquisition(ei, pv);
+        EXPECT_LT(cur, prev) << "p_violate=" << pv;
+        prev = cur;
+    }
+    EXPECT_DOUBLE_EQ(p.costAwareAcquisition(ei, 1.0), 0.0);
+    // NaN probability degrades to plain cost-normalized EI.
+    EXPECT_DOUBLE_EQ(p.costAwareAcquisition(ei, kNan),
+                     ei / p.options().window_seconds);
+}
+
+TEST(BudgetPolicy, NormalizeFloorsDegenerateCosts)
+{
+    BudgetOptions o = activeOptions();
+    BudgetPolicy p(o);
+    const double floor = o.abort_check_fraction * o.window_seconds;
+    EXPECT_DOUBLE_EQ(p.normalize(1.0, 0.0), 1.0 / floor);
+    EXPECT_DOUBLE_EQ(p.normalize(1.0, kNan), 1.0 / floor);
+    EXPECT_DOUBLE_EQ(p.normalize(1.0, o.window_seconds),
+                     1.0 / o.window_seconds);
+}
+
+// ---- Lookahead cutoff ------------------------------------------------
+
+TEST(BudgetPolicy, LookaheadCutsWhenResidualBudgetCannotMatter)
+{
+    BudgetOptions o = activeOptions(10.0); // 5 windows
+    BudgetPolicy p(o);
+    // 5 windows x EI 1e-3 = 5e-3 >= min_gain: keep searching.
+    EXPECT_FALSE(p.lookaheadExhausted(1e-3));
+    // 5 windows x EI 1e-5 < 1e-3: nothing left can matter.
+    EXPECT_TRUE(p.lookaheadExhausted(1e-5));
+    // A broken EI estimate must never end the search.
+    EXPECT_FALSE(p.lookaheadExhausted(kNan));
+    // No affordable window left: exhausted regardless of EI.
+    for (int i = 0; i < 5; ++i)
+        p.chargeWindow(true);
+    EXPECT_TRUE(p.lookaheadExhausted(100.0));
+}
+
+// ---- Unlimited budget == EI-threshold baseline, bit for bit ----------
+
+platform::SimulatedServer
+makeServer(uint64_t seed)
+{
+    return platform::SimulatedServer(
+        platform::ServerConfig::xeonSilver4114(),
+        {workloads::lcJob("img-dnn", 0.4), workloads::lcJob("memcached", 0.3),
+         workloads::bgJob("fluidanimate")},
+        std::make_unique<workloads::AnalyticModel>(), seed, 0.02);
+}
+
+core::CliteOptions
+fastClite(uint64_t seed)
+{
+    core::CliteOptions o;
+    o.max_iterations = 10;
+    o.polish_iterations = 3;
+    o.seed = seed;
+    return o;
+}
+
+void
+expectBitIdentical(const core::ControllerResult& a,
+                   const core::ControllerResult& b)
+{
+    ASSERT_EQ(a.samples, b.samples);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (size_t i = 0; i < a.trace.size(); ++i) {
+        const core::SampleRecord& ra = a.trace[i];
+        const core::SampleRecord& rb = b.trace[i];
+        EXPECT_TRUE(ra.alloc == rb.alloc) << "sample " << i;
+        EXPECT_EQ(ra.score, rb.score) << "sample " << i;
+        EXPECT_EQ(ra.all_qos_met, rb.all_qos_met) << "sample " << i;
+        EXPECT_EQ(ra.status, rb.status) << "sample " << i;
+        EXPECT_EQ(ra.cost_seconds, rb.cost_seconds) << "sample " << i;
+    }
+    EXPECT_EQ(a.best_score, b.best_score);
+    EXPECT_EQ(a.feasible, b.feasible);
+    ASSERT_EQ(a.best.has_value(), b.best.has_value());
+    if (a.best.has_value()) {
+        EXPECT_TRUE(*a.best == *b.best);
+    }
+    EXPECT_EQ(a.budget_exhausted, b.budget_exhausted);
+}
+
+TEST(BudgetPolicy, UnlimitedBudgetReproducesBaselineBitForBit)
+{
+    // The inert-at-infinity guarantee across 10 seeds: every stopping
+    // decision, every probe, every recorded bit of the trace must
+    // match the EI-threshold baseline when budget_seconds is 0 (the
+    // default), infinite, or negative. This is what keeps the
+    // unbudgeted goldens byte-identical.
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+        auto base_server = makeServer(seed);
+        core::CliteController base_ctl(fastClite(seed));
+        core::ControllerResult base = base_ctl.run(base_server);
+        EXPECT_FALSE(base.budget_exhausted);
+
+        for (double b : {kInf, -5.0}) {
+            core::CliteOptions o = fastClite(seed);
+            o.budget.budget_seconds = b;
+            auto server = makeServer(seed);
+            core::CliteController ctl(o);
+            core::ControllerResult r = ctl.run(server);
+            expectBitIdentical(base, r);
+            // The inert policy must also leave the server's partial-
+            // window peek machinery untouched.
+            EXPECT_EQ(server.partialObserveCount(), 0u);
+        }
+    }
+}
+
+// ---- Budgeted controller end-to-end invariants -----------------------
+
+TEST(BudgetPolicy, BudgetedRunStopsWithinBudgetAndFlagsIt)
+{
+    // A budget that bites mid-search: the trace's charged seconds stay
+    // within the budget (every window is affordability-checked before
+    // it starts) and the result reports the budget stop. The
+    // unbudgeted twin runs longer.
+    auto server = makeServer(3);
+    core::CliteOptions o = fastClite(3);
+    o.max_iterations = 40;
+    core::CliteController unbounded(o);
+    core::ControllerResult full = unbounded.run(server);
+
+    core::CliteOptions ob = fastClite(3);
+    ob.max_iterations = 40;
+    ob.budget.budget_seconds = 30.0;
+    auto bserver = makeServer(3);
+    core::CliteController bounded(ob);
+    core::ControllerResult r = bounded.run(bserver);
+
+    EXPECT_LE(r.chargedSeconds(), 30.0 + 1e-9);
+    EXPECT_LT(r.samples, full.samples);
+    EXPECT_TRUE(r.budget_exhausted);
+    EXPECT_TRUE(r.best.has_value());
+    // The violating-seconds accounting never exceeds the total.
+    EXPECT_LE(r.violatingSampleSeconds(), r.chargedSeconds() + 1e-9);
+}
+
+} // namespace
+} // namespace bo
+} // namespace clite

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Checkpoint-on-window vs the budget layer's mid-window early-abort:
+ * an aborted (partial) window must never poison the snapshot. The
+ * partial reading proves a violation well enough to cancel the
+ * window and advance the violation streak, but it is NOT a completed
+ * observation of the incumbent — the checkpointed incumbent QoS
+ * state has to keep its last full-window value, exactly as the
+ * faulted-window quarantine (restore_test.cpp) already guarantees
+ * for dropped/stale telemetry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/monitor.h"
+#include "store/profile_store.h"
+#include "workloads/catalog.h"
+#include "workloads/perf_model.h"
+
+namespace clite {
+namespace store {
+namespace {
+
+std::vector<workloads::JobSpec>
+mixA(double load0 = 0.3)
+{
+    return {
+        workloads::lcJob("img-dnn", load0),
+        workloads::lcJob("memcached", 0.2),
+        workloads::bgJob("fluidanimate"),
+    };
+}
+
+platform::SimulatedServer
+makeServer(std::vector<workloads::JobSpec> jobs, uint64_t seed = 5)
+{
+    return platform::SimulatedServer(
+        platform::ServerConfig::xeonSilver4114(), std::move(jobs),
+        std::make_unique<workloads::AnalyticModel>(), seed, 0.02);
+}
+
+core::CliteOptions
+budgetedClite(uint64_t seed = 1)
+{
+    core::CliteOptions o;
+    o.max_iterations = 12;
+    o.polish_iterations = 3;
+    o.seed = seed;
+    o.budget.budget_seconds = 200.0; // roomy: aborts, never exhausts
+    return o;
+}
+
+/** The store's snapshot for the server's CURRENT mix signature. */
+std::optional<Snapshot>
+currentSnapshot(ProfileStore& store, platform::SimulatedServer& server)
+{
+    return store.find(MixSignature::of(server));
+}
+
+TEST(BudgetCheckpoint, AbortedWindowDoesNotPoisonSnapshotQos)
+{
+    ProfileStore store;
+    auto server = makeServer(mixA());
+    core::MonitorOptions mon;
+    mon.violation_patience = 100; // isolate the abort from reoptimize
+    core::OnlineManager manager(server, budgetedClite(), mon, &store);
+    manager.initialize();
+
+    // Settle one healthy full window: the checkpointed state now says
+    // the incumbent met QoS.
+    core::OnlineManager::Tick ok = manager.tick();
+    ASSERT_TRUE(ok.all_qos_met);
+    ASSERT_FALSE(ok.aborted);
+    {
+        auto snap = currentSnapshot(store, server);
+        ASSERT_TRUE(snap.has_value());
+        EXPECT_TRUE(snap->incumbent_qos_met);
+    }
+
+    // Load spike: the incumbent's partition now violates hard enough
+    // that the partial counters prove it a quarter-window in.
+    server.setLoad(0, 0.95);
+    core::OnlineManager::Tick spike = manager.tick();
+    EXPECT_TRUE(spike.aborted);
+    EXPECT_FALSE(spike.all_qos_met);
+    EXPECT_LT(spike.score, 0.5); // mode-1 partial score
+    EXPECT_FALSE(spike.reoptimized);
+    EXPECT_EQ(manager.abortedWindows(), 1);
+
+    // The regression: the checkpoint written after the aborted window
+    // must still carry the PRE-abort incumbent QoS state. A partial
+    // window is not a completed observation — snapshotting its
+    // verdict would teach every future warm start that this
+    // incumbent fails QoS on the strength of a quarter of a window.
+    auto snap = currentSnapshot(store, server);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_TRUE(snap->incumbent_qos_met)
+        << "early-aborted window poisoned the checkpoint";
+}
+
+TEST(BudgetCheckpoint, AbortedWindowsStillDriveReoptimization)
+{
+    // The abort must not blind the monitor either: consecutive
+    // aborted windows advance the violation streak and trigger the
+    // qos-violation re-optimization at normal patience.
+    ProfileStore store;
+    auto server = makeServer(mixA());
+    core::MonitorOptions mon;
+    mon.violation_patience = 2;
+    core::OnlineManager manager(server, budgetedClite(), mon, &store);
+    manager.initialize();
+    ASSERT_TRUE(manager.tick().all_qos_met);
+
+    // Milder spike than the poison test's: hard enough that the old
+    // incumbent's partial tail clearly violates, light enough that a
+    // re-optimized partition can serve it.
+    server.setLoad(0, 0.7);
+    core::OnlineManager::Tick first = manager.tick();
+    EXPECT_TRUE(first.aborted);
+    EXPECT_FALSE(first.reoptimized);
+    core::OnlineManager::Tick second = manager.tick();
+    EXPECT_TRUE(second.aborted);
+    EXPECT_TRUE(second.reoptimized);
+    EXPECT_EQ(second.reason, "qos-violation");
+    EXPECT_GT(second.search_samples, 0);
+    EXPECT_EQ(manager.reoptimizations(), 1);
+
+    // The re-optimized incumbent handles the spike: the next full
+    // window completes and checkpoints honestly.
+    core::OnlineManager::Tick after = manager.tick();
+    EXPECT_FALSE(after.aborted);
+    auto snap = currentSnapshot(store, server);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->incumbent_qos_met, after.all_qos_met);
+}
+
+TEST(BudgetCheckpoint, FullViolatingWindowStillUpdatesSnapshotQos)
+{
+    // Contrast case: WITHOUT the budget layer the same load spike is
+    // observed for the full window, and that completed observation
+    // legitimately flips the checkpointed QoS state to false. (Proves
+    // the abort path above is what preserves it, not some general
+    // refusal to record violations.)
+    ProfileStore store;
+    auto server = makeServer(mixA());
+    core::MonitorOptions mon;
+    mon.violation_patience = 100;
+    core::CliteOptions unbudgeted = budgetedClite();
+    unbudgeted.budget.budget_seconds = 0.0;
+    core::OnlineManager manager(server, unbudgeted, mon, &store);
+    manager.initialize();
+    ASSERT_TRUE(manager.tick().all_qos_met);
+
+    server.setLoad(0, 0.95);
+    core::OnlineManager::Tick spike = manager.tick();
+    EXPECT_FALSE(spike.aborted);
+    EXPECT_FALSE(spike.all_qos_met);
+    EXPECT_EQ(manager.abortedWindows(), 0);
+    EXPECT_EQ(server.partialObserveCount(), 0u);
+
+    auto snap = currentSnapshot(store, server);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_FALSE(snap->incumbent_qos_met);
+}
+
+} // namespace
+} // namespace store
+} // namespace clite
