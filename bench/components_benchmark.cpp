@@ -199,6 +199,7 @@ BENCHMARK(BM_GpHyperparameterProbe)
     ->Arg(16)
     ->Arg(64)
     ->Arg(256)
+    ->Arg(512)
     ->Unit(benchmark::kMillisecond);
 
 // ---- Acquisition rounds: one BO iteration's worth of candidate

@@ -128,10 +128,25 @@ runLockstep(int nodes, int windows)
     return p;
 }
 
+/**
+ * @param backend Per-node model backend. The DES rows measure the
+ *     simulated-event bill directly, so they are where the coarse
+ *     search budget (FleetOptions::search_event_budget) shows up as
+ *     an end-to-end windows/s win; the analytic rows keep the
+ *     historical sweep comparable across commits.
+ * @param search_event_budget DES search probe budget (0 = fine-mode
+ *     searches; ignored by the analytic backend).
+ * @param mode Row label; (mode, nodes) keys the compare_bench gate.
+ */
 ScalePoint
-runAsync(int nodes, int windows)
+runAsync(int nodes, int windows,
+         harness::ModelBackend backend = harness::ModelBackend::Analytic,
+         uint64_t search_event_budget = 0, const char* mode = "async")
 {
-    cluster::Fleet fleet(fleetOptions(nodes));
+    cluster::FleetOptions options = fleetOptions(nodes);
+    options.backend = backend;
+    options.search_event_budget = search_event_budget;
+    cluster::Fleet fleet(options);
     const int total_jobs = nodes * 2;
 
     cluster::AsyncOptions ao;
@@ -157,7 +172,7 @@ runAsync(int nodes, int windows)
     cluster::FleetSummary s = fleet.summarize();
     const cluster::FleetMetrics& m = engine.metrics();
     ScalePoint p;
-    p.mode = "async";
+    p.mode = mode;
     p.nodes = nodes;
     p.jobs = admitted;
     p.qos_met_mean = engine.qosHistory().mean();
@@ -225,6 +240,18 @@ main(int argc, char** argv)
         points.push_back(runLockstep(nodes, windows));
     for (int nodes : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
         points.push_back(runAsync(nodes, windows));
+    // DES rows: same fleet under the event-billed backend, fine-mode
+    // searches vs the coarse default — the end-to-end windows/s win
+    // of coarse search probes at fleet scale (gated by
+    // compare_bench.py --mode fleet).
+    for (int nodes : {256, 1024}) {
+        points.push_back(runAsync(nodes, windows,
+                                  harness::ModelBackend::Des, 0,
+                                  "async-des-fine"));
+        points.push_back(runAsync(nodes, windows,
+                                  harness::ModelBackend::Des, 2000,
+                                  "async-des-coarse"));
+    }
 
     TextTable t({"Mode", "Nodes", "Jobs", "QoS met (mean)",
                  "QoS met (final)", "BG perf", "Evict", "Parked",

@@ -138,6 +138,15 @@ main()
                 (unsigned long long)m.nodes_quarantined);
     std::printf("  degraded dispatches:        %llu\n",
                 (unsigned long long)m.degraded_dispatches);
+    std::cout << "refit observability:\n";
+    std::printf("  GP hyper-refits:            %llu\n",
+                (unsigned long long)m.refits);
+    std::printf("  probe evaluations:          %llu\n",
+                (unsigned long long)m.probe_evals);
+    std::printf("  warm-simplex probe wins:    %llu\n",
+                (unsigned long long)m.warm_probe_hits);
+    std::printf("  coarse (budgeted) windows:  %llu\n",
+                (unsigned long long)m.coarse_windows);
     std::cout << (m.stalled ? "  engine STALLED (all workers dead)\n"
                             : "  no stall: every window was served\n");
     return 0;

@@ -4,10 +4,12 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/arena.h"
 #include "common/error.h"
 #include "common/log.h"
 #include "common/thread_pool.h"
 #include "core/score.h"
+#include "sim/queueing.h"
 #include "workloads/perf_model.h"
 
 namespace clite {
@@ -190,6 +192,12 @@ Fleet::hostJob(uint64_t id, size_t n)
         if (options_.node_budget_seconds > 0.0)
             clite_options.budget.budget_seconds =
                 options_.node_budget_seconds;
+        // Coarse search probes are a DES-only economy: the analytic
+        // backend has no event bill, and forcing the knob there would
+        // change nothing but reads as if it did.
+        if (options_.backend == harness::ModelBackend::Des)
+            clite_options.search_event_budget =
+                options_.search_event_budget;
         core::MonitorOptions monitor_options = options_.monitor;
         store::ProfileStore* store = nullptr;
         if (options_.shared_store) {
@@ -203,6 +211,26 @@ Fleet::hostJob(uint64_t id, size_t n)
             *node.server, std::move(clite_options), monitor_options,
             store);
         node.initialized = false;
+        // First-window jitter: node windows execute on pool workers
+        // whose thread_local measurement slab and GP scratch arena
+        // start empty, so a node's first search would pay every
+        // growth reallocation inside its hottest loops. Pre-warm all
+        // workers (and this thread) once per offered-rate high-water
+        // mark — a handful of broadcasts across a whole fleet.
+        if (options_.backend == harness::ModelBackend::Des &&
+            job.spec.isLatencyCritical() &&
+            job.spec.offeredQps() > prewarmed_qps_) {
+            prewarmed_qps_ = job.spec.offeredQps();
+            const double qps = prewarmed_qps_;
+            const int cores = config_.physical_cores;
+            globalPool().broadcast([qps, cores] {
+                // ~2 s observation window (QueueingSimModel default);
+                // fine-mode validation windows measure the full span.
+                sim::prewarmMeasurementScratch(
+                    cores, size_t(qps * 2.0) + 64);
+                ScratchArena::forCurrentThread().reserve(64 * 1024);
+            });
+        }
     } else {
         node.server->addJob(job.spec);
         // A pre-initialization add needs no notification: the initial

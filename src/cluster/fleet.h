@@ -76,6 +76,19 @@ struct FleetOptions
      * clite.budget untouched — unlimited unless set there explicitly.
      */
     double node_budget_seconds = 0.0;
+    /**
+     * DES event budget for node SEARCH probe windows (coarse mode,
+     * docs/MODEL.md): with the DES backend every node's bootstrap,
+     * BO and polish windows measure under the budget while
+     * validation and monitoring windows stay fine-mode, cutting the
+     * per-search event bill at fleet scale. Applied only when
+     * backend == Des (the analytic backend has no event bill);
+     * overrides clite.search_event_budget on every node. Set 0 to
+     * run every window fine-mode. The default is the 25% p95
+     * accuracy band operating point pinned by
+     * tests/sim/queueing_budget_test.cpp.
+     */
+    uint64_t search_event_budget = 2000;
     /** Per-node monitoring knobs. */
     core::MonitorOptions monitor;
     /** Placement knobs. */
@@ -293,6 +306,14 @@ class Fleet
     int windows_ = 0;
     int evictions_ = 0;
     int reoptimizations_ = 0;
+    /**
+     * Largest offered QPS the per-thread measurement scratch has been
+     * pre-warmed for (DES backend): hostJob() broadcasts a prewarm to
+     * every pool worker only when a new job's rate exceeds this
+     * high-water mark, so the broadcasts are few and the first window
+     * of every node runs allocation-free.
+     */
+    double prewarmed_qps_ = 0.0;
     std::vector<FleetWindow> history_;
 };
 

@@ -582,6 +582,22 @@ AsyncFleetEngine::run(int epochs)
             ctl.remaining = 0;
         }
     }
+
+    // Refit observability: node managers count cumulatively since
+    // their creation, so assign (not add) — idempotent across run()
+    // calls and immune to double-counting.
+    metrics_.refits = 0;
+    metrics_.probe_evals = 0;
+    metrics_.warm_probe_hits = 0;
+    metrics_.coarse_windows = 0;
+    for (const Fleet::Node& node : fleet_.nodes_) {
+        if (node.manager == nullptr)
+            continue;
+        metrics_.refits += node.manager->refits();
+        metrics_.probe_evals += node.manager->probeEvals();
+        metrics_.warm_probe_hits += node.manager->warmProbeHits();
+        metrics_.coarse_windows += node.manager->coarseWindows();
+    }
     return metrics_;
 }
 

@@ -123,6 +123,18 @@ struct FleetMetrics
     uint64_t windows_dropped = 0;  ///< Windows shed under degradation.
     uint64_t nodes_quarantined = 0;///< Nodes removed from service.
     uint64_t degraded_dispatches = 0; ///< Dispatch rounds run degraded.
+    /**
+     * Refit observability, summed over the live node managers at the
+     * end of each run() (cumulative since node creation; counters of
+     * torn-down nodes are not retained): GP hyper-refits, the probe
+     * objective evaluations they consumed, warm-simplex probes that
+     * won outright, and observation windows measured in coarse
+     * (event-budgeted) DES mode. Printed by examples/cluster_sim.
+     */
+    uint64_t refits = 0;
+    uint64_t probe_evals = 0;
+    uint64_t warm_probe_hits = 0;
+    uint64_t coarse_windows = 0;
     bool stalled = false;          ///< Run ended with zero capacity.
 };
 

@@ -40,6 +40,26 @@ ScratchArena::doubles(size_t n)
     return doubles(n);
 }
 
+void
+ScratchArena::reserve(size_t n)
+{
+    CLITE_CHECK(depth_ == 0, "ScratchArena::reserve() inside a Frame");
+    if (n == 0)
+        return;
+    // Already one chunk big enough (incl. alignment padding)? Done.
+    if (chunks_.size() == 1 && chunks_[0].cap >= n + kAlignDoubles)
+        return;
+    size_t cap = std::max(n + kAlignDoubles, capacity());
+    cap = std::max(cap, kMinChunk);
+    chunks_.clear();
+    Chunk c;
+    c.data = std::make_unique<double[]>(cap);
+    c.cap = cap;
+    ++grows_;
+    chunks_.push_back(std::move(c));
+    active_ = 0;
+}
+
 size_t
 ScratchArena::capacity() const
 {

@@ -77,6 +77,15 @@ class ScratchArena
         size_t saved_used_;
     };
 
+    /**
+     * Pre-size the arena to at least @p n doubles of contiguous
+     * capacity so the first real round performs no heap allocation
+     * (first-window jitter). Only legal at top level (no open Frame);
+     * a no-op when the arena already owns enough. Counts as one grow
+     * when it allocates.
+     */
+    void reserve(size_t n);
+
     /** Number of heap allocations performed so far (growth events). */
     uint64_t growCount() const { return grows_; }
 

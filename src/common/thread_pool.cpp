@@ -154,6 +154,53 @@ ThreadPool::parallelForBlocked(size_t n, size_t grain,
 }
 
 void
+ThreadPool::broadcast(const std::function<void()>& fn)
+{
+    if (threads_ <= 1) {
+        fn();
+        return;
+    }
+    // One job per worker; each runs fn then parks at a rendezvous
+    // until every job has run. A worker cannot claim a second job
+    // while parked, so the jobs land on distinct workers by
+    // construction.
+    const int helpers = threads_ - 1;
+    struct Rendezvous
+    {
+        std::mutex mutex;
+        std::condition_variable arrived_cv;
+        std::condition_variable done_cv;
+        int arrived = 0;
+        int finished = 0;
+        std::exception_ptr error;
+    };
+    auto rv = std::make_shared<Rendezvous>();
+    for (int h = 0; h < helpers; ++h) {
+        submit([rv, &fn, helpers] {
+            try {
+                fn();
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(rv->mutex);
+                if (!rv->error)
+                    rv->error = std::current_exception();
+            }
+            std::unique_lock<std::mutex> lk(rv->mutex);
+            ++rv->arrived;
+            rv->arrived_cv.notify_all();
+            rv->arrived_cv.wait(lk,
+                                [&] { return rv->arrived >= helpers; });
+            ++rv->finished;
+            rv->done_cv.notify_all();
+        });
+    }
+    fn();
+    std::unique_lock<std::mutex> lk(rv->mutex);
+    rv->done_cv.wait(lk, [&] { return rv->finished >= helpers; });
+    if (rv->error)
+        std::rethrow_exception(rv->error);
+}
+
+void
 ThreadPool::parallelForIndices(const std::vector<size_t>& indices,
                                const std::function<void(size_t)>& fn)
 {

@@ -88,6 +88,21 @@ class ThreadPool
                             const std::function<void(size_t)>& fn);
 
     /**
+     * Run @p fn exactly once on every worker thread AND the caller —
+     * the only way to reach each worker's thread_local state (the
+     * pooled DES simulator, the GP scratch arena) for pre-warming,
+     * since parallelFor's dynamic claiming makes no per-thread
+     * placement promise. A rendezvous barrier inside the submitted
+     * jobs forces distinct workers to take them, so every thread runs
+     * fn once, no thread twice. Blocks until all calls return.
+     *
+     * Must not be called concurrently with other pool work (the
+     * barrier would pin workers while that work queues behind it);
+     * call it from set-up code, e.g. fleet/node construction.
+     */
+    void broadcast(const std::function<void()>& fn);
+
+    /**
      * Index-parallel map: returns {f(0), ..., f(n-1)}. The result
      * type must be default-constructible.
      */

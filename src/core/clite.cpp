@@ -7,6 +7,7 @@
 #include "bo/acquisition.h"
 #include "common/error.h"
 #include "common/log.h"
+#include "core/cadence.h"
 #include "gp/gaussian_process.h"
 #include "opt/projected_gradient.h"
 #include "opt/simplex.h"
@@ -171,6 +172,38 @@ CliteController::search(platform::SimulatedServer& server,
     bool budget_stopped = false;
     bool allow_abort = false;
 
+    // Refit/coarse observability, surfaced as ControllerResult
+    // counters at every exit path.
+    uint64_t stat_refits = 0;
+    uint64_t stat_probe_evals = 0;
+    uint64_t stat_warm_hits = 0;
+    uint64_t stat_coarse_windows = 0;
+
+    // Coarse search windows (docs/MODEL.md): with a configured search
+    // event budget and a model that honors it, every probe window of
+    // this search — bootstrap sweep, BO iteration, polish move — is
+    // measured under the budget. The guard restores fine mode on
+    // every exit path, and the validation phase releases it before
+    // re-measuring candidates, so no window whose score the caller
+    // keeps (validated candidates, monitoring ticks, checkpoints) is
+    // ever coarse.
+    struct FineModeGuard
+    {
+        platform::SimulatedServer& server;
+        bool active;
+        void release()
+        {
+            if (active) {
+                server.setMeasurementEventBudget(0);
+                active = false;
+            }
+        }
+        ~FineModeGuard() { release(); }
+    } coarse_guard{server,
+                   options_.search_event_budget > 0 &&
+                       server.setMeasurementEventBudget(
+                           options_.search_event_budget)};
+
     // Budgeted evaluation with mid-window early-abort: apply, peek at
     // the partial counters a fraction into the window, and cancel the
     // window — charging exactly the elapsed cost — when the partial
@@ -226,6 +259,8 @@ CliteController::search(platform::SimulatedServer& server,
     };
 
     auto evaluate_raw = [&](const platform::Allocation& alloc) {
+        if (coarse_guard.active)
+            ++stat_coarse_windows;
         if (budgeted)
             return evaluate_budgeted(alloc);
         SampleRecord rec =
@@ -268,6 +303,14 @@ CliteController::search(platform::SimulatedServer& server,
                 trace[i].status == SampleStatus::Aborted)
                 idx.push_back(i);
         return idx;
+    };
+    // Stamp the observability counters onto a finished result.
+    auto finish = [&](ControllerResult r) {
+        r.refits = stat_refits;
+        r.probe_evals = stat_probe_evals;
+        r.warm_probe_hits = stat_warm_hits;
+        r.coarse_windows = stat_coarse_windows;
+        return r;
     };
 
     // Warm-start priors must match the search space exactly; the
@@ -356,8 +399,8 @@ CliteController::search(platform::SimulatedServer& server,
     }
     if (infeasible || njobs == 1 || options_.max_iterations == 0 ||
         usable_indices().empty())
-        return finalizeResult(server, std::move(trace), infeasible,
-                              std::move(infeasible_jobs));
+        return finish(finalizeResult(server, std::move(trace), infeasible,
+                                     std::move(infeasible_jobs)));
 
     // The bootstrap (and its infeasibility evidence) is complete;
     // probe windows from here on may be cancelled mid-measurement.
@@ -376,6 +419,18 @@ CliteController::search(platform::SimulatedServer& server,
     const double threshold =
         options_.termination_threshold * std::max(1.0, double(njobs) / 3.0);
     int below_threshold_streak = 0;
+
+    // Adaptive refit cadence (core/cadence.h): the fixed gp_fit_every
+    // schedule below the subset threshold — bit-identical to the
+    // historical behaviour — and a history-stretched period above it,
+    // pulled forward when an observation lands outside the
+    // surrogate's own confidence band. The stretch point is the same
+    // threshold at which the probe tier switches to subset LML, so
+    // the two large-history mechanisms engage together.
+    const size_t stretch_threshold = gp::GpFitOptions{}.subset_threshold;
+    RefitCadence cadence(std::max(1, options_.gp_fit_every),
+                         stretch_threshold);
+    bool surprise_pending = false;
 
     // Dead-knob state: a resource whose isolation tool permanently
     // fails collapses to a frozen column — the search continues over
@@ -449,11 +504,17 @@ CliteController::search(platform::SimulatedServer& server,
             ys.push_back(trace[i].score);
         }
         surrogate.fitIncremental(xs, ys);
-        if (iter % std::max(1, options_.gp_fit_every) == 0) {
+        if (cadence.step(train.size(), surprise_pending)) {
+            surprise_pending = false;
             gp::GpFitOptions fo;
             fo.restarts = options_.gp_restarts;
             fo.max_iters = 50;
             surrogate.optimizeHyperparameters(rng, fo);
+            const gp::GpFitStats& fs = surrogate.lastFitStats();
+            ++stat_refits;
+            stat_probe_evals += fs.probe_evals;
+            if (fs.warm_hit)
+                ++stat_warm_hits;
         }
 
         size_t best_idx = usable[0];
@@ -709,7 +770,26 @@ CliteController::search(platform::SimulatedServer& server,
         if (seen.count(next.key()))
             break; // space effectively exhausted
 
-        evaluate_unique(next);
+        // Surrogate-surprise (large history only): compare the
+        // observed score with the posterior at the probe point. A
+        // miss outside the 3σ band (with a 0.05 absolute floor, the
+        // score scale's own noise) means the current
+        // hyper-parameters misdescribe the surface, so the stretched
+        // cadence pulls the next refit forward. Below the threshold
+        // nothing is predicted and the trace stays bit-identical to
+        // the fixed-cadence search.
+        if (surrogate.sampleCount() >= stretch_threshold &&
+            stretch_threshold > 0) {
+            const gp::Prediction pr =
+                surrogate.predict(next.flattenNormalized());
+            if (evaluate_unique(next) && trace.back().usable()) {
+                const double band = std::max(0.05, 3.0 * pr.stddev());
+                if (std::fabs(trace.back().score - pr.mean) > band)
+                    surprise_pending = true;
+            }
+        } else {
+            evaluate_unique(next);
+        }
     }
 
     // ---- Polish phase: slack-directed local moves around the
@@ -836,6 +916,11 @@ CliteController::search(platform::SimulatedServer& server,
         evaluate_unique(best_neighbor);
     }
 
+    // Search probes are done: everything from here on (validation
+    // re-measurement, and the monitoring windows the caller runs
+    // next) must observe at full fidelity.
+    coarse_guard.release();
+
     // ---- Validation: re-measure the top candidates for extra
     // observation windows so boundary noise cannot promote a truly
     // QoS-violating configuration. Fault-free: the recorded score
@@ -933,7 +1018,8 @@ CliteController::search(platform::SimulatedServer& server,
         }
     }
 
-    ControllerResult result = finalizeResult(server, std::move(trace), false);
+    ControllerResult result =
+        finish(finalizeResult(server, std::move(trace), false));
     result.budget_exhausted = budget_stopped;
     return result;
 }

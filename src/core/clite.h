@@ -132,6 +132,18 @@ struct CliteOptions
      * of clearly infeasible probe windows.
      */
     bo::BudgetOptions budget;
+    /**
+     * DES event budget applied to SEARCH probe windows (coarse mode,
+     * docs/MODEL.md): bootstrap sweeps, BO iterations and polish
+     * moves measure under min(window, budget/λ) spans, cutting the
+     * simulated-event bill at fleet scale. Validation windows — and
+     * every window observed outside the search, i.e. the monitoring
+     * ticks checkpoints are built from — always run fine-mode: the
+     * budget is restored to 0 before validation and on every search
+     * exit path. 0 (the default) leaves everything fine-mode; models
+     * without an event budget (the analytic backend) ignore it.
+     */
+    uint64_t search_event_budget = 0;
 };
 
 /**

@@ -13,6 +13,7 @@
 #ifndef CLITE_CORE_CONTROLLER_H
 #define CLITE_CORE_CONTROLLER_H
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -108,6 +109,20 @@ struct ControllerResult
      * for unbudgeted runs.
      */
     bool budget_exhausted = false;
+
+    /**
+     * Refit observability (filled by the CLITE controller, zero for
+     * baselines): hyper-refits performed, probe objective evaluations
+     * they consumed, warm-simplex probes that won outright (restarts
+     * skipped), and observation windows measured in coarse
+     * (event-budgeted) model mode. Printed by examples/cluster_sim so
+     * cadence or subset-tier regressions are visible without a
+     * profiler.
+     */
+    uint64_t refits = 0;
+    uint64_t probe_evals = 0;
+    uint64_t warm_probe_hits = 0;
+    uint64_t coarse_windows = 0;
 
     /**
      * Index into trace of the first usable sample meeting all QoS

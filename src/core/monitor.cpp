@@ -32,6 +32,7 @@ OnlineManager::initialize()
     WarmStart warm = lookupWarmStart();
     last_result_ =
         warm.empty() ? clite_.run(server_) : clite_.runWarm(server_, warm);
+    accumulateSearchStats();
     adoptResult();
     captureReference();
     checkpoint();
@@ -191,11 +192,21 @@ OnlineManager::reoptimize(const std::string& reason, bool mix_changed)
         // skip the infeasibility probes exactly when they matter.
         last_result_ = clite_.reoptimize(server_, *incumbent_);
     }
+    accumulateSearchStats();
     adoptResult();
     captureReference();
     mix_changed_ = false;
     removed_job_.reset();
     ++reoptimizations_;
+}
+
+void
+OnlineManager::accumulateSearchStats()
+{
+    refits_ += last_result_->refits;
+    probe_evals_ += last_result_->probe_evals;
+    warm_probe_hits_ += last_result_->warm_probe_hits;
+    coarse_windows_ += last_result_->coarse_windows;
 }
 
 bool

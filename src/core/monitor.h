@@ -193,6 +193,18 @@ class OnlineManager
     /** Number of monitoring windows early-aborted so far. */
     int abortedWindows() const { return aborted_windows_; }
 
+    /** Cumulative GP hyper-refits across all searches run so far. */
+    uint64_t refits() const { return refits_; }
+
+    /** Cumulative hyper-probe objective evaluations so far. */
+    uint64_t probeEvals() const { return probe_evals_; }
+
+    /** Cumulative warm-simplex probes that won (restarts skipped). */
+    uint64_t warmProbeHits() const { return warm_probe_hits_; }
+
+    /** Cumulative windows measured in coarse (event-budgeted) mode. */
+    uint64_t coarseWindows() const { return coarse_windows_; }
+
     /** Current consecutive QoS-violating window count (for tests). */
     int violationStreak() const { return violation_streak_; }
 
@@ -239,6 +251,9 @@ class OnlineManager
     /** Run a re-optimization and reset monitor state. */
     void reoptimize(const std::string& reason, bool mix_changed);
 
+    /** Fold last_result_'s refit/coarse counters into the totals. */
+    void accumulateSearchStats();
+
     /** Adopt @p result's winner (or a fallback) as the incumbent. */
     void adoptResult();
 
@@ -273,6 +288,10 @@ class OnlineManager
     int fallbacks_ = 0;
     int faulted_windows_ = 0;
     int aborted_windows_ = 0;
+    uint64_t refits_ = 0;
+    uint64_t probe_evals_ = 0;
+    uint64_t warm_probe_hits_ = 0;
+    uint64_t coarse_windows_ = 0;
 };
 
 } // namespace core

@@ -47,7 +47,10 @@ GaussianProcess::GaussianProcess(const GaussianProcess& other)
       pair_sqdist_(other.pair_sqdist_),
       pair_sqdiff_(other.pair_sqdiff_),
       chol_(other.chol_),
-      alpha_(other.alpha_)
+      alpha_(other.alpha_),
+      warm_hyper_(other.warm_hyper_),
+      warm_scale_(other.warm_scale_),
+      fit_stats_(other.fit_stats_)
 {
     // pair_sqdiff_t_ is deliberately NOT copied: it is a pure
     // transpose of pair_sqdiff_, rebuilt on demand by refit(), and
@@ -74,6 +77,9 @@ GaussianProcess::operator=(const GaussianProcess& other)
         sqdiff_t_valid_ = false;
         chol_ = other.chol_;
         alpha_ = other.alpha_;
+        warm_hyper_ = other.warm_hyper_;
+        warm_scale_ = other.warm_scale_;
+        fit_stats_ = other.fit_stats_;
     }
     return *this;
 }
@@ -469,11 +475,63 @@ GaussianProcess::logMarginalLikelihood() const
     return data_fit + complexity + norm;
 }
 
+void
+GaussianProcess::seedWarmStart(std::vector<double> hyper, double scale)
+{
+    warm_hyper_ = std::move(hyper);
+    warm_scale_ = scale;
+}
+
+void
+GaussianProcess::clearWarmStart()
+{
+    warm_hyper_.clear();
+    warm_scale_ = 0.0;
+}
+
+std::vector<size_t>
+GaussianProcess::probeSubsetIndices(size_t m) const
+{
+    const size_t n = x_.size();
+    CLITE_ASSERT(m >= 2 && m < n, "probe subset must be a strict subset");
+
+    // Stratify by standardized score: sort sample indices by (score,
+    // index) — the index tie-break makes the order, and therefore the
+    // subset, independent of how the scores were produced — then take
+    // one member per stratum. The extreme strata contain the best and
+    // worst observed configurations, so the incumbent region always
+    // survives the thinning.
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         if (ys_std_[a] != ys_std_[b])
+                             return ys_std_[a] < ys_std_[b];
+                         return a < b;
+                     });
+
+    // Seed-stable pick inside each stratum: the choice depends only on
+    // (n, stratum), never on an external RNG stream, so the same
+    // history yields the same subset on every thread count and every
+    // rerun.
+    std::vector<size_t> subset(m);
+    for (size_t s = 0; s < m; ++s) {
+        const size_t lo = s * n / m;
+        const size_t hi = (s + 1) * n / m;
+        SplitMix64 pick(0x5be5eedd15b5e7a1ULL ^ (uint64_t(n) << 20) ^ s);
+        subset[s] = order[lo + pick.next() % (hi - lo)];
+    }
+    std::sort(subset.begin(), subset.end());
+    return subset;
+}
+
 double
 GaussianProcess::optimizeHyperparameters(Rng& rng,
                                          const GpFitOptions& options)
 {
     CLITE_CHECK(fitted(), "optimizeHyperparameters called before fit");
+    fit_stats_ = GpFitStats{};
 
     const bool fit_noise = options.fit_noise;
     std::vector<double> start = kernel_->logParams();
@@ -521,8 +579,149 @@ GaussianProcess::optimizeHyperparameters(Rng& rng,
     // objective otherwise. Fast probes agree with the exact value to
     // roundoff but are not bit-identical; only the winner is
     // re-evaluated — and the model refit — through the exact path.
+    //
+    // Above subset_threshold a third tier engages: probes rank
+    // hyper-vectors by the LML of a deterministic score-stratified
+    // subset (O(m³) per evaluation instead of O(n³)), the persisted
+    // warm simplex is probed first and the restarts run only when it
+    // regresses, and the winner must finally beat the current exact
+    // LML before the refit is kept. That branch returns on its own
+    // below; everything past it is the pre-subset code path, byte
+    // identical for small histories.
     std::vector<opt::NmResult> runs;
     const std::optional<RadialForm> form = radialFormFor(kernel_->name());
+    const size_t n_hist = x_.size();
+    const size_t m_sub = std::min(options.subset_size, n_hist);
+    const bool subset_tier = form.has_value() &&
+                             options.subset_threshold > 0 &&
+                             n_hist >= options.subset_threshold &&
+                             m_sub >= 2 && m_sub < n_hist;
+    if (subset_tier) {
+        fit_stats_.subset_used = true;
+
+        // Materialize the subset problem: packed pair distances pulled
+        // from the full-set cache at pair index i(i-1)/2+j, targets
+        // standardized by the FULL set (ranking only — absolute level
+        // does not matter, relative curvature does), and a d×m panel
+        // for ARD kernels.
+        const std::vector<size_t> sub = probeSubsetIndices(m_sub);
+        FastLmlProblem sp;
+        sp.n = m_sub;
+        sp.dims = kernel_->dims();
+        sp.isotropic = kernel_->isotropic();
+        sp.fit_noise = fit_noise;
+        sp.form = *form;
+        sp.noise_variance = noise_variance_;
+        std::vector<double> sub_sqd(m_sub * (m_sub - 1) / 2);
+        {
+            size_t pair = 0;
+            for (size_t i = 0; i < m_sub; ++i)
+                for (size_t j = 0; j < i; ++j, ++pair) {
+                    const size_t gi = sub[i], gj = sub[j];
+                    sub_sqd[pair] =
+                        pair_sqdist_[gi * (gi - 1) / 2 + gj];
+                }
+        }
+        sp.pair_sqdist = sub_sqd.data();
+        std::vector<double> sub_ys(m_sub);
+        for (size_t i = 0; i < m_sub; ++i)
+            sub_ys[i] = ys_std_[sub[i]];
+        sp.ys_std = sub_ys.data();
+        std::vector<double> sub_xt;
+        if (!sp.isotropic) {
+            const size_t d = sp.dims;
+            sub_xt.resize(d * m_sub);
+            for (size_t i = 0; i < m_sub; ++i)
+                for (size_t k = 0; k < d; ++k)
+                    sub_xt[k * m_sub + i] = x_[sub[i]][k];
+            sp.x_t = sub_xt.data();
+        }
+
+        auto subset_obj = [&sp](const std::vector<double>& p) {
+            static thread_local FastLmlScratch scratch;
+            return fastNegLogMarginal(sp, p.data(), p.size(), scratch);
+        };
+
+        // Warm probe first: one Nelder-Mead descent from the last
+        // winning hyper-vector, simplex sized to the move that won it.
+        // It wins when it beats the subset objective at the current
+        // parameters; only a regression spends the restart budget.
+        // (The restart perturbations were already drawn above either
+        // way, so the caller's stream position never depends on which
+        // branch ran.)
+        std::vector<double> cand = start;
+        double cand_val;
+        bool have_cand = false;
+        const double base = subset_obj(start);
+        fit_stats_.probe_evals += 1;
+        if (warm_hyper_.size() == start.size()) {
+            opt::NmOptions wnm = nm;
+            wnm.initial_scale =
+                std::clamp(warm_scale_, 0.05, nm.initial_scale);
+            opt::NmResult wr =
+                opt::nelderMeadMinimize(subset_obj, warm_hyper_, wnm);
+            fit_stats_.probe_evals += uint64_t(wr.evaluations);
+            if (wr.value < base) {
+                fit_stats_.warm_hit = true;
+                cand = std::move(wr.x);
+                cand_val = wr.value;
+                have_cand = true;
+            }
+        }
+        if (!have_cand) {
+            auto make_subset_objective = [&sp](size_t) {
+                return std::function<double(const std::vector<double>&)>(
+                    [&sp](const std::vector<double>& p) {
+                        static thread_local FastLmlScratch scratch;
+                        return fastNegLogMarginal(sp, p.data(), p.size(),
+                                                  scratch);
+                    });
+            };
+            runs = opt::nelderMeadMultiStart(make_subset_objective,
+                                             starts, nm, &globalPool());
+            cand_val = runs[0].f0;
+            for (const opt::NmResult& r : runs) {
+                fit_stats_.probe_evals += uint64_t(r.evaluations);
+                if (r.value < cand_val) {
+                    cand_val = r.value;
+                    cand = r.x;
+                    have_cand = true;
+                }
+            }
+        }
+        if (!have_cand) {
+            // Nothing beat the current parameters even on the subset;
+            // the model state already reflects them (subset probes are
+            // stateless), so keep the fit as is.
+            return logMarginalLikelihood();
+        }
+
+        // Full-fidelity guard: the subset ranked the candidate above
+        // the incumbent, but only the exact objective decides. A
+        // candidate that regresses the exact LML is discarded and the
+        // entry parameters re-applied (the probes never touched model
+        // state, but objective() below does, so the restore must run
+        // through it too).
+        const double entry_lml = logMarginalLikelihood();
+        const double final_neg = objective(cand);
+        if (!std::isfinite(final_neg) || -final_neg <= entry_lml) {
+            const double restored = objective(start);
+            CLITE_ASSERT(std::isfinite(restored),
+                         "entry hyper-parameters no longer evaluable");
+            // The persisted warm vector just lost at full fidelity;
+            // drop it so the next refit spends restarts again instead
+            // of trusting a stale simplex.
+            clearWarmStart();
+            return -restored;
+        }
+        fit_stats_.improved = true;
+        double step = 0.0;
+        for (size_t i = 0; i < cand.size(); ++i)
+            step = std::max(step, std::fabs(cand[i] - start[i]));
+        warm_hyper_ = cand;
+        warm_scale_ = std::clamp(step, 0.05, 0.5);
+        return -final_neg;
+    }
     if (form.has_value()) {
         FastLmlProblem problem;
         problem.n = x_.size();
@@ -577,12 +776,14 @@ GaussianProcess::optimizeHyperparameters(Rng& rng,
     double best_neg = runs[0].f0;
     bool improved = false;
     for (const opt::NmResult& r : runs) {
+        fit_stats_.probe_evals += uint64_t(r.evaluations);
         if (r.value < best_neg) {
             best_neg = r.value;
             best_p = r.x;
             improved = true;
         }
     }
+    fit_stats_.improved = improved;
 
     // When no run strictly beat the start, the winner IS the current
     // hyper-parameters — and on the fast-probe path the model state

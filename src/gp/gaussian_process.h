@@ -60,6 +60,32 @@ struct GpFitOptions
     int max_iters = 80;        ///< Nelder-Mead iterations per restart.
     double log_param_range = 2.0; ///< Restart log-param perturbation.
     bool fit_noise = true;     ///< Also optimize the noise variance.
+
+    /**
+     * History size at which probes switch to the subset tier: above
+     * it, Nelder-Mead probes rank hyper-vectors by the LML of a
+     * deterministic, score-stratified subset of the training set and
+     * only the winner is re-evaluated (and the model refit) through
+     * the exact O(n³) objective. Below it the search is byte-identical
+     * to the pre-subset implementation. 0 disables the tier.
+     */
+    size_t subset_threshold = 96;
+    /** Subset size used by the probe tier (clamped to n). */
+    size_t subset_size = 64;
+};
+
+/**
+ * What the last optimizeHyperparameters() call actually did — the
+ * observability hook behind ControllerResult's refit counters, so
+ * cadence/subset regressions show up in printed stats instead of a
+ * profiler.
+ */
+struct GpFitStats
+{
+    uint64_t probe_evals = 0; ///< Objective evaluations spent on probes.
+    bool subset_used = false; ///< Probes ranked on the subset tier.
+    bool warm_hit = false;    ///< Warm simplex won; restarts skipped.
+    bool improved = false;    ///< Winner strictly beat the start point.
 };
 
 /**
@@ -181,6 +207,22 @@ class GaussianProcess
     double optimizeHyperparameters(Rng& rng,
                                    const GpFitOptions& options = {});
 
+    /** Stats of the most recent optimizeHyperparameters() call. */
+    const GpFitStats& lastFitStats() const { return fit_stats_; }
+
+    /**
+     * Seed (or overwrite) the persisted warm-start hyper-vector the
+     * subset tier probes first. Exposed for tests and benchmarks; the
+     * production path persists the winner of each refit on its own.
+     * Pass the full probe vector (kernel log-params, plus log noise
+     * when fitting noise). @p scale is the initial simplex scale of
+     * the warm probe.
+     */
+    void seedWarmStart(std::vector<double> hyper, double scale);
+
+    /** Drop any persisted warm-start state. */
+    void clearWarmStart();
+
   private:
     /** Rebuild the Cholesky and α for current data + hyper-parameters. */
     void refit();
@@ -196,6 +238,12 @@ class GaussianProcess
 
     /** Per-dimension 1/ℓ_d² under the current kernel parameters. */
     std::vector<double> inverseSquaredLengthscales() const;
+
+    /**
+     * The @p m sample indices (ascending) the subset probe tier ranks
+     * hyper-vectors on: one seed-stable pick per score stratum.
+     */
+    std::vector<size_t> probeSubsetIndices(size_t m) const;
 
     /** Scaled distance of cached pair @p pair given 1/ℓ². */
     double cachedScaledDistance(size_t pair,
@@ -242,6 +290,18 @@ class GaussianProcess
 
     /** Gram scratch reused across refits (hyper-fit probes). */
     linalg::Matrix gram_;
+
+    /**
+     * Cross-refit warm start: the last winning probe vector and the
+     * simplex scale of the move that won it. The next subset-tier
+     * search probes from here first and spends its restarts only when
+     * that warm probe regresses below the current-parameter baseline.
+     * Cleared when the parameter count changes (kernel swap).
+     */
+    std::vector<double> warm_hyper_;
+    double warm_scale_ = 0.0;
+
+    GpFitStats fit_stats_;
 };
 
 } // namespace gp

@@ -256,6 +256,25 @@ class SimulatedServer
     std::string modelName() const { return model_->name(); }
 
     /**
+     * Switch the backing model between coarse (event-budgeted) and
+     * fine measurement mode (docs/MODEL.md). Returns true when the
+     * model honors budgets (the DES backend); the analytic backend
+     * refuses and stays exact. The controller sets a budget around
+     * its search probes and restores 0 before validation, so
+     * monitoring windows and checkpoints always measure fine.
+     */
+    bool setMeasurementEventBudget(uint64_t budget)
+    {
+        return model_->setEventBudget(budget);
+    }
+
+    /** The model's active measurement event budget (0 = fine). */
+    uint64_t measurementEventBudget() const
+    {
+        return model_->eventBudget();
+    }
+
+    /**
      * Noise-free isolated baseline of job @p j (max-allocation
      * extremum): p95 for LC, throughput for BG. Cached per load.
      */

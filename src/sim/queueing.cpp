@@ -401,6 +401,26 @@ measureStation(int servers, double arrival_rate, double mean_service,
                           FixedService{mean_service}, rng);
 }
 
+void
+prewarmMeasurementScratch(int max_servers, size_t expected_requests)
+{
+    StationScratch& scratch = t_scratch;
+    if (max_servers > 0 &&
+        scratch.in_service.capacity() < size_t(max_servers))
+        scratch.in_service.reserve(size_t(max_servers));
+    if (expected_requests > 0) {
+        if (scratch.response.capacity() < expected_requests)
+            scratch.response.reserve(expected_requests);
+        if (scratch.sort_buf.capacity() < expected_requests)
+            scratch.sort_buf.reserve(expected_requests);
+        // The FIFO ring holds the backlog, a fraction of the
+        // completions even near saturation; a quarter is generous.
+        const size_t backlog = expected_requests / 4 + 64;
+        if (scratch.waiting.capacity() < backlog)
+            scratch.waiting.reserve(backlog);
+    }
+}
+
 TailMeasurement
 measureStationReference(int servers, double arrival_rate, double mean_service,
                         double service_sigma, double warmup, double window,

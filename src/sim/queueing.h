@@ -155,6 +155,19 @@ TailMeasurement measureStation(int servers, double arrival_rate,
                                uint64_t event_budget = 0);
 
 /**
+ * Pre-size the CALLING thread's measurement scratch — the pooled
+ * per-thread slab measureStation() runs out of — so a node's first
+ * observation window pays no growth reallocations (first-window
+ * jitter). Reserves the in-service heap for @p max_servers and the
+ * response/waiting/sort buffers for @p expected_requests completions
+ * (≈ λ · window for the hottest co-located job). thread_local state
+ * is reachable only from its own thread: to warm a pool's workers,
+ * run this under ThreadPool::broadcast(). Idempotent and monotone —
+ * repeat calls only ever grow the reservation.
+ */
+void prewarmMeasurementScratch(int max_servers, size_t expected_requests);
+
+/**
  * Reference implementation of measureStation through QueueingStation
  * on the generic (pooled-heap) Simulator — same parameters, same
  * result, bit for bit. Kept as the oracle for the fast path's

@@ -115,6 +115,18 @@ class PerformanceModel
     virtual std::string name() const = 0;
 
     /**
+     * Switch the model's measurement event budget (coarse/fine mode,
+     * docs/MODEL.md). Returns true when the backend honors budgets;
+     * the default implementation refuses — deterministic closed-form
+     * backends have no event bill to cap, and callers use the return
+     * value to know whether coarse mode actually engaged.
+     */
+    virtual bool setEventBudget(uint64_t /*budget*/) { return false; }
+
+    /** The active measurement event budget (0 = fine/unlimited). */
+    virtual uint64_t eventBudget() const { return 0; }
+
+    /**
      * Convenience: measure job @p j of @p jobs under a full Allocation.
      */
     JobMeasurement measureJob(const std::vector<JobSpec>& jobs, size_t j,
@@ -162,8 +174,19 @@ class QueueingSimModel : public PerformanceModel
                            Rng& rng) const override;
     std::string name() const override { return "des"; }
 
+    /**
+     * Re-budget the model in place: the controller flips one model
+     * between coarse search probes and fine validation/monitoring
+     * windows instead of rebuilding servers.
+     */
+    bool setEventBudget(uint64_t budget) override
+    {
+        event_budget_ = budget;
+        return true;
+    }
+
     /** The per-window measured-request cap (0 = unlimited). */
-    uint64_t eventBudget() const { return event_budget_; }
+    uint64_t eventBudget() const override { return event_budget_; }
 
   private:
     double warmup_s_;

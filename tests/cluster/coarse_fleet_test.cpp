@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Coarse DES as the fleet search default: with the DES backend, node
+ * searches measure their probe windows under
+ * FleetOptions::search_event_budget while validation and monitoring
+ * windows stay fine-mode. The coarse fleet must land inside the
+ * documented 25% p95 accuracy band (docs/MODEL.md, pinned at the
+ * station level by tests/sim/queueing_budget_test.cpp) of the
+ * fine-mode fleet on the aggregate QoS and BG-performance outcomes,
+ * and the refit/coarse counters must surface through FleetMetrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/fleet.h"
+#include "cluster/manager.h"
+#include "workloads/catalog.h"
+
+namespace clite {
+namespace cluster {
+namespace {
+
+FleetOptions
+desFleet(uint64_t budget)
+{
+    FleetOptions o;
+    o.nodes = 2;
+    o.seed = 17;
+    o.backend = harness::ModelBackend::Des;
+    o.search_event_budget = budget;
+    o.clite.max_iterations = 8;
+    o.clite.polish_iterations = 2;
+    o.clite.acquisition_starts = 4;
+    return o;
+}
+
+void
+admitMix(Fleet& fleet)
+{
+    fleet.admit(workloads::lcJob("img-dnn", 0.4));
+    fleet.admit(workloads::bgJob("streamcluster"));
+    fleet.admit(workloads::lcJob("masstree", 0.3));
+}
+
+struct EngineRun
+{
+    FleetMetrics metrics;
+    double qos_met = 0.0;
+    double bg_perf = 0.0;
+};
+
+EngineRun
+runEngine(Fleet& fleet, int windows)
+{
+    AsyncOptions o;
+    o.workers = 2;
+    o.straggler_prob = 0.0;
+    AsyncFleetEngine engine(fleet, o);
+    EngineRun r;
+    r.metrics = engine.run(windows);
+    r.qos_met = engine.qosMetFraction();
+    r.bg_perf = engine.meanBgPerf();
+    return r;
+}
+
+TEST(CoarseFleet, CoarseSearchStaysInsideAccuracyBandOfFine)
+{
+    Fleet fine_fleet(desFleet(0));
+    admitMix(fine_fleet);
+    const EngineRun fine = runEngine(fine_fleet, 3);
+    EXPECT_EQ(fine.metrics.coarse_windows, 0u);
+    EXPECT_GE(fine.metrics.refits, 1u);
+    EXPECT_GT(fine.metrics.probe_evals, 0u);
+
+    Fleet coarse_fleet(desFleet(2000));
+    admitMix(coarse_fleet);
+    const EngineRun coarse = runEngine(coarse_fleet, 3);
+    EXPECT_GT(coarse.metrics.coarse_windows, 0u);
+    EXPECT_GE(coarse.metrics.refits, 1u);
+
+    // Aggregate QoS attainment within the 25% band (absolute on a
+    // [0, 1] fraction — the coarse search may converge to a different
+    // but comparably good partition).
+    EXPECT_LE(std::fabs(fine.qos_met - coarse.qos_met), 0.25);
+    // Mean BG performance within 25% relative of the fine fleet.
+    ASSERT_GT(fine.bg_perf, 0.0);
+    EXPECT_LE(std::fabs(coarse.bg_perf - fine.bg_perf) / fine.bg_perf,
+              0.25);
+}
+
+TEST(CoarseFleet, AnalyticBackendNeverMeasuresCoarse)
+{
+    // The default FleetOptions budget is live, but the analytic
+    // backend has no event bill: nothing measures coarse.
+    FleetOptions o;
+    o.nodes = 2;
+    o.seed = 17;
+    o.clite.max_iterations = 8;
+    o.clite.polish_iterations = 2;
+    o.clite.acquisition_starts = 4;
+    ASSERT_GT(o.search_event_budget, 0u);
+    Fleet fleet(o);
+    admitMix(fleet);
+    const EngineRun r = runEngine(fleet, 2);
+    EXPECT_EQ(r.metrics.coarse_windows, 0u);
+    EXPECT_GE(r.metrics.refits, 1u);
+}
+
+} // namespace
+} // namespace cluster
+} // namespace clite

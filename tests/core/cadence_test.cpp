@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Contracts of the adaptive hyper-refit cadence (core/cadence.h):
+ *
+ *  - below the stretch threshold the schedule is bit-for-bit the
+ *    historical iter % base == 0 one (goldens depend on this);
+ *  - the gap between refits never exceeds k(n) at the history size of
+ *    the firing step;
+ *  - a surprise forces a refit once at least base iterations have
+ *    passed since the previous one — never earlier, so the refit rate
+ *    stays bounded above by the original cadence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cadence.h"
+
+namespace clite {
+namespace core {
+namespace {
+
+TEST(RefitCadence, BelowThresholdMatchesHistoricalSchedule)
+{
+    for (int base : {1, 2, 3, 5}) {
+        RefitCadence cadence(base, 96);
+        for (int iter = 0; iter < 40; ++iter) {
+            // History grows one sample per iteration but stays below
+            // the threshold throughout.
+            const size_t history = size_t(10 + iter);
+            const bool fired = cadence.step(history, false);
+            EXPECT_EQ(fired, iter % base == 0)
+                << "base " << base << " iter " << iter;
+        }
+    }
+}
+
+TEST(RefitCadence, FirstStepAlwaysFires)
+{
+    RefitCadence cadence(7, 96);
+    EXPECT_TRUE(cadence.step(500, false));
+}
+
+TEST(RefitCadence, PeriodStretchesWithHistoryAndSaturates)
+{
+    RefitCadence cadence(3, 96);
+    EXPECT_EQ(cadence.period(0), 3);
+    EXPECT_EQ(cadence.period(95), 3);
+    EXPECT_EQ(cadence.period(96), 6);   // 3 * (1 + 96/96)
+    EXPECT_EQ(cadence.period(192), 9);  // 3 * (1 + 192/96)
+    EXPECT_EQ(cadence.period(288), 12); // 3 * min(4, 1 + 288/96)
+    EXPECT_EQ(cadence.period(100000), 12); // saturated at 4x
+}
+
+TEST(RefitCadence, ZeroThresholdDisablesStretching)
+{
+    RefitCadence cadence(3, 0);
+    EXPECT_EQ(cadence.period(100000), 3);
+}
+
+TEST(RefitCadence, GapNeverExceedsPeriodUnderRandomSurprises)
+{
+    Rng rng(41);
+    for (int trial = 0; trial < 5; ++trial) {
+        RefitCadence cadence(3, 96);
+        int gap = 0;
+        for (int iter = 0; iter < 600; ++iter) {
+            const size_t history = size_t(iter); // grows past 4x
+            const bool surprise = rng.uniform() < 0.1;
+            ++gap;
+            if (cadence.step(history, surprise))
+                gap = 0;
+            EXPECT_LE(gap, cadence.period(history))
+                << "trial " << trial << " iter " << iter;
+        }
+    }
+}
+
+TEST(RefitCadence, SurpriseForcesEarlyRefitButNotBeforeBase)
+{
+    // History deep in the stretched regime: period 12, base 3.
+    const size_t history = 300;
+    RefitCadence cadence(3, 96);
+    ASSERT_TRUE(cadence.step(history, false)); // initial refit
+    ASSERT_EQ(cadence.period(history), 12);
+
+    // A surprise within base iterations of the last refit must NOT
+    // fire (rate bound), even repeated.
+    EXPECT_FALSE(cadence.step(history, true)); // since 1
+    EXPECT_FALSE(cadence.step(history, true)); // since 2
+    // At base iterations the pending surprise fires, 9 iterations
+    // before the stretched period would have.
+    EXPECT_TRUE(cadence.step(history, true)); // since 3 == base
+
+    // Without surprises the stretched period governs: 11 quiet steps,
+    // then the 12th fires.
+    for (int i = 0; i < 11; ++i)
+        EXPECT_FALSE(cadence.step(history, false)) << "step " << i;
+    EXPECT_TRUE(cadence.step(history, false));
+}
+
+} // namespace
+} // namespace core
+} // namespace clite
