@@ -34,7 +34,11 @@ bench/budget_sweep emissions (BENCH_budget.json): the budgeted
 controller must keep reducing QoS-violating sample-seconds by at
 least the design floor (30% vs the EI-threshold baseline) and its
 final ground-truth score must stay within tolerance of the
-baseline's.
+baseline's. `--mode traffic` compares two bench/fig_traffic emissions
+(BENCH_traffic.json): on the flash-crowd trace the transient-riding
+policy must keep avoiding at least 50% of the naive arm's
+re-optimizations while its violating-window fraction rises by at most
+two points.
 
 Matches benchmarks by name, prints a ratio table (candidate / baseline
 real time), and emits a warning for every benchmark in the watched
@@ -188,6 +192,64 @@ def compare_budget(args):
     return 0
 
 
+# Minimum acceptable fraction of naive re-optimizations the
+# transient-riding policy avoids on the flash-crowd shape; matches the
+# traffic-policy design target in docs/TRAFFIC.md.
+TRAFFIC_REOPT_REDUCTION_FLOOR = 0.50
+
+# Largest tolerated increase in the violating-window fraction the
+# riding policy may pay for those avoided searches (absolute, on a
+# [0, 1] fraction — 0.02 = two points).
+TRAFFIC_VIOLATING_INCREASE_TOLERANCE = 0.02
+
+
+def compare_traffic(args):
+    """Diff two bench/fig_traffic JSON files (BENCH_traffic.json)."""
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.candidate) as f:
+        cand = json.load(f)
+    problems = []
+
+    print(f"{'metric':<26}  {'base':>10}  {'cand':>10}")
+    for key in ("naive_reopts_mean", "riding_reopts_mean",
+                "reopt_reduction", "violating_increase",
+                "transients_ridden_mean"):
+        b = base.get("flash_crowd", {}).get(key)
+        c = cand.get("flash_crowd", {}).get(key)
+        print(f"{key:<26}  {b!s:>10}  {c!s:>10}")
+
+    flash = cand.get("flash_crowd", {})
+    # The sweep must actually provoke the naive arm: a flash-crowd
+    # trace that never triggers a search measures nothing.
+    if flash.get("naive_reopts_mean", 0.0) <= 0.0:
+        problems.append("naive arm ran zero re-optimizations: the "
+                        "flash-crowd trace is not provoking searches")
+    reduction = flash.get("reopt_reduction", 0.0)
+    if reduction < TRAFFIC_REOPT_REDUCTION_FLOOR:
+        problems.append(
+            f"flash-crowd reopt reduction {reduction:.2f} fell below "
+            f"the {TRAFFIC_REOPT_REDUCTION_FLOOR:.2f} floor")
+    increase = flash.get("violating_increase", 0.0)
+    if increase > TRAFFIC_VIOLATING_INCREASE_TOLERANCE:
+        problems.append(
+            f"riding policy's violating-window fraction rose by "
+            f"{increase:.3f} (> "
+            f"{TRAFFIC_VIOLATING_INCREASE_TOLERANCE} tolerance)")
+    # Riding must be exercised, not merely configured: zero ridden
+    # transients means the hysteresis is dark.
+    if flash.get("transients_ridden_mean", 0.0) <= 0.0:
+        problems.append("riding arm rode zero transients: the "
+                        "RideTransients hysteresis looks disabled")
+
+    for p in problems:
+        print(f"::warning::traffic regression: {p}")
+    if problems:
+        return 1 if args.strict else 0
+    print("traffic-policy sweep matches the committed baseline")
+    return 0
+
+
 # Absolute QoS-met-fraction drop (candidate vs baseline, per point)
 # tolerated before a fleet point is flagged: placement is seeded but a
 # changed controller legitimately shifts a window or two.
@@ -314,15 +376,16 @@ def main():
                              "(case-insensitive)")
     parser.add_argument("--mode",
                         choices=["benchmark", "components", "warmstart",
-                                 "fleet", "budget"],
+                                 "fleet", "budget", "traffic"],
                         default="benchmark",
                         help="input format: google-benchmark JSON "
                              "(default; 'components' adds the "
                              "observation-window families and makes a "
                              "non-Release candidate a hard error), "
                              "bench/warm_start JSON, "
-                             "bench/fleet_scaling JSON, or "
-                             "bench/budget_sweep JSON")
+                             "bench/fleet_scaling JSON, "
+                             "bench/budget_sweep JSON, or "
+                             "bench/fig_traffic JSON")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when any watched family regresses")
     args = parser.parse_args()
@@ -333,6 +396,8 @@ def main():
         return compare_fleet(args)
     if args.mode == "budget":
         return compare_budget(args)
+    if args.mode == "traffic":
+        return compare_traffic(args)
     if (args.mode == "components"
             and args.families == ",".join(DEFAULT_FAMILIES)):
         args.families = ",".join(COMPONENT_FAMILIES)

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Traffic-policy sweep: reoptimization count and percentile-over-time
+ * QoS under realistic load shapes (workloads/traffic), naive
+ * reoptimize-on-every-blip monitoring vs the RideTransients policy.
+ *
+ * Three trace shapes (jittered diurnal, flash crowd, diurnal+crowd
+ * composite) are replayed through the OnlineManager with two arms on
+ * identical seeds:
+ *
+ *  - naive: ReoptPolicy::Immediate with patience 1 — every violating
+ *    or drifting window immediately re-runs the search;
+ *  - riding: ReoptPolicy::RideTransients — a streak must also outlast
+ *    the transient-ride hysteresis, so flash crowds that decay within
+ *    a few windows are ridden out on the incumbent.
+ *
+ * The headline gate (bench/compare_bench.py --mode traffic) is on the
+ * flash-crowd shape: riding must avoid >= 50% of the naive arm's
+ * re-optimizations while its violating-window fraction — the fraction
+ * of fault-free monitoring windows in which some LC job missed p95 —
+ * rises by at most 2 points. Riding a burst trades a couple of
+ * violating windows (which the naive search would have spent
+ * exploring anyway, at degraded service) for not thrashing the
+ * partition twice per crowd.
+ *
+ * Everything underneath is deterministic (seeded traces, seeded
+ * noise, seeded BO, thread-count-invariant pool), so the emitted JSON
+ * is byte-stable across machines: `--json=PATH` writes
+ * BENCH_traffic.json, which is committed and diffed in CI. Regenerate
+ * after an intended behaviour change with:
+ *
+ *     ./bench/fig_traffic --json=BENCH_traffic.json
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "harness/dynamic.h"
+#include "workloads/catalog.h"
+#include "workloads/traffic/traffic.h"
+
+using namespace clite;
+
+namespace {
+
+constexpr int kSeeds = 3;
+constexpr double kDurationS = 120.0;
+constexpr double kWindowS = 2.0;
+
+const char* const kShapes[] = {"jittered-diurnal", "flash-crowd",
+                               "composite"};
+
+/** Surge knobs shared by the bursty shapes: crowds every ~30 s that
+ *  decay within a couple of observation windows. */
+workloads::traffic::SurgeProcess::Options
+surgeOptions()
+{
+    workloads::traffic::SurgeProcess::Options o;
+    o.horizon_seconds = kDurationS;
+    o.mean_interarrival_s = 30.0;
+    o.decay_seconds = 2.5;
+    o.mean_magnitude = 0.35;
+    return o;
+}
+
+std::unique_ptr<workloads::LoadTrace>
+makeTrace(const std::string& shape, uint64_t seed)
+{
+    using namespace workloads::traffic;
+    if (shape == "jittered-diurnal") {
+        JitteredDiurnalTrace::Options o;
+        o.base = 0.35;
+        o.amplitude = 0.2;
+        o.period_seconds = 80.0;
+        o.jitter = 0.05;
+        o.jitter_interval_s = 4.0;
+        return std::make_unique<JitteredDiurnalTrace>(seed, o);
+    }
+    if (shape == "flash-crowd")
+        return std::make_unique<FlashCrowdTrace>(seed, 0.25,
+                                                 surgeOptions());
+    // Composite: a slow diurnal swell carrying flash crowds.
+    JitteredDiurnalTrace::Options d;
+    d.base = 0.3;
+    d.amplitude = 0.15;
+    d.period_seconds = 80.0;
+    d.jitter = 0.03;
+    d.jitter_interval_s = 4.0;
+    std::vector<CompositeTrace::Component> parts;
+    parts.push_back({std::make_shared<JitteredDiurnalTrace>(seed, d), 1.0});
+    parts.push_back(
+        {std::make_shared<FlashCrowdTrace>(seed + 17, 0.01, surgeOptions()),
+         1.0});
+    return std::make_unique<CompositeTrace>(std::move(parts));
+}
+
+harness::ServerSpec
+makeSpec(uint64_t seed)
+{
+    harness::ServerSpec spec;
+    spec.jobs = {workloads::lcJob("memcached", 0.3),
+                 workloads::lcJob("img-dnn", 0.1),
+                 workloads::bgJob("swaptions")};
+    spec.seed = seed;
+    return spec;
+}
+
+core::CliteOptions
+fastClite(uint64_t seed)
+{
+    core::CliteOptions o;
+    o.seed = seed;
+    o.max_iterations = 10;
+    o.polish_iterations = 2;
+    return o;
+}
+
+core::MonitorOptions
+naiveOptions()
+{
+    core::MonitorOptions o;
+    o.violation_patience = 1;
+    o.drift_patience = 1;
+    o.reopt_policy = core::ReoptPolicy::Immediate;
+    return o;
+}
+
+core::MonitorOptions
+ridingOptions()
+{
+    core::MonitorOptions o = naiveOptions();
+    o.reopt_policy = core::ReoptPolicy::RideTransients;
+    o.transient_ride_windows = 3;
+    return o;
+}
+
+struct ArmStats
+{
+    double reopts_sum = 0.0;
+    double violating_sum = 0.0; ///< Violating-window fractions.
+    double qos_met_sum = 0.0;
+    double ridden_sum = 0.0;
+    double sustained_sum = 0.0;
+    int runs = 0;
+
+    double reoptsMean() const { return runs ? reopts_sum / runs : 0.0; }
+    double violatingMean() const
+    {
+        return runs ? violating_sum / runs : 0.0;
+    }
+    double qosMetMean() const { return runs ? qos_met_sum / runs : 0.0; }
+    double riddenMean() const { return runs ? ridden_sum / runs : 0.0; }
+    double sustainedMean() const
+    {
+        return runs ? sustained_sum / runs : 0.0;
+    }
+};
+
+struct ShapeResult
+{
+    std::string shape;
+    ArmStats naive, riding;
+};
+
+void
+accumulate(ArmStats& arm, const harness::TraceReplayResult& r)
+{
+    arm.reopts_sum += r.reoptimizations;
+    arm.violating_sum += r.violating_window_fraction;
+    arm.qos_met_sum += r.qos_met_fraction;
+    arm.ridden_sum += r.transients_ridden;
+    arm.sustained_sum += r.sustained_shifts;
+    ++arm.runs;
+}
+
+ShapeResult
+runShape(const std::string& shape)
+{
+    ShapeResult out;
+    out.shape = shape;
+    for (int s = 0; s < kSeeds; ++s) {
+        const uint64_t trace_seed = 300 + uint64_t(s);
+        const uint64_t noise_seed = 100 + uint64_t(s);
+        const uint64_t bo_seed = 200 + uint64_t(s);
+        std::unique_ptr<workloads::LoadTrace> trace =
+            makeTrace(shape, trace_seed);
+
+        // Both arms replay the identical trace on identically seeded
+        // servers; only the reoptimization policy differs.
+        accumulate(out.naive,
+                   harness::replayLoadTrace(makeSpec(noise_seed), 0,
+                                            *trace, kDurationS, kWindowS,
+                                            fastClite(bo_seed),
+                                            naiveOptions()));
+        accumulate(out.riding,
+                   harness::replayLoadTrace(makeSpec(noise_seed), 0,
+                                            *trace, kDurationS, kWindowS,
+                                            fastClite(bo_seed),
+                                            ridingOptions()));
+    }
+    return out;
+}
+
+std::string
+g(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+void
+writeJson(const std::vector<ShapeResult>& results, const std::string& path)
+{
+    const ShapeResult* flash = nullptr;
+    for (const ShapeResult& r : results)
+        if (r.shape == "flash-crowd")
+            flash = &r;
+
+    std::ofstream out(path, std::ios::trunc);
+    if (!out.good()) {
+        std::cerr << "cannot write " << path << "\n";
+        return;
+    }
+    out << "{\n  \"bench\": \"fig_traffic\",\n";
+    out << "  \"metric\": \"reoptimizations and violating-window "
+           "fraction, naive vs transient-riding policy\",\n";
+    out << "  \"seeds_per_shape\": " << kSeeds << ",\n";
+    out << "  \"duration_s\": " << g(kDurationS)
+        << ", \"window_s\": " << g(kWindowS) << ",\n  \"shapes\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const ShapeResult& r = results[i];
+        out << "    {\"shape\": \"" << r.shape << "\",\n"
+            << "     \"naive_reopts_mean\": " << g(r.naive.reoptsMean())
+            << ", \"riding_reopts_mean\": " << g(r.riding.reoptsMean())
+            << ",\n     \"naive_violating_fraction\": "
+            << g(r.naive.violatingMean())
+            << ", \"riding_violating_fraction\": "
+            << g(r.riding.violatingMean())
+            << ",\n     \"naive_qos_met_fraction\": "
+            << g(r.naive.qosMetMean())
+            << ", \"riding_qos_met_fraction\": "
+            << g(r.riding.qosMetMean())
+            << ",\n     \"transients_ridden_mean\": "
+            << g(r.riding.riddenMean())
+            << ", \"sustained_shifts_mean\": "
+            << g(r.riding.sustainedMean()) << ", \"runs\": "
+            << r.riding.runs << "}"
+            << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"flash_crowd\": {\n";
+    if (flash != nullptr) {
+        const double reduction =
+            flash->naive.reoptsMean() > 0.0
+                ? 1.0 - flash->riding.reoptsMean() /
+                            flash->naive.reoptsMean()
+                : 0.0;
+        out << "    \"naive_reopts_mean\": "
+            << g(flash->naive.reoptsMean()) << ",\n";
+        out << "    \"riding_reopts_mean\": "
+            << g(flash->riding.reoptsMean()) << ",\n";
+        out << "    \"reopt_reduction\": " << g(reduction) << ",\n";
+        out << "    \"violating_increase\": "
+            << g(flash->riding.violatingMean() -
+                 flash->naive.violatingMean())
+            << ",\n";
+        out << "    \"transients_ridden_mean\": "
+            << g(flash->riding.riddenMean()) << "\n";
+    }
+    out << "  }\n}\n";
+    std::cout << "[json written to " << path << "]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::applyThreadFlag(argc, argv);
+    std::string json_path;
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            json_path = argv[i] + 7;
+
+    std::vector<ShapeResult> results;
+    for (const char* shape : kShapes)
+        results.push_back(runShape(shape));
+
+    std::printf("%-18s %8s %8s %10s %10s %10s %8s %8s\n", "shape",
+                "n.reopt", "r.reopt", "n.violfr", "r.violfr", "reduction",
+                "ridden", "sustain");
+    for (const ShapeResult& r : results) {
+        const double reduction =
+            r.naive.reoptsMean() > 0.0
+                ? 1.0 - r.riding.reoptsMean() / r.naive.reoptsMean()
+                : 0.0;
+        std::printf("%-18s %8.2f %8.2f %10.3f %10.3f %9.1f%% %8.2f %8.2f\n",
+                    r.shape.c_str(), r.naive.reoptsMean(),
+                    r.riding.reoptsMean(), r.naive.violatingMean(),
+                    r.riding.violatingMean(), 100.0 * reduction,
+                    r.riding.riddenMean(), r.riding.sustainedMean());
+    }
+
+    if (!json_path.empty())
+        writeJson(results, json_path);
+    return 0;
+}

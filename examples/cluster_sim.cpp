@@ -14,22 +14,95 @@
  * manager-worker engine with faults injected — lost workers, task
  * failures, stragglers — and prints the robustness counters showing
  * the chaos being absorbed without losing a job.
+ *
+ * Flags:
+ *   --trace=none|diurnal|flash|composite   drive the first LC job's
+ *       load from a workloads/traffic generator during the async act
+ *   --trace-seed=N    seed of the traffic generator (default 42)
+ *   --policy=immediate|ride   per-node reoptimization policy
  */
 
+#include <cstring>
 #include <iostream>
+#include <memory>
+#include <string>
 
 #include "cluster/fleet.h"
 #include "cluster/manager.h"
 #include "workloads/catalog.h"
+#include "workloads/traffic/traffic.h"
+
+namespace {
+
+std::unique_ptr<clite::workloads::LoadTrace>
+makeTrace(const std::string& kind, uint64_t seed)
+{
+    using namespace clite::workloads::traffic;
+    if (kind == "none")
+        return nullptr;
+    if (kind == "diurnal") {
+        JitteredDiurnalTrace::Options o;
+        o.base = 0.5;
+        o.amplitude = 0.25;
+        o.period_seconds = 30.0;
+        o.jitter_interval_s = 2.0;
+        return std::make_unique<JitteredDiurnalTrace>(seed, o);
+    }
+    SurgeProcess::Options so;
+    so.horizon_seconds = 60.0;
+    so.mean_interarrival_s = 12.0;
+    so.decay_seconds = 4.0;
+    so.mean_magnitude = 0.35;
+    if (kind == "flash")
+        return std::make_unique<FlashCrowdTrace>(seed, 0.4, so);
+    if (kind == "composite") {
+        JitteredDiurnalTrace::Options d;
+        d.base = 0.4;
+        d.amplitude = 0.2;
+        d.period_seconds = 30.0;
+        d.jitter_interval_s = 2.0;
+        std::vector<CompositeTrace::Component> parts;
+        parts.push_back(
+            {std::make_shared<JitteredDiurnalTrace>(seed, d), 1.0});
+        parts.push_back(
+            {std::make_shared<FlashCrowdTrace>(seed + 17, 0.01, so), 1.0});
+        return std::make_unique<CompositeTrace>(std::move(parts));
+    }
+    std::cerr << "unknown --trace kind '" << kind
+              << "' (none|diurnal|flash|composite)\n";
+    std::exit(2);
+}
+
+} // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace clite;
+
+    std::string trace_kind = "none";
+    std::string policy = "immediate";
+    uint64_t trace_seed = 42;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--trace=", 8) == 0)
+            trace_kind = argv[i] + 8;
+        else if (std::strncmp(argv[i], "--trace-seed=", 13) == 0)
+            trace_seed = std::stoull(argv[i] + 13);
+        else if (std::strncmp(argv[i], "--policy=", 9) == 0)
+            policy = argv[i] + 9;
+    }
 
     cluster::FleetOptions options;
     options.nodes = 4;
     options.seed = 11;
+    if (policy == "ride") {
+        options.monitor.reopt_policy = core::ReoptPolicy::RideTransients;
+        options.monitor.transient_ride_windows = 3;
+    } else if (policy != "immediate") {
+        std::cerr << "unknown --policy '" << policy
+                  << "' (immediate|ride)\n";
+        return 2;
+    }
     cluster::Fleet fleet(options);
 
     // The arrival trace: window -> jobs submitted at its start. Loads
@@ -102,8 +175,12 @@ main()
     // leases, retries and hedging have to absorb all of it.
     std::cout << "\n== async manager-worker engine, faults on ==\n";
     cluster::Fleet async_fleet(options);
-    for (const Arrival& a : arrivals)
-        async_fleet.admit(a.spec);
+    uint64_t traced_id = 0;
+    for (const Arrival& a : arrivals) {
+        uint64_t id = async_fleet.admit(a.spec);
+        if (traced_id == 0 && a.spec.isLatencyCritical())
+            traced_id = id;
+    }
 
     cluster::AsyncOptions ao;
     ao.workers = 3;
@@ -111,7 +188,29 @@ main()
     ao.faults.task_fail_prob = 0.05;
     ao.max_retries = 6;
     cluster::AsyncFleetEngine engine(async_fleet, ao);
-    const cluster::FleetMetrics& m = engine.run(windows);
+
+    // With a traffic trace selected, the first LC job's offered load
+    // follows it epoch by epoch (one epoch ~ one 2 s window): the
+    // node's drift/violation triggers — filtered by the chosen
+    // reoptimization policy — see realistic diurnal/flash-crowd load,
+    // not just the admission level.
+    std::unique_ptr<workloads::LoadTrace> trace =
+        makeTrace(trace_kind, trace_seed);
+    if (trace != nullptr) {
+        std::cout << "traced job " << traced_id << " follows '"
+                  << trace->name() << "' (seed " << trace_seed
+                  << "), policy " << policy << "\n";
+        for (int w = 1; w <= windows; ++w) {
+            if (async_fleet.job(traced_id).state ==
+                cluster::JobState::Placed)
+                async_fleet.setJobLoad(traced_id,
+                                       trace->loadAt(2.0 * w));
+            engine.run(1);
+        }
+    } else {
+        engine.run(windows);
+    }
+    const cluster::FleetMetrics& m = engine.metrics();
 
     std::printf("virtual time %.1f, %llu/%llu tasks committed, "
                 "QoS-met %.0f%%, BG perf %.3f\n",
@@ -147,6 +246,18 @@ main()
                 (unsigned long long)m.warm_probe_hits);
     std::printf("  coarse (budgeted) windows:  %llu\n",
                 (unsigned long long)m.coarse_windows);
+    std::cout << "percentile-over-time QoS:\n";
+    std::printf("  violating/assessed windows: %llu/%llu (%.1f%%)\n",
+                (unsigned long long)m.violating_windows,
+                (unsigned long long)m.qos_windows,
+                m.qos_windows > 0
+                    ? 100.0 * double(m.violating_windows) /
+                          double(m.qos_windows)
+                    : 0.0);
+    std::printf("  transients ridden:          %llu\n",
+                (unsigned long long)m.transients_ridden);
+    std::printf("  sustained shifts:           %llu\n",
+                (unsigned long long)m.sustained_shifts);
     std::cout << (m.stalled ? "  engine STALLED (all workers dead)\n"
                             : "  no stall: every window was served\n");
     return 0;

@@ -590,6 +590,10 @@ AsyncFleetEngine::run(int epochs)
     metrics_.probe_evals = 0;
     metrics_.warm_probe_hits = 0;
     metrics_.coarse_windows = 0;
+    metrics_.qos_windows = 0;
+    metrics_.violating_windows = 0;
+    metrics_.transients_ridden = 0;
+    metrics_.sustained_shifts = 0;
     for (const Fleet::Node& node : fleet_.nodes_) {
         if (node.manager == nullptr)
             continue;
@@ -597,6 +601,10 @@ AsyncFleetEngine::run(int epochs)
         metrics_.probe_evals += node.manager->probeEvals();
         metrics_.warm_probe_hits += node.manager->warmProbeHits();
         metrics_.coarse_windows += node.manager->coarseWindows();
+        metrics_.qos_windows += node.manager->qosWindows();
+        metrics_.violating_windows += node.manager->violatingWindows();
+        metrics_.transients_ridden += node.manager->transientsRidden();
+        metrics_.sustained_shifts += node.manager->sustainedShifts();
     }
     return metrics_;
 }

@@ -135,6 +135,16 @@ struct FleetMetrics
     uint64_t probe_evals = 0;
     uint64_t warm_probe_hits = 0;
     uint64_t coarse_windows = 0;
+    /**
+     * Percentile-over-time QoS telemetry, summed over live node
+     * managers like the refit counters above: fault-free monitoring
+     * windows with a QoS verdict, the subset that violated p95, and
+     * the re-optimization policy's transient/sustained split.
+     */
+    uint64_t qos_windows = 0;
+    uint64_t violating_windows = 0;
+    uint64_t transients_ridden = 0;
+    uint64_t sustained_shifts = 0;
     bool stalled = false;          ///< Run ended with zero capacity.
 };
 

@@ -1,5 +1,6 @@
 #include "core/monitor.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
@@ -24,6 +25,48 @@ OnlineManager::OnlineManager(platform::SimulatedServer& server,
                 "apply-fail patience must be >= 1");
     CLITE_CHECK(options_.apply_retries >= 0,
                 "apply retries must be >= 0");
+    CLITE_CHECK(options_.transient_ride_windows >= 0,
+                "transient ride windows must be >= 0");
+}
+
+int
+OnlineManager::effectiveViolationPatience() const
+{
+    if (options_.reopt_policy == ReoptPolicy::Immediate)
+        return options_.violation_patience;
+    return options_.violation_patience + options_.transient_ride_windows;
+}
+
+int
+OnlineManager::effectiveDriftPatience() const
+{
+    if (options_.reopt_policy == ReoptPolicy::Immediate)
+        return options_.drift_patience;
+    return options_.drift_patience + options_.transient_ride_windows;
+}
+
+void
+OnlineManager::recordWindowQos(
+    const std::vector<platform::JobObservation>& obs, bool faulted)
+{
+    WindowQos w;
+    w.faulted = faulted;
+    for (const auto& ob : obs) {
+        if (!ob.is_lc || ob.qos_target_ms <= 0.0)
+            continue;
+        w.worst_p95_ratio =
+            std::max(w.worst_p95_ratio, ob.p95_ms / ob.qos_target_ms);
+        w.worst_p99_ratio =
+            std::max(w.worst_p99_ratio, ob.p99_ms / ob.qos_target_ms);
+        if (ob.p95_ms > ob.qos_target_ms)
+            w.violated = true;
+    }
+    qos_timeline_.push_back(w);
+    if (!faulted) {
+        ++clean_windows_;
+        if (w.violated)
+            ++violating_windows_;
+    }
 }
 
 const ControllerResult&
@@ -109,6 +152,10 @@ OnlineManager::captureReference()
     job_down_.assign(server_.jobCount(), 0);
     violation_streak_ = 0;
     drift_streak_ = 0;
+    // A search just ran (or the loop reset): streaks being ridden are
+    // resolved by whatever caused the reset, not counted as transients.
+    violation_riding_ = false;
+    drift_riding_ = false;
     apply_fail_streak_ = 0;
 }
 
@@ -329,13 +376,20 @@ OnlineManager::tick()
             out.aborted = true;
             out.all_qos_met = false;
             out.score = psb.score;
+            recordWindowQos(partial, /*faulted=*/false);
             ++aborted_windows_;
             ++violation_streak_;
-            if (violation_streak_ >= options_.violation_patience) {
+            if (violation_streak_ >= effectiveViolationPatience()) {
                 out.reoptimized = true;
                 out.reason = "qos-violation";
+                if (options_.reopt_policy == ReoptPolicy::RideTransients)
+                    ++sustained_shifts_;
                 reoptimize(out.reason, false);
                 out.search_samples = last_result_->samples;
+            } else if (options_.reopt_policy ==
+                           ReoptPolicy::RideTransients &&
+                       violation_streak_ >= options_.violation_patience) {
+                violation_riding_ = true;
             }
             checkpoint();
             return out;
@@ -369,6 +423,20 @@ OnlineManager::tick()
         }
     }
 
+    // Percentile-over-time bookkeeping: every observed window lands in
+    // the timeline; quarantined windows are flagged so the violating
+    // fraction skips them.
+    bool fault_window = false;
+    if (faults) {
+        for (const auto& ob : obs)
+            if (!ob.valid || ob.stale || ob.crashed)
+                fault_window = true;
+        for (char down : job_down_)
+            if (down)
+                fault_window = true;
+    }
+    recordWindowQos(obs, fault_window);
+
     if (out.reoptimized) {
         last_window_qos_met_ = sb.all_qos_met;
         checkpoint();
@@ -381,13 +449,6 @@ OnlineManager::tick()
         // the partition. No streak advances — a glitch must not
         // trigger a spurious re-optimization, and no partition can
         // fix a dead process.
-        bool fault_window = false;
-        for (const auto& ob : obs)
-            if (!ob.valid || ob.stale || ob.crashed)
-                fault_window = true;
-        for (char down : job_down_)
-            if (down)
-                fault_window = true;
         if (fault_window) {
             // Quarantined telemetry describes the fault, not the
             // partition — last_window_qos_met_ keeps its pre-fault
@@ -404,8 +465,18 @@ OnlineManager::tick()
             last_known_good_ = *incumbent_;
     }
 
-    // QoS violation detection.
-    violation_streak_ = sb.all_qos_met ? 0 : violation_streak_ + 1;
+    // QoS violation detection. A streak that was being ridden (it had
+    // already reached the Immediate threshold) and decays here was a
+    // transient the RideTransients policy absorbed.
+    if (sb.all_qos_met) {
+        if (violation_riding_) {
+            ++transients_ridden_;
+            violation_riding_ = false;
+        }
+        violation_streak_ = 0;
+    } else {
+        ++violation_streak_;
+    }
 
     // Load drift: compare each LC job's observed completion rate to
     // the rate the incumbent was optimized for. (Completions track
@@ -420,17 +491,34 @@ OnlineManager::tick()
         if (rel > options_.load_drift_threshold)
             drifting = true;
     }
-    drift_streak_ = drifting ? drift_streak_ + 1 : 0;
+    if (drifting) {
+        ++drift_streak_;
+    } else {
+        if (drift_riding_) {
+            ++transients_ridden_;
+            drift_riding_ = false;
+        }
+        drift_streak_ = 0;
+    }
 
-    if (violation_streak_ >= options_.violation_patience) {
+    if (violation_streak_ >= effectiveViolationPatience()) {
         out.reoptimized = true;
         out.reason = "qos-violation";
-    } else if (drift_streak_ >= options_.drift_patience) {
+    } else if (drift_streak_ >= effectiveDriftPatience()) {
         out.reoptimized = true;
         out.reason = "load-drift";
+    } else if (options_.reopt_policy == ReoptPolicy::RideTransients) {
+        // Streaks past the Immediate threshold but inside the ride
+        // window: keep riding the incumbent.
+        if (violation_streak_ >= options_.violation_patience)
+            violation_riding_ = true;
+        if (drift_streak_ >= options_.drift_patience)
+            drift_riding_ = true;
     }
     last_window_qos_met_ = sb.all_qos_met;
     if (out.reoptimized) {
+        if (options_.reopt_policy == ReoptPolicy::RideTransients)
+            ++sustained_shifts_;
         reoptimize(out.reason, false);
         out.search_samples = last_result_->samples;
     }

@@ -46,6 +46,26 @@
 namespace clite {
 namespace core {
 
+/**
+ * Transient-vs-shift reoptimization policy (paper Fig. 16 asks when a
+ * load change warrants re-running the search; realistic traffic makes
+ * the answer "not always": a flash crowd decays before a fresh search
+ * could even finish, so the incumbent should ride it out).
+ */
+enum class ReoptPolicy {
+    /** Trigger at the configured patience (the legacy behaviour). */
+    Immediate,
+    /**
+     * Ride short bursts on the incumbent: a violation/drift streak
+     * must outlast the configured patience PLUS transient_ride_windows
+     * before a re-optimization fires. A streak that reaches the
+     * Immediate threshold but dies before the ride threshold counts as
+     * a transient ridden (OnlineManager::transientsRidden()); one that
+     * survives counts as a sustained shift (sustainedShifts()).
+     */
+    RideTransients,
+};
+
 /** Monitoring knobs. */
 struct MonitorOptions
 {
@@ -79,6 +99,33 @@ struct MonitorOptions
     bool auto_checkpoint = true;
     /** Sample cap per checkpoint snapshot. */
     int checkpoint_max_samples = 64;
+    /** Transient-vs-shift reoptimization policy. */
+    ReoptPolicy reopt_policy = ReoptPolicy::Immediate;
+    /**
+     * Hysteresis of RideTransients: extra consecutive windows (beyond
+     * the violation/drift patience) a streak must persist before it is
+     * treated as a sustained shift and re-optimized. Ignored under
+     * Immediate.
+     */
+    int transient_ride_windows = 3;
+};
+
+/**
+ * One monitoring window's percentile-over-time QoS record: the worst
+ * LC tail ratios of the window, not just the run's means — the time
+ * series violating-window fractions are computed from.
+ */
+struct WindowQos
+{
+    /** max over LC jobs of observed p95 / target (0 when no LC). */
+    double worst_p95_ratio = 0.0;
+    /** max over LC jobs of observed p99 / target (0 when no LC). */
+    double worst_p99_ratio = 0.0;
+    /** Some LC job missed its p95 target this window. */
+    bool violated = false;
+    /** Quarantined window: the ratios describe a fault, not the
+     *  partition; excluded from violatingWindowFraction(). */
+    bool faulted = false;
 };
 
 /**
@@ -211,6 +258,39 @@ class OnlineManager
     /** Current consecutive drifting window count (for tests). */
     int driftStreak() const { return drift_streak_; }
 
+    /** Per-window percentile-over-time QoS records, oldest first. */
+    const std::vector<WindowQos>& qosTimeline() const
+    {
+        return qos_timeline_;
+    }
+
+    /** Non-faulted windows with a QoS verdict (the denominator of
+     *  violatingWindowFraction()). */
+    int qosWindows() const { return clean_windows_; }
+
+    /** Non-faulted windows where some LC job missed its p95 target. */
+    int violatingWindows() const { return violating_windows_; }
+
+    /**
+     * Fraction of non-faulted monitoring windows that violated QoS
+     * (0 when none have been observed) — the percentile-over-time QoS
+     * metric the traffic benchmarks gate on.
+     */
+    double violatingWindowFraction() const
+    {
+        return clean_windows_ > 0
+                   ? double(violating_windows_) / double(clean_windows_)
+                   : 0.0;
+    }
+
+    /** Streaks that reached the Immediate threshold but decayed before
+     *  the RideTransients threshold (re-optimizations avoided). */
+    int transientsRidden() const { return transients_ridden_; }
+
+    /** Violation/drift re-optimizations that fired under
+     *  RideTransients (the streak outlasted the ride window). */
+    int sustainedShifts() const { return sustained_shifts_; }
+
     /**
      * The result of the most recent search.
      * @pre initialize() has been called.
@@ -254,6 +334,16 @@ class OnlineManager
     /** Fold last_result_'s refit/coarse counters into the totals. */
     void accumulateSearchStats();
 
+    /** Append this window's WindowQos record to the timeline. */
+    void recordWindowQos(const std::vector<platform::JobObservation>& obs,
+                         bool faulted);
+
+    /** Violation threshold in effect (patience + ride hysteresis). */
+    int effectiveViolationPatience() const;
+
+    /** Drift threshold in effect (patience + ride hysteresis). */
+    int effectiveDriftPatience() const;
+
     /** Adopt @p result's winner (or a fallback) as the incumbent. */
     void adoptResult();
 
@@ -280,6 +370,10 @@ class OnlineManager
     std::vector<char> job_down_;         // crash state per job
     int violation_streak_ = 0;
     int drift_streak_ = 0;
+    /** RideTransients: the streak passed the Immediate threshold and
+     *  is being ridden; resolves to a transient or a sustained shift. */
+    bool violation_riding_ = false;
+    bool drift_riding_ = false;
     int apply_fail_streak_ = 0;
     bool mix_changed_ = false;
     std::optional<size_t> removed_job_; ///< Index removed since last tick.
@@ -292,6 +386,11 @@ class OnlineManager
     uint64_t probe_evals_ = 0;
     uint64_t warm_probe_hits_ = 0;
     uint64_t coarse_windows_ = 0;
+    std::vector<WindowQos> qos_timeline_;
+    int clean_windows_ = 0;     ///< Non-faulted windows recorded.
+    int violating_windows_ = 0; ///< Non-faulted violating windows.
+    int transients_ridden_ = 0;
+    int sustained_shifts_ = 0;
 };
 
 } // namespace core

@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "harness/analysis.h"
+#include "workloads/traffic/traffic.h"
 
 namespace clite {
 namespace harness {
@@ -102,6 +103,14 @@ replayLoadTrace(const ServerSpec& spec, size_t traced_job,
 
     ServerSpec init = spec;
     init.jobs[traced_job].load_fraction = trace.loadAt(0.0);
+    // Stamp the trace identity so mix signatures (and therefore the
+    // warm-start store) key this job by trace kind + mean load rather
+    // than whatever instantaneous load the replay started at.
+    if (init.jobs[traced_job].trace_kind.empty()) {
+        init.jobs[traced_job].trace_kind = trace.name();
+        init.jobs[traced_job].trace_mean_load =
+            workloads::traffic::traceMeanLoad(trace, duration_s, window_s);
+    }
     platform::SimulatedServer server = makeServer(init);
     core::OnlineManager manager(server, clite_options, monitor_options);
     manager.initialize();
@@ -122,9 +131,21 @@ replayLoadTrace(const ServerSpec& spec, size_t traced_job,
         out.windows.push_back(std::move(w));
         met += tick.all_qos_met ? 1 : 0;
     }
+    // Every tick records exactly one WindowQos entry; zip the ratio
+    // series back onto the timeline.
+    const std::vector<core::WindowQos>& qos = manager.qosTimeline();
+    if (qos.size() == out.windows.size()) {
+        for (size_t i = 0; i < qos.size(); ++i) {
+            out.windows[i].worst_p95_ratio = qos[i].worst_p95_ratio;
+            out.windows[i].worst_p99_ratio = qos[i].worst_p99_ratio;
+        }
+    }
     out.reoptimizations = manager.reoptimizations();
     out.qos_met_fraction =
         out.windows.empty() ? 0.0 : double(met) / double(out.windows.size());
+    out.violating_window_fraction = manager.violatingWindowFraction();
+    out.transients_ridden = manager.transientsRidden();
+    out.sustained_shifts = manager.sustainedShifts();
     return out;
 }
 

@@ -69,6 +69,8 @@ struct ReplayWindow
     double score = 0.0;       ///< Eq. 3 score observed.
     bool reoptimized = false; ///< A re-optimization ran this window.
     std::string reason;       ///< Trigger, when reoptimized.
+    double worst_p95_ratio = 0.0; ///< Worst LC p95/target this window.
+    double worst_p99_ratio = 0.0; ///< Worst LC p99/target this window.
 };
 
 /** Outcome of a trace replay through the OnlineManager. */
@@ -77,6 +79,10 @@ struct TraceReplayResult
     std::vector<ReplayWindow> windows; ///< Every monitoring window.
     int reoptimizations = 0;           ///< Searches triggered.
     double qos_met_fraction = 0.0;     ///< Fraction of windows with QoS.
+    /** Fraction of fault-free windows with a p95 QoS violation. */
+    double violating_window_fraction = 0.0;
+    int transients_ridden = 0; ///< Violation bursts ridden out.
+    int sustained_shifts = 0;  ///< Ridden shifts that forced a search.
 };
 
 /**

@@ -241,7 +241,11 @@ SimulatedServer::observe()
         ob.is_lc = jobs_[j].isLatencyCritical();
         ob.load_fraction = jobs_[j].load_fraction;
         if (ob.is_lc) {
+            // The p99 rides the same noise multiplier as the p95 —
+            // one draw per job keeps the noise stream (and every
+            // golden depending on it) unchanged.
             ob.p95_ms = m.p95_ms * noise;
+            ob.p99_ms = m.p99_ms * noise;
             ob.qos_target_ms = jobs_[j].profile.qos_p95_ms;
             ob.throughput = m.throughput;
             ob.iso_p95_ms = isolationBaseline(j).p95_ms;
@@ -269,11 +273,14 @@ SimulatedServer::observe()
             JobObservation& ob = out[j];
             ob.crashed = true;
             ob.throughput = 0.0;
-            if (ob.is_lc)
+            if (ob.is_lc) {
                 ob.p95_ms = 1e9; // no service: unbounded tail
+                ob.p99_ms = 1e9;
+            }
             faults_->record(FaultKind::JobCrash, window, j);
         } else if (out[j].is_lc && faults_->latencySpike(window, j)) {
             out[j].p95_ms *= faults_->plan().spike_factor;
+            out[j].p99_ms *= faults_->plan().spike_factor;
             faults_->record(FaultKind::LatencySpike, window, j);
         }
     }
@@ -330,6 +337,7 @@ SimulatedServer::observePartialWindow(double fraction)
         ob.window_fraction = fraction;
         if (ob.is_lc) {
             ob.p95_ms = m.p95_ms * noise;
+            ob.p99_ms = m.p99_ms * noise;
             ob.qos_target_ms = jobs_[j].profile.qos_p95_ms;
             ob.throughput = m.throughput;
             ob.iso_p95_ms = isolationBaseline(j).p95_ms;
@@ -353,8 +361,10 @@ SimulatedServer::observePartialWindow(double fraction)
         if (faults_->jobDown(window, j)) {
             out[j].crashed = true;
             out[j].throughput = 0.0;
-            if (out[j].is_lc)
+            if (out[j].is_lc) {
                 out[j].p95_ms = 1e9;
+                out[j].p99_ms = 1e9;
+            }
         }
     return out;
 }
@@ -396,6 +406,7 @@ SimulatedServer::observeNoiseless(const Allocation& alloc) const
         ob.load_fraction = jobs_[j].load_fraction;
         if (ob.is_lc) {
             ob.p95_ms = m.p95_ms;
+            ob.p99_ms = m.p99_ms;
             ob.qos_target_ms = jobs_[j].profile.qos_p95_ms;
             ob.throughput = m.throughput;
             ob.iso_p95_ms = isolationBaseline(j).p95_ms;

@@ -43,6 +43,7 @@ struct JobObservation
     double load_fraction = 0; ///< Offered load (LC).
 
     double p95_ms = 0.0;      ///< Measured p95 tail latency (LC).
+    double p99_ms = 0.0;      ///< Measured p99 tail latency (LC).
     double qos_target_ms = 0; ///< QoS target (LC).
     double throughput = 0.0;  ///< Measured throughput.
 

@@ -8,6 +8,7 @@
 #include "common/error.h"
 #include <limits>
 
+#include "stats/distributions.h"
 #include "stats/summary.h"
 
 namespace clite {
@@ -273,6 +274,45 @@ struct FixedService
 };
 
 /**
+ * Bounded-Pareto inverse-CDF sampler with the constant parts hoisted:
+ * x = L * (1 - u * (1 - (L/H)^alpha))^(-1/alpha), one uniform draw per
+ * request. ratio_term caches 1 - (L/H)^alpha (computed as
+ * 1 - ratio^-alpha) and neg_inv_alpha caches -1/alpha; the reference
+ * path's lambda evaluates the identical expression from the identical
+ * hoisted operands, so the two paths stay bit-identical.
+ */
+struct BoundedParetoService
+{
+    double lower;
+    double ratio_term;
+    double neg_inv_alpha;
+    double operator()(Rng& rng) const
+    {
+        return lower *
+               std::pow(1.0 - rng.uniform() * ratio_term, neg_inv_alpha);
+    }
+};
+
+/** Hoisted bounded-Pareto sampler parameters from a ServiceModel. */
+BoundedParetoService
+makeParetoSampler(const ServiceModel& service)
+{
+    CLITE_CHECK(service.pareto_alpha > 1.0,
+                "bounded Pareto service needs alpha > 1, got "
+                    << service.pareto_alpha);
+    CLITE_CHECK(service.pareto_tail_ratio > 1.0,
+                "bounded Pareto service needs tail ratio > 1, got "
+                    << service.pareto_tail_ratio);
+    const double lower = stats::boundedParetoLowerForMean(
+        service.mean_service, service.pareto_alpha,
+        service.pareto_tail_ratio);
+    const double ratio_term =
+        1.0 - std::pow(service.pareto_tail_ratio, -service.pareto_alpha);
+    return BoundedParetoService{lower, ratio_term,
+                                -1.0 / service.pareto_alpha};
+}
+
+/**
  * The specialized M/G/c event loop. Exactly one arrival event is ever
  * pending (the renewal process schedules its successor first), so the
  * generic event queue collapses to one (time, seq) pair plus the <= c
@@ -401,6 +441,49 @@ measureStation(int servers, double arrival_rate, double mean_service,
                           FixedService{mean_service}, rng);
 }
 
+TailMeasurement
+measureStation(int servers, double arrival_rate, const ServiceModel& service,
+               double warmup, double window, Rng& rng, uint64_t event_budget)
+{
+    switch (service.kind) {
+    case ServiceModel::Kind::LogNormal:
+        CLITE_CHECK(service.sigma > 0.0,
+                    "log-normal service needs sigma > 0, got "
+                        << service.sigma);
+        return measureStation(servers, arrival_rate, service.mean_service,
+                              service.sigma, warmup, window, rng,
+                              event_budget);
+    case ServiceModel::Kind::Exponential:
+        return measureStation(servers, arrival_rate, service.mean_service,
+                              -1.0, warmup, window, rng, event_budget);
+    case ServiceModel::Kind::Fixed:
+        return measureStation(servers, arrival_rate, service.mean_service,
+                              0.0, warmup, window, rng, event_budget);
+    case ServiceModel::Kind::BoundedPareto:
+        break;
+    }
+
+    CLITE_CHECK(servers >= 1, "station needs >= 1 server, got " << servers);
+    CLITE_CHECK(arrival_rate >= 0.0, "arrival rate must be >= 0");
+    CLITE_CHECK(service.mean_service > 0.0,
+                "mean service time must be > 0");
+    CLITE_CHECK(window > 0.0, "measurement window must be > 0");
+
+    const double span = effectiveWindow(window, arrival_rate, event_budget);
+    StationScratch& scratch = t_scratch;
+    scratch.in_service.clear();
+    scratch.min_idx = 0;
+    scratch.waiting.clear();
+    scratch.waiting_head = 0;
+    scratch.response.clear();
+
+    if (arrival_rate <= 0.0)
+        return summarizeWindow(scratch.response, span, scratch.sort_buf);
+
+    return runStationLoop(servers, arrival_rate, warmup, span,
+                          makeParetoSampler(service), rng);
+}
+
 void
 prewarmMeasurementScratch(int max_servers, size_t expected_requests)
 {
@@ -449,6 +532,51 @@ measureStationReference(int servers, double arrival_rate, double mean_service,
     } else {
         sampler = [mean_service](Rng&) { return mean_service; };
     }
+
+    QueueingStation station(simulator, servers, arrival_rate, sampler, rng);
+    station.start();
+    simulator.runUntil(warmup);
+    station.resetMeasurements();
+    simulator.runUntil(warmup + span);
+
+    std::vector<double> sort_buf;
+    return summarizeWindow(station.responseTimes(), span, sort_buf);
+}
+
+TailMeasurement
+measureStationReference(int servers, double arrival_rate,
+                        const ServiceModel& service, double warmup,
+                        double window, Rng& rng, uint64_t event_budget)
+{
+    if (service.kind != ServiceModel::Kind::BoundedPareto) {
+        double sigma = 0.0;
+        if (service.kind == ServiceModel::Kind::LogNormal) {
+            CLITE_CHECK(service.sigma > 0.0,
+                        "log-normal service needs sigma > 0, got "
+                            << service.sigma);
+            sigma = service.sigma;
+        } else if (service.kind == ServiceModel::Kind::Exponential) {
+            sigma = -1.0;
+        }
+        return measureStationReference(servers, arrival_rate,
+                                       service.mean_service, sigma, warmup,
+                                       window, rng, event_budget);
+    }
+
+    CLITE_CHECK(service.mean_service > 0.0,
+                "mean service time must be > 0");
+    CLITE_CHECK(window > 0.0, "measurement window must be > 0");
+
+    const double span = effectiveWindow(window, arrival_rate, event_budget);
+    thread_local Simulator simulator;
+    simulator.clear();
+    simulator.reserve(size_t(servers) + 2);
+    // The same hoisted operands and expression as BoundedParetoService,
+    // so the reference stream is bit-identical to the fast path.
+    const BoundedParetoService pareto = makeParetoSampler(service);
+    QueueingStation::ServiceSampler sampler = [pareto](Rng& r) {
+        return pareto(r);
+    };
 
     QueueingStation station(simulator, servers, arrival_rate, sampler, rng);
     station.start();

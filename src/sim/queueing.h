@@ -155,6 +155,46 @@ TailMeasurement measureStation(int servers, double arrival_rate,
                                uint64_t event_budget = 0);
 
 /**
+ * Explicit service-time distribution for the ServiceModel overload of
+ * measureStation — the extensible successor to the legacy sigma-sign
+ * selector (which cannot express distributions with more than one
+ * shape parameter, like the bounded Pareto).
+ */
+struct ServiceModel
+{
+    enum class Kind {
+        Exponential,  ///< M/M/c (the analytic cross-check case).
+        LogNormal,    ///< Light-tailed real request mix.
+        Fixed,        ///< Deterministic service (M/D/c).
+        BoundedPareto ///< Heavy-tailed: rare requests dominate the tail.
+    };
+
+    Kind kind = Kind::Exponential;
+    /** Mean service time in seconds (all kinds). */
+    double mean_service = 0.001;
+    /** Log-sigma (LogNormal only; must be > 0). */
+    double sigma = 0.45;
+    /** Tail index (BoundedPareto only; > 1 so the mean is finite). */
+    double pareto_alpha = 1.5;
+    /** Support ratio H/L (BoundedPareto only; > 1). */
+    double pareto_tail_ratio = 100.0;
+};
+
+/**
+ * measureStation with an explicit ServiceModel. For Exponential,
+ * LogNormal and Fixed this delegates to the legacy sigma-selector
+ * entry point (same RNG stream, bit-identical results — pinned by
+ * tests/sim/queueing_pareto_test.cpp); BoundedPareto runs the same
+ * specialized loop with a bounded-Pareto inverse-CDF sampler (one
+ * uniform draw per request), parameterized so the distribution mean
+ * equals service.mean_service.
+ */
+TailMeasurement measureStation(int servers, double arrival_rate,
+                               const ServiceModel& service, double warmup,
+                               double window, Rng& rng,
+                               uint64_t event_budget = 0);
+
+/**
  * Pre-size the CALLING thread's measurement scratch — the pooled
  * per-thread slab measureStation() runs out of — so a node's first
  * observation window pays no growth reallocations (first-window
@@ -178,6 +218,14 @@ TailMeasurement measureStationReference(int servers, double arrival_rate,
                                         double mean_service,
                                         double service_sigma, double warmup,
                                         double window, Rng& rng,
+                                        uint64_t event_budget = 0);
+
+/** measureStationReference with an explicit ServiceModel (the oracle
+    for the ServiceModel fast path, including BoundedPareto). */
+TailMeasurement measureStationReference(int servers, double arrival_rate,
+                                        const ServiceModel& service,
+                                        double warmup, double window,
+                                        Rng& rng,
                                         uint64_t event_budget = 0);
 
 } // namespace sim

@@ -28,11 +28,13 @@ quantize(double v)
     return llround(v * 1e6);
 }
 
-/** Canonical sort key: everything but the load, then the load. */
-std::tuple<std::string, bool, int64_t, int64_t>
+/** Canonical sort key: everything but the load, then the load (the
+    load must stay last so position-wise distance pairing is the
+    optimal 1-D matching within equal-identity groups). */
+std::tuple<std::string, bool, int64_t, std::string, int64_t>
 jobKey(const SignatureJob& j)
 {
-    return {j.name, j.is_lc, quantize(j.qos_p95_ms),
+    return {j.name, j.is_lc, quantize(j.qos_p95_ms), j.trace_kind,
             quantize(j.load_fraction)};
 }
 
@@ -87,6 +89,11 @@ MixSignature::canonicalize()
         h.u64(j.is_lc ? 1 : 0);
         h.i64(quantize(j.qos_p95_ms));
         h.i64(quantize(j.load_fraction));
+        // Folded only when set: static mixes keep their pre-trace
+        // hashes (store keys and goldens unchanged) while trace-driven
+        // mixes get distinct keys per trace shape.
+        if (!j.trace_kind.empty())
+            h.str(j.trace_kind);
     }
     hash_ = h.value();
 }
@@ -105,7 +112,13 @@ MixSignature::of(const platform::ServerConfig& config,
         j.name = spec.profile.name;
         j.is_lc = spec.isLatencyCritical();
         j.qos_p95_ms = j.is_lc ? spec.profile.qos_p95_ms : 0.0;
-        j.load_fraction = j.is_lc ? spec.load_fraction : 0.0;
+        j.trace_kind = j.is_lc ? spec.trace_kind : std::string();
+        // Trace-driven jobs hash the trace mean: the instantaneous
+        // load varies every window and would shatter a recurring mix
+        // into distinct store keys.
+        j.load_fraction = !j.is_lc ? 0.0
+                          : j.trace_kind.empty() ? spec.load_fraction
+                                                 : spec.trace_mean_load;
         sig.jobs_.push_back(std::move(j));
     }
     sig.canonicalize();
@@ -155,8 +168,11 @@ MixSignature::describe() const
         if (i > 0)
             os << " + ";
         os << jobs_[i].name;
-        if (jobs_[i].is_lc)
+        if (jobs_[i].is_lc) {
             os << "@" << jobs_[i].load_fraction;
+            if (!jobs_[i].trace_kind.empty())
+                os << "~" << jobs_[i].trace_kind;
+        }
     }
     os << "] knobs";
     for (size_t r = 0; r < knob_units_.size(); ++r)
@@ -180,7 +196,8 @@ MixSignature::distance(const MixSignature& a, const MixSignature& b)
         const SignatureJob& ja = a.jobs_[i];
         const SignatureJob& jb = b.jobs_[i];
         if (ja.name != jb.name || ja.is_lc != jb.is_lc ||
-            quantize(ja.qos_p95_ms) != quantize(jb.qos_p95_ms))
+            quantize(ja.qos_p95_ms) != quantize(jb.qos_p95_ms) ||
+            ja.trace_kind != jb.trace_kind)
             return inf;
         d += std::fabs(ja.load_fraction - jb.load_fraction);
     }

@@ -40,7 +40,20 @@ struct SignatureJob
     std::string name;          ///< Workload name.
     bool is_lc = false;        ///< Latency-critical?
     double qos_p95_ms = 0.0;   ///< QoS target (0 for BG jobs).
-    double load_fraction = 0.0;///< Offered load level (0 for BG jobs).
+    /**
+     * Offered load level (0 for BG jobs). For a trace-driven job this
+     * is the trace MEAN load — the stable identity of a load that
+     * varies window to window.
+     */
+    double load_fraction = 0.0;
+    /**
+     * LoadTrace kind driving the job's load ("" for a static load).
+     * Folded into the hash only when non-empty, so every static-mix
+     * signature is byte-identical to what it was before traces
+     * existed — but a trace-driven mix can never alias a static
+     * profile (or a different trace shape) as an exact hit.
+     */
+    std::string trace_kind;
 };
 
 /**

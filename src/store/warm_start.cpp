@@ -20,10 +20,10 @@ quantize(double v)
 }
 
 /** Canonical descriptor sort key (load last, as in the signature). */
-std::tuple<std::string, bool, int64_t, int64_t>
+std::tuple<std::string, bool, int64_t, std::string, int64_t>
 jobKey(const SignatureJob& j)
 {
-    return {j.name, j.is_lc, quantize(j.qos_p95_ms),
+    return {j.name, j.is_lc, quantize(j.qos_p95_ms), j.trace_kind,
             quantize(j.load_fraction)};
 }
 
@@ -34,7 +34,13 @@ describeJob(const workloads::JobSpec& spec)
     j.name = spec.profile.name;
     j.is_lc = spec.isLatencyCritical();
     j.qos_p95_ms = j.is_lc ? spec.profile.qos_p95_ms : 0.0;
-    j.load_fraction = j.is_lc ? spec.load_fraction : 0.0;
+    // Mirror MixSignature::of: trace-driven jobs are identified by
+    // their trace kind and mean load, not the window's instantaneous
+    // load, so checkpoints of a trace-driven mix key consistently.
+    j.trace_kind = j.is_lc ? spec.trace_kind : std::string();
+    j.load_fraction = !j.is_lc ? 0.0
+                      : j.trace_kind.empty() ? spec.load_fraction
+                                             : spec.trace_mean_load;
     return j;
 }
 

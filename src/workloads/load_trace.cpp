@@ -16,28 +16,39 @@ clampLoadFraction(double load)
 
 StepTrace::StepTrace(std::vector<Step> steps) : steps_(std::move(steps))
 {
-    CLITE_CHECK(!steps_.empty(), "StepTrace needs at least one step");
+    CLITE_CHECK(!steps_.empty(),
+                "StepTrace needs at least one step (an empty step "
+                "vector has no initial load)");
     CLITE_CHECK(steps_.front().at_seconds == 0.0,
-                "StepTrace must begin with a step at time 0");
+                "StepTrace must begin with a step at time 0, got first "
+                "step at " << steps_.front().at_seconds << "s");
     for (size_t i = 1; i < steps_.size(); ++i)
         CLITE_CHECK(steps_[i].at_seconds >= steps_[i - 1].at_seconds,
-                    "StepTrace steps must be in time order");
-    for (const auto& s : steps_)
-        CLITE_CHECK(s.load > 0.0 && s.load <= 1.0,
-                    "step load must be in (0, 1], got " << s.load);
+                    "StepTrace steps must be in non-decreasing time "
+                    "order: step " << i << " at "
+                        << steps_[i].at_seconds << "s precedes step "
+                        << (i - 1) << " at "
+                        << steps_[i - 1].at_seconds << "s");
+    for (size_t i = 0; i < steps_.size(); ++i)
+        CLITE_CHECK(steps_[i].load > 0.0 && steps_[i].load <= 1.0,
+                    "StepTrace step " << i
+                        << " load must be in (0, 1], got "
+                        << steps_[i].load);
 }
 
 double
 StepTrace::loadAt(double t_seconds) const
 {
-    double load = steps_.front().load;
-    for (const auto& s : steps_) {
-        if (s.at_seconds <= t_seconds)
-            load = s.load;
-        else
-            break;
-    }
-    return clampLoadFraction(load);
+    // First step whose time is strictly after t; the one before it is
+    // in effect. The constructor validated every load into (0, 1], so
+    // the value is returned exactly — no generator clamp, which would
+    // silently distort documented-legal loads below the 0.01 floor.
+    auto it = std::upper_bound(
+        steps_.begin(), steps_.end(), t_seconds,
+        [](double t, const Step& s) { return t < s.at_seconds; });
+    if (it == steps_.begin())
+        return steps_.front().load;
+    return std::prev(it)->load;
 }
 
 DiurnalTrace::DiurnalTrace(double base, double amplitude,

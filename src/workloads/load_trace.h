@@ -49,10 +49,16 @@ class StepTrace : public LoadTrace
 
     /**
      * @param steps Steps in non-decreasing time order; the first must
-     *     be at time 0 (the initial load).
+     *     be at time 0 (the initial load) and every load in (0, 1].
+     * @throws clite::Error on an empty vector, a first step not at
+     *     time 0, out-of-order times, or a load outside (0, 1].
      */
     explicit StepTrace(std::vector<Step> steps);
 
+    /**
+     * The load of the last step at or before @p t_seconds, returned
+     * exactly as validated by the constructor (the (0, 1] contract).
+     */
     double loadAt(double t_seconds) const override;
     std::string name() const override { return "step"; }
 
@@ -106,7 +112,12 @@ class BurstTrace : public LoadTrace
     double period_s_;
 };
 
-/** Clamp helper shared by the traces: into (0.01, 1]. */
+/**
+ * Clamp helper shared by the *generator* traces (diurnal, burst,
+ * traffic/): into [0.01, 1]. Generators whose math can stray outside
+ * the contract clamp through this; traces replaying validated data
+ * (StepTrace, CSV replay) return their values exactly instead.
+ */
 double clampLoadFraction(double load);
 
 } // namespace workloads

@@ -182,6 +182,7 @@ AnalyticModel::measure(const JobSpec& job, const std::vector<int>& units,
 
     if (lambda <= 0.0) {
         m.p95_ms = cost.service_ms * 2.0; // lone-request tail estimate
+        m.p99_ms = cost.service_ms * 2.0;
         m.mean_ms = cost.service_ms;
         m.throughput = 0.0;
         return m;
@@ -190,6 +191,8 @@ AnalyticModel::measure(const JobSpec& job, const std::vector<int>& units,
     double rho = lambda / capacity;
     if (rho < kRhoKnee) {
         m.p95_ms = stats::mmcResponseQuantile(cost.cores, lambda, mu, 0.95)
+                   * 1000.0;
+        m.p99_ms = stats::mmcResponseQuantile(cost.cores, lambda, mu, 0.99)
                    * 1000.0;
         m.mean_ms = stats::mmcMeanResponse(cost.cores, lambda, mu) * 1000.0;
         m.throughput = lambda;
@@ -200,7 +203,11 @@ AnalyticModel::measure(const JobSpec& job, const std::vector<int>& units,
         double lambda_knee = kRhoKnee * capacity;
         double p95_knee = stats::mmcResponseQuantile(cost.cores, lambda_knee,
                                                      mu, 0.95) * 1000.0;
-        m.p95_ms = p95_knee * (1.0 + 25.0 * (rho - kRhoKnee));
+        double p99_knee = stats::mmcResponseQuantile(cost.cores, lambda_knee,
+                                                     mu, 0.99) * 1000.0;
+        double overload = 1.0 + 25.0 * (rho - kRhoKnee);
+        m.p95_ms = p95_knee * overload;
+        m.p99_ms = p99_knee * overload;
         m.mean_ms = m.p95_ms * 0.6;
         m.throughput = capacity;
         m.saturated = true;
@@ -244,24 +251,41 @@ QueueingSimModel::measure(const JobSpec& job, const std::vector<int>& units,
     const double lambda = job.offeredQps();
     if (lambda <= 0.0) {
         m.p95_ms = cost.service_ms * 2.0;
+        m.p99_ms = cost.service_ms * 2.0;
         m.mean_ms = cost.service_ms;
         return m;
     }
 
-    double sigma =
-        job.profile.service_distribution == ServiceDistribution::LogNormal
-            ? job.profile.service_sigma
-            : -1.0; // exponential service (matches the analytic M/M/c)
-    sim::TailMeasurement tm = sim::measureStation(
-        cost.cores, lambda, cost.service_ms / 1000.0, sigma, warmup_s_,
-        window_s_, rng, event_budget_);
+    sim::TailMeasurement tm;
+    if (job.profile.service_distribution ==
+        ServiceDistribution::BoundedPareto) {
+        // Heavy-tailed service: the ServiceModel entry point (the
+        // legacy sigma selector cannot carry two shape parameters).
+        sim::ServiceModel service;
+        service.kind = sim::ServiceModel::Kind::BoundedPareto;
+        service.mean_service = cost.service_ms / 1000.0;
+        service.pareto_alpha = job.profile.pareto_alpha;
+        service.pareto_tail_ratio = job.profile.pareto_tail_ratio;
+        tm = sim::measureStation(cost.cores, lambda, service, warmup_s_,
+                                 window_s_, rng, event_budget_);
+    } else {
+        double sigma =
+            job.profile.service_distribution == ServiceDistribution::LogNormal
+                ? job.profile.service_sigma
+                : -1.0; // exponential service (matches the analytic M/M/c)
+        tm = sim::measureStation(cost.cores, lambda,
+                                 cost.service_ms / 1000.0, sigma, warmup_s_,
+                                 window_s_, rng, event_budget_);
+    }
     m.p95_ms = tm.p95 * 1000.0;
+    m.p99_ms = tm.p99 * 1000.0;
     m.mean_ms = tm.mean * 1000.0;
     m.throughput = tm.throughput;
     m.saturated = lambda > double(cost.cores) * 1000.0 / cost.service_ms;
     if (tm.completed == 0) {
         // Nothing completed in the window: report a saturated latency.
         m.p95_ms = (warmup_s_ + window_s_) * 1000.0;
+        m.p99_ms = m.p95_ms;
         m.mean_ms = m.p95_ms;
         m.saturated = true;
     }

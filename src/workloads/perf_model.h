@@ -52,6 +52,7 @@ namespace workloads {
 struct JobMeasurement
 {
     double p95_ms = 0.0;       ///< p95 response time (LC; 0 for BG).
+    double p99_ms = 0.0;       ///< p99 response time (LC; 0 for BG).
     double mean_ms = 0.0;      ///< Mean response time (LC; 0 for BG).
     double throughput = 0.0;   ///< Completions/s (LC) or ops/s (BG).
     double service_ms = 0.0;   ///< Derived per-query/op service time.

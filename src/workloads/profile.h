@@ -36,9 +36,11 @@ enum class JobClass { LatencyCritical, Background };
  * Per-query service-time distribution used by the DES backend.
  * Exponential matches the analytic M/M/c closed form (the default, so
  * the two backends cross-validate); LogNormal gives the lighter-tailed
- * service mix real request processing shows.
+ * service mix real request processing shows; BoundedPareto gives the
+ * heavy-tailed mix (a few requests orders of magnitude costlier than
+ * the median) that dominates warehouse tail latency.
  */
-enum class ServiceDistribution { Exponential, LogNormal };
+enum class ServiceDistribution { Exponential, LogNormal, BoundedPareto };
 
 /**
  * Resource-sensitivity description of one application.
@@ -94,6 +96,18 @@ struct WorkloadProfile
         ServiceDistribution::Exponential;
     /** Log-normal sigma of per-query service time (LogNormal only). */
     double service_sigma = 0.45;
+    /**
+     * Pareto tail index alpha (BoundedPareto only); must be > 1 so the
+     * mean is finite and the lower bound can be solved from it. Lower
+     * alpha = heavier tail (1.5 is the classic web-request shape).
+     */
+    double pareto_alpha = 1.5;
+    /**
+     * Upper/lower bound ratio H/L of the bounded Pareto support
+     * (BoundedPareto only): the costliest request is tail_ratio times
+     * the cheapest.
+     */
+    double pareto_tail_ratio = 100.0;
 
     // --- BG scaling ----------------------------------------------------
     /** Amdahl parallel fraction in [0, 1] (BG jobs). */
@@ -111,6 +125,23 @@ struct JobSpec
     WorkloadProfile profile; ///< Resource-sensitivity description.
     /** Load as a fraction of profile.max_qps (LC only; ignored for BG). */
     double load_fraction = 1.0;
+
+    // --- trace identity (time-varying load) ---------------------------
+    /**
+     * LoadTrace::name() of the trace driving this job's load, or ""
+     * for a static load. Purely descriptive at runtime (the harness
+     * applies the trace), but folded into MixSignature so warm-start
+     * lookups on trace-driven mixes never alias a static profile as an
+     * exact hit.
+     */
+    std::string trace_kind;
+    /**
+     * Mean load of the driving trace (identity load for signatures;
+     * meaningful only when trace_kind is non-empty). The instantaneous
+     * load_fraction varies window to window, so the signature hashes
+     * this stable summary instead.
+     */
+    double trace_mean_load = 0.0;
 
     /** Offered arrival rate in queries/second (LC). */
     double offeredQps() const;

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the transient-vs-sustained reoptimization policy and the
+ * percentile-over-time QoS bookkeeping (core/monitor.h):
+ *
+ *  - ReoptPolicy::Immediate is the legacy behaviour — the hysteresis
+ *    counters stay zero and the effective patience is unchanged;
+ *  - RideTransients absorbs load blips that decay within the ride
+ *    window (no re-optimization, transientsRidden() counts them) but
+ *    still re-optimizes for sustained shifts (sustainedShifts());
+ *  - every tick lands one WindowQos entry in qosTimeline(), and
+ *    violatingWindowFraction() is violating / assessed over fault-free
+ *    windows.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.h"
+#include "core/monitor.h"
+#include "workloads/catalog.h"
+#include "workloads/perf_model.h"
+
+namespace clite {
+namespace core {
+namespace {
+
+platform::SimulatedServer
+makeServer(uint64_t seed = 5)
+{
+    std::vector<workloads::JobSpec> jobs = {
+        workloads::lcJob("img-dnn", 0.1),
+        workloads::lcJob("memcached", 0.1),
+        workloads::bgJob("fluidanimate"),
+    };
+    return platform::SimulatedServer(
+        platform::ServerConfig::xeonSilver4114(), jobs,
+        std::make_unique<workloads::AnalyticModel>(), seed, 0.02);
+}
+
+CliteOptions
+fastClite()
+{
+    CliteOptions o;
+    o.max_iterations = 12;
+    o.polish_iterations = 3;
+    return o;
+}
+
+MonitorOptions
+ridingOptions(int ride = 3)
+{
+    MonitorOptions o;
+    o.violation_patience = 1;
+    o.drift_patience = 1;
+    o.reopt_policy = ReoptPolicy::RideTransients;
+    o.transient_ride_windows = ride;
+    return o;
+}
+
+TEST(ReoptPolicy, ImmediateKeepsHysteresisCountersAtZero)
+{
+    auto server = makeServer();
+    OnlineManager manager(server, fastClite());
+    manager.initialize();
+
+    // Steady state, then a sustained step that forces a reoptimization
+    // — under Immediate nothing is ever "ridden".
+    for (int w = 0; w < 4; ++w)
+        manager.tick();
+    server.setLoad(1, 0.4);
+    for (int w = 0; w < 6; ++w)
+        manager.tick();
+    EXPECT_GE(manager.reoptimizations(), 1);
+    EXPECT_EQ(manager.transientsRidden(), 0);
+    EXPECT_EQ(manager.sustainedShifts(), 0);
+}
+
+TEST(ReoptPolicy, RideTransientsAbsorbsAShortBlip)
+{
+    auto server = makeServer();
+    OnlineManager manager(server, fastClite(), ridingOptions());
+    manager.initialize();
+    for (int w = 0; w < 3; ++w)
+        manager.tick();
+    ASSERT_EQ(manager.reoptimizations(), 0);
+
+    // One-window load spike, then back to normal: the streak passes
+    // the Immediate threshold (patience 1) but decays inside the ride
+    // window, so the incumbent is kept and the blip is counted.
+    server.setLoad(1, 0.5);
+    manager.tick();
+    server.setLoad(1, 0.1);
+    for (int w = 0; w < 4; ++w)
+        manager.tick();
+    EXPECT_EQ(manager.reoptimizations(), 0);
+    EXPECT_GE(manager.transientsRidden(), 1);
+    EXPECT_EQ(manager.sustainedShifts(), 0);
+}
+
+TEST(ReoptPolicy, RideTransientsStillCatchesSustainedShifts)
+{
+    auto server = makeServer();
+    OnlineManager manager(server, fastClite(), ridingOptions());
+    manager.initialize();
+    for (int w = 0; w < 2; ++w)
+        manager.tick();
+
+    // A step that stays: the streak outlasts patience + ride windows
+    // and the manager re-optimizes, attributing a sustained shift.
+    server.setLoad(1, 0.4);
+    bool reoptimized = false;
+    std::string reason;
+    for (int w = 0; w < 10 && !reoptimized; ++w) {
+        OnlineManager::Tick t = manager.tick();
+        reoptimized = t.reoptimized;
+        reason = t.reason;
+    }
+    EXPECT_TRUE(reoptimized);
+    EXPECT_TRUE(reason == "load-drift" || reason == "qos-violation")
+        << reason;
+    EXPECT_GE(manager.sustainedShifts(), 1);
+    // The hysteresis delays the trigger past the Immediate patience:
+    // at least patience + ride windows of streak were accumulated.
+    EXPECT_GE(manager.windows(), 1 + 3);
+}
+
+TEST(ReoptPolicy, RideWindowsExtendEffectivePatience)
+{
+    // Same sustained step, Immediate vs riding: the riding manager
+    // must trigger strictly later (the ride windows are real delay,
+    // not just bookkeeping).
+    auto windowsUntilReopt = [](MonitorOptions mo) {
+        auto server = makeServer();
+        OnlineManager manager(server, fastClite(), mo);
+        manager.initialize();
+        server.setLoad(1, 0.4);
+        for (int w = 1; w <= 12; ++w)
+            if (manager.tick().reoptimized)
+                return w;
+        return 99;
+    };
+    MonitorOptions naive;
+    naive.violation_patience = 1;
+    naive.drift_patience = 1;
+    int immediate = windowsUntilReopt(naive);
+    int riding = windowsUntilReopt(ridingOptions(3));
+    ASSERT_LT(immediate, 99);
+    ASSERT_LT(riding, 99);
+    EXPECT_EQ(riding, immediate + 3);
+}
+
+TEST(QosTimeline, OneEntryPerWindowWithConsistentFraction)
+{
+    auto server = makeServer();
+    OnlineManager manager(server, fastClite());
+    manager.initialize();
+    const int windows = 8;
+    for (int w = 0; w < windows; ++w)
+        manager.tick();
+
+    ASSERT_EQ(manager.qosTimeline().size(), size_t(windows));
+    int violated = 0;
+    for (const WindowQos& w : manager.qosTimeline()) {
+        EXPECT_FALSE(w.faulted); // no faults injected here
+        EXPECT_GT(w.worst_p95_ratio, 0.0);
+        EXPECT_GT(w.worst_p99_ratio, 0.0);
+        // p99 of the same distribution cannot sit below p95.
+        EXPECT_GE(w.worst_p99_ratio, w.worst_p95_ratio - 1e-12);
+        EXPECT_EQ(w.violated, w.worst_p95_ratio > 1.0);
+        violated += w.violated ? 1 : 0;
+    }
+    EXPECT_EQ(manager.qosWindows(), windows);
+    EXPECT_EQ(manager.violatingWindows(), violated);
+    EXPECT_DOUBLE_EQ(manager.violatingWindowFraction(),
+                     double(violated) / double(windows));
+}
+
+TEST(QosTimeline, EmptyBeforeAnyWindow)
+{
+    auto server = makeServer();
+    OnlineManager manager(server, fastClite());
+    manager.initialize();
+    EXPECT_TRUE(manager.qosTimeline().empty());
+    EXPECT_EQ(manager.qosWindows(), 0);
+    EXPECT_DOUBLE_EQ(manager.violatingWindowFraction(), 0.0);
+}
+
+TEST(ReoptPolicy, NegativeRideWindowsRejected)
+{
+    auto server = makeServer();
+    MonitorOptions bad = ridingOptions(-1);
+    EXPECT_THROW(OnlineManager m(server, fastClite(), bad), Error);
+}
+
+} // namespace
+} // namespace core
+} // namespace clite

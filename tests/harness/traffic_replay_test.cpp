@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Trace replays driven by the traffic subsystem: the percentile-over-
+ * time QoS plumbing, the reoptimization-policy counters, and the
+ * bit-identical-across-thread-counts contract the fleet benches
+ * (bench/fig_traffic) rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/thread_pool.h"
+#include "harness/dynamic.h"
+#include "workloads/catalog.h"
+#include "workloads/traffic/traffic.h"
+
+namespace clite {
+namespace harness {
+namespace {
+
+ServerSpec
+replaySpec()
+{
+    ServerSpec spec;
+    spec.jobs = {workloads::lcJob("memcached", 0.1),
+                 workloads::lcJob("img-dnn", 0.1),
+                 workloads::bgJob("swaptions")};
+    spec.seed = 61;
+    return spec;
+}
+
+core::CliteOptions
+fastClite()
+{
+    core::CliteOptions o;
+    o.max_iterations = 10;
+    o.polish_iterations = 2;
+    return o;
+}
+
+bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+TEST(TrafficReplay, TimelineCarriesPercentileRatios)
+{
+    workloads::traffic::JitteredDiurnalTrace::Options o;
+    o.base = 0.2;
+    o.amplitude = 0.1;
+    o.period_seconds = 40.0;
+    o.jitter_interval_s = 2.0;
+    workloads::traffic::JitteredDiurnalTrace trace(7, o);
+    TraceReplayResult r = replayLoadTrace(replaySpec(), 0, trace, 40.0,
+                                          2.0, fastClite());
+    ASSERT_EQ(r.windows.size(), 20u);
+    int violating = 0;
+    for (const ReplayWindow& w : r.windows) {
+        EXPECT_GT(w.worst_p95_ratio, 0.0);
+        EXPECT_GE(w.worst_p99_ratio, w.worst_p95_ratio - 1e-12);
+        violating += w.worst_p95_ratio > 1.0 ? 1 : 0;
+    }
+    // No faults are injected here, so the violating fraction is just
+    // violating / total over the same windows the timeline shows.
+    EXPECT_NEAR(r.violating_window_fraction,
+                double(violating) / double(r.windows.size()), 1e-12);
+    EXPECT_EQ(r.transients_ridden, 0);  // Immediate policy
+    EXPECT_EQ(r.sustained_shifts, 0);
+}
+
+TEST(TrafficReplay, RidingPolicyAvoidsFlashCrowdSearches)
+{
+    workloads::traffic::SurgeProcess::Options so;
+    so.horizon_seconds = 60.0;
+    so.mean_interarrival_s = 15.0;
+    so.decay_seconds = 2.5;
+    so.mean_magnitude = 0.35;
+    workloads::traffic::FlashCrowdTrace trace(301, 0.25, so);
+
+    core::MonitorOptions naive;
+    naive.violation_patience = 1;
+    naive.drift_patience = 1;
+    core::MonitorOptions riding = naive;
+    riding.reopt_policy = core::ReoptPolicy::RideTransients;
+    riding.transient_ride_windows = 3;
+
+    TraceReplayResult n = replayLoadTrace(replaySpec(), 0, trace, 60.0,
+                                          2.0, fastClite(), naive);
+    TraceReplayResult r = replayLoadTrace(replaySpec(), 0, trace, 60.0,
+                                          2.0, fastClite(), riding);
+    EXPECT_GE(n.reoptimizations, 1); // crowds do provoke the naive arm
+    EXPECT_LT(r.reoptimizations, n.reoptimizations);
+    EXPECT_GE(r.transients_ridden, 1);
+}
+
+TEST(TrafficReplay, BitIdenticalAcrossThreadCounts)
+{
+    workloads::traffic::FlashCrowdTrace trace(77, 0.2);
+    auto run = [&trace](int threads) {
+        setGlobalThreadCount(threads);
+        return replayLoadTrace(replaySpec(), 0, trace, 30.0, 2.0,
+                               fastClite());
+    };
+    const int restore = ThreadPool::defaultThreadCount();
+    TraceReplayResult one = run(1);
+    TraceReplayResult eight = run(8);
+    setGlobalThreadCount(restore);
+
+    ASSERT_EQ(one.windows.size(), eight.windows.size());
+    for (size_t i = 0; i < one.windows.size(); ++i) {
+        const ReplayWindow& a = one.windows[i];
+        const ReplayWindow& b = eight.windows[i];
+        EXPECT_TRUE(sameBits(a.load, b.load)) << "window " << i;
+        EXPECT_TRUE(sameBits(a.score, b.score)) << "window " << i;
+        EXPECT_TRUE(sameBits(a.worst_p95_ratio, b.worst_p95_ratio))
+            << "window " << i;
+        EXPECT_TRUE(sameBits(a.worst_p99_ratio, b.worst_p99_ratio))
+            << "window " << i;
+        EXPECT_EQ(a.all_qos_met, b.all_qos_met) << "window " << i;
+        EXPECT_EQ(a.reoptimized, b.reoptimized) << "window " << i;
+    }
+    EXPECT_EQ(one.reoptimizations, eight.reoptimizations);
+    EXPECT_TRUE(sameBits(one.violating_window_fraction,
+                         eight.violating_window_fraction));
+    EXPECT_EQ(one.transients_ridden, eight.transients_ridden);
+    EXPECT_EQ(one.sustained_shifts, eight.sustained_shifts);
+}
+
+} // namespace
+} // namespace harness
+} // namespace clite

@@ -121,6 +121,82 @@ TEST(MixSignature, KeyIsFixedWidthHex)
     EXPECT_FALSE(a.describe().empty());
 }
 
+TEST(MixSignature, EmptyTraceKindLeavesStaticHashesUntouched)
+{
+    // The trace fields are folded into the hash only when set: a
+    // static mix hashes identically whatever trace_mean_load happens
+    // to hold, so every pre-trace store key and golden is preserved.
+    platform::ServerConfig config = platform::ServerConfig::xeonSilver4114();
+    MixSignature base = MixSignature::of(config, mixA());
+    std::vector<workloads::JobSpec> stale = mixA();
+    stale[0].trace_mean_load = 0.77; // ignored without a trace_kind
+    EXPECT_EQ(base.hash(), MixSignature::of(config, stale).hash());
+    EXPECT_TRUE(base == MixSignature::of(config, stale));
+}
+
+TEST(MixSignature, TracedJobsGetDistinctKeysPerTraceShape)
+{
+    platform::ServerConfig config = platform::ServerConfig::xeonSilver4114();
+    MixSignature untraced = MixSignature::of(config, mixA());
+
+    std::vector<workloads::JobSpec> flash = mixA();
+    flash[0].trace_kind = "flash-crowd";
+    flash[0].trace_mean_load = 0.3;
+    std::vector<workloads::JobSpec> diurnal = mixA();
+    diurnal[0].trace_kind = "jittered-diurnal";
+    diurnal[0].trace_mean_load = 0.3;
+
+    MixSignature f = MixSignature::of(config, flash);
+    MixSignature d = MixSignature::of(config, diurnal);
+    EXPECT_NE(untraced.hash(), f.hash());
+    EXPECT_NE(untraced.hash(), d.hash());
+    EXPECT_NE(f.hash(), d.hash());
+    EXPECT_NE(untraced.key(), f.key());
+}
+
+TEST(MixSignature, TracedIdentityIsTheTraceMeanNotTheInstantaneousLoad)
+{
+    // Mid-replay the window load differs from admission: the signature
+    // must key on the stable trace mean, or one recurring trace-driven
+    // mix would shatter into a distinct store key per window.
+    platform::ServerConfig config = platform::ServerConfig::xeonSilver4114();
+    std::vector<workloads::JobSpec> at_peak = mixA();
+    at_peak[0].trace_kind = "flash-crowd";
+    at_peak[0].trace_mean_load = 0.3;
+    at_peak[0].load_fraction = 0.95; // riding a crowd right now
+    std::vector<workloads::JobSpec> at_trough = mixA();
+    at_trough[0].trace_kind = "flash-crowd";
+    at_trough[0].trace_mean_load = 0.3;
+    at_trough[0].load_fraction = 0.1;
+    EXPECT_TRUE(MixSignature::of(config, at_peak) ==
+                MixSignature::of(config, at_trough));
+}
+
+TEST(MixSignature, TraceKindMismatchIsInfinitelyFar)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    platform::ServerConfig config = platform::ServerConfig::xeonSilver4114();
+    std::vector<workloads::JobSpec> flash = mixA();
+    flash[0].trace_kind = "flash-crowd";
+    flash[0].trace_mean_load = 0.3;
+    std::vector<workloads::JobSpec> diurnal = flash;
+    diurnal[0].trace_kind = "jittered-diurnal";
+
+    // Static vs traced and trace vs trace are structural mismatches;
+    // same trace kind at drifted mean load is an ordinary load delta.
+    EXPECT_EQ(MixSignature::distance(MixSignature::of(config, mixA()),
+                                     MixSignature::of(config, flash)),
+              inf);
+    EXPECT_EQ(MixSignature::distance(MixSignature::of(config, flash),
+                                     MixSignature::of(config, diurnal)),
+              inf);
+    std::vector<workloads::JobSpec> drifted = flash;
+    drifted[0].trace_mean_load = 0.45;
+    EXPECT_NEAR(MixSignature::distance(MixSignature::of(config, flash),
+                                       MixSignature::of(config, drifted)),
+                0.15, 1e-12);
+}
+
 } // namespace
 } // namespace store
 } // namespace clite

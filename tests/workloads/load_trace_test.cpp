@@ -35,6 +35,42 @@ TEST(StepTrace, Validation)
     EXPECT_THROW(StepTrace({{0.0, 1.5}}), Error);
 }
 
+TEST(StepTrace, ReturnsValidatedLoadsExactly)
+{
+    // The (0, 1] contract: loads below the generators' 0.01 clamp
+    // floor are documented-legal and must be replayed bit-exactly,
+    // never silently clamped.
+    StepTrace trace({{0.0, 0.005}, {10.0, 1.0}, {20.0, 0.0001}});
+    EXPECT_EQ(trace.loadAt(0.0), 0.005);
+    EXPECT_EQ(trace.loadAt(9.0), 0.005);
+    EXPECT_EQ(trace.loadAt(15.0), 1.0);
+    EXPECT_EQ(trace.loadAt(1e9), 0.0001);
+    // Equal-time steps are allowed (non-decreasing): the later one
+    // wins from that instant on.
+    StepTrace dup({{0.0, 0.2}, {10.0, 0.3}, {10.0, 0.4}});
+    EXPECT_EQ(dup.loadAt(10.0), 0.4);
+}
+
+TEST(StepTrace, ErrorsNameTheOffendingStep)
+{
+    try {
+        StepTrace({{0.0, 0.1}, {10.0, 0.2}, {5.0, 0.3}});
+        FAIL() << "expected a time-order error";
+    } catch (const Error& e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("step 2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("step 1"), std::string::npos) << msg;
+    }
+    try {
+        StepTrace({{0.0, 0.1}, {10.0, 1.5}});
+        FAIL() << "expected a load-range error";
+    } catch (const Error& e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("step 1"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("(0, 1]"), std::string::npos) << msg;
+    }
+}
+
 TEST(DiurnalTrace, OscillatesAroundBase)
 {
     DiurnalTrace trace(0.5, 0.3, 100.0);
